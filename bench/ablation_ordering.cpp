@@ -1,0 +1,62 @@
+// Ablation: ordering-service sensitivity — the paper's finding that the
+// consenter choice does not matter at Fabric's throughput.
+//
+// (1) Kafka replication factor: the in-sync-replica commit round is
+//     invisible at ~250 tps on a 1 Gbps LAN.
+// (2) Network latency: ordering latency only matters once the wire does —
+//     inflating the base latency shows where consensus rounds would start
+//     to bite (Raft pays ~1 RTT to majority, Kafka ~2 RTTs produce+ISR).
+#include "bench_common.h"
+
+using namespace fabricsim;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::ParseArgs(argc, argv);
+
+  std::cout << "=== Ablation: ordering service ===\n";
+  std::cout << "--- (1) Kafka replication factor (5 brokers, 250 tps) ---\n";
+  metrics::Table rf_table({"replication_factor", "tps", "e2e_latency_s",
+                           "order_latency_s"});
+  for (int rf : {1, 3, 5}) {
+    fabric::ExperimentConfig config =
+        fabric::StandardConfig(fabric::OrderingType::kKafka, 0, 250);
+    config.network.topology.kafka_brokers = 5;
+    config.network.topology.kafka_replication_factor = rf;
+    benchutil::Tune(config, args.quick);
+    const auto r = fabric::RunExperiment(config).report;
+    rf_table.AddRow({std::to_string(rf),
+                     metrics::Fmt(r.end_to_end.throughput_tps, 1),
+                     metrics::Fmt(r.end_to_end.mean_latency_s, 2),
+                     metrics::Fmt(r.order.mean_latency_s, 3)});
+  }
+  benchutil::PrintTable(rf_table, args);
+
+  std::cout << "--- (2) Network base latency (Kafka vs Raft, 150 tps) ---\n";
+  metrics::Table lat_table({"base_latency_ms", "Kafka_order_s", "Raft_order_s",
+                            "Kafka_e2e_s", "Raft_e2e_s"});
+  for (double ms : {0.18, 2.0, 10.0, 40.0}) {
+    std::vector<std::string> row{metrics::Fmt(ms, 2)};
+    std::vector<double> order_lat, e2e_lat;
+    for (auto type :
+         {fabric::OrderingType::kKafka, fabric::OrderingType::kRaft}) {
+      fabric::ExperimentConfig config = fabric::StandardConfig(type, 0, 150);
+      config.network.net.base_latency = sim::FromMillis(ms);
+      benchutil::Tune(config, args.quick);
+      const auto r = fabric::RunExperiment(config).report;
+      order_lat.push_back(r.order.mean_latency_s);
+      e2e_lat.push_back(r.end_to_end.mean_latency_s);
+    }
+    row.push_back(metrics::Fmt(order_lat[0], 3));
+    row.push_back(metrics::Fmt(order_lat[1], 3));
+    row.push_back(metrics::Fmt(e2e_lat[0], 2));
+    row.push_back(metrics::Fmt(e2e_lat[1], 2));
+    lat_table.AddRow(std::move(row));
+  }
+  benchutil::PrintTable(lat_table, args);
+
+  std::cout << "\nExpected shape: (1) replication factor changes nothing "
+               "measurable at LAN latencies (the paper's Kafka finding); "
+               "(2) only at tens of milliseconds of base latency do the "
+               "consensus rounds become visible in the order phase.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: transaction (value) size — the workload factor the paper's
+// related-work discussion singles out ("the workload may have different ...
+// transaction size"); the paper's own experiments fix it at 1 byte.
+//
+// Larger values inflate every wire message (proposal, response, envelope,
+// block) and the block-hash/ledger-write work, pushing the 1 Gbps network
+// and the serialization paths toward relevance.
+#include "bench_common.h"
+
+using namespace fabricsim;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::ParseArgs(argc, argv);
+
+  std::cout << "=== Ablation: value size (Solo, OR) ===\n";
+  metrics::Table table({"value_bytes", "offered_tps", "committed_tps",
+                        "e2e_latency_s", "MB_on_wire", "block_time_s"});
+  for (std::size_t size : {std::size_t{1}, std::size_t{1024},
+                           std::size_t{10 * 1024}, std::size_t{100 * 1024}}) {
+    // Huge values saturate the wire far below the validate ceiling; offer
+    // less so the latency number is a steady-state one.
+    const double rate = size >= 100 * 1024 ? 40.0 : 200.0;
+    fabric::ExperimentConfig config =
+        fabric::StandardConfig(fabric::OrderingType::kSolo, 0, rate);
+    config.workload.value_size = size;
+    benchutil::Tune(config, args.quick);
+    if (size >= 100 * 1024) {
+      config.workload.duration = sim::FromSeconds(15);  // wall-time bound
+    }
+    const auto result = fabric::RunExperiment(config);
+    table.AddRow({std::to_string(size), metrics::Fmt(rate, 0),
+                  metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
+                  metrics::Fmt(result.report.end_to_end.mean_latency_s, 2),
+                  metrics::Fmt(static_cast<double>(result.bytes_sent) / 1e6, 0),
+                  metrics::Fmt(result.report.mean_block_time_s, 2)});
+  }
+  benchutil::PrintTable(table, args);
+  std::cout << "\nExpected shape: negligible impact through ~1 KiB. From "
+               "~10 KiB, PreferredMaxBytes cuts blocks early (block time "
+               "and latency drop, blocks shrink); at 100 KiB the wire "
+               "volume dominates — 200 tps would exceed the 1 Gbps fabric, "
+               "which is why the offered rate is lowered to keep the system "
+               "in steady state.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: the two halves of the validate-phase bottleneck.
+//
+// (1) VSCC pool width (committing peer cores): the parallel signature-
+//     verification stage scales with cores until the serial ledger-write
+//     floor binds — Fabric 1.4's design (parallel VSCC, serial commit).
+// (2) Per-endorsement signature-verification cost: the OR-vs-AND gap is
+//     proportional to endorsements per transaction.
+// (3) Serial ledger-write cost: the OR-policy ceiling.
+#include "bench_common.h"
+#include "fabric/topology.h"
+
+using namespace fabricsim;
+
+namespace {
+
+fabric::ExperimentConfig Saturating(int and_x, bool quick) {
+  fabric::ExperimentConfig config =
+      fabric::StandardConfig(fabric::OrderingType::kSolo, and_x, 480);
+  benchutil::Tune(config, quick);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::ParseArgs(argc, argv);
+
+  std::cout << "=== Ablation: validate-phase design choices ===\n";
+
+  std::cout << "--- (1) VSCC worker-pool width: peak tps vs committing-peer "
+               "cores (AND5) ---\n";
+  // More cores widen the parallel VSCC stage; the serial ledger write
+  // eventually caps. (Modeled by substituting the validator machine's core
+  // count via the per-endorsement cost equivalence: cores c at cost k =
+  // cores 4 at cost 4k/c, since capacity = c/k.)
+  metrics::Table pool_table({"vscc_cores", "peak_tps"});
+  for (int cores : {1, 2, 4, 8}) {
+    auto config = Saturating(5, args.quick);
+    const double scale = 4.0 / cores;
+    config.network.calibration.vscc_base_cpu = static_cast<sim::SimDuration>(
+        config.network.calibration.vscc_base_cpu * scale);
+    config.network.calibration.vscc_per_endorsement_cpu =
+        static_cast<sim::SimDuration>(
+            config.network.calibration.vscc_per_endorsement_cpu * scale);
+    const auto r = fabric::RunExperiment(config).report;
+    pool_table.AddRow({std::to_string(cores),
+                       metrics::Fmt(r.end_to_end.throughput_tps, 1)});
+  }
+  benchutil::PrintTable(pool_table, args);
+
+  std::cout << "--- (2) Signature-verification cost: peak tps, OR vs AND5 "
+               "---\n";
+  metrics::Table sig_table({"verify_ms_per_endorsement", "OR_tps", "AND5_tps"});
+  for (double ms : {1.5, 3.0, 6.0}) {
+    std::vector<std::string> row{metrics::Fmt(ms, 1)};
+    for (int and_x : {0, 5}) {
+      auto config = Saturating(and_x, args.quick);
+      config.network.calibration.vscc_per_endorsement_cpu =
+          sim::FromMillis(ms);
+      const auto r = fabric::RunExperiment(config).report;
+      row.push_back(metrics::Fmt(r.end_to_end.throughput_tps, 1));
+    }
+    sig_table.AddRow(std::move(row));
+  }
+  benchutil::PrintTable(sig_table, args);
+
+  std::cout << "--- (3) Serial ledger-write cost: peak tps under OR ---\n";
+  metrics::Table disk_table({"block_write_ms_per_tx", "OR_peak_tps"});
+  for (double ms : {0.5, 1.0, 2.0, 4.0}) {
+    auto config = Saturating(0, args.quick);
+    config.network.calibration.block_write_per_tx_disk = sim::FromMillis(ms);
+    const auto r = fabric::RunExperiment(config).report;
+    disk_table.AddRow({metrics::Fmt(ms, 1),
+                       metrics::Fmt(r.end_to_end.throughput_tps, 1)});
+  }
+  benchutil::PrintTable(disk_table, args);
+
+  std::cout << "\nExpected shape: (1) AND5 peak scales with cores until the "
+               "serial floor (~300 tps); (2) AND5 is ~x5 more sensitive to "
+               "verification cost than OR; (3) the OR ceiling moves inversely "
+               "with the serial write cost.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each binary regenerates one table or figure of the paper. Binaries accept
+// optional flags:
+//   --quick        smaller sweeps / shorter windows (CI-friendly)
+//   --csv          emit CSV instead of aligned tables
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabric/experiment.h"
+#include "metrics/reporter.h"
+
+namespace benchutil {
+
+struct Args {
+  bool quick = false;
+  bool csv = false;
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") out.quick = true;
+    if (a == "--csv") out.csv = true;
+  }
+  return out;
+}
+
+inline void PrintTable(const fabricsim::metrics::Table& table,
+                       const Args& args) {
+  if (args.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+}
+
+/// The arrival-rate sweep used by Figs. 2-7 (the paper sweeps to ~450 tps).
+inline std::vector<double> RateSweep(bool quick) {
+  if (quick) return {50, 150, 250, 350};
+  return {25, 50, 100, 150, 200, 250, 300, 350, 400, 450};
+}
+
+/// Applies the default measurement durations (shorter with --quick).
+inline void Tune(fabricsim::fabric::ExperimentConfig& config, bool quick) {
+  using fabricsim::sim::FromSeconds;
+  config.workload.duration = FromSeconds(quick ? 20 : 30);
+  config.warmup = FromSeconds(5);
+  config.drain = FromSeconds(12);
+}
+
+inline const char* kOrderings[] = {"Solo", "Kafka", "Raft"};
+
+inline fabricsim::fabric::OrderingType OrderingAt(int i) {
+  using fabricsim::fabric::OrderingType;
+  switch (i) {
+    case 0:
+      return OrderingType::kSolo;
+    case 1:
+      return OrderingType::kKafka;
+    default:
+      return OrderingType::kRaft;
+  }
+}
+
+}  // namespace benchutil

@@ -1,0 +1,35 @@
+// Reproduces Fig. 6: per-phase latency vs arrival rate under OR — the
+// execute latency vs the combined order & validate latency (the paper's
+// black and cyan lines).
+//
+// Paper's findings to confirm: both stay stable before the peak; the
+// order & validate latency rises once the arrival rate passes the validate
+// phase's capacity (queueing effect).
+#include "bench_common.h"
+
+using namespace fabricsim;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::ParseArgs(argc, argv);
+
+  std::cout << "=== Fig. 6: Per-phase latency under OR (s) ===\n";
+  for (int o = 0; o < 3; ++o) {
+    std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
+              << " ---\n";
+    metrics::Table table({"arrival_tps", "execute_s", "order+validate_s"});
+    for (double rate : benchutil::RateSweep(args.quick)) {
+      fabric::ExperimentConfig config =
+          fabric::StandardConfig(benchutil::OrderingAt(o), 0, rate);
+      benchutil::Tune(config, args.quick);
+      const auto r = fabric::RunExperiment(config).report;
+      table.AddRow({metrics::Fmt(rate, 0),
+                    metrics::Fmt(r.execute.mean_latency_s, 2),
+                    metrics::Fmt(r.order_and_validate.mean_latency_s, 2)});
+    }
+    benchutil::PrintTable(table, args);
+  }
+  std::cout << "\nExpected shape: execute latency ~0.25-0.35 s throughout; "
+               "order & validate ~0.4-0.6 s until ~300 tps, then climbing as "
+               "the validate queue builds.\n";
+  return 0;
+}

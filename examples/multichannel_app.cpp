@@ -1,0 +1,68 @@
+// Multi-channel application: two business domains (payments and
+// settlements) isolated on separate channels of one Fabric network —
+// separate ledgers and ordering (one Raft group per channel), shared peers.
+//
+// Build & run:  cmake --build build && ./build/examples/multichannel_app
+#include <iostream>
+
+#include "fabric/network_builder.h"
+
+using namespace fabricsim;
+
+int main() {
+  fabric::NetworkOptions opts;
+  opts.topology.ordering = fabric::OrderingType::kRaft;
+  opts.topology.endorsing_peers = 4;
+  opts.topology.osns = 3;
+  opts.channels = 2;  // "mychannel0" (payments), "mychannel1" (settlements)
+  opts.seeded_accounts = 4;
+  opts.seeded_balance = 500;
+  opts.seed = 11;
+
+  fabric::FabricNetwork net(opts);
+  net.Start();
+  net.Env().Sched().RunUntil(sim::FromSeconds(2));  // raft elections (x2)
+
+  // Clients are bound to channels round-robin: client 0 -> channel 0, ...
+  auto clients = net.Clients();
+  auto transfer = [&](std::size_t client, const std::string& from,
+                      const std::string& to, const std::string& amt) {
+    proto::ChaincodeInvocation inv;
+    inv.chaincode_id = "token";
+    inv.function = "transfer";
+    inv.args = {proto::ToBytes(from), proto::ToBytes(to), proto::ToBytes(amt)};
+    clients[client]->Submit(std::move(inv));
+  };
+
+  transfer(0, "acct0", "acct1", "100");  // payments channel
+  transfer(1, "acct0", "acct1", "7");    // settlements channel
+  net.Env().Sched().RunUntil(sim::FromSeconds(10));
+
+  auto& peer = net.ValidatorPeer();
+  auto balance = [&](const std::string& channel, const std::string& acct) {
+    const auto v = peer.GetCommitter(channel).State().Get("token", acct);
+    return v ? proto::ToString(v->value) : "<missing>";
+  };
+
+  std::cout << "channel " << net.ChannelId(0) << " (payments):    acct0="
+            << balance("mychannel0", "acct0")
+            << " acct1=" << balance("mychannel0", "acct1") << "\n";
+  std::cout << "channel " << net.ChannelId(1) << " (settlements): acct0="
+            << balance("mychannel1", "acct0")
+            << " acct1=" << balance("mychannel1", "acct1") << "\n";
+
+  std::cout << "chains: " << net.ChannelId(0) << " height "
+            << peer.GetCommitter("mychannel0").Chain().Height() << ", "
+            << net.ChannelId(1) << " height "
+            << peer.GetCommitter("mychannel1").Chain().Height() << "\n";
+
+  const bool ok = balance("mychannel0", "acct0") == "400" &&
+                  balance("mychannel0", "acct1") == "600" &&
+                  balance("mychannel1", "acct0") == "493" &&
+                  balance("mychannel1", "acct1") == "507" &&
+                  peer.GetCommitter("mychannel0").Chain().Audit().ok &&
+                  peer.GetCommitter("mychannel1").Chain().Audit().ok;
+  std::cout << (ok ? "OK: channels are isolated ledgers over shared peers\n"
+                   : "FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Ordering-service comparison at a glance: the paper's headline experiment
+// in miniature. Runs the same 1-byte-write workload against Solo, Kafka,
+// and Raft deployments and prints throughput, per-phase latency, and block
+// statistics side by side.
+//
+// Build & run:  cmake --build build && ./build/examples/ordering_comparison
+#include <iostream>
+
+#include "fabric/experiment.h"
+#include "metrics/reporter.h"
+
+using namespace fabricsim;
+
+int main() {
+  std::cout << "Comparing ordering services at 200 tps (OR policy, 10 "
+               "endorsing peers, 1-byte values)...\n\n";
+
+  metrics::Table table({"ordering", "committed_tps", "e2e_latency_s",
+                        "execute_s", "order_s", "validate_s", "block_time_s",
+                        "txs_per_block", "rejected"});
+
+  for (auto type : {fabric::OrderingType::kSolo, fabric::OrderingType::kKafka,
+                    fabric::OrderingType::kRaft}) {
+    fabric::ExperimentConfig config = fabric::StandardConfig(type, 0, 200);
+    config.workload.duration = sim::FromSeconds(30);
+    const auto result = fabric::RunExperiment(config);
+    const auto& r = result.report;
+    table.AddRow({fabric::OrderingTypeName(type),
+                  metrics::Fmt(r.end_to_end.throughput_tps, 1),
+                  metrics::Fmt(r.end_to_end.mean_latency_s, 2),
+                  metrics::Fmt(r.execute.mean_latency_s, 2),
+                  metrics::Fmt(r.order.mean_latency_s, 2),
+                  metrics::Fmt(r.validate.mean_latency_s, 2),
+                  metrics::Fmt(r.mean_block_time_s, 2),
+                  metrics::Fmt(r.mean_block_size, 1),
+                  std::to_string(result.client_rejected)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nAs in the paper (Fig. 2/3): the three ordering services "
+               "are indistinguishable at Fabric's throughput — consensus "
+               "is not the bottleneck; the validate phase is.\n";
+  return 0;
+}

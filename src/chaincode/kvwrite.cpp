@@ -1,0 +1,60 @@
+#include "chaincode/kvwrite.h"
+
+namespace fabricsim::chaincode {
+
+Response KvWriteChaincode::Invoke(ChaincodeStub& stub) {
+  const std::string& fn = stub.Function();
+  if (fn == "write") {
+    if (stub.Args().size() != 2) return Response::Error("write(key, value)");
+    stub.PutState(stub.ArgStr(0), stub.Args()[1]);
+    return Response::Success();
+  }
+  if (fn == "read") {
+    if (stub.Args().size() != 1) return Response::Error("read(key)");
+    auto v = stub.GetState(stub.ArgStr(0));
+    if (!v) return Response::Error("key not found: " + stub.ArgStr(0));
+    return Response::Success(std::move(*v));
+  }
+  if (fn == "readwrite") {
+    if (stub.Args().size() != 2) {
+      return Response::Error("readwrite(key, value)");
+    }
+    stub.GetState(stub.ArgStr(0));  // record the read (version check later)
+    stub.PutState(stub.ArgStr(0), stub.Args()[1]);
+    return Response::Success();
+  }
+  if (fn == "delete") {
+    if (stub.Args().size() != 1) return Response::Error("delete(key)");
+    stub.DelState(stub.ArgStr(0));
+    return Response::Success();
+  }
+  if (fn == "scan") {
+    if (stub.Args().size() != 2) return Response::Error("scan(start, end)");
+    std::string joined;
+    for (const auto& [key, value] :
+         stub.GetStateByRange(stub.ArgStr(0), stub.ArgStr(1))) {
+      if (!joined.empty()) joined.push_back(',');
+      joined += key + "=" + proto::ToString(value);
+    }
+    return Response::Success(proto::ToBytes(joined));
+  }
+  if (fn == "scan_sum_write") {
+    if (stub.Args().size() != 3) {
+      return Response::Error("scan_sum_write(start, end, out_key)");
+    }
+    // Aggregates the byte-lengths of a range into a single key: a
+    // read-modify-write whose read set is a *range* — the canonical
+    // phantom-read scenario.
+    std::size_t total = 0;
+    for (const auto& [key, value] :
+         stub.GetStateByRange(stub.ArgStr(0), stub.ArgStr(1))) {
+      (void)key;
+      total += value.size();
+    }
+    stub.PutState(stub.ArgStr(2), proto::ToBytes(std::to_string(total)));
+    return Response::Success();
+  }
+  return Response::Error("unknown function: " + fn);
+}
+
+}  // namespace fabricsim::chaincode

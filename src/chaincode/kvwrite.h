@@ -1,0 +1,27 @@
+// The paper's benchmark chaincode: writes a (small) value under a key.
+//
+// The paper drives Fabric with 1-byte-value write transactions; "write"
+// reproduces that. "read" and "readwrite" variants exist for workloads that
+// need read sets (and hence can MVCC-conflict).
+#pragma once
+
+#include "chaincode/shim.h"
+
+namespace fabricsim::chaincode {
+
+class KvWriteChaincode final : public Chaincode {
+ public:
+  [[nodiscard]] std::string Name() const override { return "kvwrite"; }
+
+  /// Functions:
+  ///   write(key, value)       - blind write
+  ///   read(key)               - returns value or error if absent
+  ///   readwrite(key, value)   - read key (recording version), then write
+  ///   delete(key)
+  ///   scan(start, end)        - range query; returns "k=v,..." (phantom-
+  ///                             protected via range-query info)
+  ///   scan_sum_write(start, end, out_key) - aggregate a range into out_key
+  Response Invoke(ChaincodeStub& stub) override;
+};
+
+}  // namespace fabricsim::chaincode

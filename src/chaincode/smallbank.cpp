@@ -1,0 +1,143 @@
+#include "chaincode/smallbank.h"
+
+#include <charconv>
+
+namespace fabricsim::chaincode {
+namespace {
+
+std::optional<std::int64_t> ParseAmount(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> ReadInt(ChaincodeStub& stub,
+                                    const std::string& key) {
+  auto raw = stub.GetState(key);
+  if (!raw) return std::nullopt;
+  return ParseAmount(proto::ToString(*raw));
+}
+
+void WriteInt(ChaincodeStub& stub, const std::string& key, std::int64_t v) {
+  stub.PutState(key, proto::ToBytes(std::to_string(v)));
+}
+
+}  // namespace
+
+std::string SmallBankChaincode::CheckingKey(const std::string& cust) {
+  return "chk:" + cust;
+}
+
+std::string SmallBankChaincode::SavingsKey(const std::string& cust) {
+  return "sav:" + cust;
+}
+
+sim::SimDuration SmallBankChaincode::ExecutionCost(
+    const proto::ChaincodeInvocation&) const {
+  return sim::FromMillis(3.5);
+}
+
+Response SmallBankChaincode::Invoke(ChaincodeStub& stub) {
+  const std::string& fn = stub.Function();
+
+  if (fn == "create") {
+    if (stub.Args().size() != 3) {
+      return Response::Error("create(cust, checking, savings)");
+    }
+    const auto chk = ParseAmount(stub.ArgStr(1));
+    const auto sav = ParseAmount(stub.ArgStr(2));
+    if (!chk || !sav || *chk < 0 || *sav < 0) {
+      return Response::Error("bad initial balances");
+    }
+    WriteInt(stub, CheckingKey(stub.ArgStr(0)), *chk);
+    WriteInt(stub, SavingsKey(stub.ArgStr(0)), *sav);
+    return Response::Success();
+  }
+
+  if (fn == "transact_savings") {
+    if (stub.Args().size() != 2) {
+      return Response::Error("transact_savings(cust, amt)");
+    }
+    const auto amt = ParseAmount(stub.ArgStr(1));
+    if (!amt) return Response::Error("bad amount");
+    const auto bal = ReadInt(stub, SavingsKey(stub.ArgStr(0)));
+    if (!bal) return Response::Error("no such customer");
+    if (*bal + *amt < 0) return Response::Error("would overdraw savings");
+    WriteInt(stub, SavingsKey(stub.ArgStr(0)), *bal + *amt);
+    return Response::Success();
+  }
+
+  if (fn == "deposit_checking") {
+    if (stub.Args().size() != 2) {
+      return Response::Error("deposit_checking(cust, amt)");
+    }
+    const auto amt = ParseAmount(stub.ArgStr(1));
+    if (!amt || *amt < 0) return Response::Error("bad amount");
+    const auto bal = ReadInt(stub, CheckingKey(stub.ArgStr(0)));
+    if (!bal) return Response::Error("no such customer");
+    WriteInt(stub, CheckingKey(stub.ArgStr(0)), *bal + *amt);
+    return Response::Success();
+  }
+
+  if (fn == "send_payment") {
+    if (stub.Args().size() != 3) {
+      return Response::Error("send_payment(from, to, amt)");
+    }
+    const auto amt = ParseAmount(stub.ArgStr(2));
+    if (!amt || *amt <= 0) return Response::Error("bad amount");
+    const auto from_bal = ReadInt(stub, CheckingKey(stub.ArgStr(0)));
+    const auto to_bal = ReadInt(stub, CheckingKey(stub.ArgStr(1)));
+    if (!from_bal || !to_bal) return Response::Error("no such customer");
+    if (*from_bal < *amt) return Response::Error("insufficient funds");
+    WriteInt(stub, CheckingKey(stub.ArgStr(0)), *from_bal - *amt);
+    WriteInt(stub, CheckingKey(stub.ArgStr(1)), *to_bal + *amt);
+    return Response::Success();
+  }
+
+  if (fn == "write_check") {
+    if (stub.Args().size() != 2) {
+      return Response::Error("write_check(cust, amt)");
+    }
+    const auto amt = ParseAmount(stub.ArgStr(1));
+    if (!amt || *amt <= 0) return Response::Error("bad amount");
+    const auto chk = ReadInt(stub, CheckingKey(stub.ArgStr(0)));
+    const auto sav = ReadInt(stub, SavingsKey(stub.ArgStr(0)));
+    if (!chk || !sav) return Response::Error("no such customer");
+    // SmallBank semantics: overdraft allowed with a $1 penalty when the
+    // combined balance cannot cover the check.
+    const std::int64_t penalty = (*chk + *sav < *amt) ? 1 : 0;
+    WriteInt(stub, CheckingKey(stub.ArgStr(0)), *chk - *amt - penalty);
+    return Response::Success();
+  }
+
+  if (fn == "amalgamate") {
+    if (stub.Args().size() != 2) {
+      return Response::Error("amalgamate(from, to)");
+    }
+    const auto from_sav = ReadInt(stub, SavingsKey(stub.ArgStr(0)));
+    const auto from_chk = ReadInt(stub, CheckingKey(stub.ArgStr(0)));
+    const auto to_chk = ReadInt(stub, CheckingKey(stub.ArgStr(1)));
+    if (!from_sav || !from_chk || !to_chk) {
+      return Response::Error("no such customer");
+    }
+    WriteInt(stub, SavingsKey(stub.ArgStr(0)), 0);
+    WriteInt(stub, CheckingKey(stub.ArgStr(0)), 0);
+    WriteInt(stub, CheckingKey(stub.ArgStr(1)),
+             *to_chk + *from_sav + *from_chk);
+    return Response::Success();
+  }
+
+  if (fn == "query") {
+    if (stub.Args().size() != 1) return Response::Error("query(cust)");
+    const auto chk = ReadInt(stub, CheckingKey(stub.ArgStr(0)));
+    const auto sav = ReadInt(stub, SavingsKey(stub.ArgStr(0)));
+    if (!chk || !sav) return Response::Error("no such customer");
+    return Response::Success(proto::ToBytes(std::to_string(*chk) + "," +
+                                            std::to_string(*sav)));
+  }
+
+  return Response::Error("unknown function: " + fn);
+}
+
+}  // namespace fabricsim::chaincode

@@ -1,0 +1,33 @@
+// SmallBank chaincode: the standard OLTP-style blockchain benchmark
+// (Blockbench / Caliper ship equivalents). Each customer has a checking and
+// a savings account; operations mix reads and read-modify-writes, creating
+// realistic MVCC contention profiles.
+#pragma once
+
+#include "chaincode/shim.h"
+
+namespace fabricsim::chaincode {
+
+class SmallBankChaincode final : public Chaincode {
+ public:
+  [[nodiscard]] std::string Name() const override { return "smallbank"; }
+
+  /// Functions:
+  ///   create(cust, checking, savings)
+  ///   transact_savings(cust, amt)     - savings += amt (amt may be < 0)
+  ///   deposit_checking(cust, amt)     - checking += amt (amt >= 0)
+  ///   send_payment(from, to, amt)     - checking transfer
+  ///   write_check(cust, amt)          - checking -= amt (overdraft penalty)
+  ///   amalgamate(from, to)            - move all of from's funds to to
+  ///   query(cust)                     - read both balances
+  Response Invoke(ChaincodeStub& stub) override;
+
+  /// SmallBank does a little more per-invocation work than kvwrite.
+  [[nodiscard]] sim::SimDuration ExecutionCost(
+      const proto::ChaincodeInvocation& invocation) const override;
+
+  static std::string CheckingKey(const std::string& cust);
+  static std::string SavingsKey(const std::string& cust);
+};
+
+}  // namespace fabricsim::chaincode

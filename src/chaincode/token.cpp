@@ -1,0 +1,66 @@
+#include "chaincode/token.h"
+
+#include <charconv>
+
+namespace fabricsim::chaincode {
+
+std::optional<std::int64_t> TokenChaincode::ParseAmount(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+namespace {
+
+std::optional<std::int64_t> ReadBalance(ChaincodeStub& stub,
+                                        const std::string& account) {
+  auto raw = stub.GetState(account);
+  if (!raw) return std::nullopt;
+  return TokenChaincode::ParseAmount(proto::ToString(*raw));
+}
+
+void WriteBalance(ChaincodeStub& stub, const std::string& account,
+                  std::int64_t amount) {
+  stub.PutState(account, proto::ToBytes(std::to_string(amount)));
+}
+
+}  // namespace
+
+Response TokenChaincode::Invoke(ChaincodeStub& stub) {
+  const std::string& fn = stub.Function();
+  if (fn == "create") {
+    if (stub.Args().size() != 2) return Response::Error("create(acct, amt)");
+    const auto amount = ParseAmount(stub.ArgStr(1));
+    if (!amount || *amount < 0) return Response::Error("bad amount");
+    WriteBalance(stub, stub.ArgStr(0), *amount);
+    return Response::Success();
+  }
+  if (fn == "transfer") {
+    if (stub.Args().size() != 3) {
+      return Response::Error("transfer(from, to, amt)");
+    }
+    const std::string from = stub.ArgStr(0);
+    const std::string to = stub.ArgStr(1);
+    if (from == to) return Response::Error("self transfer");
+    const auto amount = ParseAmount(stub.ArgStr(2));
+    if (!amount || *amount <= 0) return Response::Error("bad amount");
+    const auto from_bal = ReadBalance(stub, from);
+    if (!from_bal) return Response::Error("no such account: " + from);
+    const auto to_bal = ReadBalance(stub, to);
+    if (!to_bal) return Response::Error("no such account: " + to);
+    if (*from_bal < *amount) return Response::Error("insufficient funds");
+    WriteBalance(stub, from, *from_bal - *amount);
+    WriteBalance(stub, to, *to_bal + *amount);
+    return Response::Success();
+  }
+  if (fn == "balance") {
+    if (stub.Args().size() != 1) return Response::Error("balance(acct)");
+    const auto bal = ReadBalance(stub, stub.ArgStr(0));
+    if (!bal) return Response::Error("no such account");
+    return Response::Success(proto::ToBytes(std::to_string(*bal)));
+  }
+  return Response::Error("unknown function: " + fn);
+}
+
+}  // namespace fabricsim::chaincode

@@ -1,0 +1,24 @@
+// Token-transfer chaincode: the classic account-to-account money transfer
+// the paper's related-work section discusses (read-write conflicts under
+// contention).
+#pragma once
+
+#include "chaincode/shim.h"
+
+namespace fabricsim::chaincode {
+
+class TokenChaincode final : public Chaincode {
+ public:
+  [[nodiscard]] std::string Name() const override { return "token"; }
+
+  /// Functions:
+  ///   create(account, amount)     - create an account with a balance
+  ///   transfer(from, to, amount)  - read both balances, move funds
+  ///   balance(account)            - read-only balance query
+  Response Invoke(ChaincodeStub& stub) override;
+
+  /// Integer balances are stored as decimal strings.
+  static std::optional<std::int64_t> ParseAmount(const std::string& s);
+};
+
+}  // namespace fabricsim::chaincode

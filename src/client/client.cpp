@@ -1,0 +1,262 @@
+#include "client/client.h"
+
+namespace fabricsim::client {
+
+Client::Client(sim::Environment& env, sim::Machine& machine,
+               crypto::Identity identity, const fabric::Calibration& cal,
+               ClientConfig config, policy::EndorsementPolicy policy,
+               metrics::TxTracker* tracker, int index)
+    : env_(env),
+      machine_(machine),
+      identity_(std::move(identity)),
+      cal_(cal),
+      config_(std::move(config)),
+      policy_(std::move(policy)),
+      tracker_(tracker),
+      rng_(env.ForkRng()),
+      net_id_(env.Net().Register(
+          "client" + std::to_string(index),
+          [this](sim::NodeId from, sim::MessagePtr msg) {
+            OnMessage(from, std::move(msg));
+          })) {}
+
+void Client::SetEndorsers(std::vector<sim::NodeId> ids,
+                          std::vector<crypto::Principal> principals) {
+  endorser_ids_ = std::move(ids);
+  endorser_principals_ = std::move(principals);
+}
+
+void Client::SetEventSource(sim::NodeId peer) {
+  env_.Net().Send(net_id_, peer, std::make_shared<peer::RegisterEventsMsg>());
+}
+
+sim::SimDuration Client::Jittered(sim::SimDuration base) {
+  const double j =
+      1.0 + cal_.client_sdk_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<sim::SimDuration>(static_cast<double>(base) * j);
+}
+
+void Client::Submit(proto::ChaincodeInvocation inv,
+                    std::function<void()> proposal_built) {
+  ++submitted_;
+
+  // Build the proposal synchronously so the tx id exists for tracking; the
+  // CPU cost of building + signing is charged before anything hits the wire.
+  proto::Proposal p;
+  p.channel_id = config_.channel_id;
+  proto::Writer nonce;
+  nonce.U64(static_cast<std::uint64_t>(net_id_));
+  nonce.U64(nonce_counter_++);
+  nonce.U64(rng_.Next());
+  p.nonce = nonce.Take();
+  p.creator_cert = identity_.Cert().Serialize();
+  p.invocation = std::move(inv);
+  p.client_timestamp = env_.Now();
+  p.tx_id = proto::Proposal::ComputeTxId(p.nonce, p.creator_cert);
+
+  if (tracker_ != nullptr) tracker_->MarkSubmitted(p.tx_id, env_.Now());
+
+  const std::string tx_id = p.tx_id;
+  PendingTx pending;
+  pending.proposal = std::move(p);
+  pending_.emplace(tx_id, std::move(pending));
+
+  machine_.GetCpu().Submit(
+      cal_.client_proposal_cpu,
+      [this, tx_id, proposal_built = std::move(proposal_built)] {
+        // Event-loop / MSP latency before the proposals reach the wire.
+        env_.Sched().ScheduleAfter(Jittered(cal_.client_sdk_pre_latency),
+                                   [this, tx_id] { SendProposals(tx_id); });
+        if (proposal_built) proposal_built();
+      });
+}
+
+void Client::SendProposals(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end()) return;
+  PendingTx& tx = it->second;
+
+  auto plan =
+      policy::PlanEndorsers(policy_, endorser_principals_, next_rotation_++);
+  if (!plan) {
+    ++endorse_failures_;
+    Reject(tx_id);
+    return;
+  }
+  for (std::size_t idx : *plan) tx.targets.push_back(endorser_ids_[idx]);
+
+  auto signed_proposal = std::make_shared<proto::SignedProposal>();
+  signed_proposal->proposal = tx.proposal;
+  signed_proposal->client_signature =
+      identity_.Sign(tx.proposal.Serialize());
+  const std::size_t wire = signed_proposal->WireSize();
+
+  for (sim::NodeId target : tx.targets) {
+    env_.Net().Send(net_id_, target,
+                    std::make_shared<peer::EndorseRequestMsg>(signed_proposal,
+                                                              wire));
+  }
+  tx.endorse_timer =
+      env_.Sched().ScheduleAfter(config_.endorse_timeout, [this, tx_id] {
+        auto pit = pending_.find(tx_id);
+        if (pit == pending_.end() || pit->second.done) return;
+        if (pit->second.responses.size() + pit->second.failures <
+            pit->second.targets.size()) {
+          ++endorse_failures_;
+          Reject(tx_id);
+        }
+      });
+}
+
+void Client::OnMessage(sim::NodeId /*from*/, const sim::MessagePtr& msg) {
+  if (auto resp = std::dynamic_pointer_cast<const peer::EndorseResponseMsg>(
+          msg)) {
+    // Response handling costs event-loop CPU whether or not it succeeds.
+    machine_.GetCpu().Submit(
+        cal_.client_per_response_cpu,
+        [this, response = resp->Response()] { OnEndorseResponse(response); });
+    return;
+  }
+  if (auto ack =
+          std::dynamic_pointer_cast<const ordering::BroadcastAckMsg>(msg)) {
+    OnBroadcastAck(*ack);
+    return;
+  }
+  if (auto ev = std::dynamic_pointer_cast<const peer::CommitEventMsg>(msg)) {
+    OnCommitEvent(*ev);
+    return;
+  }
+}
+
+void Client::OnEndorseResponse(const proto::ProposalResponse& resp) {
+  auto it = pending_.find(resp.tx_id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingTx& tx = it->second;
+
+  if (resp.payload.status != proto::EndorseStatus::kSuccess) {
+    ++tx.failures;
+  } else {
+    tx.responses.push_back(resp);
+  }
+
+  if (tx.responses.size() + tx.failures < tx.targets.size()) return;
+  if (tx.failures > 0) {
+    ++endorse_failures_;
+    Reject(resp.tx_id);
+    return;
+  }
+  FinishEndorsement(resp.tx_id);
+}
+
+void Client::FinishEndorsement(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end()) return;
+  PendingTx& tx = it->second;
+
+  if (tx.endorse_timer != 0) {
+    env_.Sched().Cancel(tx.endorse_timer);
+    tx.endorse_timer = 0;
+  }
+
+  // All endorsers must have produced identical rwsets/results (the SDK
+  // compares them; mismatches are non-deterministic chaincode).
+  for (std::size_t i = 1; i < tx.responses.size(); ++i) {
+    if (!(tx.responses[i].payload.rwset == tx.responses[0].payload.rwset)) {
+      ++endorse_failures_;
+      Reject(tx_id);
+      return;
+    }
+  }
+
+  machine_.GetCpu().Submit(cal_.client_envelope_cpu, [this, tx_id] {
+    env_.Sched().ScheduleAfter(Jittered(cal_.client_sdk_post_latency),
+                               [this, tx_id] { BroadcastEnvelope(tx_id); });
+  });
+}
+
+void Client::BroadcastEnvelope(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingTx& tx = it->second;
+
+  if (tx.envelope == nullptr) {
+    auto env = std::make_shared<proto::TransactionEnvelope>();
+    env->channel_id = tx.proposal.channel_id;
+    env->tx_id = tx_id;
+    env->creator_cert = tx.proposal.creator_cert;
+    env->rwset = tx.responses.front().payload.rwset;
+    env->chaincode_result = tx.responses.front().payload.chaincode_result;
+    env->chaincode_id = tx.proposal.invocation.chaincode_id;
+    for (const auto& r : tx.responses) {
+      env->endorsements.push_back(r.endorsement);
+    }
+    env->client_timestamp = env_.Now();
+    env->client_signature = identity_.Sign(env->SignedBody());
+    tx.envelope = env;
+    tx.envelope_bytes = env->WireSize();
+    if (tracker_ != nullptr) tracker_->MarkEndorsed(tx_id, env_.Now());
+  }
+
+  ++tx.broadcast_attempts;
+  env_.Net().Send(net_id_, orderer_,
+                  std::make_shared<ordering::BroadcastEnvelopeMsg>(
+                      tx.envelope, tx.envelope_bytes));
+  tx.broadcast_timer =
+      env_.Sched().ScheduleAfter(cal_.broadcast_timeout, [this, tx_id] {
+        auto pit = pending_.find(tx_id);
+        if (pit == pending_.end() || pit->second.done) return;
+        pit->second.broadcast_timer = 0;
+        Reject(tx_id);  // the paper's 3 s ordering-response rejection
+      });
+}
+
+void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
+  auto it = pending_.find(ack.TxId());
+  if (it == pending_.end() || it->second.done) return;
+  PendingTx& tx = it->second;
+  if (tx.broadcast_timer != 0) {
+    env_.Sched().Cancel(tx.broadcast_timer);
+    tx.broadcast_timer = 0;
+  }
+  if (ack.Ok()) return;  // now awaiting the commit event
+
+  if (tx.broadcast_attempts <= config_.broadcast_retries) {
+    env_.Sched().ScheduleAfter(config_.broadcast_retry_delay,
+                               [this, tx_id = ack.TxId()] {
+                                 BroadcastEnvelope(tx_id);
+                               });
+  } else {
+    Reject(ack.TxId());
+  }
+}
+
+void Client::OnCommitEvent(const peer::CommitEventMsg& ev) {
+  for (const auto& outcome : ev.outcomes) {
+    auto it = pending_.find(outcome.tx_id);
+    if (it == pending_.end() || it->second.done) continue;
+    if (outcome.code == proto::ValidationCode::kValid) {
+      ++committed_valid_;
+    } else {
+      ++committed_invalid_;
+    }
+    Finish(outcome.tx_id);
+  }
+}
+
+void Client::Reject(const std::string& tx_id) {
+  ++rejected_;
+  if (tracker_ != nullptr) tracker_->MarkRejected(tx_id, env_.Now());
+  Finish(tx_id);
+}
+
+void Client::Finish(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end()) return;
+  PendingTx& tx = it->second;
+  if (tx.endorse_timer != 0) env_.Sched().Cancel(tx.endorse_timer);
+  if (tx.broadcast_timer != 0) env_.Sched().Cancel(tx.broadcast_timer);
+  tx.done = true;
+  pending_.erase(it);
+}
+
+}  // namespace fabricsim::client

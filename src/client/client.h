@@ -1,0 +1,125 @@
+// Client node: the Fabric SDK (Node.js v1.0) application model.
+//
+// Reproduces the paper's workload-generator design: a single-threaded
+// event loop (1-core CPU) that invokes transactions asynchronously —
+// proposals fan out to the endorsers chosen by the endorsement policy,
+// responses are collected without blocking new submissions, envelopes are
+// broadcast to an ordering node, and commit events arrive from a peer the
+// client registered with. A broadcast response not received within the
+// paper's 3-second budget marks the transaction rejected.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/identity.h"
+#include "fabric/calibration.h"
+#include "metrics/phase_stats.h"
+#include "ordering/messages.h"
+#include "peer/peer_messages.h"
+#include "policy/evaluator.h"
+#include "sim/machine.h"
+
+namespace fabricsim::client {
+
+struct ClientConfig {
+  std::string channel_id = "mychannel";
+  sim::SimDuration endorse_timeout = sim::FromSeconds(10);
+  int broadcast_retries = 2;
+  sim::SimDuration broadcast_retry_delay = sim::FromMillis(200);
+};
+
+/// One client application instance on its own machine.
+class Client {
+ public:
+  Client(sim::Environment& env, sim::Machine& machine,
+         crypto::Identity identity, const fabric::Calibration& cal,
+         ClientConfig config, policy::EndorsementPolicy policy,
+         metrics::TxTracker* tracker, int index);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Wires the endorsing peers this client can reach (id + principal).
+  void SetEndorsers(std::vector<sim::NodeId> ids,
+                    std::vector<crypto::Principal> principals);
+
+  /// The OSN this client broadcasts to.
+  void SetOrderer(sim::NodeId osn) { orderer_ = osn; }
+
+  /// The peer whose commit events this client listens to.
+  void SetEventSource(sim::NodeId peer);
+
+  [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+
+  /// Submits one chaincode invocation (asynchronously; returns at once).
+  /// `proposal_built` (optional) runs when the event loop finishes building
+  /// and signing the proposal — i.e. when the loop is free for the next
+  /// timer callback. Open-loop generators use it to self-throttle exactly
+  /// like Node.js timers under a saturated event loop.
+  void Submit(proto::ChaincodeInvocation inv,
+              std::function<void()> proposal_built = nullptr);
+
+  // Counters for reports and tests.
+  [[nodiscard]] std::uint64_t Submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t CommittedValid() const { return committed_valid_; }
+  [[nodiscard]] std::uint64_t CommittedInvalid() const {
+    return committed_invalid_;
+  }
+  [[nodiscard]] std::uint64_t Rejected() const { return rejected_; }
+  [[nodiscard]] std::uint64_t EndorseFailures() const {
+    return endorse_failures_;
+  }
+
+ private:
+  struct PendingTx {
+    proto::Proposal proposal;
+    std::vector<sim::NodeId> targets;
+    std::vector<proto::ProposalResponse> responses;
+    std::size_t failures = 0;
+    sim::EventId endorse_timer = 0;
+    sim::EventId broadcast_timer = 0;
+    int broadcast_attempts = 0;
+    std::shared_ptr<const proto::TransactionEnvelope> envelope;
+    std::size_t envelope_bytes = 0;
+    bool done = false;
+  };
+
+  void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
+  void SendProposals(const std::string& tx_id);
+  void OnEndorseResponse(const proto::ProposalResponse& resp);
+  void FinishEndorsement(const std::string& tx_id);
+  void BroadcastEnvelope(const std::string& tx_id);
+  void OnBroadcastAck(const ordering::BroadcastAckMsg& ack);
+  void OnCommitEvent(const peer::CommitEventMsg& ev);
+  void Reject(const std::string& tx_id);
+  void Finish(const std::string& tx_id);
+  [[nodiscard]] sim::SimDuration Jittered(sim::SimDuration base);
+
+  sim::Environment& env_;
+  sim::Machine& machine_;
+  crypto::Identity identity_;
+  const fabric::Calibration& cal_;
+  ClientConfig config_;
+  policy::EndorsementPolicy policy_;
+  metrics::TxTracker* tracker_;
+  sim::Rng rng_;
+  sim::NodeId net_id_;
+
+  std::vector<sim::NodeId> endorser_ids_;
+  std::vector<crypto::Principal> endorser_principals_;
+  sim::NodeId orderer_ = sim::kInvalidNode;
+
+  std::unordered_map<std::string, PendingTx> pending_;
+  std::uint64_t next_rotation_ = 0;
+  std::uint64_t nonce_counter_ = 0;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t committed_valid_ = 0;
+  std::uint64_t committed_invalid_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t endorse_failures_ = 0;
+};
+
+}  // namespace fabricsim::client

@@ -1,0 +1,74 @@
+#include "crypto/merkle.h"
+
+namespace fabricsim::crypto {
+namespace {
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kInteriorTag = 0x01;
+}  // namespace
+
+Digest MerkleTree::HashLeaf(proto::BytesView payload) {
+  Sha256 h;
+  h.Update(proto::BytesView(&kLeafTag, 1));
+  h.Update(payload);
+  return h.Finalize();
+}
+
+Digest MerkleTree::HashInterior(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.Update(proto::BytesView(&kInteriorTag, 1));
+  h.Update(proto::BytesView(left.data(), left.size()));
+  h.Update(proto::BytesView(right.data(), right.size()));
+  return h.Finalize();
+}
+
+MerkleTree::MerkleTree(const std::vector<proto::Bytes>& leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Hash(proto::BytesView{});
+    return;
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(HashLeaf(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(HashInterior(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerklePath MerkleTree::PathFor(std::size_t index) const {
+  MerklePath path;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    const std::size_t sibling =
+        (index % 2 == 0) ? (index + 1 < nodes.size() ? index + 1 : index)
+                         : index - 1;
+    MerkleStep step;
+    step.sibling = nodes[sibling];
+    step.sibling_on_left = (index % 2 == 1);
+    path.push_back(step);
+    index /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::Verify(const proto::Bytes& leaf, const MerklePath& path,
+                        const Digest& root) {
+  Digest acc = HashLeaf(leaf);
+  for (const auto& step : path) {
+    acc = step.sibling_on_left ? HashInterior(step.sibling, acc)
+                               : HashInterior(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace fabricsim::crypto

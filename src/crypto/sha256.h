@@ -1,0 +1,50 @@
+// From-scratch SHA-256 (FIPS 180-4).
+//
+// Used for transaction ids, block hashes, and the Merkle data hash — the
+// same places Fabric uses SHA-256. Implemented locally because the build is
+// fully self-contained (no OpenSSL on the testbed image).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "proto/bytes.h"
+
+namespace fabricsim::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(proto::BytesView data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Digest Finalize();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience.
+Digest Hash(proto::BytesView data);
+
+/// One-shot over a string.
+Digest HashStr(std::string_view s);
+
+/// Digest as a byte vector (for embedding in wire structures).
+proto::Bytes DigestBytes(const Digest& d);
+
+/// Digest as lowercase hex.
+std::string DigestHex(const Digest& d);
+
+}  // namespace fabricsim::crypto

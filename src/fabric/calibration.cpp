@@ -1,0 +1,10 @@
+#include "fabric/calibration.h"
+
+namespace fabricsim::fabric {
+
+const Calibration& DefaultCalibration() {
+  static const Calibration kDefault{};
+  return kDefault;
+}
+
+}  // namespace fabricsim::fabric

@@ -1,0 +1,71 @@
+// Calibrated service-time constants for the paper's testbed.
+//
+// Every constant is the nominal CPU (or disk) time of one operation on the
+// baseline i7-2600 machine; the DES scales them by machine speed factors.
+// Values are fitted so the component capacities implied by the paper's
+// measurements come out right (see DESIGN.md §3):
+//
+//   * per-client generation ceiling:  1 / (12 + 1.5·x + 6) ms  ≈ 51 tps (OR)
+//     — the Node.js SDK event loop; x = endorsements per transaction
+//   * validate VSCC capacity:  4 cores / (4 + 3·x) ms   ≈ 571 tps (OR, x=1),
+//     ≈ 210 tps (AND5, x=5) — the paper's AND bottleneck
+//   * serial ledger write:  1 / 3.2 ms ≈ 312 tps — the paper's OR bottleneck
+#pragma once
+
+#include "sim/time.h"
+
+namespace fabricsim::fabric {
+
+struct Calibration {
+  // --- Client (Fabric SDK Node v1.0 on Node.js 8.16, single-threaded) -----
+  int client_cores = 1;
+  /// Building + signing one proposal (crypto in JS-land is expensive).
+  sim::SimDuration client_proposal_cpu = sim::FromMillis(12.0);
+  /// Handling one endorsement response (verify + bookkeeping).
+  sim::SimDuration client_per_response_cpu = sim::FromMillis(1.5);
+  /// Assembling + signing the transaction envelope and submitting it.
+  sim::SimDuration client_envelope_cpu = sim::FromMillis(6.0);
+  /// Event-loop/MSP scheduling latency before the proposal hits the wire.
+  sim::SimDuration client_sdk_pre_latency = sim::FromMillis(80.0);
+  /// Event-loop wakeup + response collation latency after endorsements.
+  sim::SimDuration client_sdk_post_latency = sim::FromMillis(120.0);
+  /// Relative jitter applied to the two SDK latencies (uniform +/-).
+  double client_sdk_jitter = 0.35;
+  /// The paper's 3-second ordering-response timeout.
+  sim::SimDuration broadcast_timeout = sim::FromSeconds(3.0);
+
+  // --- Endorsing peer ------------------------------------------------------
+  /// Proposal checks: well-formedness, client signature, ACL, dedup.
+  sim::SimDuration endorse_check_cpu = sim::FromMillis(2.5);
+  /// ESCC: response marshalling + endorser signature.
+  sim::SimDuration endorse_sign_cpu = sim::FromMillis(2.5);
+  // (chaincode execution cost comes from Chaincode::ExecutionCost, ~3 ms)
+
+  // --- Ordering service node ----------------------------------------------
+  /// Envelope unmarshal + client signature/policy check at the orderer.
+  sim::SimDuration orderer_verify_cpu = sim::FromMillis(1.0);
+  /// Fixed cost of assembling + signing a block.
+  sim::SimDuration block_assemble_base_cpu = sim::FromMillis(1.0);
+  /// Data hashing, per KiB of block payload.
+  double block_hash_us_per_kib = 3.0;
+  /// Kafka broker append cost per record; ZooKeeper request cost.
+  sim::SimDuration broker_append_cpu = sim::FromMicros(120);
+  sim::SimDuration zk_request_cpu = sim::FromMicros(150);
+
+  // --- Committing peer: parallel part (VSCC worker pool on the CPU) --------
+  /// Per-transaction fixed VSCC cost (unmarshal, policy fetch, MVCC prep).
+  sim::SimDuration vscc_base_cpu = sim::FromMillis(4.0);
+  /// Per-endorsement cost: certificate chain + ECDSA verify.
+  sim::SimDuration vscc_per_endorsement_cpu = sim::FromMillis(3.0);
+
+  // --- Committing peer: serial part (single writer, fsync-bound disk) ------
+  sim::SimDuration mvcc_per_tx_disk = sim::FromMicros(300);
+  sim::SimDuration state_write_per_tx_disk = sim::FromMicros(900);
+  sim::SimDuration block_write_per_tx_disk = sim::FromMicros(2000);
+  sim::SimDuration block_write_base_disk = sim::FromMillis(10.0);
+};
+
+/// The default calibration (the values documented above).
+const Calibration& DefaultCalibration();
+
+}  // namespace fabricsim::fabric

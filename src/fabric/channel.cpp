@@ -1,0 +1,39 @@
+#include "fabric/channel.h"
+
+namespace fabricsim::fabric {
+namespace {
+
+std::vector<crypto::Principal> PeerPrincipals(int n) {
+  std::vector<crypto::Principal> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    out.push_back(crypto::Principal{PeerOrgMsp(i), crypto::Role::kPeer});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PeerOrgMsp(int i) { return "Org" + std::to_string(i) + "MSP"; }
+
+policy::EndorsementPolicy MakeOrPolicy(int n) {
+  return policy::EndorsementPolicy::AnyOf(PeerPrincipals(n));
+}
+
+policy::EndorsementPolicy MakeAndPolicy(int x) {
+  return policy::EndorsementPolicy::AllOf(PeerPrincipals(x));
+}
+
+policy::EndorsementPolicy MakeOutOfPolicy(int k, int n) {
+  return policy::EndorsementPolicy::KOutOf(k, PeerPrincipals(n));
+}
+
+policy::EndorsementPolicy ResolvePolicy(const ChannelConfig& config,
+                                        int endorsing_peers) {
+  if (!config.policy_expr.empty()) {
+    return policy::MustParsePolicy(config.policy_expr);
+  }
+  return MakeOrPolicy(endorsing_peers);
+}
+
+}  // namespace fabricsim::fabric

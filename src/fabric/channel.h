@@ -1,0 +1,41 @@
+// Channel configuration: organizations, endorsement policy, batch settings.
+//
+// A channel is the unit of ordering and validation (one Kafka partition,
+// one Raft group). The experiments run a single channel, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/ca.h"
+#include "ordering/block_cutter.h"
+#include "policy/parser.h"
+#include "policy/policy.h"
+
+namespace fabricsim::fabric {
+
+struct ChannelConfig {
+  std::string id = "mychannel";
+  /// Endorsement policy expression, e.g. "OR('Org1MSP.peer',...)". If empty,
+  /// a policy is synthesized by `MakeOrPolicy`/`MakeAndPolicy` callers.
+  std::string policy_expr;
+  ordering::BatchConfig batch;  // BatchSize=100, BatchTimeout=1s defaults
+};
+
+/// MSP id of endorsing-peer organization `i` (1-based): "Org1MSP", ...
+std::string PeerOrgMsp(int i);
+
+/// The paper's ORn policy: any one of the n target peers endorses.
+policy::EndorsementPolicy MakeOrPolicy(int n);
+
+/// The paper's ANDx policy: x specific peers must all endorse.
+policy::EndorsementPolicy MakeAndPolicy(int x);
+
+/// OutOf(k, n) over the first n peer orgs.
+policy::EndorsementPolicy MakeOutOfPolicy(int k, int n);
+
+/// Resolves the channel's policy: parse `policy_expr` if set, else OR(n).
+policy::EndorsementPolicy ResolvePolicy(const ChannelConfig& config,
+                                        int endorsing_peers);
+
+}  // namespace fabricsim::fabric

@@ -1,0 +1,64 @@
+#include "fabric/experiment.h"
+
+namespace fabricsim::fabric {
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  FabricNetwork net(config.network);
+  net.Start();
+
+  // The workload opens after the warm-up and runs through the window.
+  client::WorkloadConfig wl = config.workload;
+  wl.start = config.warmup;
+  client::WorkloadController controller(net.Env(), net.Clients(), wl);
+  controller.Start();
+
+  const sim::SimTime window_start = config.warmup;
+  const sim::SimTime window_end = config.warmup + wl.duration;
+  net.Env().Sched().RunUntil(window_end + config.drain);
+
+  ExperimentResult out;
+  // Measure with a short lead-in skipped so queues are in steady state.
+  const sim::SimTime measure_start =
+      window_start + sim::FromSeconds(5);
+  out.report = net.Tracker().BuildReport(measure_start, window_end);
+  out.generated = controller.Generated();
+  out.generated_rate_tps =
+      controller.GeneratedLog().MeanRate(measure_start, window_end);
+  out.generated_rate_check = controller.GeneratedLog().FractionWithin(
+      wl.rate_tps, 0.25, measure_start, window_end);
+  for (client::Client* c : net.Clients()) {
+    out.client_committed_valid += c->CommittedValid();
+    out.client_committed_invalid += c->CommittedInvalid();
+    out.client_rejected += c->Rejected();
+    out.endorse_failures += c->EndorseFailures();
+  }
+  const auto& chain = net.ValidatorPeer().GetCommitter().Chain();
+  out.chain_height = chain.Height();
+  out.chain_audit_ok = chain.Audit().ok;
+  out.messages_sent = net.Env().Net().MessagesSent();
+  out.bytes_sent = net.Env().Net().BytesSent();
+  return out;
+}
+
+ExperimentConfig StandardConfig(OrderingType ordering, int and_x,
+                                double rate_tps) {
+  ExperimentConfig config;
+  config.network.topology.ordering = ordering;
+  config.network.topology.endorsing_peers = 10;
+  config.network.topology.committing_peers = 1;
+  config.network.topology.osns = 3;
+  config.network.topology.kafka_brokers = 3;
+  config.network.topology.zookeepers = 3;
+
+  if (and_x > 0) {
+    config.network.channel.policy_expr = MakeAndPolicy(and_x).ToString();
+  }  // else: OR over all endorsing peers (ResolvePolicy default)
+
+  config.workload.kind = client::WorkloadKind::kKvWrite;
+  config.workload.rate_tps = rate_tps;
+  config.workload.duration = sim::FromSeconds(45);
+  config.workload.value_size = 1;  // the paper's 1-byte transactions
+  return config;
+}
+
+}  // namespace fabricsim::fabric

@@ -1,0 +1,325 @@
+#include "fabric/network_builder.h"
+
+#include <algorithm>
+
+namespace fabricsim::fabric {
+
+FabricNetwork::FabricNetwork(NetworkOptions options)
+    : options_(std::move(options)),
+      env_(std::make_unique<sim::Environment>(options_.seed, options_.net)),
+      chaincodes_(std::make_shared<chaincode::Registry>()),
+      policy_(ResolvePolicy(options_.channel,
+                            options_.topology.endorsing_peers)) {
+  if (options_.channels < 1) options_.channels = 1;
+
+  chaincodes_->Install(std::make_shared<chaincode::KvWriteChaincode>());
+  chaincodes_->Install(std::make_shared<chaincode::TokenChaincode>());
+  chaincodes_->Install(std::make_shared<chaincode::SmallBankChaincode>());
+
+  // Organizations: one per endorsing peer (so ANDx can demand x distinct
+  // peers), one for committing peers, one for clients, one for orderers.
+  for (int i = 1; i <= options_.topology.endorsing_peers; ++i) {
+    msps_.AddOrganization(PeerOrgMsp(i));
+  }
+  msps_.AddOrganization("CommitOrgMSP");
+  msps_.AddOrganization("ClientOrgMSP");
+  msps_.AddOrganization("OrdererMSP");
+
+  // Per-channel genesis blocks (block 0): carry the channel configuration
+  // in Fabric; here they anchor the hash chains so user blocks start at 1
+  // and genesis-seeded state versions ({0,0}) never collide with
+  // transactions.
+  for (int c = 0; c < options_.channels; ++c) {
+    proto::TransactionEnvelope config_tx;
+    config_tx.channel_id = ChannelId(c);
+    config_tx.tx_id = "genesis:" + ChannelId(c);
+    config_tx.chaincode_result = proto::ToBytes(policy_.ToString());
+    genesis_.push_back(std::make_shared<proto::Block>(
+        proto::Block::Make(0, nullptr, {std::move(config_tx)})));
+  }
+
+  BuildPeers();
+  BuildOrdering();
+  BuildClients();
+  SeedAccounts();
+}
+
+std::string FabricNetwork::ChannelId(int channel) const {
+  if (options_.channels == 1) return options_.channel.id;
+  return options_.channel.id + std::to_string(channel);
+}
+
+void FabricNetwork::BuildPeers() {
+  const auto& topo = options_.topology;
+  endorsing_count_ = topo.endorsing_peers;
+
+  auto setup_channels = [this](peer::PeerNode& peer) {
+    for (int c = 0; c < options_.channels; ++c) {
+      const std::string id = ChannelId(c);
+      peer.JoinChannel(id);
+      peer.SetPolicy(id, "kvwrite", policy_);
+      peer.SetPolicy(id, "token", policy_);
+      peer.SetPolicy(id, "smallbank", policy_);
+      peer.GetCommitter(id).InstallGenesis(
+          genesis_[static_cast<std::size_t>(c)]);
+    }
+  };
+
+  for (int i = 0; i < topo.endorsing_peers; ++i) {
+    auto& machine = env_->AddMachine("peer-machine" + std::to_string(i),
+                                     ProfileForPeer());
+    const auto* ca = msps_.Find(PeerOrgMsp(i + 1));
+    auto identity = ca->Enroll("peer0." + PeerOrgMsp(i + 1),
+                               crypto::Role::kPeer);
+    peers_.push_back(std::make_unique<peer::PeerNode>(
+        *env_, machine, std::move(identity), msps_, chaincodes_,
+        options_.calibration, ChannelId(0),
+        /*tracker=*/nullptr, /*endorsing=*/true, i));
+    setup_channels(*peers_.back());
+  }
+  for (int i = 0; i < topo.committing_peers; ++i) {
+    auto& machine = env_->AddMachine(
+        "validator-machine" + std::to_string(i), ProfileForPeer());
+    const auto* ca = msps_.Find("CommitOrgMSP");
+    auto identity =
+        ca->Enroll("validator" + std::to_string(i), crypto::Role::kPeer);
+    // The first committing peer is the measurement point.
+    metrics::TxTracker* tracker = (i == 0) ? &tracker_ : nullptr;
+    peers_.push_back(std::make_unique<peer::PeerNode>(
+        *env_, machine, std::move(identity), msps_, chaincodes_,
+        options_.calibration, ChannelId(0), tracker,
+        /*endorsing=*/false, endorsing_count_ + i));
+    setup_channels(*peers_.back());
+  }
+}
+
+peer::PeerNode& FabricNetwork::ValidatorPeer() {
+  return *peers_.at(static_cast<std::size_t>(endorsing_count_));
+}
+
+void FabricNetwork::BuildOrdering() {
+  const auto& topo = options_.topology;
+  const auto* orderer_ca = msps_.Find("OrdererMSP");
+
+  // Machines are created once and shared by all channels' instances.
+  for (int i = 0; i < topo.EffectiveOsns(); ++i) {
+    orderer_machines_.push_back(&env_->AddMachine(
+        "orderer-machine" + std::to_string(i), ProfileForOrderer()));
+  }
+  if (topo.ordering == OrderingType::kKafka) {
+    std::vector<sim::Machine*> zk_machines;
+    for (int i = 0; i < topo.zookeepers; ++i) {
+      zk_machines.push_back(&env_->AddMachine(
+          "zk-machine" + std::to_string(i), ProfileForZooKeeper()));
+    }
+    zk_ = std::make_unique<ordering::ZooKeeperEnsemble>(
+        *env_, options_.calibration, ordering::ZkConfig{}, zk_machines);
+    for (int i = 0; i < topo.kafka_brokers; ++i) {
+      broker_machines_.push_back(&env_->AddMachine(
+          "broker-machine" + std::to_string(i), ProfileForBroker()));
+    }
+  }
+
+  for (int c = 0; c < options_.channels; ++c) {
+    const std::string channel_id = ChannelId(c);
+    metrics::TxTracker* tracker = &tracker_;  // instance 0 of each channel
+
+    switch (topo.ordering) {
+      case OrderingType::kSolo: {
+        solos_.push_back(std::make_unique<ordering::SoloOrderer>(
+            *env_, *orderer_machines_[0],
+            orderer_ca->Enroll("orderer0." + channel_id,
+                               crypto::Role::kOrderer),
+            options_.calibration, options_.channel.batch, tracker,
+            channel_id));
+        solos_.back()->SetGenesis(*genesis_[static_cast<std::size_t>(c)]);
+        break;
+      }
+      case OrderingType::kRaft: {
+        std::vector<std::unique_ptr<ordering::RaftOrderer>> group;
+        for (int i = 0; i < topo.EffectiveOsns(); ++i) {
+          group.push_back(std::make_unique<ordering::RaftOrderer>(
+              *env_, *orderer_machines_[static_cast<std::size_t>(i)],
+              orderer_ca->Enroll(
+                  "orderer" + std::to_string(i) + "." + channel_id,
+                  crypto::Role::kOrderer),
+              options_.calibration, options_.channel.batch,
+              ordering::RaftConfig{}, i == 0 ? tracker : nullptr, i,
+              channel_id));
+          group.back()->SetGenesis(*genesis_[static_cast<std::size_t>(c)]);
+        }
+        std::vector<sim::NodeId> ids;
+        for (auto& o : group) ids.push_back(o->NetId());
+        for (auto& o : group) o->SetGroup(ids);
+        raft_channels_.push_back(std::move(group));
+        break;
+      }
+      case OrderingType::kKafka: {
+        ordering::KafkaConfig kcfg;
+        kcfg.replication_factor = topo.kafka_replication_factor;
+        std::vector<std::unique_ptr<ordering::KafkaBroker>> brokers;
+        for (int i = 0; i < topo.kafka_brokers; ++i) {
+          brokers.push_back(std::make_unique<ordering::KafkaBroker>(
+              *env_, *broker_machines_[static_cast<std::size_t>(i)],
+              options_.calibration, kcfg, i, zk_->NetIds(), channel_id));
+        }
+        std::vector<sim::NodeId> broker_ids;
+        for (auto& b : brokers) broker_ids.push_back(b->NetId());
+        for (auto& b : brokers) b->SetPeers(broker_ids);
+        broker_channels_.push_back(std::move(brokers));
+
+        std::vector<std::unique_ptr<ordering::KafkaOrderer>> osns;
+        for (int i = 0; i < topo.EffectiveOsns(); ++i) {
+          osns.push_back(std::make_unique<ordering::KafkaOrderer>(
+              *env_, *orderer_machines_[static_cast<std::size_t>(i)],
+              orderer_ca->Enroll(
+                  "orderer" + std::to_string(i) + "." + channel_id,
+                  crypto::Role::kOrderer),
+              options_.calibration, options_.channel.batch,
+              i == 0 ? tracker : nullptr, i, zk_->NetIds(), channel_id));
+          osns.back()->SetGenesis(*genesis_[static_cast<std::size_t>(c)]);
+        }
+        kafka_channels_.push_back(std::move(osns));
+        break;
+      }
+    }
+
+    // Peers subscribe to one OSN of this channel, round-robin. With gossip
+    // enabled, only the leader peers subscribe; the rest receive blocks
+    // through the gossip layer.
+    const std::size_t osn_count =
+        static_cast<std::size_t>(topo.EffectiveOsns());
+    const std::size_t subscribers =
+        options_.gossip ? std::min<std::size_t>(
+                              static_cast<std::size_t>(options_.gossip_leaders),
+                              peers_.size())
+                        : peers_.size();
+    for (std::size_t i = 0; i < subscribers; ++i) {
+      const std::size_t osn = i % osn_count;
+      switch (topo.ordering) {
+        case OrderingType::kSolo:
+          solos_.back()->SubscribePeer(peers_[i]->NetId());
+          break;
+        case OrderingType::kRaft:
+          raft_channels_.back()[osn]->SubscribePeer(peers_[i]->NetId());
+          break;
+        case OrderingType::kKafka:
+          kafka_channels_.back()[osn]->SubscribePeer(peers_[i]->NetId());
+          break;
+      }
+    }
+  }
+
+  if (options_.gossip) {
+    const auto leaders = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.gossip_leaders), peers_.size());
+    // Each non-leader is pushed to by exactly one leader (blocks traverse
+    // the wire once per peer, as with direct delivery); anti-entropy pulls
+    // may go to any leader, covering a push leader's outage.
+    for (std::size_t j = leaders; j < peers_.size(); ++j) {
+      const std::size_t owner = (j - leaders) % leaders;
+      peers_[owner]->AddGossipPeer(peers_[j]->NetId());
+      for (std::size_t l = 0; l < leaders; ++l) {
+        peers_[j]->AddGossipPullTarget(peers_[l]->NetId());
+      }
+    }
+  }
+}
+
+std::size_t FabricNetwork::OsnCount() const {
+  return static_cast<std::size_t>(options_.topology.EffectiveOsns());
+}
+
+sim::NodeId FabricNetwork::OsnNetId(int channel, std::size_t index) const {
+  const auto c = static_cast<std::size_t>(channel);
+  switch (options_.topology.ordering) {
+    case OrderingType::kSolo:
+      return solos_.at(c)->NetId();
+    case OrderingType::kRaft:
+      return raft_channels_.at(c)[index % raft_channels_.at(c).size()]
+          ->NetId();
+    case OrderingType::kKafka:
+      return kafka_channels_.at(c)[index % kafka_channels_.at(c).size()]
+          ->NetId();
+  }
+  return sim::kInvalidNode;
+}
+
+void FabricNetwork::BuildClients() {
+  const auto* ca = msps_.Find("ClientOrgMSP");
+  const int n = options_.topology.EffectiveClients();
+
+  std::vector<sim::NodeId> endorser_ids;
+  std::vector<crypto::Principal> endorser_principals;
+  for (int i = 0; i < endorsing_count_; ++i) {
+    endorser_ids.push_back(peers_[static_cast<std::size_t>(i)]->NetId());
+    endorser_principals.push_back(
+        peers_[static_cast<std::size_t>(i)]->PrincipalOf());
+  }
+
+  for (int i = 0; i < n; ++i) {
+    auto& machine = env_->AddMachine("client-machine" + std::to_string(i),
+                                     ProfileForClient());
+    auto identity =
+        ca->Enroll("app" + std::to_string(i), crypto::Role::kClient);
+    const int channel = i % options_.channels;
+    client::ClientConfig config;
+    config.channel_id = ChannelId(channel);
+    auto c = std::make_unique<client::Client>(
+        *env_, machine, std::move(identity), options_.calibration,
+        std::move(config), policy_, &tracker_, i);
+    c->SetEndorsers(endorser_ids, endorser_principals);
+    c->SetOrderer(OsnNetId(channel, static_cast<std::size_t>(i)));
+    clients_.push_back(std::move(c));
+  }
+}
+
+void FabricNetwork::SeedAccounts() {
+  for (int c = 0; c < options_.channels; ++c) {
+    const std::string channel_id = ChannelId(c);
+    for (std::size_t a = 0; a < options_.seeded_accounts; ++a) {
+      const std::string acct = "acct" + std::to_string(a);
+      const proto::Bytes balance =
+          proto::ToBytes(std::to_string(options_.seeded_balance));
+      for (auto& p : peers_) {
+        p->SeedState(channel_id, "token", acct, balance);
+        p->SeedState(channel_id, "smallbank",
+                     chaincode::SmallBankChaincode::CheckingKey(acct),
+                     balance);
+        p->SeedState(channel_id, "smallbank",
+                     chaincode::SmallBankChaincode::SavingsKey(acct), balance);
+      }
+    }
+  }
+}
+
+void FabricNetwork::Start() {
+  if (zk_ != nullptr) zk_->Start();
+  for (auto& channel : broker_channels_) {
+    for (auto& b : channel) b->Start();
+  }
+  for (auto& channel : kafka_channels_) {
+    for (auto& o : channel) o->Start();
+  }
+  for (auto& channel : raft_channels_) {
+    for (auto& o : channel) o->Start();
+  }
+
+  if (options_.gossip) {
+    for (auto& p : peers_) p->StartGossip();
+  }
+
+  // Clients listen for commit events on the validating peer.
+  for (auto& c : clients_) {
+    c->SetEventSource(ValidatorPeer().NetId());
+  }
+}
+
+std::vector<client::Client*> FabricNetwork::Clients() {
+  std::vector<client::Client*> out;
+  out.reserve(clients_.size());
+  for (auto& c : clients_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace fabricsim::fabric

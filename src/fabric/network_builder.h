@@ -1,0 +1,139 @@
+// FabricNetwork: builds and owns one complete simulated Fabric deployment —
+// the library's main entry point.
+//
+//   fabric::NetworkOptions opts;
+//   opts.topology.ordering = fabric::OrderingType::kRaft;
+//   fabric::FabricNetwork net(opts);
+//   net.Start();
+//   ... submit transactions via net.Clients() or a WorkloadController ...
+//   net.Env().Sched().RunUntil(sim::FromSeconds(60));
+//
+// Multi-channel deployments (`opts.channels > 1`) mirror Fabric: every peer
+// joins every channel (separate chain + state per channel, shared CPU and
+// ledger-write path); each channel gets its own consenter instance — a Solo
+// node, a Raft group, or a Kafka partition — hosted on the *same* orderer /
+// broker machines, exactly like Fabric OSN processes serving many channels.
+// Clients are bound to channels round-robin.
+#pragma once
+
+#include <memory>
+
+#include "chaincode/kvwrite.h"
+#include "chaincode/smallbank.h"
+#include "chaincode/token.h"
+#include "client/client.h"
+#include "fabric/calibration.h"
+#include "fabric/channel.h"
+#include "fabric/topology.h"
+#include "ordering/kafka_orderer.h"
+#include "ordering/raft_orderer.h"
+#include "ordering/solo.h"
+#include "peer/peer_node.h"
+
+namespace fabricsim::fabric {
+
+struct NetworkOptions {
+  TopologyConfig topology;
+  ChannelConfig channel;
+  /// Number of channels. 1 keeps `channel.id` verbatim; with n > 1 the
+  /// channels are named "<channel.id>0" .. "<channel.id><n-1>".
+  int channels = 1;
+  Calibration calibration;
+  std::uint64_t seed = 42;
+  sim::NetworkConfig net;
+  /// Gossip block dissemination: when enabled, only `gossip_leaders` peers
+  /// subscribe to the ordering service; everyone else receives blocks via
+  /// gossip push from the leaders plus periodic anti-entropy pulls. Offloads
+  /// orderer egress at the cost of one extra dissemination hop.
+  bool gossip = false;
+  int gossip_leaders = 2;
+  /// Accounts pre-seeded for the token/smallbank chaincodes (per channel).
+  std::size_t seeded_accounts = 1000;
+  std::int64_t seeded_balance = 1'000'000;
+};
+
+class FabricNetwork {
+ public:
+  explicit FabricNetwork(NetworkOptions options);
+
+  FabricNetwork(const FabricNetwork&) = delete;
+  FabricNetwork& operator=(const FabricNetwork&) = delete;
+
+  /// Starts the ordering service (ZooKeeper sessions, controller election,
+  /// Raft elections) and registers client event listeners.
+  void Start();
+
+  [[nodiscard]] sim::Environment& Env() { return *env_; }
+  [[nodiscard]] metrics::TxTracker& Tracker() { return tracker_; }
+  [[nodiscard]] const NetworkOptions& Options() const { return options_; }
+  [[nodiscard]] const policy::EndorsementPolicy& Policy() const {
+    return policy_;
+  }
+
+  [[nodiscard]] int ChannelCount() const { return options_.channels; }
+  [[nodiscard]] std::string ChannelId(int channel) const;
+
+  [[nodiscard]] std::vector<client::Client*> Clients();
+  [[nodiscard]] std::size_t PeerCount() const { return peers_.size(); }
+  [[nodiscard]] peer::PeerNode& Peer(std::size_t i) { return *peers_.at(i); }
+  /// The dedicated validating peer used as the measurement point.
+  [[nodiscard]] peer::PeerNode& ValidatorPeer();
+
+  /// Ordering-service accessors; the default channel is channel 0.
+  [[nodiscard]] std::size_t OsnCount() const;
+  [[nodiscard]] ordering::SoloOrderer* Solo(int channel = 0) {
+    return solos_.empty() ? nullptr
+                          : solos_.at(static_cast<std::size_t>(channel)).get();
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<ordering::RaftOrderer>>& Rafts(
+      int channel = 0) {
+    return raft_channels_.at(static_cast<std::size_t>(channel));
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<ordering::KafkaOrderer>>&
+  KafkaOsns(int channel = 0) {
+    return kafka_channels_.at(static_cast<std::size_t>(channel));
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<ordering::KafkaBroker>>& Brokers(
+      int channel = 0) {
+    return broker_channels_.at(static_cast<std::size_t>(channel));
+  }
+  [[nodiscard]] ordering::ZooKeeperEnsemble* ZooKeeper() { return zk_.get(); }
+
+  [[nodiscard]] const crypto::MspRegistry& Msps() const { return msps_; }
+
+ private:
+  void BuildPeers();
+  void BuildOrdering();
+  void BuildClients();
+  void SeedAccounts();
+  [[nodiscard]] sim::NodeId OsnNetId(int channel, std::size_t index) const;
+
+  NetworkOptions options_;
+  std::unique_ptr<sim::Environment> env_;
+  std::vector<proto::BlockPtr> genesis_;  // one per channel
+  metrics::TxTracker tracker_;
+  crypto::MspRegistry msps_;
+  std::shared_ptr<chaincode::Registry> chaincodes_;
+  policy::EndorsementPolicy policy_;
+
+  std::vector<std::unique_ptr<peer::PeerNode>> peers_;  // endorsing first
+  int endorsing_count_ = 0;
+
+  // Shared machines for orderer-side roles (instances per channel).
+  std::vector<sim::Machine*> orderer_machines_;
+  std::vector<sim::Machine*> broker_machines_;
+
+  // Indexed [channel][instance].
+  std::vector<std::unique_ptr<ordering::SoloOrderer>> solos_;
+  std::vector<std::vector<std::unique_ptr<ordering::RaftOrderer>>>
+      raft_channels_;
+  std::unique_ptr<ordering::ZooKeeperEnsemble> zk_;
+  std::vector<std::vector<std::unique_ptr<ordering::KafkaBroker>>>
+      broker_channels_;
+  std::vector<std::vector<std::unique_ptr<ordering::KafkaOrderer>>>
+      kafka_channels_;
+
+  std::vector<std::unique_ptr<client::Client>> clients_;
+};
+
+}  // namespace fabricsim::fabric

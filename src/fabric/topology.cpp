@@ -1,0 +1,33 @@
+#include "fabric/topology.h"
+
+namespace fabricsim::fabric {
+
+std::string OrderingTypeName(OrderingType t) {
+  switch (t) {
+    case OrderingType::kSolo:
+      return "Solo";
+    case OrderingType::kKafka:
+      return "Kafka";
+    case OrderingType::kRaft:
+      return "Raft";
+  }
+  return "?";
+}
+
+sim::MachineProfile ProfileForPeer() { return sim::I7_2600(); }
+
+sim::MachineProfile ProfileForOrderer() { return sim::I7_2600(); }
+
+sim::MachineProfile ProfileForClient() {
+  // The workload generator is Node.js: one event-loop thread. Giving the
+  // machine a single core models the SDK's serialization of crypto work.
+  sim::MachineProfile p = sim::I7_2600();
+  p.cores = 1;
+  return p;
+}
+
+sim::MachineProfile ProfileForBroker() { return sim::I7_920(); }
+
+sim::MachineProfile ProfileForZooKeeper() { return sim::I7_920(); }
+
+}  // namespace fabricsim::fabric

@@ -1,0 +1,48 @@
+// Cluster topology configuration (the paper's 20-machine testbed).
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace fabricsim::fabric {
+
+enum class OrderingType : std::uint8_t { kSolo, kKafka, kRaft };
+
+std::string OrderingTypeName(OrderingType t);
+
+struct TopologyConfig {
+  /// Endorsing peers (execute phase; also validate in the background).
+  int endorsing_peers = 10;
+  /// Dedicated committing peers (the paper's validate-phase machines).
+  /// The first one is the measurement point for commit timestamps and the
+  /// clients' commit-event source.
+  int committing_peers = 1;
+  /// Client machines; -1 = one per endorsing peer (the paper's design
+  /// principle 4: several client machines used simultaneously).
+  int clients = -1;
+
+  OrderingType ordering = OrderingType::kSolo;
+  /// Ordering service nodes (ignored for Solo, which always has exactly 1).
+  int osns = 3;
+  int kafka_brokers = 3;
+  int zookeepers = 3;
+  int kafka_replication_factor = 3;  // the paper's default
+
+  [[nodiscard]] int EffectiveClients() const {
+    return clients < 0 ? endorsing_peers : clients;
+  }
+  [[nodiscard]] int EffectiveOsns() const {
+    return ordering == OrderingType::kSolo ? 1 : osns;
+  }
+};
+
+/// Machine profile for a role, following the paper's placement preferences
+/// (orderers and endorsing peers preferentially on the faster i7-2600s).
+sim::MachineProfile ProfileForPeer();
+sim::MachineProfile ProfileForOrderer();
+sim::MachineProfile ProfileForClient();  // 1 core: Node.js event loop
+sim::MachineProfile ProfileForBroker();
+sim::MachineProfile ProfileForZooKeeper();
+
+}  // namespace fabricsim::fabric

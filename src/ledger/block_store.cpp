@@ -1,0 +1,45 @@
+#include "ledger/block_store.h"
+
+namespace fabricsim::ledger {
+
+void BlockStore::Append(proto::BlockPtr block,
+                        std::vector<proto::ValidationCode> codes) {
+  const auto num = static_cast<std::uint64_t>(blocks_.size());
+  for (std::size_t i = 0; i < block->transactions.size(); ++i) {
+    tx_index_.emplace(
+        block->transactions[i].tx_id,
+        TxLocation{num, static_cast<std::uint32_t>(i)});
+  }
+  stored_bytes_ += block->WireSize();
+  blocks_.push_back(std::move(block));
+  codes_.push_back(std::move(codes));
+}
+
+const std::vector<proto::ValidationCode>& BlockStore::CodesFor(
+    std::uint64_t number) const {
+  static const std::vector<proto::ValidationCode> kEmpty;
+  if (number >= codes_.size()) return kEmpty;
+  return codes_[static_cast<std::size_t>(number)];
+}
+
+proto::BlockPtr BlockStore::GetBlock(std::uint64_t number) const {
+  if (number >= blocks_.size()) return nullptr;
+  return blocks_[static_cast<std::size_t>(number)];
+}
+
+proto::BlockPtr BlockStore::LastBlock() const {
+  return blocks_.empty() ? nullptr : blocks_.back();
+}
+
+bool BlockStore::HasTransaction(const std::string& tx_id) const {
+  return tx_index_.count(tx_id) != 0;
+}
+
+std::optional<TxLocation> BlockStore::FindTransaction(
+    const std::string& tx_id) const {
+  auto it = tx_index_.find(tx_id);
+  if (it == tx_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace fabricsim::ledger

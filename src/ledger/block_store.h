@@ -1,0 +1,66 @@
+// Append-only block storage with a transaction-id index.
+//
+// Mirrors Fabric's file-based block store: blocks are retrievable by number,
+// transactions by id, and the committer consults the tx-id index for
+// duplicate-transaction detection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/block.h"
+
+namespace fabricsim::ledger {
+
+/// Location of a transaction inside the chain.
+struct TxLocation {
+  std::uint64_t block_num = 0;
+  std::uint32_t tx_index = 0;
+};
+
+class BlockStore {
+ public:
+  /// Appends a block with its per-transaction validation codes (the
+  /// committer fills the metadata; storing the codes beside the shared
+  /// immutable block avoids deep-copying it on every peer). The caller
+  /// (Blockchain) is responsible for chain integrity; the store only
+  /// indexes.
+  void Append(proto::BlockPtr block,
+              std::vector<proto::ValidationCode> codes = {});
+
+  /// Number of blocks stored (== next block number).
+  [[nodiscard]] std::uint64_t Height() const { return blocks_.size(); }
+
+  /// Block by number, or nullptr if out of range.
+  [[nodiscard]] proto::BlockPtr GetBlock(std::uint64_t number) const;
+
+  [[nodiscard]] proto::BlockPtr LastBlock() const;
+
+  /// True if a transaction with this id has been stored (valid or not —
+  /// Fabric records invalid transactions too and rejects id reuse).
+  [[nodiscard]] bool HasTransaction(const std::string& tx_id) const;
+
+  [[nodiscard]] std::optional<TxLocation> FindTransaction(
+      const std::string& tx_id) const;
+
+  /// Validation codes recorded when block `number` was committed (empty for
+  /// blocks appended without codes, e.g. on the orderer side).
+  [[nodiscard]] const std::vector<proto::ValidationCode>& CodesFor(
+      std::uint64_t number) const;
+
+  /// Total transactions across all blocks.
+  [[nodiscard]] std::uint64_t TxCount() const { return tx_index_.size(); }
+
+  /// Total serialized bytes appended (storage-size accounting).
+  [[nodiscard]] std::uint64_t StoredBytes() const { return stored_bytes_; }
+
+ private:
+  std::vector<proto::BlockPtr> blocks_;
+  std::vector<std::vector<proto::ValidationCode>> codes_;
+  std::unordered_map<std::string, TxLocation> tx_index_;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace fabricsim::ledger

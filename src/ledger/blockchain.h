@@ -1,0 +1,47 @@
+// Hash-chained blockchain wrapper around the block store.
+//
+// Enforces that appended blocks link correctly (number sequential, previous
+// hash matches the tip's header hash, data hash matches the transactions)
+// and can audit the full chain — the immutability property tests rely on it.
+#pragma once
+
+#include <string>
+
+#include "ledger/block_store.h"
+
+namespace fabricsim::ledger {
+
+/// Outcome of a chain-integrity check.
+struct ChainCheck {
+  bool ok = true;
+  std::uint64_t bad_block = 0;
+  std::string reason;
+};
+
+class Blockchain {
+ public:
+  /// Validates the block's linkage and appends it (with the committer's
+  /// per-transaction validation codes, if any).
+  /// Returns false (and stores nothing) if linkage or data hash is wrong.
+  bool Append(proto::BlockPtr block,
+              std::vector<proto::ValidationCode> codes = {});
+
+  [[nodiscard]] std::uint64_t Height() const { return store_.Height(); }
+  [[nodiscard]] const BlockStore& Store() const { return store_; }
+  [[nodiscard]] BlockStore& MutableStore() { return store_; }
+
+  /// Hash of the current tip's header (all-zero before genesis).
+  [[nodiscard]] crypto::Digest TipHash() const;
+
+  /// Walks the whole chain re-checking every link and data hash.
+  [[nodiscard]] ChainCheck Audit() const;
+
+  /// Validates linkage of `block` against the current tip without appending.
+  [[nodiscard]] bool ValidateLinkage(const proto::Block& block,
+                                     std::string* reason = nullptr) const;
+
+ private:
+  BlockStore store_;
+};
+
+}  // namespace fabricsim::ledger

@@ -1,0 +1,36 @@
+#include "ledger/history_index.h"
+
+#include "ledger/state_db.h"
+
+namespace fabricsim::ledger {
+
+const std::vector<KeyModification> HistoryIndex::kEmpty = {};
+
+void HistoryIndex::IndexBlock(const proto::Block& block,
+                              const std::vector<proto::ValidationCode>& codes) {
+  for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+    if (i < codes.size() && codes[i] != proto::ValidationCode::kValid) {
+      continue;
+    }
+    const auto& tx = block.transactions[i];
+    for (const auto& ns : tx.rwset.ns_rwsets) {
+      for (const auto& w : ns.writes) {
+        KeyModification mod;
+        mod.block_num = block.header.number;
+        mod.tx_index = static_cast<std::uint32_t>(i);
+        mod.tx_id = tx.tx_id;
+        mod.is_delete = w.is_delete;
+        mod.value = w.value;
+        index_[StateDb::CompositeKey(ns.ns, w.key)].push_back(std::move(mod));
+      }
+    }
+  }
+}
+
+const std::vector<KeyModification>& HistoryIndex::HistoryFor(
+    const std::string& ns, const std::string& key) const {
+  auto it = index_.find(StateDb::CompositeKey(ns, key));
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+}  // namespace fabricsim::ledger

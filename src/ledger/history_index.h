@@ -1,0 +1,42 @@
+// Key-history index (Fabric's history database).
+//
+// Records, per (namespace, key), the chronological list of valid
+// transactions that wrote it, enabling GetHistoryForKey-style queries and
+// giving tests an independent record to cross-check MVCC against.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/block.h"
+
+namespace fabricsim::ledger {
+
+/// One historical modification of a key.
+struct KeyModification {
+  std::uint64_t block_num = 0;
+  std::uint32_t tx_index = 0;
+  std::string tx_id;
+  bool is_delete = false;
+  proto::Bytes value;
+};
+
+class HistoryIndex {
+ public:
+  /// Indexes the writes of all VALID transactions in `block`.
+  void IndexBlock(const proto::Block& block,
+                  const std::vector<proto::ValidationCode>& codes);
+
+  /// History of a key, oldest first. Empty if never written.
+  [[nodiscard]] const std::vector<KeyModification>& HistoryFor(
+      const std::string& ns, const std::string& key) const;
+
+  [[nodiscard]] std::size_t TrackedKeys() const { return index_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<KeyModification>> index_;
+  static const std::vector<KeyModification> kEmpty;
+};
+
+}  // namespace fabricsim::ledger

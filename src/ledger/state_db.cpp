@@ -1,0 +1,68 @@
+#include "ledger/state_db.h"
+
+namespace fabricsim::ledger {
+
+std::string StateDb::CompositeKey(const std::string& ns,
+                                  const std::string& key) {
+  // The namespace length is encoded explicitly so that a NUL inside either
+  // component cannot make distinct (ns, key) pairs collide.
+  std::string out = std::to_string(ns.size());
+  out.reserve(out.size() + ns.size() + key.size() + 1);
+  out.push_back('\0');
+  out.append(ns);
+  out.append(key);
+  return out;
+}
+
+std::optional<VersionedValue> StateDb::Get(const std::string& ns,
+                                           const std::string& key) const {
+  auto it = map_.find(CompositeKey(ns, key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<proto::KeyVersion> StateDb::GetVersion(
+    const std::string& ns, const std::string& key) const {
+  auto it = map_.find(CompositeKey(ns, key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void StateDb::Put(const std::string& ns, const std::string& key,
+                  proto::Bytes value, proto::KeyVersion version) {
+  map_[CompositeKey(ns, key)] = VersionedValue{std::move(value), version};
+}
+
+void StateDb::Delete(const std::string& ns, const std::string& key) {
+  map_.erase(CompositeKey(ns, key));
+}
+
+std::vector<std::pair<std::string, VersionedValue>> StateDb::GetRange(
+    const std::string& ns, const std::string& start_key,
+    const std::string& end_key) const {
+  std::vector<std::pair<std::string, VersionedValue>> out;
+  const std::string prefix = CompositeKey(ns, "");
+  auto it = map_.lower_bound(CompositeKey(ns, start_key));
+  for (; it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;  // next ns
+    std::string key = it->first.substr(prefix.size());
+    if (!end_key.empty() && key >= end_key) break;
+    out.emplace_back(std::move(key), it->second);
+  }
+  return out;
+}
+
+void StateDb::ApplyRwSet(const proto::TxReadWriteSet& rwset,
+                         proto::KeyVersion version) {
+  for (const auto& ns : rwset.ns_rwsets) {
+    for (const auto& w : ns.writes) {
+      if (w.is_delete) {
+        Delete(ns.ns, w.key);
+      } else {
+        Put(ns.ns, w.key, w.value, version);
+      }
+    }
+  }
+}
+
+}  // namespace fabricsim::ledger

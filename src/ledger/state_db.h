@@ -1,0 +1,74 @@
+// Versioned world-state database (Fabric's LevelDB state database model).
+//
+// Every key holds a value plus the height-based version (block number,
+// tx index) of the transaction that last wrote it. The endorser reads
+// versions during simulation; the committer compares them during MVCC
+// validation and bumps them at commit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/bytes.h"
+#include "proto/rwset.h"
+
+namespace fabricsim::ledger {
+
+/// A value with its version, as stored.
+struct VersionedValue {
+  proto::Bytes value;
+  proto::KeyVersion version;
+};
+
+/// In-memory versioned KV store, namespaced by chaincode.
+class StateDb {
+ public:
+  /// Reads a key. Returns nullopt if absent (or deleted).
+  [[nodiscard]] std::optional<VersionedValue> Get(const std::string& ns,
+                                                  const std::string& key) const;
+
+  /// Version-only read (what MVCC needs; cheaper than copying the value).
+  [[nodiscard]] std::optional<proto::KeyVersion> GetVersion(
+      const std::string& ns, const std::string& key) const;
+
+  /// Writes a key at `version`.
+  void Put(const std::string& ns, const std::string& key, proto::Bytes value,
+           proto::KeyVersion version);
+
+  /// Deletes a key.
+  void Delete(const std::string& ns, const std::string& key);
+
+  /// Applies all writes of one transaction's rwset at `version`.
+  void ApplyRwSet(const proto::TxReadWriteSet& rwset,
+                  proto::KeyVersion version);
+
+  /// Ordered range scan within a namespace: keys in [start_key, end_key)
+  /// (an empty end_key means "to the end of the namespace"), with values
+  /// and versions, in key order — Fabric's GetStateByRange.
+  [[nodiscard]] std::vector<std::pair<std::string, VersionedValue>> GetRange(
+      const std::string& ns, const std::string& start_key,
+      const std::string& end_key) const;
+
+  /// Number of live keys across all namespaces.
+  [[nodiscard]] std::size_t KeyCount() const { return map_.size(); }
+
+  /// Height of the last committed block (for recovery checks); updated by
+  /// the committer via SetHeight.
+  [[nodiscard]] std::uint64_t Height() const { return height_; }
+  void SetHeight(std::uint64_t h) { height_ = h; }
+
+  /// Composite key helper (ns and key joined with an unambiguous separator).
+  static std::string CompositeKey(const std::string& ns,
+                                  const std::string& key);
+
+ private:
+  // Ordered by composite key; the length-prefixed namespace encoding keeps
+  // one namespace's keys contiguous and in key order (range scans).
+  std::map<std::string, VersionedValue> map_;
+  std::uint64_t height_ = 0;
+};
+
+}  // namespace fabricsim::ledger

@@ -1,0 +1,90 @@
+#include "metrics/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace fabricsim::metrics {
+
+Histogram::Histogram() : buckets_(64 * kSubBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(sim::SimDuration v) {
+  if (v < 0) v = 0;
+  const auto uv = static_cast<std::uint64_t>(v);
+  if (uv < kSubBuckets) return static_cast<std::size_t>(uv);
+  const int octave = 63 - std::countl_zero(uv);
+  // Linear interpolation within the octave using the bits below the MSB.
+  const std::uint64_t below = uv ^ (1ULL << octave);
+  const auto sub = static_cast<std::size_t>(
+      (below * kSubBuckets) >> octave);
+  return static_cast<std::size_t>(octave) * kSubBuckets + sub;
+}
+
+sim::SimDuration Histogram::BucketMidpoint(std::size_t bucket) {
+  const std::size_t octave = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  if (octave == 0) return static_cast<sim::SimDuration>(sub);
+  const auto base = 1ULL << octave;
+  const auto width = base / kSubBuckets;
+  const auto lo = base + sub * width;
+  return static_cast<sim::SimDuration>(lo + width / 2);
+}
+
+void Histogram::Record(sim::SimDuration value) {
+  if (value < 0) value = 0;
+  std::size_t b = BucketFor(value);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  ++buckets_[b];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  if (!has_any_ || value < min_) min_ = value;
+  if (!has_any_ || value > max_) max_ = value;
+  has_any_ = true;
+}
+
+sim::SimDuration Histogram::Min() const { return has_any_ ? min_ : 0; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+sim::SimDuration Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return Min();
+  if (p >= 100.0) return max_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      sim::SimDuration mid = BucketMidpoint(b);
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.has_any_) {
+    if (!has_any_ || other.min_ < min_) min_ = other.min_;
+    if (!has_any_ || other.max_ > max_) max_ = other.max_;
+    has_any_ = true;
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0;
+  has_any_ = false;
+}
+
+}  // namespace fabricsim::metrics

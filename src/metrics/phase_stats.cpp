@@ -1,0 +1,139 @@
+#include "metrics/phase_stats.h"
+
+#include <vector>
+
+namespace fabricsim::metrics {
+
+void TxTracker::MarkSubmitted(const std::string& tx_id, sim::SimTime t) {
+  records_[tx_id].submitted = t;
+}
+
+void TxTracker::MarkEndorsed(const std::string& tx_id, sim::SimTime t) {
+  auto it = records_.find(tx_id);
+  if (it != records_.end() && it->second.endorsed < 0) {
+    it->second.endorsed = t;
+  }
+}
+
+void TxTracker::MarkOrdered(const std::string& tx_id, sim::SimTime t) {
+  auto it = records_.find(tx_id);
+  if (it != records_.end() && it->second.ordered < 0) it->second.ordered = t;
+}
+
+void TxTracker::MarkCommitted(const std::string& tx_id, sim::SimTime t,
+                              proto::ValidationCode code) {
+  auto it = records_.find(tx_id);
+  if (it == records_.end()) return;
+  if (it->second.committed < 0) {
+    it->second.committed = t;
+    it->second.code = code;
+  }
+}
+
+void TxTracker::MarkRejected(const std::string& tx_id, sim::SimTime t) {
+  auto it = records_.find(tx_id);
+  if (it == records_.end()) return;
+  (void)t;
+  it->second.rejected = true;
+}
+
+void TxTracker::RecordBlockCut(sim::SimTime t, std::size_t tx_count) {
+  block_cuts_.emplace_back(t, tx_count);
+}
+
+const TxRecord* TxTracker::Find(const std::string& tx_id) const {
+  auto it = records_.find(tx_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct PhaseAccumulator {
+  Histogram hist;
+  std::uint64_t completed = 0;
+
+  void Add(sim::SimTime begin, sim::SimTime end, sim::SimTime w0,
+           sim::SimTime w1) {
+    if (begin < 0 || end < 0) return;       // phase never completed
+    if (end < w0 || end > w1) return;       // completed outside the window
+    ++completed;
+    hist.Record(end - begin);
+  }
+
+  [[nodiscard]] PhaseSummary Summarize(double window_s) const {
+    PhaseSummary out;
+    out.completed = completed;
+    out.throughput_tps =
+        window_s > 0 ? static_cast<double>(completed) / window_s : 0.0;
+    out.mean_latency_s = sim::ToSeconds(
+        static_cast<sim::SimTime>(hist.Mean()));
+    out.p50_latency_s = sim::ToSeconds(hist.Percentile(50));
+    out.p95_latency_s = sim::ToSeconds(hist.Percentile(95));
+    out.p99_latency_s = sim::ToSeconds(hist.Percentile(99));
+    return out;
+  }
+};
+
+}  // namespace
+
+Report TxTracker::BuildReport(sim::SimTime window_start,
+                              sim::SimTime window_end) const {
+  Report out;
+  out.window_s = sim::ToSeconds(window_end - window_start);
+
+  PhaseAccumulator execute, order, validate, order_validate, e2e;
+
+  for (const auto& [tx_id, rec] : records_) {
+    (void)tx_id;
+    if (rec.submitted >= window_start && rec.submitted <= window_end) {
+      ++out.submitted;
+      if (rec.rejected) ++out.rejected;
+    }
+    if (rec.committed >= 0 &&
+        rec.code != proto::ValidationCode::kValid &&
+        rec.committed >= window_start && rec.committed <= window_end) {
+      ++out.invalid;
+    }
+    execute.Add(rec.submitted, rec.endorsed, window_start, window_end);
+    order.Add(rec.endorsed, rec.ordered, window_start, window_end);
+    validate.Add(rec.ordered, rec.committed, window_start, window_end);
+    order_validate.Add(rec.endorsed, rec.committed, window_start, window_end);
+    // End-to-end counts only successfully committed valid transactions, the
+    // paper's committed-to-ledger throughput.
+    if (rec.code == proto::ValidationCode::kValid && !rec.rejected) {
+      e2e.Add(rec.submitted, rec.committed, window_start, window_end);
+    }
+  }
+
+  out.execute = execute.Summarize(out.window_s);
+  out.order = order.Summarize(out.window_s);
+  out.validate = validate.Summarize(out.window_s);
+  out.order_and_validate = order_validate.Summarize(out.window_s);
+  out.end_to_end = e2e.Summarize(out.window_s);
+
+  // Block time: mean gap between consecutive block cuts in the window.
+  sim::SimTime prev = 0;
+  bool have_prev = false;
+  double gap_sum = 0.0;
+  std::uint64_t gaps = 0;
+  std::uint64_t txs_in_blocks = 0;
+  for (const auto& [t, n] : block_cuts_) {
+    if (t < window_start || t > window_end) continue;
+    ++out.blocks;
+    txs_in_blocks += n;
+    if (have_prev) {
+      gap_sum += sim::ToSeconds(t - prev);
+      ++gaps;
+    }
+    prev = t;
+    have_prev = true;
+  }
+  out.mean_block_time_s = gaps > 0 ? gap_sum / static_cast<double>(gaps) : 0.0;
+  out.mean_block_size =
+      out.blocks > 0
+          ? static_cast<double>(txs_in_blocks) / static_cast<double>(out.blocks)
+          : 0.0;
+  return out;
+}
+
+}  // namespace fabricsim::metrics

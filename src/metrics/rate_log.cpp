@@ -1,0 +1,63 @@
+#include "metrics/rate_log.h"
+
+#include <cmath>
+
+namespace fabricsim::metrics {
+
+RateLog::RateLog(std::string name, sim::SimDuration window)
+    : name_(std::move(name)), window_(window > 0 ? window : 1) {}
+
+std::size_t RateLog::BucketOf(sim::SimTime t) const {
+  if (t < 0) t = 0;
+  return static_cast<std::size_t>(t / window_);
+}
+
+void RateLog::Record(sim::SimTime t) {
+  const std::size_t bucket = BucketOf(t);
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++total_;
+}
+
+std::vector<RateLog::WindowRate> RateLog::Windows() const {
+  std::vector<WindowRate> out;
+  out.reserve(buckets_.size());
+  const double window_s = sim::ToSeconds(window_);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    out.push_back(WindowRate{static_cast<sim::SimTime>(b) * window_,
+                             buckets_[b],
+                             static_cast<double>(buckets_[b]) / window_s});
+  }
+  return out;
+}
+
+double RateLog::MeanRate(sim::SimTime from, sim::SimTime to) const {
+  if (to <= from) return 0.0;
+  std::uint64_t count = 0;
+  for (std::size_t b = BucketOf(from);
+       b < buckets_.size() && static_cast<sim::SimTime>(b) * window_ < to;
+       ++b) {
+    count += buckets_[b];
+  }
+  return static_cast<double>(count) / sim::ToSeconds(to - from);
+}
+
+double RateLog::FractionWithin(double target_tps, double tolerance_frac,
+                               sim::SimTime from, sim::SimTime to) const {
+  if (target_tps <= 0) return 0.0;
+  const double window_s = sim::ToSeconds(window_);
+  std::size_t total_windows = 0;
+  std::size_t good = 0;
+  for (std::size_t b = BucketOf(from);
+       b < buckets_.size() && static_cast<sim::SimTime>(b) * window_ < to;
+       ++b) {
+    ++total_windows;
+    const double tps = static_cast<double>(buckets_[b]) / window_s;
+    if (std::abs(tps - target_tps) <= tolerance_frac * target_tps) ++good;
+  }
+  return total_windows == 0
+             ? 0.0
+             : static_cast<double>(good) / static_cast<double>(total_windows);
+}
+
+}  // namespace fabricsim::metrics

@@ -1,0 +1,56 @@
+// Windowed rate log — the paper's methodology item 5: "We used a log
+// system for double-checking that the load is generated or received at a
+// specific rate."
+//
+// Components record one entry per event (generated transaction, received
+// broadcast, committed transaction); the log buckets them into fixed
+// windows so harnesses can verify the offered load actually materialized
+// and detect generator bottlenecks (the pitfall the paper designs around).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fabricsim::metrics {
+
+class RateLog {
+ public:
+  explicit RateLog(std::string name,
+                   sim::SimDuration window = sim::FromSeconds(1));
+
+  /// Records one event at time `t` (monotonicity not required).
+  void Record(sim::SimTime t);
+
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] std::uint64_t Total() const { return total_; }
+
+  struct WindowRate {
+    sim::SimTime start = 0;
+    std::uint64_t count = 0;
+    double tps = 0.0;
+  };
+
+  /// All windows from time 0 through the last recorded event.
+  [[nodiscard]] std::vector<WindowRate> Windows() const;
+
+  /// Mean rate over [from, to] (events whose window starts in the span).
+  [[nodiscard]] double MeanRate(sim::SimTime from, sim::SimTime to) const;
+
+  /// Fraction of windows in [from, to] whose rate is within
+  /// `tolerance_frac` of `target_tps` — the double-check itself.
+  [[nodiscard]] double FractionWithin(double target_tps,
+                                      double tolerance_frac, sim::SimTime from,
+                                      sim::SimTime to) const;
+
+ private:
+  [[nodiscard]] std::size_t BucketOf(sim::SimTime t) const;
+
+  std::string name_;
+  sim::SimDuration window_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fabricsim::metrics

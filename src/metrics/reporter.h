@@ -1,0 +1,39 @@
+// Table / CSV rendering for experiment results.
+//
+// Every bench binary prints the same rows/series the paper reports; these
+// helpers keep the formatting consistent and machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fabricsim::metrics {
+
+/// A simple fixed-width text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders an aligned text table.
+  void Print(std::ostream& os) const;
+
+  /// Renders CSV (RFC-4180-ish; cells containing commas get quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t Rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double v, int digits = 1);
+
+/// Formats "n/a" for non-finite or sentinel-negative values.
+std::string FmtOrNa(double v, int digits = 1);
+
+}  // namespace fabricsim::metrics

@@ -1,0 +1,40 @@
+#include "ordering/block_cutter.h"
+
+namespace fabricsim::ordering {
+
+BlockCutter::OrderedResult BlockCutter::Ordered(EnvelopePtr env,
+                                                std::size_t size_bytes) {
+  OrderedResult out;
+
+  // An oversized message is cut as its own batch (after flushing pending),
+  // mirroring Fabric's handling of messages above PreferredMaxBytes.
+  if (size_bytes > config_.preferred_max_bytes) {
+    if (!pending_.empty()) out.batches.push_back(Cut());
+    out.batches.push_back(Batch{std::move(env)});
+    return out;
+  }
+
+  // Cut first if appending would overflow the preferred byte budget.
+  if (pending_bytes_ + size_bytes > config_.preferred_max_bytes &&
+      !pending_.empty()) {
+    out.batches.push_back(Cut());
+  }
+
+  pending_.push_back(std::move(env));
+  pending_bytes_ += size_bytes;
+
+  if (pending_.size() >= config_.max_message_count) {
+    out.batches.push_back(Cut());
+  }
+  out.pending = !pending_.empty();
+  return out;
+}
+
+Batch BlockCutter::Cut() {
+  Batch out = std::move(pending_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  return out;
+}
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,42 @@
+#include "ordering/deliver.h"
+
+namespace fabricsim::ordering {
+
+BlockAssembler::BlockAssembler(const crypto::Identity& signer,
+                               double hash_us_per_kib,
+                               sim::SimDuration base_cpu)
+    : signer_(signer), hash_us_per_kib_(hash_us_per_kib), base_cpu_(base_cpu) {}
+
+AssembledBlock BlockAssembler::Assemble(const Batch& batch) {
+  std::vector<proto::TransactionEnvelope> txs;
+  txs.reserve(batch.size());
+  for (const auto& env : batch) txs.push_back(*env);
+
+  auto block = std::make_shared<proto::Block>(proto::Block::Make(
+      next_number_, next_number_ == 0 ? nullptr : &prev_hash_,
+      std::move(txs)));
+
+  // Orderer signs the header; validation codes are filled by committers.
+  block->metadata.orderer_cert = signer_.Cert().Serialize();
+  block->metadata.orderer_signature = signer_.Sign(block->header.Serialize());
+
+  AssembledBlock out;
+  out.wire_size = block->WireSize();
+  out.cpu_cost =
+      base_cpu_ + sim::FromMicros(hash_us_per_kib_ *
+                                  static_cast<double>(out.wire_size) / 1024.0);
+  prev_hash_ = block->header.Hash();
+  ++next_number_;
+  out.block = std::move(block);
+  return out;
+}
+
+void DeliverService::Deliver(const AssembledBlock& b) {
+  for (sim::NodeId peer : subscribers_) {
+    net_.Send(self_, peer,
+              std::make_shared<DeliverBlockMsg>(b.block, b.wire_size,
+                                                channel_id_));
+  }
+}
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,75 @@
+// Block assembly and delivery.
+//
+// BlockAssembler turns a cut batch into the next hash-chained, signed block
+// and reports the CPU cost of doing so. DeliverService fans a block out to
+// the peers subscribed to an OSN (Fabric's Deliver RPC).
+#pragma once
+
+#include <vector>
+
+#include "crypto/identity.h"
+#include "ordering/block_cutter.h"
+#include "ordering/messages.h"
+#include "sim/machine.h"
+
+namespace fabricsim::ordering {
+
+/// A block plus the bookkeeping the simulation needs alongside it.
+struct AssembledBlock {
+  proto::BlockPtr block;
+  std::size_t wire_size = 0;
+  sim::SimDuration cpu_cost = 0;
+};
+
+/// Creates consecutive blocks, maintaining the hash chain. Each consenter
+/// instance that cuts blocks (Solo node, Raft leader, every Kafka OSN) owns
+/// one assembler; deterministic cutting keeps replicas identical.
+class BlockAssembler {
+ public:
+  BlockAssembler(const crypto::Identity& signer, double hash_us_per_kib,
+                 sim::SimDuration base_cpu);
+
+  /// Builds and signs block number `NextNumber()` from `batch`.
+  AssembledBlock Assemble(const Batch& batch);
+
+  [[nodiscard]] std::uint64_t NextNumber() const { return next_number_; }
+
+  /// Re-anchors the assembler (a newly elected Raft leader continues the
+  /// chain from its committed log rather than from local history).
+  void SetNext(std::uint64_t number, const crypto::Digest& prev_hash) {
+    next_number_ = number;
+    prev_hash_ = prev_hash;
+  }
+
+ private:
+  const crypto::Identity& signer_;
+  double hash_us_per_kib_;
+  sim::SimDuration base_cpu_;
+  std::uint64_t next_number_ = 0;
+  crypto::Digest prev_hash_{};
+};
+
+/// Per-OSN fan-out of blocks to subscribed peers.
+class DeliverService {
+ public:
+  DeliverService(sim::Network& net, sim::NodeId self,
+                 std::string channel_id = "mychannel")
+      : net_(net), self_(self), channel_id_(std::move(channel_id)) {}
+
+  void Subscribe(sim::NodeId peer) { subscribers_.push_back(peer); }
+
+  [[nodiscard]] const std::vector<sim::NodeId>& Subscribers() const {
+    return subscribers_;
+  }
+
+  /// Sends the block to every subscriber.
+  void Deliver(const AssembledBlock& b);
+
+ private:
+  sim::Network& net_;
+  sim::NodeId self_;
+  std::string channel_id_;
+  std::vector<sim::NodeId> subscribers_;
+};
+
+}  // namespace fabricsim::ordering

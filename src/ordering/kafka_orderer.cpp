@@ -1,0 +1,186 @@
+#include "ordering/kafka_orderer.h"
+
+namespace fabricsim::ordering {
+
+KafkaOrderer::KafkaOrderer(sim::Environment& env, sim::Machine& machine,
+                           crypto::Identity identity,
+                           const fabric::Calibration& cal, BatchConfig batch,
+                           metrics::TxTracker* tracker, int index,
+                           std::vector<sim::NodeId> zk_ids,
+                           std::string channel_id)
+    : OsnBase(env, machine, std::move(identity), cal, tracker,
+              "orderer.kafka" + std::to_string(index) + "/" + channel_id,
+              channel_id),
+      cutter_(batch),
+      zk_ids_(std::move(zk_ids)) {}
+
+void KafkaOrderer::Start() {
+  DiscoverLeader();
+  WatchdogTick();
+}
+
+void KafkaOrderer::WatchdogTick() {
+  // A long-poll fetch parked at a crashed leader never returns and produces
+  // to it vanish; if the broker has been silent too long while we have a
+  // fetch or unacked records outstanding, rediscover the partition leader
+  // (ZooKeeper's session expiry will have moved the controller znode) and
+  // resend everything unacknowledged. Duplicate records that slip through
+  // are screened as DUPLICATE_TXID by the committers, as in Fabric.
+  constexpr sim::SimDuration kSilenceLimit = sim::FromSeconds(8);
+  const bool outstanding = fetch_in_flight_ || unacked_ > 0;
+  if (outstanding && partition_leader_ != sim::kInvalidNode &&
+      env_.Now() - last_broker_contact_ > kSilenceLimit) {
+    partition_leader_ = sim::kInvalidNode;
+    fetch_in_flight_ = false;
+    unacked_ = 0;
+    DiscoverLeader();
+  }
+  env_.Sched().ScheduleAfter(sim::FromSeconds(2), [this] { WatchdogTick(); });
+}
+
+void KafkaOrderer::SendZk(ZkOp op, const std::string& path,
+                          const std::string& data,
+                          std::function<void(const ZkResponseMsg&)> on_reply) {
+  auto req = std::make_shared<ZkRequestMsg>();
+  req->op = op;
+  req->path = path;
+  req->data = data;
+  req->session_id = static_cast<std::uint64_t>(NetId()) + 1;
+  req->request_id = next_zk_request_++;
+  if (on_reply) zk_callbacks_[req->request_id] = std::move(on_reply);
+  env_.Net().Send(NetId(), zk_ids_.front(), req);
+}
+
+void KafkaOrderer::DiscoverLeader() {
+  SendZk(ZkOp::kGetData, "/controller/" + ChannelId(), "",
+         [this](const ZkResponseMsg& resp) {
+           if (!resp.ok || resp.data.empty()) {
+             // No controller yet; retry shortly.
+             env_.Sched().ScheduleAfter(sim::FromMillis(500),
+                                        [this] { DiscoverLeader(); });
+             return;
+           }
+           partition_leader_ =
+               static_cast<sim::NodeId>(std::stol(resp.data));
+           last_broker_contact_ = env_.Now();
+           FlushOutbox();
+           if (!fetch_in_flight_) SendFetch();
+         });
+}
+
+void KafkaOrderer::SendFetch() {
+  if (partition_leader_ == sim::kInvalidNode) return;
+  auto fetch = std::make_shared<KafkaFetchMsg>();
+  fetch->offset = next_offset_;
+  fetch_in_flight_ = true;
+  env_.Net().Send(NetId(), partition_leader_, fetch);
+}
+
+bool KafkaOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                  std::size_t wire_size) {
+  KafkaRecord rec;
+  rec.env = env;
+  rec.env_bytes = wire_size;
+  ProduceRecord(std::move(rec));
+  return true;
+}
+
+void KafkaOrderer::ProduceRecord(KafkaRecord rec) {
+  outbox_.push_back(std::move(rec));
+  FlushOutbox();
+}
+
+void KafkaOrderer::FlushOutbox() {
+  if (partition_leader_ == sim::kInvalidNode) {
+    DiscoverLeader();
+    return;
+  }
+  // Send everything not yet in flight.
+  while (unacked_ < outbox_.size()) {
+    auto msg = std::make_shared<KafkaProduceMsg>();
+    msg->record = outbox_[unacked_];
+    env_.Net().Send(NetId(), partition_leader_, msg);
+    ++unacked_;
+  }
+}
+
+void KafkaOrderer::OnOtherMessage(sim::NodeId /*from*/,
+                                  const sim::MessagePtr& msg) {
+  if (auto resp = std::dynamic_pointer_cast<const ZkResponseMsg>(msg)) {
+    auto it = zk_callbacks_.find(resp->request_id);
+    if (it != zk_callbacks_.end()) {
+      auto cb = std::move(it->second);
+      zk_callbacks_.erase(it);
+      cb(*resp);
+    }
+    return;
+  }
+  if (auto ack = std::dynamic_pointer_cast<const KafkaProduceAckMsg>(msg)) {
+    last_broker_contact_ = env_.Now();
+    if (!ack->ok) {
+      // Leader moved: rediscover and resend the whole outbox.
+      partition_leader_ = sim::kInvalidNode;
+      unacked_ = 0;
+      DiscoverLeader();
+      return;
+    }
+    if (!outbox_.empty()) {
+      outbox_.pop_front();
+      if (unacked_ > 0) --unacked_;
+    }
+    return;
+  }
+  if (auto fr = std::dynamic_pointer_cast<const KafkaFetchResponseMsg>(msg)) {
+    last_broker_contact_ = env_.Now();
+    fetch_in_flight_ = false;
+    for (const auto& rec : fr->records) ProcessRecord(rec);
+    next_offset_ = fr->next_offset;
+    SendFetch();
+    return;
+  }
+}
+
+void KafkaOrderer::ProcessRecord(const KafkaRecord& rec) {
+  if (rec.IsTtc()) {
+    // Cut only on the first TTC for the block we are currently filling.
+    if (rec.ttc_block_number == assembler_.NextNumber()) {
+      if (timer_ != 0) {
+        env_.Sched().Cancel(timer_);
+        timer_ = 0;
+      }
+      Batch batch = cutter_.Cut();
+      if (!batch.empty()) EmitBatch(std::move(batch));
+    }
+    return;
+  }
+  auto result = cutter_.Ordered(rec.env, rec.env_bytes);
+  for (auto& batch : result.batches) EmitBatch(std::move(batch));
+  if (result.pending) ArmTimerIfNeeded();
+}
+
+void KafkaOrderer::ArmTimerIfNeeded() {
+  if (timer_ != 0) return;
+  timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
+                                      [this] { OnTimeout(); });
+}
+
+void KafkaOrderer::OnTimeout() {
+  timer_ = 0;
+  // Produce a TTC record; the cut happens when it comes back through the
+  // partition, keeping all OSNs in lockstep.
+  KafkaRecord ttc;
+  ttc.ttc_block_number = assembler_.NextNumber();
+  ProduceRecord(std::move(ttc));
+}
+
+void KafkaOrderer::EmitBatch(Batch batch) {
+  if (timer_ != 0) {
+    env_.Sched().Cancel(timer_);
+    timer_ = 0;
+  }
+  AssembleAsync(std::move(batch), [this](AssembledBlock built) {
+    FinishBlock(std::move(built));
+  });
+}
+
+}  // namespace fabricsim::ordering

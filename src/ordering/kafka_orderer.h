@@ -1,0 +1,66 @@
+// Kafka-backed ordering service node (Fabric's Kafka consenter).
+//
+// Each OSN publishes envelopes to the channel's single Kafka partition and
+// independently consumes the committed stream, running an identical block
+// cutter — so all OSNs deterministically cut identical blocks. BatchTimeout
+// is implemented with Fabric's time-to-cut (TTC) protocol: the first OSN
+// whose local timer fires produces a TTC record carrying the next block
+// number; every consumer cuts when it sees the first TTC for that number
+// and ignores stragglers.
+#pragma once
+
+#include <deque>
+
+#include "ordering/kafka_broker.h"
+#include "ordering/osn_base.h"
+
+namespace fabricsim::ordering {
+
+class KafkaOrderer final : public OsnBase {
+ public:
+  KafkaOrderer(sim::Environment& env, sim::Machine& machine,
+               crypto::Identity identity, const fabric::Calibration& cal,
+               BatchConfig batch, metrics::TxTracker* tracker, int index,
+               std::vector<sim::NodeId> zk_ids,
+               std::string channel_id = "mychannel");
+
+  /// Discovers the partition leader and starts consuming.
+  void Start();
+
+  [[nodiscard]] std::uint64_t ConsumedOffset() const { return next_offset_; }
+
+ protected:
+  bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) override;
+  void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  void SendZk(ZkOp op, const std::string& path, const std::string& data,
+              std::function<void(const ZkResponseMsg&)> on_reply);
+  void DiscoverLeader();
+  void SendFetch();
+  void WatchdogTick();
+  void ProduceRecord(KafkaRecord rec);
+  void FlushOutbox();
+  void ProcessRecord(const KafkaRecord& rec);
+  void ArmTimerIfNeeded();
+  void OnTimeout();
+  void EmitBatch(Batch batch);
+
+  BlockCutter cutter_;
+  std::vector<sim::NodeId> zk_ids_;
+  sim::NodeId partition_leader_ = sim::kInvalidNode;
+  std::uint64_t next_offset_ = 0;
+  bool fetch_in_flight_ = false;
+  sim::SimTime last_broker_contact_ = 0;
+  sim::EventId timer_ = 0;
+
+  // Records produced but not yet acked; re-sent on leader change.
+  std::deque<KafkaRecord> outbox_;
+  std::size_t unacked_ = 0;
+
+  std::uint64_t next_zk_request_ = 1;
+  std::map<std::uint64_t, std::function<void(const ZkResponseMsg&)>>
+      zk_callbacks_;
+};
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,322 @@
+// Wire messages exchanged by clients, ordering service nodes, Kafka brokers,
+// ZooKeeper servers, and peers. Sizes approximate the gRPC/Kafka framings of
+// the real stacks so the simulated 1 Gbps network sees realistic loads.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ordering/block_cutter.h"
+#include "proto/block.h"
+#include "sim/network.h"
+
+namespace fabricsim::ordering {
+
+// ---------------------------------------------------------------- broadcast
+
+/// Client -> OSN: submit one envelope for ordering (Broadcast RPC).
+class BroadcastEnvelopeMsg final : public sim::Message {
+ public:
+  BroadcastEnvelopeMsg(EnvelopePtr env, std::size_t wire_size)
+      : env_(std::move(env)), wire_size_(wire_size) {}
+
+  [[nodiscard]] const EnvelopePtr& Envelope() const { return env_; }
+  [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "BroadcastEnvelope";
+  }
+
+ private:
+  EnvelopePtr env_;
+  std::size_t wire_size_;
+};
+
+/// OSN -> client: broadcast accepted/rejected.
+class BroadcastAckMsg final : public sim::Message {
+ public:
+  BroadcastAckMsg(std::string tx_id, bool ok)
+      : tx_id_(std::move(tx_id)), ok_(ok) {}
+
+  [[nodiscard]] const std::string& TxId() const { return tx_id_; }
+  [[nodiscard]] bool Ok() const { return ok_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return tx_id_.size() + 16;
+  }
+  [[nodiscard]] std::string TypeName() const override { return "BroadcastAck"; }
+
+ private:
+  std::string tx_id_;
+  bool ok_;
+};
+
+/// OSN -> OSN: a non-leader forwards an envelope to the consenter leader.
+class ForwardEnvelopeMsg final : public sim::Message {
+ public:
+  ForwardEnvelopeMsg(EnvelopePtr env, std::size_t wire_size)
+      : env_(std::move(env)), wire_size_(wire_size) {}
+
+  [[nodiscard]] const EnvelopePtr& Envelope() const { return env_; }
+  [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "ForwardEnvelope";
+  }
+
+ private:
+  EnvelopePtr env_;
+  std::size_t wire_size_;
+};
+
+// ------------------------------------------------------------------ deliver
+
+/// OSN -> peer (or peer -> peer for gossip): a cut block on a channel.
+class DeliverBlockMsg final : public sim::Message {
+ public:
+  DeliverBlockMsg(proto::BlockPtr block, std::size_t wire_size,
+                  std::string channel_id = "mychannel")
+      : block_(std::move(block)),
+        wire_size_(wire_size),
+        channel_id_(std::move(channel_id)) {}
+
+  [[nodiscard]] const proto::BlockPtr& GetBlock() const { return block_; }
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
+  [[nodiscard]] std::string TypeName() const override { return "DeliverBlock"; }
+
+ private:
+  proto::BlockPtr block_;
+  std::size_t wire_size_;
+  std::string channel_id_;
+};
+
+// --------------------------------------------------------------------- raft
+
+/// One replicated log entry: the Raft orderer replicates whole blocks.
+struct RaftEntry {
+  std::uint64_t term = 0;
+  proto::BlockPtr block;
+  std::size_t block_bytes = 0;
+};
+
+class RequestVoteMsg final : public sim::Message {
+ public:
+  std::uint64_t term = 0;
+  sim::NodeId candidate = sim::kInvalidNode;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 48; }
+  [[nodiscard]] std::string TypeName() const override { return "RequestVote"; }
+};
+
+class RequestVoteReplyMsg final : public sim::Message {
+ public:
+  std::uint64_t term = 0;
+  bool granted = false;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 24; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "RequestVoteReply";
+  }
+};
+
+class AppendEntriesMsg final : public sim::Message {
+ public:
+  std::uint64_t term = 0;
+  sim::NodeId leader = sim::kInvalidNode;
+  std::uint64_t prev_log_index = 0;
+  std::uint64_t prev_log_term = 0;
+  std::vector<RaftEntry> entries;
+  std::uint64_t leader_commit = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    std::size_t n = 56;
+    for (const auto& e : entries) n += 16 + e.block_bytes;
+    return n;
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "AppendEntries";
+  }
+};
+
+class AppendEntriesReplyMsg final : public sim::Message {
+ public:
+  std::uint64_t term = 0;
+  bool success = false;
+  std::uint64_t match_index = 0;  // on success: last replicated index
+  std::uint64_t hint_index = 0;   // on failure: follower's log length hint
+
+  [[nodiscard]] std::size_t WireSize() const override { return 40; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "AppendEntriesReply";
+  }
+};
+
+// -------------------------------------------------------------------- kafka
+
+/// One record in the Kafka partition: either an envelope or a time-to-cut
+/// marker (Fabric's Kafka consenter protocol).
+struct KafkaRecord {
+  EnvelopePtr env;                  // null for TTC records
+  std::size_t env_bytes = 0;
+  std::uint64_t ttc_block_number = 0;  // valid when env == nullptr
+  std::uint64_t offset = 0;            // assigned by the partition leader
+
+  [[nodiscard]] bool IsTtc() const { return env == nullptr; }
+  [[nodiscard]] std::size_t Bytes() const { return IsTtc() ? 24 : env_bytes; }
+};
+
+/// OSN -> partition-leader broker: produce one record.
+class KafkaProduceMsg final : public sim::Message {
+ public:
+  KafkaRecord record;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 48 + record.Bytes();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "KafkaProduce"; }
+};
+
+/// Leader broker -> producer OSN: record committed (all ISR acked).
+class KafkaProduceAckMsg final : public sim::Message {
+ public:
+  std::uint64_t offset = 0;
+  bool ok = false;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 24; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "KafkaProduceAck";
+  }
+};
+
+/// Leader broker -> follower broker: replicate records (in-sync replica).
+class KafkaReplicateMsg final : public sim::Message {
+ public:
+  std::vector<KafkaRecord> records;
+  std::uint64_t high_watermark = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    std::size_t n = 32;
+    for (const auto& r : records) n += 16 + r.Bytes();
+    return n;
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "KafkaReplicate";
+  }
+};
+
+/// Follower broker -> leader broker: replicated up to `log_end`.
+class KafkaReplicateAckMsg final : public sim::Message {
+ public:
+  std::uint64_t log_end = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 16; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "KafkaReplicateAck";
+  }
+};
+
+/// Consumer OSN -> leader broker: long-poll fetch from `offset`.
+class KafkaFetchMsg final : public sim::Message {
+ public:
+  std::uint64_t offset = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 32; }
+  [[nodiscard]] std::string TypeName() const override { return "KafkaFetch"; }
+};
+
+/// Leader broker -> consumer OSN: committed records from the fetch offset.
+class KafkaFetchResponseMsg final : public sim::Message {
+ public:
+  std::vector<KafkaRecord> records;
+  std::uint64_t next_offset = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    std::size_t n = 32;
+    for (const auto& r : records) n += 16 + r.Bytes();
+    return n;
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "KafkaFetchResponse";
+  }
+};
+
+// ---------------------------------------------------------------- zookeeper
+
+enum class ZkOp : std::uint8_t {
+  kCreateEphemeral,  // path, owner session
+  kGetData,          // path
+  kHeartbeat,        // session keep-alive
+};
+
+/// Broker -> ZooKeeper server: client request.
+class ZkRequestMsg final : public sim::Message {
+ public:
+  ZkOp op = ZkOp::kHeartbeat;
+  std::string path;
+  std::string data;
+  std::uint64_t session_id = 0;
+  std::uint64_t request_id = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 48 + path.size() + data.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "ZkRequest"; }
+};
+
+/// ZooKeeper server -> broker: reply.
+class ZkResponseMsg final : public sim::Message {
+ public:
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::string data;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 32 + data.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "ZkResponse"; }
+};
+
+/// ZooKeeper server -> watcher: a watched path changed (node deleted).
+class ZkWatchEventMsg final : public sim::Message {
+ public:
+  std::string path;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 24 + path.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "ZkWatchEvent"; }
+};
+
+/// ZAB-lite intra-ensemble replication: leader -> follower proposal.
+class ZabProposeMsg final : public sim::Message {
+ public:
+  std::uint64_t zxid = 0;
+  std::string path;
+  std::string data;
+  bool is_delete = false;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 40 + path.size() + data.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "ZabPropose"; }
+};
+
+/// Follower -> leader: proposal acknowledged.
+class ZabAckMsg final : public sim::Message {
+ public:
+  std::uint64_t zxid = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 16; }
+  [[nodiscard]] std::string TypeName() const override { return "ZabAck"; }
+};
+
+/// Leader -> followers: commit a proposal.
+class ZabCommitMsg final : public sim::Message {
+ public:
+  std::uint64_t zxid = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override { return 16; }
+  [[nodiscard]] std::string TypeName() const override { return "ZabCommit"; }
+};
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,80 @@
+#include "ordering/osn_base.h"
+
+namespace fabricsim::ordering {
+
+OsnBase::OsnBase(sim::Environment& env, sim::Machine& machine,
+                 crypto::Identity identity, const fabric::Calibration& cal,
+                 metrics::TxTracker* tracker, const std::string& net_name,
+                 std::string channel_id)
+    : env_(env),
+      machine_(machine),
+      identity_(std::move(identity)),
+      cal_(cal),
+      tracker_(tracker),
+      channel_id_(std::move(channel_id)),
+      net_id_(env.Net().Register(
+          net_name,
+          [this](sim::NodeId from, sim::MessagePtr msg) {
+            OnMessage(from, std::move(msg));
+          })),
+      assembler_(identity_, cal.block_hash_us_per_kib,
+                 cal.block_assemble_base_cpu),
+      deliver_(env.Net(), net_id_, channel_id_) {}
+
+void OsnBase::SetGenesis(const proto::Block& genesis) {
+  genesis_next_number_ = genesis.header.number + 1;
+  genesis_hash_ = genesis.header.Hash();
+  assembler_.SetNext(genesis_next_number_, genesis_hash_);
+  next_deliver_number_ = genesis_next_number_;
+}
+
+void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (auto bc = std::dynamic_pointer_cast<const BroadcastEnvelopeMsg>(msg)) {
+    broadcast_log_.Record(env_.Now());
+    // Charge envelope unmarshal + signature/policy verification, then hand
+    // to the consenter and ack the client.
+    machine_.GetCpu().Submit(
+        cal_.orderer_verify_cpu,
+        [this, from, env = bc->Envelope(), size = bc->WireSize()]() {
+          const bool ok = AcceptEnvelope(env, size);
+          env_.Net().Send(net_id_, from,
+                          std::make_shared<BroadcastAckMsg>(env->tx_id, ok));
+        },
+        /*high_priority=*/true);
+    return;
+  }
+  OnOtherMessage(from, msg);
+}
+
+void OsnBase::FinishBlock(AssembledBlock b) {
+  out_of_order_.emplace(b.block->header.number, std::move(b));
+  while (true) {
+    auto it = out_of_order_.find(next_deliver_number_);
+    if (it == out_of_order_.end()) break;
+    const AssembledBlock& ready = it->second;
+    if (tracker_ != nullptr) {
+      tracker_->RecordBlockCut(env_.Now(), ready.block->TxCount());
+      for (const auto& tx : ready.block->transactions) {
+        tracker_->MarkOrdered(tx.tx_id, env_.Now());
+      }
+    }
+    ++delivered_blocks_;
+    deliver_.Deliver(ready);
+    out_of_order_.erase(it);
+    ++next_deliver_number_;
+  }
+}
+
+void OsnBase::AssembleAsync(Batch batch,
+                            std::function<void(AssembledBlock)> done) {
+  // Assemble immediately (deterministic data), then charge the CPU cost
+  // before surfacing the block to the consenter.
+  AssembledBlock built = assembler_.Assemble(batch);
+  const sim::SimDuration cost = built.cpu_cost;
+  machine_.GetCpu().Submit(
+      cost, [built = std::move(built), done = std::move(done)]() mutable {
+        done(std::move(built));
+      });
+}
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,108 @@
+// Shared behaviour of ordering service nodes (OSNs).
+//
+// Every OSN — Solo, a Raft consenter, or a Kafka-backed OSN — accepts
+// Broadcast envelopes from clients (charging the envelope-verification CPU
+// cost and replying with an ack), delivers cut blocks to subscribed peers,
+// and reports block cuts / ordered transactions to the tracker.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "crypto/identity.h"
+#include "fabric/calibration.h"
+#include "metrics/phase_stats.h"
+#include "metrics/rate_log.h"
+#include "ordering/deliver.h"
+#include "ordering/messages.h"
+#include "sim/machine.h"
+
+namespace fabricsim::ordering {
+
+class OsnBase {
+ public:
+  /// One OSN instance serves one channel (Fabric OSN processes serve many
+  /// channels; model that by placing several instances on one Machine).
+  OsnBase(sim::Environment& env, sim::Machine& machine,
+          crypto::Identity identity, const fabric::Calibration& cal,
+          metrics::TxTracker* tracker, const std::string& net_name,
+          std::string channel_id = "mychannel");
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+
+  virtual ~OsnBase() = default;
+  OsnBase(const OsnBase&) = delete;
+  OsnBase& operator=(const OsnBase&) = delete;
+
+  [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+  [[nodiscard]] const crypto::Identity& GetIdentity() const {
+    return identity_;
+  }
+
+  /// Subscribes a peer to this OSN's block deliveries.
+  void SubscribePeer(sim::NodeId peer) { deliver_.Subscribe(peer); }
+
+  /// Anchors this OSN on the channel's genesis block: user blocks start at
+  /// number 1 and chain off the genesis hash.
+  void SetGenesis(const proto::Block& genesis);
+
+  [[nodiscard]] std::uint64_t GenesisNextNumber() const {
+    return genesis_next_number_;
+  }
+  [[nodiscard]] const crypto::Digest& GenesisHash() const {
+    return genesis_hash_;
+  }
+
+  /// Blocks delivered so far by this OSN.
+  [[nodiscard]] std::uint64_t DeliveredBlocks() const {
+    return delivered_blocks_;
+  }
+
+  /// Per-second log of broadcasts received (the paper's rate double-check
+  /// on the load actually reaching the ordering service).
+  [[nodiscard]] const metrics::RateLog& BroadcastLog() const {
+    return broadcast_log_;
+  }
+
+ protected:
+  /// Consensus-specific envelope path, invoked after the shared verification
+  /// CPU charge. Implementations enqueue into their consenter and return
+  /// true to ack success.
+  virtual bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) = 0;
+
+  /// Consensus-specific extra message handling (raft/kafka traffic).
+  virtual void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) = 0;
+
+  /// Marks all txs of `b` ordered, records the cut, and delivers to peers.
+  /// Out-of-order completions (parallel CPU) are buffered and flushed in
+  /// block-number order so subscribers always see a contiguous chain.
+  void FinishBlock(AssembledBlock b);
+
+  /// Builds + signs the next block from `batch` on this node's CPU, then
+  /// calls `done` with the result.
+  void AssembleAsync(Batch batch,
+                     std::function<void(AssembledBlock)> done);
+
+  sim::Environment& env_;
+  sim::Machine& machine_;
+  crypto::Identity identity_;
+  const fabric::Calibration& cal_;
+  metrics::TxTracker* tracker_;
+  std::string channel_id_;
+  sim::NodeId net_id_ = sim::kInvalidNode;
+  BlockAssembler assembler_;
+  DeliverService deliver_;
+  std::uint64_t delivered_blocks_ = 0;
+
+ private:
+  void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
+
+  std::uint64_t next_deliver_number_ = 0;
+  std::map<std::uint64_t, AssembledBlock> out_of_order_;
+  metrics::RateLog broadcast_log_{"broadcast-received"};
+  std::uint64_t genesis_next_number_ = 0;
+  crypto::Digest genesis_hash_{};
+};
+
+}  // namespace fabricsim::ordering

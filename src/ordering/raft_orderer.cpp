@@ -1,0 +1,127 @@
+#include "ordering/raft_orderer.h"
+
+namespace fabricsim::ordering {
+
+RaftOrderer::RaftOrderer(sim::Environment& env, sim::Machine& machine,
+                         crypto::Identity identity,
+                         const fabric::Calibration& cal, BatchConfig batch,
+                         RaftConfig raft_config, metrics::TxTracker* tracker,
+                         int index, std::string channel_id)
+    : OsnBase(env, machine, std::move(identity), cal, tracker,
+              "orderer.raft" + std::to_string(index) + "/" + channel_id,
+              channel_id),
+      raft_config_(raft_config),
+      cutter_(batch) {}
+
+void RaftOrderer::SetGroup(const std::vector<sim::NodeId>& group) {
+  raft_ = std::make_unique<RaftNode>(
+      env_.Sched(), env_.Net(), env_.ForkRng(), NetId(), group, raft_config_,
+      [this](std::uint64_t index, const RaftEntry& entry) {
+        OnCommitted(index, entry);
+      });
+  raft_->SetLeadershipCallback(
+      [this](bool is_leader) { OnLeadershipChange(is_leader); });
+}
+
+void RaftOrderer::Start() { raft_->Start(); }
+
+void RaftOrderer::OnLeadershipChange(bool is_leader) {
+  if (!is_leader) {
+    if (timer_ != 0) {
+      env_.Sched().Cancel(timer_);
+      timer_ = 0;
+    }
+    return;
+  }
+  // Continue the chain from the tail of the (replicated) log.
+  const std::uint64_t last = raft_->LogSize();
+  if (last == 0) {
+    assembler_.SetNext(GenesisNextNumber(), GenesisHash());
+  } else {
+    const RaftEntry* tail = raft_->EntryAt(last);
+    assembler_.SetNext(tail->block->header.number + 1,
+                       tail->block->header.Hash());
+  }
+}
+
+bool RaftOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                 std::size_t wire_size) {
+  if (raft_ == nullptr) return false;
+  if (raft_->IsLeader()) {
+    LeaderEnqueue(env, wire_size);
+    return true;
+  }
+  const auto leader = raft_->KnownLeader();
+  if (!leader) return false;  // no leader yet: client retries
+  env_.Net().Send(NetId(), *leader,
+                  std::make_shared<ForwardEnvelopeMsg>(env, wire_size));
+  return true;
+}
+
+void RaftOrderer::LeaderEnqueue(const EnvelopePtr& env,
+                                std::size_t wire_size) {
+  auto result = cutter_.Ordered(env, wire_size);
+  for (auto& batch : result.batches) ProposeBatch(std::move(batch));
+  if (result.pending) {
+    ArmTimerIfNeeded();
+  } else if (!result.batches.empty() && timer_ != 0) {
+    env_.Sched().Cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+void RaftOrderer::ArmTimerIfNeeded() {
+  if (timer_ != 0) return;
+  timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
+                                      [this] { OnTimeout(); });
+}
+
+void RaftOrderer::OnTimeout() {
+  timer_ = 0;
+  if (!raft_->IsLeader()) return;
+  Batch batch = cutter_.Cut();
+  if (!batch.empty()) ProposeBatch(std::move(batch));
+}
+
+void RaftOrderer::ProposeBatch(Batch batch) {
+  if (timer_ != 0) {
+    env_.Sched().Cancel(timer_);
+    timer_ = 0;
+  }
+  AssembleAsync(std::move(batch), [this](AssembledBlock built) {
+    // Leadership may have moved while the CPU was busy; dropping the block
+    // here mirrors Fabric (clients learn via missing commit events).
+    if (raft_->IsLeader()) {
+      raft_->Propose(built.block, built.wire_size);
+    }
+  });
+}
+
+void RaftOrderer::OnCommitted(std::uint64_t index, const RaftEntry& entry) {
+  last_delivered_raft_index_ = index;
+  AssembledBlock b;
+  b.block = entry.block;
+  b.wire_size = entry.block_bytes;
+  b.cpu_cost = 0;
+  FinishBlock(std::move(b));
+}
+
+void RaftOrderer::OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (raft_ != nullptr && raft_->OnMessage(from, msg)) return;
+  if (auto fwd = std::dynamic_pointer_cast<const ForwardEnvelopeMsg>(msg)) {
+    if (raft_ != nullptr && raft_->IsLeader()) {
+      // Charge the same verification the leader would do for a direct
+      // broadcast (Fabric re-validates forwarded envelopes).
+      machine_.GetCpu().Submit(
+          cal_.orderer_verify_cpu,
+          [this, env = fwd->Envelope(), size = fwd->WireSize()] {
+            if (raft_->IsLeader()) LeaderEnqueue(env, size);
+          },
+          /*high_priority=*/true);
+    }
+    // Not the leader (leadership moved mid-flight): drop; client retries.
+    return;
+  }
+}
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,52 @@
+#include "ordering/solo.h"
+
+namespace fabricsim::ordering {
+
+SoloOrderer::SoloOrderer(sim::Environment& env, sim::Machine& machine,
+                         crypto::Identity identity,
+                         const fabric::Calibration& cal, BatchConfig batch,
+                         metrics::TxTracker* tracker, std::string channel_id)
+    : OsnBase(env, machine, std::move(identity), cal, tracker,
+              "orderer.solo/" + channel_id, channel_id),
+      cutter_(batch) {}
+
+bool SoloOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                 std::size_t wire_size) {
+  auto result = cutter_.Ordered(env, wire_size);
+  for (auto& batch : result.batches) EmitBatch(std::move(batch));
+  if (result.pending) {
+    ArmTimerIfNeeded();
+  } else if (!result.batches.empty() && timer_ != 0) {
+    env_.Sched().Cancel(timer_);
+    timer_ = 0;
+  }
+  return true;
+}
+
+void SoloOrderer::ArmTimerIfNeeded() {
+  if (timer_ != 0) return;
+  timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
+                                      [this] { OnTimeout(); });
+}
+
+void SoloOrderer::OnTimeout() {
+  timer_ = 0;
+  Batch batch = cutter_.Cut();
+  if (!batch.empty()) EmitBatch(std::move(batch));
+}
+
+void SoloOrderer::EmitBatch(Batch batch) {
+  if (timer_ != 0) {
+    env_.Sched().Cancel(timer_);
+    timer_ = 0;
+  }
+  AssembleAsync(std::move(batch),
+                [this](AssembledBlock built) { FinishBlock(std::move(built)); });
+}
+
+void SoloOrderer::OnOtherMessage(sim::NodeId /*from*/,
+                                 const sim::MessagePtr& /*msg*/) {
+  // Solo has no consenter-internal traffic.
+}
+
+}  // namespace fabricsim::ordering

@@ -1,0 +1,186 @@
+#include "peer/committer.h"
+
+namespace fabricsim::peer {
+
+Committer::Committer(sim::Environment& env, sim::Machine& machine,
+                     sim::Cpu& ledger_disk, const crypto::MspRegistry& msps,
+                     const fabric::Calibration& cal,
+                     metrics::TxTracker* tracker)
+    : env_(env),
+      machine_(machine),
+      disk_(ledger_disk),
+      msps_(msps),
+      cal_(cal),
+      tracker_(tracker) {}
+
+void Committer::SetPolicy(const std::string& chaincode_id,
+                          policy::EndorsementPolicy policy) {
+  policies_.insert_or_assign(chaincode_id, std::move(policy));
+}
+
+void Committer::InstallGenesis(proto::BlockPtr genesis) {
+  if (chain_.Height() != 0 || !chain_.Append(std::move(genesis), {})) {
+    return;  // already bootstrapped
+  }
+  state_.SetHeight(1);
+  next_commit_ = 1;
+}
+
+proto::ValidationCode Committer::Vscc(
+    const proto::TransactionEnvelope& tx) const {
+  // Signature half of VSCC: client signature over the envelope body plus
+  // every endorsement over the endorsed payload. The verdict is memoized on
+  // the shared envelope — every peer validates the same immutable bytes
+  // against the same trust registry, so recomputation is pure redundancy
+  // (each peer still pays the full CPU cost in simulated time).
+  const auto& signers = tx.VerifiedSigners(msps_);
+  if (!signers) return proto::ValidationCode::kBadSignature;
+
+  // Evaluate the chaincode's endorsement policy (policy-dependent: not
+  // memoized; different committers may hold different policies).
+  auto it = policies_.find(tx.chaincode_id);
+  if (it == policies_.end()) {
+    return proto::ValidationCode::kInvalidOtherReason;
+  }
+  if (!policy::Satisfied(it->second, *signers)) {
+    return proto::ValidationCode::kEndorsementPolicyFailure;
+  }
+  return proto::ValidationCode::kValid;
+}
+
+void Committer::OnBlock(proto::BlockPtr block, OnCommit on_commit) {
+  const std::uint64_t number = block->header.number;
+  if (number < next_commit_ || pending_.count(number) != 0 ||
+      ready_.count(number) != 0) {
+    return;  // duplicate delivery (multiple OSN subscriptions / re-delivery)
+  }
+
+  // Structural checks: hash-chain linkage is re-validated at append time;
+  // the orderer signature is checked here.
+  const crypto::Certificate* orderer_cert =
+      msps_.CachedCertificate(block->metadata.orderer_cert);
+  if (orderer_cert == nullptr ||
+      !crypto::Verify(orderer_cert->subject_public_key,
+                      block->header.Serialize(),
+                      block->metadata.orderer_signature)) {
+    return;  // forged block: drop
+  }
+
+  PendingBlock pb;
+  pb.block = std::move(block);
+  pb.vscc_codes.assign(pb.block->transactions.size(),
+                       proto::ValidationCode::kValid);
+  pb.vscc_remaining = pb.block->transactions.size();
+  pb.on_commit = std::move(on_commit);
+  pending_.emplace(number, std::move(pb));
+  StartVscc(number);
+}
+
+void Committer::StartVscc(std::uint64_t number) {
+  auto it = pending_.find(number);
+  if (it == pending_.end()) return;
+  PendingBlock& pb = it->second;
+
+  if (pb.block->transactions.empty()) {
+    OnVsccDone(number);
+    return;
+  }
+
+  // Fan one VSCC job per transaction onto the peer CPU (worker pool).
+  for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
+    const auto& tx = pb.block->transactions[i];
+    const sim::SimDuration cost =
+        cal_.vscc_base_cpu +
+        static_cast<sim::SimDuration>(tx.endorsements.size()) *
+            cal_.vscc_per_endorsement_cpu;
+    machine_.GetCpu().Submit(cost, [this, number, i] {
+      auto pit = pending_.find(number);
+      if (pit == pending_.end()) return;
+      PendingBlock& blk = pit->second;
+      blk.vscc_codes[i] = Vscc(blk.block->transactions[i]);
+      if (--blk.vscc_remaining == 0) OnVsccDone(number);
+    });
+  }
+}
+
+void Committer::OnVsccDone(std::uint64_t number) {
+  auto it = pending_.find(number);
+  if (it == pending_.end()) return;
+  ready_.emplace(number, std::move(it->second));
+  pending_.erase(it);
+  TrySerialCommit();
+}
+
+void Committer::TrySerialCommit() {
+  if (serial_busy_) return;
+  auto it = ready_.find(next_commit_);
+  if (it == ready_.end()) return;
+  serial_busy_ = true;
+  PendingBlock pb = std::move(it->second);
+  ready_.erase(it);
+
+  const auto tx_count = pb.block->transactions.size();
+  const sim::SimDuration cost =
+      cal_.block_write_base_disk +
+      static_cast<sim::SimDuration>(tx_count) *
+          (cal_.mvcc_per_tx_disk + cal_.state_write_per_tx_disk +
+           cal_.block_write_per_tx_disk);
+  disk_.Submit(cost, [this, pb = std::move(pb)]() mutable {
+    SerialCommit(std::move(pb));
+  });
+}
+
+void Committer::SerialCommit(PendingBlock pb) {
+  // Duplicate tx-id screening (Fabric flags later duplicates invalid).
+  std::vector<proto::ValidationCode> codes = pb.vscc_codes;
+  std::unordered_map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
+    const auto& id = pb.block->transactions[i].tx_id;
+    if (chain_.Store().HasTransaction(id) || seen.count(id) != 0) {
+      if (codes[i] == proto::ValidationCode::kValid) {
+        codes[i] = proto::ValidationCode::kDuplicateTxId;
+      }
+    }
+    seen.emplace(id, i);
+  }
+
+  // MVCC with the VSCC verdicts folded in.
+  const ledger::MvccResult mvcc =
+      ledger::MvccValidator::Validate(*pb.block, state_, &codes);
+
+  // The validation codes are stored beside the shared immutable block
+  // (equivalent to Fabric filling the block metadata before the write,
+  // without deep-copying the block on every peer).
+  if (!chain_.Append(pb.block, mvcc.codes)) {
+    // Linkage failure — an orderer bug or a tampered stream. Drop; the
+    // chain audit in tests would catch systematic issues.
+    serial_busy_ = false;
+    TrySerialCommit();
+    return;
+  }
+  ledger::MvccValidator::Commit(*pb.block, mvcc.codes, state_);
+  history_.IndexBlock(*pb.block, mvcc.codes);
+
+  for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
+    if (mvcc.codes[i] == proto::ValidationCode::kValid) {
+      ++committed_tx_;
+      commit_log_.Record(env_.Now());
+    } else {
+      ++invalid_tx_;
+    }
+    if (tracker_ != nullptr) {
+      tracker_->MarkCommitted(pb.block->transactions[i].tx_id, env_.Now(),
+                              mvcc.codes[i]);
+    }
+  }
+
+  ++next_commit_;
+  serial_busy_ = false;
+
+  if (pb.on_commit) {
+    pb.on_commit(CommittedBlock{pb.block, mvcc.codes});
+  }
+  TrySerialCommit();
+}
+
+}  // namespace fabricsim::peer

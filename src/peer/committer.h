@@ -1,0 +1,112 @@
+// Committer: the validate phase of a peer.
+//
+// Fabric v1.4 validates a delivered block in two stages:
+//   1. VSCC, parallel: per transaction, verify every endorsement signature
+//      and evaluate the chaincode's endorsement policy — a worker pool over
+//      the peer's cores. This is the paper's AND-policy bottleneck.
+//   2. Serial: MVCC read-conflict check, then the atomic ledger write
+//      (block store append + state DB update), a single-writer, fsync-bound
+//      path. This is the paper's OR-policy bottleneck.
+// Blocks commit strictly in order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "crypto/ca.h"
+#include "fabric/calibration.h"
+#include "ledger/blockchain.h"
+#include "ledger/history_index.h"
+#include "ledger/mvcc.h"
+#include "ledger/state_db.h"
+#include "metrics/phase_stats.h"
+#include "metrics/rate_log.h"
+#include "policy/evaluator.h"
+#include "policy/policy.h"
+#include "sim/machine.h"
+
+namespace fabricsim::peer {
+
+/// Result handed to the owner after each block commits.
+struct CommittedBlock {
+  proto::BlockPtr block;
+  std::vector<proto::ValidationCode> codes;
+};
+
+class Committer {
+ public:
+  using OnCommit = std::function<void(const CommittedBlock&)>;
+
+  Committer(sim::Environment& env, sim::Machine& machine,
+            sim::Cpu& ledger_disk, const crypto::MspRegistry& msps,
+            const fabric::Calibration& cal, metrics::TxTracker* tracker);
+
+  /// Registers the endorsement policy for a chaincode (channel config).
+  void SetPolicy(const std::string& chaincode_id,
+                 policy::EndorsementPolicy policy);
+
+  /// Installs the channel's genesis block (block 0) directly, as joining a
+  /// channel does in Fabric. User blocks then start at 1, which keeps the
+  /// (block, tx) state versions of seeded genesis data (version {0,0})
+  /// distinct from any transaction's writes.
+  void InstallGenesis(proto::BlockPtr genesis);
+
+  /// Entry point: a block arrived from the ordering service. Re-delivered
+  /// or out-of-order blocks are buffered / dropped as appropriate.
+  void OnBlock(proto::BlockPtr block, OnCommit on_commit);
+
+  [[nodiscard]] const ledger::Blockchain& Chain() const { return chain_; }
+  [[nodiscard]] const ledger::StateDb& State() const { return state_; }
+  [[nodiscard]] ledger::StateDb& MutableState() { return state_; }
+  [[nodiscard]] const ledger::HistoryIndex& History() const { return history_; }
+  [[nodiscard]] std::uint64_t CommittedTx() const { return committed_tx_; }
+  [[nodiscard]] std::uint64_t InvalidTx() const { return invalid_tx_; }
+
+  /// Per-second log of valid commits (the paper's rate double-check on the
+  /// receive side).
+  [[nodiscard]] const metrics::RateLog& CommitLog() const {
+    return commit_log_;
+  }
+
+  /// VSCC for one transaction — public for unit tests.
+  [[nodiscard]] proto::ValidationCode Vscc(
+      const proto::TransactionEnvelope& tx) const;
+
+ private:
+  struct PendingBlock {
+    proto::BlockPtr block;
+    std::vector<proto::ValidationCode> vscc_codes;
+    std::size_t vscc_remaining = 0;
+    OnCommit on_commit;
+  };
+
+  void StartVscc(std::uint64_t number);
+  void OnVsccDone(std::uint64_t number);
+  void TrySerialCommit();
+  void SerialCommit(PendingBlock pending);
+
+  sim::Environment& env_;
+  sim::Machine& machine_;
+  sim::Cpu& disk_;
+  const crypto::MspRegistry& msps_;
+  const fabric::Calibration& cal_;
+  metrics::TxTracker* tracker_;
+
+  std::unordered_map<std::string, policy::EndorsementPolicy> policies_;
+
+  ledger::Blockchain chain_;
+  ledger::StateDb state_;
+  ledger::HistoryIndex history_;
+
+  // Blocks by number: received, undergoing VSCC, awaiting serial commit.
+  std::map<std::uint64_t, PendingBlock> pending_;
+  std::map<std::uint64_t, PendingBlock> ready_;  // VSCC finished
+  std::uint64_t next_commit_ = 0;
+  bool serial_busy_ = false;
+  std::uint64_t committed_tx_ = 0;
+  std::uint64_t invalid_tx_ = 0;
+  metrics::RateLog commit_log_{"committed"};
+};
+
+}  // namespace fabricsim::peer

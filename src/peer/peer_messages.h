@@ -1,0 +1,94 @@
+// Wire messages between clients and peers (endorsement RPCs and the commit
+// event service).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "proto/proposal.h"
+#include "proto/transaction.h"
+#include "sim/network.h"
+
+namespace fabricsim::peer {
+
+/// Client -> endorsing peer: ProcessProposal RPC.
+class EndorseRequestMsg final : public sim::Message {
+ public:
+  EndorseRequestMsg(std::shared_ptr<const proto::SignedProposal> proposal,
+                    std::size_t wire_size)
+      : proposal_(std::move(proposal)), wire_size_(wire_size) {}
+
+  [[nodiscard]] const proto::SignedProposal& Proposal() const {
+    return *proposal_;
+  }
+  [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "EndorseRequest";
+  }
+
+ private:
+  std::shared_ptr<const proto::SignedProposal> proposal_;
+  std::size_t wire_size_;
+};
+
+/// Endorsing peer -> client: the proposal response.
+class EndorseResponseMsg final : public sim::Message {
+ public:
+  EndorseResponseMsg(std::shared_ptr<const proto::ProposalResponse> response,
+                     std::size_t wire_size)
+      : response_(std::move(response)), wire_size_(wire_size) {}
+
+  [[nodiscard]] const proto::ProposalResponse& Response() const {
+    return *response_;
+  }
+  [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "EndorseResponse";
+  }
+
+ private:
+  std::shared_ptr<const proto::ProposalResponse> response_;
+  std::size_t wire_size_;
+};
+
+/// Peer -> peer: anti-entropy pull (gossip state transfer). "Send me the
+/// blocks of `channel_id` from `from_number` on."
+class GossipPullMsg final : public sim::Message {
+ public:
+  std::string channel_id;
+  std::uint64_t from_number = 0;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 32 + channel_id.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "GossipPull"; }
+};
+
+/// Client -> peer: subscribe to commit events (Fabric's event hub).
+class RegisterEventsMsg final : public sim::Message {
+ public:
+  [[nodiscard]] std::size_t WireSize() const override { return 64; }
+  [[nodiscard]] std::string TypeName() const override {
+    return "RegisterEvents";
+  }
+};
+
+/// Peer -> subscribed clients: transactions of a committed block.
+class CommitEventMsg final : public sim::Message {
+ public:
+  struct TxOutcome {
+    std::string tx_id;
+    proto::ValidationCode code = proto::ValidationCode::kValid;
+  };
+
+  std::string channel_id;
+  std::uint64_t block_number = 0;
+  std::vector<TxOutcome> outcomes;
+
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 32 + outcomes.size() * 72;
+  }
+  [[nodiscard]] std::string TypeName() const override { return "CommitEvent"; }
+};
+
+}  // namespace fabricsim::peer

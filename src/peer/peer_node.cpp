@@ -1,0 +1,198 @@
+#include "peer/peer_node.h"
+
+#include <algorithm>
+
+#include "ordering/messages.h"
+
+namespace fabricsim::peer {
+
+PeerNode::ChannelLedger::ChannelLedger(PeerNode& peer,
+                                       const std::string& channel_id) {
+  committer = std::make_unique<Committer>(peer.env_, peer.machine_,
+                                          peer.disk_, peer.msps_, peer.cal_,
+                                          peer.tracker_);
+  endorser = std::make_unique<Endorser>(
+      peer.identity_, peer.msps_, *peer.chaincodes_, committer->State(),
+      committer->Chain().Store(), channel_id);
+}
+
+PeerNode::PeerNode(sim::Environment& env, sim::Machine& machine,
+                   crypto::Identity identity, const crypto::MspRegistry& msps,
+                   std::shared_ptr<const chaincode::Registry> chaincodes,
+                   const fabric::Calibration& cal, std::string channel_id,
+                   metrics::TxTracker* tracker, bool endorsing, int index)
+    : env_(env),
+      machine_(machine),
+      identity_(std::move(identity)),
+      msps_(msps),
+      chaincodes_(std::move(chaincodes)),
+      cal_(cal),
+      default_channel_(std::move(channel_id)),
+      tracker_(tracker),
+      endorsing_(endorsing),
+      net_id_(env.Net().Register(
+          (endorsing ? "peer.endorse" : "peer.commit") + std::to_string(index),
+          [this](sim::NodeId from, sim::MessagePtr msg) {
+            OnMessage(from, std::move(msg));
+          })),
+      disk_(env.Sched(), 1, machine.Profile().speed_factor),
+      gossip_rng_(env.ForkRng()) {
+  JoinChannel(default_channel_);
+}
+
+void PeerNode::JoinChannel(const std::string& channel_id) {
+  if (channels_.count(channel_id) != 0) return;
+  channels_.emplace(channel_id,
+                    std::make_unique<ChannelLedger>(*this, channel_id));
+}
+
+void PeerNode::SetPolicy(const std::string& channel_id,
+                         const std::string& chaincode_id,
+                         policy::EndorsementPolicy policy) {
+  channels_.at(channel_id)->committer->SetPolicy(chaincode_id,
+                                                 std::move(policy));
+}
+
+void PeerNode::SeedState(const std::string& ns, const std::string& key,
+                         proto::Bytes value) {
+  SeedState(default_channel_, ns, key, std::move(value));
+}
+
+void PeerNode::SeedState(const std::string& channel_id, const std::string& ns,
+                         const std::string& key, proto::Bytes value) {
+  channels_.at(channel_id)->committer->MutableState().Put(
+      ns, key, std::move(value), proto::KeyVersion{0, 0});
+}
+
+void PeerNode::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
+  if (auto req = std::dynamic_pointer_cast<const EndorseRequestMsg>(msg)) {
+    if (endorsing_) HandleEndorseRequest(from, *req);
+    return;
+  }
+  if (auto blk = std::dynamic_pointer_cast<const ordering::DeliverBlockMsg>(
+          msg)) {
+    HandleDeliverBlock(blk);
+    return;
+  }
+  if (auto pull = std::dynamic_pointer_cast<const GossipPullMsg>(msg)) {
+    HandleGossipPull(from, *pull);
+    return;
+  }
+  if (std::dynamic_pointer_cast<const RegisterEventsMsg>(msg)) {
+    event_subscribers_.push_back(from);
+    return;
+  }
+}
+
+void PeerNode::HandleDeliverBlock(
+    const std::shared_ptr<const ordering::DeliverBlockMsg>& msg) {
+  auto it = channels_.find(msg->ChannelId());
+  if (it == channels_.end()) return;  // not joined to this channel
+  const std::string channel_id = msg->ChannelId();
+
+  // Gossip push: forward each block onward exactly once, whether it came
+  // from the orderer or from another peer (the message object — and hence
+  // the block — is shared, so forwarding costs only wire time).
+  if (!gossip_targets_.empty()) {
+    auto& seen = gossip_seen_[channel_id];
+    if (seen.insert(msg->GetBlock()->header.number).second) {
+      for (sim::NodeId target : gossip_targets_) {
+        env_.Net().Send(net_id_, target, msg);
+        ++gossip_forwarded_;
+      }
+    }
+  }
+
+  it->second->committer->OnBlock(
+      msg->GetBlock(), [this, channel_id](const CommittedBlock& cb) {
+        OnBlockCommitted(channel_id, cb);
+      });
+}
+
+void PeerNode::HandleGossipPull(sim::NodeId from, const GossipPullMsg& m) {
+  auto it = channels_.find(m.channel_id);
+  if (it == channels_.end()) return;
+  const auto& store = it->second->committer->Chain().Store();
+  constexpr std::uint64_t kMaxBlocksPerPull = 8;
+  const std::uint64_t end =
+      std::min<std::uint64_t>(store.Height(), m.from_number + kMaxBlocksPerPull);
+  for (std::uint64_t n = m.from_number; n < end; ++n) {
+    const proto::BlockPtr block = store.GetBlock(n);
+    env_.Net().Send(net_id_, from,
+                    std::make_shared<ordering::DeliverBlockMsg>(
+                        block, block->WireSize(), m.channel_id));
+  }
+}
+
+void PeerNode::StartGossip(sim::SimDuration pull_period) {
+  gossip_pull_period_ = pull_period;
+  AntiEntropyTick();
+}
+
+void PeerNode::AntiEntropyTick() {
+  if (gossip_pull_period_ <= 0) return;
+  if (!gossip_pull_targets_.empty()) {
+    const sim::NodeId target = gossip_pull_targets_[static_cast<std::size_t>(
+        gossip_rng_.NextBelow(gossip_pull_targets_.size()))];
+    for (const auto& [channel_id, ledger] : channels_) {
+      auto pull = std::make_shared<GossipPullMsg>();
+      pull->channel_id = channel_id;
+      pull->from_number = ledger->committer->Chain().Height();
+      env_.Net().Send(net_id_, target, pull);
+    }
+  }
+  env_.Sched().ScheduleAfter(gossip_pull_period_,
+                             [this] { AntiEntropyTick(); });
+}
+
+void PeerNode::HandleEndorseRequest(sim::NodeId from,
+                                    const EndorseRequestMsg& m) {
+  auto it = channels_.find(m.Proposal().proposal.channel_id);
+  if (it == channels_.end()) {
+    // Unknown channel: refuse immediately (negligible cost).
+    auto response = std::make_shared<proto::ProposalResponse>();
+    response->tx_id = m.Proposal().proposal.tx_id;
+    response->payload.status = proto::EndorseStatus::kBadProposal;
+    const std::size_t wire = response->Serialize().size();
+    env_.Net().Send(net_id_, from,
+                    std::make_shared<EndorseResponseMsg>(std::move(response),
+                                                         wire));
+    return;
+  }
+  Endorser* endorser = it->second->endorser.get();
+
+  // Endorsement is the interactive RPC path: high priority on the CPU so
+  // background VSCC work does not starve it (Go peers behave similarly —
+  // proposal handling is latency-sensitive, validation is batched).
+  const sim::SimDuration cost = endorser->CostOf(m.Proposal(), cal_);
+  auto proposal = std::make_shared<proto::SignedProposal>(m.Proposal());
+  machine_.GetCpu().Submit(
+      cost,
+      [this, from, proposal, endorser] {
+        auto response = std::make_shared<proto::ProposalResponse>(
+            endorser->Process(*proposal));
+        const std::size_t wire = response->Serialize().size();
+        env_.Net().Send(net_id_, from,
+                        std::make_shared<EndorseResponseMsg>(
+                            std::move(response), wire));
+      },
+      /*high_priority=*/true);
+}
+
+void PeerNode::OnBlockCommitted(const std::string& channel_id,
+                                const CommittedBlock& cb) {
+  if (event_subscribers_.empty()) return;
+  auto ev = std::make_shared<CommitEventMsg>();
+  ev->channel_id = channel_id;
+  ev->block_number = cb.block->header.number;
+  ev->outcomes.reserve(cb.block->transactions.size());
+  for (std::size_t i = 0; i < cb.block->transactions.size(); ++i) {
+    ev->outcomes.push_back(CommitEventMsg::TxOutcome{
+        cb.block->transactions[i].tx_id, cb.codes[i]});
+  }
+  for (sim::NodeId sub : event_subscribers_) {
+    env_.Net().Send(net_id_, sub, ev);
+  }
+}
+
+}  // namespace fabricsim::peer

@@ -1,0 +1,147 @@
+// A peer process: network endpoint + per-channel ledgers, each with an
+// endorser (optional) and a committer.
+//
+// Fabric peers join any number of channels; each channel has its own chain,
+// state database, and policies, but all channels share the peer's CPU and
+// its single ledger-write (fsync) path — which is exactly what makes
+// channel scaling interesting. Endorsing peers serve ProcessProposal on the
+// interactive (high-priority) CPU path and validate blocks in the
+// background; committing-only peers (the paper's third-phase machines) just
+// validate and serve commit events to subscribed clients.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "peer/committer.h"
+#include "peer/endorser.h"
+#include "peer/peer_messages.h"
+
+namespace fabricsim::ordering {
+class DeliverBlockMsg;
+}  // namespace fabricsim::ordering
+
+namespace fabricsim::peer {
+
+class PeerNode {
+ public:
+  /// Constructs the peer and joins it to `channel_id` (its first channel).
+  PeerNode(sim::Environment& env, sim::Machine& machine,
+           crypto::Identity identity, const crypto::MspRegistry& msps,
+           std::shared_ptr<const chaincode::Registry> chaincodes,
+           const fabric::Calibration& cal, std::string channel_id,
+           metrics::TxTracker* tracker, bool endorsing, int index);
+
+  PeerNode(const PeerNode&) = delete;
+  PeerNode& operator=(const PeerNode&) = delete;
+
+  /// Joins an additional channel (fresh ledger; same tracker policy as the
+  /// constructor: only the peer-level tracker is reported to).
+  void JoinChannel(const std::string& channel_id);
+
+  [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+  [[nodiscard]] bool IsEndorsing() const { return endorsing_; }
+  [[nodiscard]] const crypto::Identity& GetIdentity() const {
+    return identity_;
+  }
+  [[nodiscard]] crypto::Principal PrincipalOf() const {
+    return crypto::Principal{identity_.MspId(), crypto::Role::kPeer};
+  }
+
+  /// Ledger components of the first (default) channel.
+  [[nodiscard]] Committer& GetCommitter() {
+    return GetCommitter(default_channel_);
+  }
+  [[nodiscard]] const Committer& GetCommitter() const {
+    return *channels_.at(default_channel_)->committer;
+  }
+  [[nodiscard]] const Endorser& GetEndorser() const {
+    return *channels_.at(default_channel_)->endorser;
+  }
+
+  /// Per-channel accessors. Throws std::out_of_range for unknown channels.
+  [[nodiscard]] Committer& GetCommitter(const std::string& channel_id) {
+    return *channels_.at(channel_id)->committer;
+  }
+  [[nodiscard]] bool HasChannel(const std::string& channel_id) const {
+    return channels_.count(channel_id) != 0;
+  }
+  [[nodiscard]] std::size_t ChannelCount() const { return channels_.size(); }
+
+  void SetPolicy(const std::string& chaincode_id,
+                 policy::EndorsementPolicy policy) {
+    SetPolicy(default_channel_, chaincode_id, std::move(policy));
+  }
+  void SetPolicy(const std::string& channel_id,
+                 const std::string& chaincode_id,
+                 policy::EndorsementPolicy policy);
+
+  /// Seeds the default channel's world state before the run (genesis data).
+  void SeedState(const std::string& ns, const std::string& key,
+                 proto::Bytes value);
+  void SeedState(const std::string& channel_id, const std::string& ns,
+                 const std::string& key, proto::Bytes value);
+
+  // --- gossip block dissemination (Fabric's gossip layer) -----------------
+  // With gossip, only designated leader peers subscribe to the ordering
+  // service; they push delivered blocks to their gossip peers, and every
+  // peer periodically anti-entropy-pulls missing blocks from a random
+  // gossip peer — so dissemination survives losses and non-leaders.
+
+  /// Adds a peer this node pushes freshly received blocks to.
+  void AddGossipPeer(sim::NodeId peer) { gossip_targets_.push_back(peer); }
+
+  /// Adds a peer this node may anti-entropy-pull missing blocks from.
+  void AddGossipPullTarget(sim::NodeId peer) {
+    gossip_pull_targets_.push_back(peer);
+  }
+
+  /// Starts the periodic anti-entropy pull against random gossip peers.
+  void StartGossip(sim::SimDuration pull_period = sim::FromSeconds(2));
+
+  [[nodiscard]] std::uint64_t GossipBlocksForwarded() const {
+    return gossip_forwarded_;
+  }
+
+ private:
+  struct ChannelLedger {
+    explicit ChannelLedger(PeerNode& peer, const std::string& channel_id);
+    std::unique_ptr<Committer> committer;
+    std::unique_ptr<Endorser> endorser;
+  };
+
+  void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
+  void HandleEndorseRequest(sim::NodeId from, const EndorseRequestMsg& m);
+  void OnBlockCommitted(const std::string& channel_id,
+                        const CommittedBlock& cb);
+  void HandleDeliverBlock(
+      const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
+  void HandleGossipPull(sim::NodeId from, const GossipPullMsg& m);
+  void AntiEntropyTick();
+
+  sim::Environment& env_;
+  sim::Machine& machine_;
+  crypto::Identity identity_;
+  const crypto::MspRegistry& msps_;
+  std::shared_ptr<const chaincode::Registry> chaincodes_;
+  const fabric::Calibration& cal_;
+  std::string default_channel_;
+  metrics::TxTracker* tracker_;
+  bool endorsing_;
+  sim::NodeId net_id_;
+  sim::Cpu disk_;  // single-writer ledger path, shared by all channels
+  std::map<std::string, std::unique_ptr<ChannelLedger>> channels_;
+  std::vector<sim::NodeId> event_subscribers_;
+
+  // Gossip state.
+  std::vector<sim::NodeId> gossip_targets_;       // push fan-out
+  std::vector<sim::NodeId> gossip_pull_targets_;  // anti-entropy sources
+  sim::SimDuration gossip_pull_period_ = 0;  // 0 = anti-entropy off
+  sim::Rng gossip_rng_;
+  // Per channel: block numbers already pushed onward (loop suppression).
+  std::map<std::string, std::set<std::uint64_t>> gossip_seen_;
+  std::uint64_t gossip_forwarded_ = 0;
+};
+
+}  // namespace fabricsim::peer

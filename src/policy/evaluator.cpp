@@ -1,0 +1,103 @@
+#include "policy/evaluator.h"
+
+#include <algorithm>
+
+namespace fabricsim::policy {
+namespace {
+
+bool IdentityMatches(const crypto::Principal& signer,
+                     const crypto::Principal& wanted) {
+  if (signer.msp_id != wanted.msp_id) return false;
+  return signer.role == wanted.role || signer.role == crypto::Role::kAdmin;
+}
+
+// Backtracking satisfaction over a sequence of goals. Each goal is a policy
+// node; OutOf goals expand into combinations of their children.
+class Sat {
+ public:
+  Sat(const std::vector<crypto::Principal>& signers, std::size_t rotation)
+      : signers_(signers), rotation_(rotation) {}
+
+  bool Solve(std::vector<const Node*> goals, std::vector<bool>& used,
+             std::vector<std::size_t>* chosen) {
+    if (goals.empty()) return true;
+    const Node* goal = goals.back();
+    goals.pop_back();
+
+    if (goal->kind == NodeKind::kPrincipal) {
+      const std::size_t n = signers_.size();
+      for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t i = (t + rotation_) % n;
+        if (used[i] || !IdentityMatches(signers_[i], goal->principal)) {
+          continue;
+        }
+        used[i] = true;
+        if (chosen) chosen->push_back(i);
+        if (Solve(goals, used, chosen)) return true;
+        if (chosen) chosen->pop_back();
+        used[i] = false;
+      }
+      return false;
+    }
+
+    // OutOf node: try every k-combination of children, rotated so that
+    // equivalent plans spread load.
+    const auto total = static_cast<int>(goal->children.size());
+    const int k = goal->threshold;
+    std::vector<int> combo;
+    return TryCombos(*goal, 0, k, total, combo, goals, used, chosen);
+  }
+
+ private:
+  bool TryCombos(const Node& node, int start, int remaining, int total,
+                 std::vector<int>& combo, std::vector<const Node*>& goals,
+                 std::vector<bool>& used, std::vector<std::size_t>* chosen) {
+    if (remaining == 0) {
+      std::vector<const Node*> next = goals;
+      for (int idx : combo) {
+        const int rotated =
+            (idx + static_cast<int>(rotation_ % static_cast<std::size_t>(total))) %
+            total;
+        next.push_back(node.children[static_cast<std::size_t>(rotated)].get());
+      }
+      return Solve(std::move(next), used, chosen);
+    }
+    for (int i = start; i <= total - remaining; ++i) {
+      combo.push_back(i);
+      if (TryCombos(node, i + 1, remaining - 1, total, combo, goals, used,
+                    chosen)) {
+        return true;
+      }
+      combo.pop_back();
+    }
+    return false;
+  }
+
+  const std::vector<crypto::Principal>& signers_;
+  std::size_t rotation_;
+};
+
+}  // namespace
+
+bool Satisfied(const EndorsementPolicy& policy,
+               const std::vector<crypto::Principal>& signers) {
+  if (signers.empty()) return false;
+  std::vector<bool> used(signers.size(), false);
+  Sat sat(signers, 0);
+  return sat.Solve({&policy.Root()}, used, nullptr);
+}
+
+std::optional<std::vector<std::size_t>> PlanEndorsers(
+    const EndorsementPolicy& policy,
+    const std::vector<crypto::Principal>& candidates, std::size_t rotation) {
+  if (candidates.empty()) return std::nullopt;
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<std::size_t> chosen;
+  Sat sat(candidates, rotation);
+  if (!sat.Solve({&policy.Root()}, used, &chosen)) return std::nullopt;
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  return chosen;
+}
+
+}  // namespace fabricsim::policy

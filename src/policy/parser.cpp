@@ -1,0 +1,178 @@
+#include "policy/parser.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace fabricsim::policy {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult Run() {
+    ParseResult out;
+    try {
+      auto node = ParseExpr();
+      SkipWs();
+      if (pos_ != text_.size()) {
+        return Fail("trailing characters after policy expression");
+      }
+      out.policy.emplace(std::move(node));
+    } catch (const ParseError& e) {
+      out.error = e.what();
+      out.error_pos = e.pos;
+    }
+    return out;
+  }
+
+ private:
+  struct ParseError : std::runtime_error {
+    ParseError(const std::string& msg, std::size_t p)
+        : std::runtime_error(msg), pos(p) {}
+    std::size_t pos;
+  };
+
+  [[noreturn]] void Throw(const std::string& msg) const {
+    throw ParseError(msg, pos_);
+  }
+
+  ParseResult Fail(const std::string& msg) const {
+    ParseResult out;
+    out.error = msg;
+    out.error_pos = pos_;
+    return out;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectChar(char c) {
+    if (!ConsumeChar(c)) Throw(std::string("expected '") + c + "'");
+  }
+
+  /// Reads an identifier-like keyword (letters only), lowercased.
+  std::string PeekKeyword() {
+    SkipWs();
+    std::string kw;
+    std::size_t p = pos_;
+    while (p < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[p]))) {
+      kw.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text_[p]))));
+      ++p;
+    }
+    return kw;
+  }
+
+  void ConsumeKeyword(std::size_t len) {
+    SkipWs();
+    pos_ += len;
+  }
+
+  int ParseInt() {
+    SkipWs();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      Throw("expected integer threshold");
+    }
+    long v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      if (v > 1'000'000) Throw("threshold too large");
+      ++pos_;
+    }
+    return static_cast<int>(v);
+  }
+
+  std::unique_ptr<Node> ParsePrincipal() {
+    ExpectChar('\'');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+    if (pos_ >= text_.size()) Throw("unterminated principal literal");
+    const std::string_view body = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    auto principal = crypto::Principal::Parse(body);
+    if (!principal) {
+      Throw("bad principal '" + std::string(body) +
+            "' (want MSPID.role with role in "
+            "{client,peer,orderer,admin})");
+    }
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kPrincipal;
+    node->principal = *principal;
+    return node;
+  }
+
+  std::vector<std::unique_ptr<Node>> ParseArgs() {
+    std::vector<std::unique_ptr<Node>> args;
+    args.push_back(ParseExpr());
+    while (ConsumeChar(',')) args.push_back(ParseExpr());
+    return args;
+  }
+
+  std::unique_ptr<Node> ParseExpr() {
+    SkipWs();
+    if (pos_ >= text_.size()) Throw("unexpected end of policy expression");
+    if (text_[pos_] == '\'') return ParsePrincipal();
+
+    const std::string kw = PeekKeyword();
+    if (kw.empty()) Throw("expected AND/OR/OutOf or principal");
+    ConsumeKeyword(kw.size());
+
+    auto node = std::make_unique<Node>();
+    node->kind = NodeKind::kOutOf;
+    ExpectChar('(');
+    if (kw == "outof") {
+      node->threshold = ParseInt();
+      ExpectChar(',');
+      node->children = ParseArgs();
+      if (node->threshold < 1 ||
+          node->threshold > static_cast<int>(node->children.size())) {
+        Throw("OutOf threshold out of range");
+      }
+    } else if (kw == "and") {
+      node->children = ParseArgs();
+      node->threshold = static_cast<int>(node->children.size());
+    } else if (kw == "or") {
+      node->children = ParseArgs();
+      node->threshold = 1;
+    } else {
+      Throw("unknown operator '" + kw + "'");
+    }
+    ExpectChar(')');
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParsePolicy(std::string_view text) { return Parser(text).Run(); }
+
+EndorsementPolicy MustParsePolicy(std::string_view text) {
+  ParseResult r = ParsePolicy(text);
+  if (!r.Ok()) {
+    throw std::invalid_argument("policy parse error at offset " +
+                                std::to_string(r.error_pos) + ": " + r.error);
+  }
+  return std::move(*r.policy);
+}
+
+}  // namespace fabricsim::policy

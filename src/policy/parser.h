@@ -1,0 +1,32 @@
+// Recursive-descent parser for Fabric's endorsement-policy syntax:
+//   expr      := "AND" "(" args ")" | "OR" "(" args ")"
+//              | "OutOf" "(" int "," args ")" | principal
+//   args      := expr ("," expr)*
+//   principal := "'" MSPID "." role "'"
+// Keywords are case-insensitive; whitespace is insignificant outside quotes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "policy/policy.h"
+
+namespace fabricsim::policy {
+
+/// Result of a parse attempt: either a policy or an error with position.
+struct ParseResult {
+  std::optional<EndorsementPolicy> policy;
+  std::string error;        // empty on success
+  std::size_t error_pos = 0;
+
+  [[nodiscard]] bool Ok() const { return policy.has_value(); }
+};
+
+/// Parses a policy expression.
+ParseResult ParsePolicy(std::string_view text);
+
+/// Parses or throws std::invalid_argument (for static config strings).
+EndorsementPolicy MustParsePolicy(std::string_view text);
+
+}  // namespace fabricsim::policy

@@ -1,0 +1,68 @@
+// Blocks: header, data (transaction envelopes), metadata (validation flags,
+// orderer signature). Hash-chained via the header's previous-hash field,
+// exactly as in Fabric.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "proto/transaction.h"
+
+namespace fabricsim::proto {
+
+struct BlockHeader {
+  std::uint64_t number = 0;
+  crypto::Digest previous_hash{};
+  crypto::Digest data_hash{};
+
+  bool operator==(const BlockHeader&) const = default;
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<BlockHeader> Deserialize(BytesView data);
+
+  /// The block hash = SHA-256 of the serialized header (Fabric semantics).
+  [[nodiscard]] crypto::Digest Hash() const;
+};
+
+/// Post-commit metadata: one validation code per transaction, plus the
+/// orderer's signature over the header.
+struct BlockMetadata {
+  std::vector<ValidationCode> validation_codes;
+  Bytes orderer_cert;
+  crypto::Signature orderer_signature{};
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<BlockMetadata> Deserialize(BytesView data);
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<TransactionEnvelope> transactions;
+  BlockMetadata metadata;
+
+  /// Computes the Merkle root over the serialized transactions.
+  [[nodiscard]] static crypto::Digest ComputeDataHash(
+      const std::vector<TransactionEnvelope>& txs);
+
+  /// Builds a block from `txs` chained onto `prev` (null for genesis).
+  static Block Make(std::uint64_t number, const crypto::Digest* prev_hash,
+                    std::vector<TransactionEnvelope> txs);
+
+  /// Cached after first use; copies reset the cache (proto::CachedBytes).
+  [[nodiscard]] const Bytes& Serialize() const;
+  static std::optional<Block> Deserialize(BytesView data);
+  [[nodiscard]] std::size_t WireSize() const;
+
+  [[nodiscard]] std::size_t TxCount() const { return transactions.size(); }
+
+ private:
+  CachedBytes serialized_cache_;
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+}  // namespace fabricsim::proto

@@ -1,0 +1,108 @@
+// Transaction proposals and endorsements (the execute phase's wire types).
+//
+// Flow (Fabric v1.4):
+//   client -> endorser : SignedProposal
+//   endorser -> client : ProposalResponse (simulated rwset + endorsement)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/identity.h"
+#include "crypto/sha256.h"
+#include "proto/bytes.h"
+#include "proto/rwset.h"
+#include "sim/time.h"
+
+namespace fabricsim::proto {
+
+/// What the client wants executed.
+struct ChaincodeInvocation {
+  std::string chaincode_id;
+  std::string function;
+  std::vector<Bytes> args;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<ChaincodeInvocation> Deserialize(BytesView data);
+};
+
+/// An unsigned proposal. The tx id is SHA-256(nonce || creator cert), as in
+/// Fabric, so it is unpredictable and client-bound.
+struct Proposal {
+  std::string channel_id;
+  std::string tx_id;
+  Bytes nonce;
+  Bytes creator_cert;  // serialized crypto::Certificate
+  ChaincodeInvocation invocation;
+  sim::SimTime client_timestamp = 0;
+
+  /// Cached after first use; copies reset the cache (proto::CachedBytes).
+  [[nodiscard]] const Bytes& Serialize() const;
+  /// SHA-256 of Serialize(), memoized (signatures are digest-based).
+  [[nodiscard]] const crypto::Digest& SerializedDigest() const;
+  static std::optional<Proposal> Deserialize(BytesView data);
+
+  /// Computes the canonical tx id for (nonce, creator).
+  static std::string ComputeTxId(BytesView nonce, BytesView creator_cert);
+
+ private:
+  CachedBytes serialized_cache_;
+  CachedValue<crypto::Digest> serialized_digest_;
+};
+
+/// A proposal plus the client's signature over its bytes.
+struct SignedProposal {
+  Proposal proposal;
+  crypto::Signature client_signature{};
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<SignedProposal> Deserialize(BytesView data);
+  [[nodiscard]] std::size_t WireSize() const { return Serialize().size(); }
+};
+
+/// Endorser response status (mirrors Fabric's shim status codes).
+enum class EndorseStatus : std::uint8_t {
+  kSuccess = 0,
+  kBadProposal = 1,      // malformed / bad client signature
+  kUnauthorized = 2,     // client not allowed on channel
+  kDuplicateTxId = 3,    // replayed proposal
+  kChaincodeError = 4,   // chaincode returned failure
+  kUnknownChaincode = 5,
+};
+
+std::string EndorseStatusName(EndorseStatus s);
+
+/// The payload the endorser signs: binds proposal hash, rwset, and result.
+struct ProposalResponsePayload {
+  crypto::Digest proposal_hash{};
+  TxReadWriteSet rwset;
+  Bytes chaincode_result;
+  EndorseStatus status = EndorseStatus::kSuccess;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<ProposalResponsePayload> Deserialize(BytesView data);
+};
+
+/// One endorsement: who signed and their signature over the payload bytes.
+struct Endorsement {
+  Bytes endorser_cert;  // serialized crypto::Certificate
+  crypto::Signature signature{};
+
+  bool operator==(const Endorsement&) const = default;
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<Endorsement> Deserialize(BytesView data);
+};
+
+/// The endorser's reply to the client.
+struct ProposalResponse {
+  std::string tx_id;
+  ProposalResponsePayload payload;
+  Endorsement endorsement;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static std::optional<ProposalResponse> Deserialize(BytesView data);
+  [[nodiscard]] std::size_t WireSize() const { return Serialize().size(); }
+};
+
+}  // namespace fabricsim::proto

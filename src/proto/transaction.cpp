@@ -1,0 +1,145 @@
+#include "proto/transaction.h"
+
+#include <stdexcept>
+
+namespace fabricsim::proto {
+
+std::string ValidationCodeName(ValidationCode c) {
+  switch (c) {
+    case ValidationCode::kValid:
+      return "VALID";
+    case ValidationCode::kMvccReadConflict:
+      return "MVCC_READ_CONFLICT";
+    case ValidationCode::kEndorsementPolicyFailure:
+      return "ENDORSEMENT_POLICY_FAILURE";
+    case ValidationCode::kBadSignature:
+      return "BAD_SIGNATURE";
+    case ValidationCode::kDuplicateTxId:
+      return "DUPLICATE_TXID";
+    case ValidationCode::kBadRwSet:
+      return "BAD_RWSET";
+    case ValidationCode::kInvalidOtherReason:
+      return "INVALID_OTHER_REASON";
+  }
+  return "UNKNOWN";
+}
+
+const Bytes& TransactionEnvelope::SignedBody() const {
+  return signed_body_cache_.Get([this] {
+    Writer w;
+    w.Str(channel_id);
+    w.Str(tx_id);
+    w.Blob(creator_cert);
+    w.Blob(rwset.Serialize());
+    w.Blob(chaincode_result);
+    w.Str(chaincode_id);
+    w.U32(static_cast<std::uint32_t>(endorsements.size()));
+    for (const auto& e : endorsements) w.Blob(e.Serialize());
+    w.I64(client_timestamp);
+    return w.Take();
+  });
+}
+
+const Bytes& TransactionEnvelope::Serialize() const {
+  return serialized_cache_.Get([this] {
+    Writer w;
+    w.Blob(SignedBody());
+    w.Blob(client_signature.ToBytes());
+    return w.Take();
+  });
+}
+
+const crypto::Digest& TransactionEnvelope::SignedBodyDigest() const {
+  return signed_body_digest_.Get([this] { return crypto::Hash(SignedBody()); });
+}
+
+const crypto::Digest& TransactionEnvelope::EndorsedPayloadDigest() const {
+  return endorsed_payload_digest_.Get(
+      [this] { return crypto::Hash(EndorsedPayloadBytes()); });
+}
+
+const std::optional<std::vector<crypto::Principal>>&
+TransactionEnvelope::VerifiedSigners(const crypto::MspRegistry& msps) const {
+  if (signers_.registry == &msps) return signers_.value;
+  signers_.registry = &msps;
+  signers_.value.reset();
+
+  const crypto::Certificate* client_cert = msps.CachedCertificate(creator_cert);
+  if (client_cert == nullptr ||
+      !crypto::VerifyDigest(client_cert->subject_public_key,
+                            SignedBodyDigest(), client_signature)) {
+    return signers_.value;  // nullopt: bad client signature
+  }
+  std::vector<crypto::Principal> signers;
+  signers.reserve(endorsements.size());
+  const crypto::Digest& endorsed = EndorsedPayloadDigest();
+  for (const auto& e : endorsements) {
+    const crypto::Certificate* cert = msps.CachedCertificate(e.endorser_cert);
+    if (cert == nullptr ||
+        !crypto::VerifyDigest(cert->subject_public_key, endorsed,
+                              e.signature)) {
+      return signers_.value;  // nullopt: bad endorsement
+    }
+    signers.push_back(crypto::Principal{cert->msp_id, cert->role});
+  }
+  signers_.value = std::move(signers);
+  return signers_.value;
+}
+
+void TransactionEnvelope::InvalidateCaches() const {
+  signed_body_cache_.Invalidate();
+  serialized_cache_.Invalidate();
+  endorsed_payload_cache_.Invalidate();
+  signed_body_digest_.Invalidate();
+  endorsed_payload_digest_.Invalidate();
+  signers_.registry = nullptr;
+  signers_.value.reset();
+}
+
+std::optional<TransactionEnvelope> TransactionEnvelope::Deserialize(
+    BytesView data) {
+  try {
+    Reader outer(data);
+    const Bytes body = outer.Blob();
+    const Bytes sig = outer.Blob();
+
+    Reader r(body);
+    TransactionEnvelope out;
+    out.channel_id = r.Str();
+    out.tx_id = r.Str();
+    out.creator_cert = r.Blob();
+    auto rw = TxReadWriteSet::Deserialize(r.Blob());
+    if (!rw) return std::nullopt;
+    out.rwset = std::move(*rw);
+    out.chaincode_result = r.Blob();
+    out.chaincode_id = r.Str();
+    const std::uint32_t n = r.U32();
+    out.endorsements.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto e = Endorsement::Deserialize(r.Blob());
+      if (!e) return std::nullopt;
+      out.endorsements.push_back(std::move(*e));
+    }
+    out.client_timestamp = r.I64();
+    out.client_signature = crypto::Signature::FromBytes(sig);
+    return out;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+const Bytes& TransactionEnvelope::EndorsedPayloadBytes() const {
+  // Must match what the endorser signed: the ProposalResponsePayload bytes.
+  // The envelope carries the rwset and result; the proposal hash is bound
+  // via the tx id (both derive from the same proposal).
+  return endorsed_payload_cache_.Get([this] {
+    ProposalResponsePayload payload;
+    payload.proposal_hash = crypto::HashStr(tx_id);
+    payload.rwset = rwset;
+    payload.chaincode_result = chaincode_result;
+    payload.status = EndorseStatus::kSuccess;
+    return payload.Serialize();
+  });
+}
+
+}  // namespace fabricsim::proto

@@ -1,0 +1,60 @@
+#include "sim/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fabricsim::sim {
+
+Cpu::Cpu(Scheduler& sched, int cores, double speed_factor)
+    : sched_(sched),
+      cores_(cores < 1 ? 1 : cores),
+      inv_speed_(speed_factor > 0 ? 1.0 / speed_factor : 1.0) {}
+
+void Cpu::Submit(SimDuration cost, Completion done, bool high_priority) {
+  Job job{cost < 0 ? 0 : cost, std::move(done)};
+  if (busy_cores_ < cores_) {
+    StartJob(std::move(job));
+  } else if (high_priority) {
+    high_queue_.push_back(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void Cpu::StartJob(Job job) {
+  ++busy_cores_;
+  const auto scaled =
+      static_cast<SimDuration>(static_cast<double>(job.cost) * inv_speed_);
+  busy_time_ += scaled;
+  sched_.ScheduleAfter(scaled,
+                       [this, done = std::move(job.done)]() mutable {
+                         OnJobDone(std::move(done));
+                       });
+}
+
+void Cpu::OnJobDone(Completion done) {
+  --busy_cores_;
+  ++completed_;
+  // Start the next queued job before running the completion so that a
+  // completion which submits new work queues behind already-waiting jobs.
+  if (!high_queue_.empty()) {
+    Job next = std::move(high_queue_.front());
+    high_queue_.pop_front();
+    StartJob(std::move(next));
+  } else if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+  if (done) done();
+}
+
+double Cpu::Utilization() const {
+  const SimTime now = sched_.Now();
+  if (now <= 0) return 0.0;
+  const double capacity = static_cast<double>(now) * cores_;
+  double used = static_cast<double>(busy_time_);
+  return used > capacity ? 1.0 : used / capacity;
+}
+
+}  // namespace fabricsim::sim

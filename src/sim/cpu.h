@@ -1,0 +1,77 @@
+// Multi-core CPU resource model.
+//
+// A `Cpu` models a machine's processor as `cores` identical servers in front
+// of a single FIFO queue (an M/G/c station). Components submit jobs with a
+// nominal CPU cost in nanoseconds of core time; the cost is scaled by the
+// machine's speed factor (slower machines take proportionally longer).
+// The paper's cluster mixes i7-2600 (fast) and i7-920 (slow) machines, which
+// the speed factor captures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace fabricsim::sim {
+
+/// A multi-core FIFO CPU station attached to a scheduler.
+class Cpu {
+ public:
+  using Completion = std::function<void()>;
+
+  /// `cores` >= 1; `speed_factor` scales job durations (1.0 = nominal,
+  /// 0.8 = runs at 80% speed, i.e. jobs take 1/0.8 of nominal time).
+  Cpu(Scheduler& sched, int cores, double speed_factor = 1.0);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Submits a job costing `cost` nanoseconds of nominal core time.
+  /// `done` runs when the job completes. Zero/negative costs complete after
+  /// being serviced by a core with zero duration (still FIFO-ordered).
+  /// `high_priority` jobs (the interactive RPC path, e.g. endorsement)
+  /// bypass queued normal-priority work (background validation).
+  void Submit(SimDuration cost, Completion done, bool high_priority = false);
+
+  /// Number of jobs currently queued (excluding the ones running on cores).
+  [[nodiscard]] std::size_t QueueLength() const {
+    return queue_.size() + high_queue_.size();
+  }
+
+  /// Number of cores currently busy.
+  [[nodiscard]] int BusyCores() const { return busy_cores_; }
+
+  [[nodiscard]] int Cores() const { return cores_; }
+
+  /// Total core-busy time accumulated, for utilization reporting.
+  [[nodiscard]] SimDuration BusyTime() const { return busy_time_; }
+
+  /// Utilization in [0,1] over the window [0, now].
+  [[nodiscard]] double Utilization() const;
+
+  /// Total jobs completed.
+  [[nodiscard]] std::uint64_t CompletedJobs() const { return completed_; }
+
+ private:
+  struct Job {
+    SimDuration cost;
+    Completion done;
+  };
+
+  void StartJob(Job job);
+  void OnJobDone(Completion done);
+
+  Scheduler& sched_;
+  int cores_;
+  double inv_speed_;
+  int busy_cores_ = 0;
+  SimDuration busy_time_ = 0;
+  std::uint64_t completed_ = 0;
+  std::deque<Job> queue_;
+  std::deque<Job> high_queue_;
+};
+
+}  // namespace fabricsim::sim

@@ -1,0 +1,28 @@
+#include "sim/machine.h"
+
+namespace fabricsim::sim {
+
+MachineProfile I7_2600() {
+  // 4 physical cores @ 3.40 GHz; baseline speed.
+  return MachineProfile{"Intel(R) Core(TM) i7-2600 @ 3.40GHz", 4, 1.0};
+}
+
+MachineProfile I7_920() {
+  // 4 physical cores @ 2.67 GHz; also an older microarchitecture, so its
+  // effective per-core speed relative to the i7-2600 is below the pure
+  // clock ratio (2.67/3.40 = 0.785).
+  return MachineProfile{"Intel(R) Core(TM) i7 CPU 920 @ 2.67GHz", 4, 0.70};
+}
+
+Environment::Environment(std::uint64_t seed, NetworkConfig net_config)
+    : rng_(seed) {
+  net_ = std::make_unique<Network>(sched_, rng_.Fork(), net_config);
+}
+
+Machine& Environment::AddMachine(std::string name, MachineProfile profile) {
+  machines_.push_back(
+      std::make_unique<Machine>(sched_, std::move(name), std::move(profile)));
+  return *machines_.back();
+}
+
+}  // namespace fabricsim::sim

@@ -1,0 +1,106 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace fabricsim::sim {
+
+Network::Network(Scheduler& sched, Rng rng, NetworkConfig config)
+    : sched_(sched), rng_(rng), config_(config) {}
+
+NodeId Network::Register(std::string name, Handler handler) {
+  Endpoint ep;
+  ep.name = std::move(name);
+  ep.handler = std::move(handler);
+  nodes_.push_back(std::move(ep));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::SetHandler(NodeId id, Handler handler) {
+  nodes_.at(static_cast<std::size_t>(id)).handler = std::move(handler);
+}
+
+std::uint64_t Network::PairKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
+  auto& src = nodes_.at(static_cast<std::size_t>(from));
+  auto& dst = nodes_.at(static_cast<std::size_t>(to));
+  ++messages_sent_;
+  const std::size_t wire_bytes =
+      msg->WireSize() + config_.per_message_overhead_bytes;
+  bytes_sent_ += wire_bytes;
+
+  if (src.crashed || dst.crashed || IsPartitioned(from, to) ||
+      (from != to && rng_.NextBool(config_.loss_probability))) {
+    ++messages_dropped_;
+    return;
+  }
+
+  SimTime deliver_at;
+  if (from == to) {
+    deliver_at = sched_.Now() + FromMicros(2);  // loopback
+  } else {
+    // Sender NIC serialization: messages from one sender queue behind each
+    // other; the NIC becomes free once the last byte is on the wire.
+    const auto serialize = static_cast<SimDuration>(
+        static_cast<double>(wire_bytes) * 8.0 * 1e9 / config_.bandwidth_bps);
+    const SimTime start =
+        src.nic_free_at > sched_.Now() ? src.nic_free_at : sched_.Now();
+    src.nic_free_at = start + serialize;
+    double jitter = 1.0 + config_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+    if (jitter < 0.0) jitter = 0.0;
+    const auto latency = static_cast<SimDuration>(
+        static_cast<double>(config_.base_latency) * jitter);
+    deliver_at = src.nic_free_at + latency;
+    // TCP semantics: a directed connection never reorders.
+    const std::uint64_t conn =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+        static_cast<std::uint32_t>(to);
+    SimTime& last = last_delivery_[conn];
+    if (deliver_at <= last) deliver_at = last + 1;
+    last = deliver_at;
+  }
+
+  sched_.ScheduleAt(deliver_at, [this, from, to, msg = std::move(msg)]() {
+    auto& receiver = nodes_.at(static_cast<std::size_t>(to));
+    if (receiver.crashed) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    if (receiver.handler) receiver.handler(from, msg);
+  });
+}
+
+void Network::Partition(NodeId a, NodeId b) { partitions_.insert(PairKey(a, b)); }
+
+void Network::Heal(NodeId a, NodeId b) { partitions_.erase(PairKey(a, b)); }
+
+void Network::HealAll() { partitions_.clear(); }
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(PairKey(a, b)) != 0;
+}
+
+void Network::Crash(NodeId id) {
+  nodes_.at(static_cast<std::size_t>(id)).crashed = true;
+}
+
+void Network::Revive(NodeId id) {
+  nodes_.at(static_cast<std::size_t>(id)).crashed = false;
+}
+
+bool Network::IsCrashed(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).crashed;
+}
+
+const std::string& Network::NameOf(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).name;
+}
+
+}  // namespace fabricsim::sim

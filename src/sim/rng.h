@@ -1,0 +1,50 @@
+// Deterministic random-number generation for the simulation.
+//
+// Uses xoshiro256++ seeded by SplitMix64, so runs are reproducible from a
+// single 64-bit seed. The simulation never consults wall-clock entropy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fabricsim::sim {
+
+/// xoshiro256++ pseudo-random generator with distribution helpers.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  /// Used for Poisson-process inter-arrival times.
+  double NextExponential(double mean);
+
+  /// Normally distributed value (Box-Muller), mean `mu`, std-dev `sigma`.
+  double NextGaussian(double mu, double sigma);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Forks an independent, deterministically derived child generator.
+  /// Children seeded from distinct streams do not correlate with the parent.
+  Rng Fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace fabricsim::sim

@@ -1,0 +1,74 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace fabricsim::sim {
+
+EventId Scheduler::ScheduleAt(SimTime when, Callback cb) {
+  Entry e;
+  e.when = when < now_ ? now_ : when;
+  e.seq = next_seq_++;
+  e.id = next_id_++;
+  e.cb = std::make_shared<Callback>(std::move(cb));
+  const EventId id = e.id;
+  queue_.push(std::move(e));
+  pending_.insert(id);
+  return id;
+}
+
+bool Scheduler::Cancel(EventId id) { return pending_.erase(id) != 0; }
+
+bool Scheduler::PopNext(Entry& out) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (pending_.erase(top.id) == 0) continue;  // was cancelled
+    out = std::move(top);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::Run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  Entry e;
+  while (n < limit && PopNext(e)) {
+    now_ = e.when;
+    ++executed_;
+    ++n;
+    (*e.cb)();
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::RunUntil(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (pending_.count(top.id) == 0) {  // cancelled: drop and continue
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    Entry e = top;
+    queue_.pop();
+    pending_.erase(e.id);
+    now_ = e.when;
+    ++executed_;
+    ++n;
+    (*e.cb)();
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+bool Scheduler::Step() {
+  Entry e;
+  if (!PopNext(e)) return false;
+  now_ = e.when;
+  ++executed_;
+  (*e.cb)();
+  return true;
+}
+
+}  // namespace fabricsim::sim

@@ -1,0 +1,99 @@
+// Deterministic discrete-event scheduler.
+//
+// The scheduler is the heart of the simulation: every component (network
+// links, CPU cores, protocol timers) enqueues callbacks at future simulated
+// times and the scheduler executes them in (time, insertion-sequence) order.
+// Ties on time break by insertion order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fabricsim::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Discrete-event scheduler with cancellable events.
+///
+/// Not thread-safe by design: the whole simulation is single-threaded and
+/// deterministic. Event callbacks may schedule further events (including at
+/// the current time, which run after all previously queued events for that
+/// time).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Starts at zero.
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute simulated time `when`.
+  /// Times in the past are clamped to `Now()` (the event runs next).
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired; cancelling a fired or unknown event is a harmless no-op.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` events have run.
+  /// Returns the number of events executed.
+  std::uint64_t Run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with time <= `until`. After returning, `Now() == until`
+  /// unless the queue emptied first (then Now() is the last event time).
+  /// Returns the number of events executed.
+  std::uint64_t RunUntil(SimTime until);
+
+  /// Executes exactly one event if any is pending. Returns false if idle.
+  bool Step();
+
+  /// Number of events currently scheduled and not yet fired or cancelled.
+  [[nodiscard]] std::size_t PendingEvents() const { return pending_.size(); }
+
+  /// Total number of events executed since construction.
+  [[nodiscard]] std::uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // insertion order, breaks ties deterministically
+    EventId id = 0;
+    // Heap entries are moved around; callback stored via shared ownership so
+    // the struct stays cheaply movable and copyable for priority_queue.
+    std::shared_ptr<Callback> cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Entry& out);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Ids of events that are scheduled and not yet fired or cancelled.
+  // Popped entries absent from this set were cancelled and are skipped.
+  std::unordered_set<EventId> pending_;
+};
+
+}  // namespace fabricsim::sim

@@ -1,0 +1,48 @@
+// Simulated-time primitives for the discrete-event simulation kernel.
+//
+// All simulated time is kept in integral nanoseconds (`SimTime`) so that event
+// ordering is exact and runs are bit-reproducible across platforms; floating
+// point appears only at the edges (metric reporting, rate parameters).
+#pragma once
+
+#include <cstdint>
+
+namespace fabricsim::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Builds a duration from (possibly fractional) milliseconds.
+constexpr SimDuration FromMillis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Builds a duration from (possibly fractional) microseconds.
+constexpr SimDuration FromMicros(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Builds a duration from (possibly fractional) seconds.
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a simulated time or duration to fractional seconds.
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a simulated time or duration to fractional milliseconds.
+constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace fabricsim::sim

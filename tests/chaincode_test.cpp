@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "chaincode/kvwrite.h"
+#include "chaincode/smallbank.h"
+#include "chaincode/token.h"
+
+namespace fabricsim::chaincode {
+namespace {
+
+struct CcFixture {
+  Response Invoke(Chaincode& cc, const std::string& fn,
+                  std::vector<std::string> args,
+                  proto::TxReadWriteSet* rwset_out = nullptr) {
+    proto::ChaincodeInvocation inv;
+    inv.chaincode_id = cc.Name();
+    inv.function = fn;
+    for (auto& a : args) inv.args.push_back(proto::ToBytes(a));
+    ChaincodeStub stub(state, cc.Name(), inv);
+    Response r = cc.Invoke(stub);
+    if (rwset_out) *rwset_out = std::move(stub).TakeRwSet();
+    return r;
+  }
+
+  /// Invokes and, on success, applies the writes (endorse+commit shortcut).
+  Response Apply(Chaincode& cc, const std::string& fn,
+                 std::vector<std::string> args) {
+    proto::TxReadWriteSet rwset;
+    Response r = Invoke(cc, fn, args, &rwset);
+    if (r.status == proto::EndorseStatus::kSuccess) {
+      state.ApplyRwSet(rwset, proto::KeyVersion{height++, 0});
+    }
+    return r;
+  }
+
+  std::string Value(const std::string& ns, const std::string& key) {
+    auto v = state.Get(ns, key);
+    return v ? proto::ToString(v->value) : "<missing>";
+  }
+
+  ledger::StateDb state;
+  std::uint64_t height = 1;
+};
+
+// ----------------------------------------------------------------- kvwrite
+
+TEST(KvWrite, WriteThenRead) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  EXPECT_EQ(f.Apply(cc, "write", {"k", "v"}).status,
+            proto::EndorseStatus::kSuccess);
+  EXPECT_EQ(f.Value("kvwrite", "k"), "v");
+  const Response r = f.Invoke(cc, "read", {"k"});
+  EXPECT_EQ(r.status, proto::EndorseStatus::kSuccess);
+  EXPECT_EQ(proto::ToString(r.payload), "v");
+}
+
+TEST(KvWrite, ReadMissingKeyFails) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  EXPECT_EQ(f.Invoke(cc, "read", {"nope"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(KvWrite, BlindWriteHasNoReads) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  proto::TxReadWriteSet rwset;
+  f.Invoke(cc, "write", {"k", "v"}, &rwset);
+  EXPECT_EQ(rwset.ReadCount(), 0u);
+  EXPECT_EQ(rwset.WriteCount(), 1u);
+}
+
+TEST(KvWrite, ReadWriteRecordsBoth) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  proto::TxReadWriteSet rwset;
+  f.Invoke(cc, "readwrite", {"k", "v"}, &rwset);
+  EXPECT_EQ(rwset.ReadCount(), 1u);
+  EXPECT_EQ(rwset.WriteCount(), 1u);
+}
+
+TEST(KvWrite, DeleteRemoves) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  f.Apply(cc, "write", {"k", "v"});
+  f.Apply(cc, "delete", {"k"});
+  EXPECT_EQ(f.Value("kvwrite", "k"), "<missing>");
+}
+
+TEST(KvWrite, BadArityFails) {
+  CcFixture f;
+  KvWriteChaincode cc;
+  EXPECT_EQ(f.Invoke(cc, "write", {"only-key"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Invoke(cc, "nosuchfn", {}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+// ------------------------------------------------------------------- token
+
+TEST(Token, CreateAndTransfer) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"alice", "100"});
+  f.Apply(cc, "create", {"bob", "50"});
+  EXPECT_EQ(f.Apply(cc, "transfer", {"alice", "bob", "30"}).status,
+            proto::EndorseStatus::kSuccess);
+  EXPECT_EQ(f.Value("token", "alice"), "70");
+  EXPECT_EQ(f.Value("token", "bob"), "80");
+}
+
+TEST(Token, InsufficientFundsFails) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"alice", "10"});
+  f.Apply(cc, "create", {"bob", "0"});
+  EXPECT_EQ(f.Apply(cc, "transfer", {"alice", "bob", "11"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Value("token", "alice"), "10");  // unchanged
+}
+
+TEST(Token, SelfTransferRejected) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"alice", "10"});
+  EXPECT_EQ(f.Apply(cc, "transfer", {"alice", "alice", "1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(Token, UnknownAccountsFail) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"alice", "10"});
+  EXPECT_EQ(f.Apply(cc, "transfer", {"alice", "ghost", "1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Apply(cc, "transfer", {"ghost", "alice", "1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(Token, BadAmountsRejected) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"a", "10"});
+  f.Apply(cc, "create", {"b", "10"});
+  EXPECT_EQ(f.Apply(cc, "transfer", {"a", "b", "0"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Apply(cc, "transfer", {"a", "b", "-5"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Apply(cc, "transfer", {"a", "b", "xyz"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Apply(cc, "create", {"c", "-1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(Token, TransferRecordsReadWriteSets) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"a", "10"});
+  f.Apply(cc, "create", {"b", "10"});
+  proto::TxReadWriteSet rwset;
+  f.Invoke(cc, "transfer", {"a", "b", "1"}, &rwset);
+  EXPECT_EQ(rwset.ReadCount(), 2u);   // both balances read-versioned
+  EXPECT_EQ(rwset.WriteCount(), 2u);  // both balances updated
+}
+
+TEST(Token, BalanceQueryIsReadOnly) {
+  CcFixture f;
+  TokenChaincode cc;
+  f.Apply(cc, "create", {"a", "42"});
+  proto::TxReadWriteSet rwset;
+  const Response r = f.Invoke(cc, "balance", {"a"}, &rwset);
+  EXPECT_EQ(proto::ToString(r.payload), "42");
+  EXPECT_EQ(rwset.WriteCount(), 0u);
+}
+
+// --------------------------------------------------------------- smallbank
+
+TEST(SmallBank, CreateAndQuery) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "100", "200"});
+  const Response r = f.Invoke(cc, "query", {"c1"});
+  EXPECT_EQ(proto::ToString(r.payload), "100,200");
+}
+
+TEST(SmallBank, TransactSavings) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "0", "100"});
+  EXPECT_EQ(f.Apply(cc, "transact_savings", {"c1", "-40"}).status,
+            proto::EndorseStatus::kSuccess);
+  EXPECT_EQ(f.Value("smallbank", "sav:c1"), "60");
+  // Overdrawing savings is rejected.
+  EXPECT_EQ(f.Apply(cc, "transact_savings", {"c1", "-100"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(SmallBank, DepositChecking) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "10", "0"});
+  f.Apply(cc, "deposit_checking", {"c1", "15"});
+  EXPECT_EQ(f.Value("smallbank", "chk:c1"), "25");
+  EXPECT_EQ(f.Apply(cc, "deposit_checking", {"c1", "-1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(SmallBank, SendPayment) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "50", "0"});
+  f.Apply(cc, "create", {"c2", "5", "0"});
+  f.Apply(cc, "send_payment", {"c1", "c2", "20"});
+  EXPECT_EQ(f.Value("smallbank", "chk:c1"), "30");
+  EXPECT_EQ(f.Value("smallbank", "chk:c2"), "25");
+  EXPECT_EQ(f.Apply(cc, "send_payment", {"c1", "c2", "1000"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+TEST(SmallBank, WriteCheckWithPenalty) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "10", "5"});
+  // Covered check: no penalty.
+  f.Apply(cc, "write_check", {"c1", "8"});
+  EXPECT_EQ(f.Value("smallbank", "chk:c1"), "2");
+  // Uncovered check (2 + 5 < 10): $1 penalty.
+  f.Apply(cc, "write_check", {"c1", "10"});
+  EXPECT_EQ(f.Value("smallbank", "chk:c1"), "-9");
+}
+
+TEST(SmallBank, Amalgamate) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  f.Apply(cc, "create", {"c1", "10", "20"});
+  f.Apply(cc, "create", {"c2", "5", "0"});
+  f.Apply(cc, "amalgamate", {"c1", "c2"});
+  EXPECT_EQ(f.Value("smallbank", "chk:c1"), "0");
+  EXPECT_EQ(f.Value("smallbank", "sav:c1"), "0");
+  EXPECT_EQ(f.Value("smallbank", "chk:c2"), "35");
+}
+
+TEST(SmallBank, UnknownCustomerFails) {
+  CcFixture f;
+  SmallBankChaincode cc;
+  EXPECT_EQ(f.Invoke(cc, "query", {"ghost"}).status,
+            proto::EndorseStatus::kChaincodeError);
+  EXPECT_EQ(f.Invoke(cc, "transact_savings", {"ghost", "1"}).status,
+            proto::EndorseStatus::kChaincodeError);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, InstallAndFind) {
+  Registry reg;
+  reg.Install(std::make_shared<KvWriteChaincode>());
+  reg.Install(std::make_shared<TokenChaincode>());
+  EXPECT_NE(reg.Find("kvwrite"), nullptr);
+  EXPECT_NE(reg.Find("token"), nullptr);
+  EXPECT_EQ(reg.Find("nope"), nullptr);
+  EXPECT_EQ(reg.Size(), 2u);
+}
+
+TEST(Registry, ExecutionCostsPositive) {
+  KvWriteChaincode kv;
+  SmallBankChaincode sb;
+  proto::ChaincodeInvocation inv;
+  EXPECT_GT(kv.ExecutionCost(inv), 0);
+  EXPECT_GT(sb.ExecutionCost(inv), kv.ExecutionCost(inv));
+}
+
+// ------------------------------------------------------------------- stub
+
+TEST(Stub, ReadYourWritesWithoutReadRecord) {
+  ledger::StateDb state;
+  proto::ChaincodeInvocation inv;
+  inv.chaincode_id = "cc";
+  ChaincodeStub stub(state, "cc", inv);
+  stub.PutState("k", proto::ToBytes("pending"));
+  const auto v = stub.GetState("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(proto::ToString(*v), "pending");
+  const auto rwset = std::move(stub).TakeRwSet();
+  EXPECT_EQ(rwset.ReadCount(), 0u);  // pending write, no committed read
+}
+
+TEST(Stub, ReadAfterDeleteSeesNothing) {
+  ledger::StateDb state;
+  state.Put("cc", "k", proto::ToBytes("v"), proto::KeyVersion{1, 0});
+  proto::ChaincodeInvocation inv;
+  inv.chaincode_id = "cc";
+  ChaincodeStub stub(state, "cc", inv);
+  stub.DelState("k");
+  EXPECT_FALSE(stub.GetState("k").has_value());
+}
+
+}  // namespace
+}  // namespace fabricsim::chaincode

@@ -1,0 +1,158 @@
+#include "crypto/ca.h"
+#include "crypto/identity.h"
+
+#include <gtest/gtest.h>
+
+namespace fabricsim::crypto {
+namespace {
+
+TEST(Principal, ParseAndToString) {
+  const auto p = Principal::Parse("Org1MSP.peer");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->msp_id, "Org1MSP");
+  EXPECT_EQ(p->role, Role::kPeer);
+  EXPECT_EQ(p->ToString(), "Org1MSP.peer");
+}
+
+TEST(Principal, ParseAllRoles) {
+  EXPECT_EQ(Principal::Parse("X.client")->role, Role::kClient);
+  EXPECT_EQ(Principal::Parse("X.peer")->role, Role::kPeer);
+  EXPECT_EQ(Principal::Parse("X.orderer")->role, Role::kOrderer);
+  EXPECT_EQ(Principal::Parse("X.admin")->role, Role::kAdmin);
+}
+
+TEST(Principal, ParseRejectsMalformed) {
+  EXPECT_FALSE(Principal::Parse("").has_value());
+  EXPECT_FALSE(Principal::Parse("NoDot").has_value());
+  EXPECT_FALSE(Principal::Parse(".peer").has_value());
+  EXPECT_FALSE(Principal::Parse("Org1MSP.").has_value());
+  EXPECT_FALSE(Principal::Parse("Org1MSP.banker").has_value());
+}
+
+TEST(Principal, DottedMspIdUsesLastDot) {
+  const auto p = Principal::Parse("org.example.com.peer");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->msp_id, "org.example.com");
+}
+
+TEST(Ca, EnrollProducesVerifiableCertificate) {
+  CertificateAuthority ca("Org1MSP");
+  const Identity id = ca.Enroll("peer0", Role::kPeer);
+  EXPECT_EQ(id.MspId(), "Org1MSP");
+  EXPECT_EQ(id.Subject(), "peer0");
+  EXPECT_TRUE(ca.VerifyCertificate(id.Cert()));
+}
+
+TEST(Ca, RejectsCertificateFromOtherCa) {
+  CertificateAuthority org1("Org1MSP");
+  CertificateAuthority org2("Org2MSP");
+  const Identity id = org1.Enroll("peer0", Role::kPeer);
+  EXPECT_FALSE(org2.VerifyCertificate(id.Cert()));
+}
+
+TEST(Ca, RejectsTamperedCertificate) {
+  CertificateAuthority ca("Org1MSP");
+  Identity id = ca.Enroll("peer0", Role::kPeer);
+  Certificate cert = id.Cert();
+  cert.subject = "peer1";  // tamper with the signed body
+  EXPECT_FALSE(ca.VerifyCertificate(cert));
+}
+
+TEST(Ca, RejectsForgedRole) {
+  CertificateAuthority ca("Org1MSP");
+  Certificate cert = ca.Enroll("sneaky", Role::kClient).Cert();
+  cert.role = Role::kAdmin;
+  EXPECT_FALSE(ca.VerifyCertificate(cert));
+}
+
+TEST(Ca, DeterministicRoots) {
+  EXPECT_EQ(CertificateAuthority("OrgXMSP").RootPublicKey(),
+            CertificateAuthority("OrgXMSP").RootPublicKey());
+  EXPECT_NE(CertificateAuthority("OrgXMSP").RootPublicKey(),
+            CertificateAuthority("OrgYMSP").RootPublicKey());
+}
+
+TEST(Certificate, SerializeRoundTrip) {
+  CertificateAuthority ca("Org3MSP");
+  const Certificate cert = ca.Enroll("peer9", Role::kPeer).Cert();
+  const auto parsed = Certificate::Deserialize(cert.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->subject, cert.subject);
+  EXPECT_EQ(parsed->msp_id, cert.msp_id);
+  EXPECT_EQ(parsed->role, cert.role);
+  EXPECT_EQ(parsed->subject_public_key, cert.subject_public_key);
+  EXPECT_EQ(parsed->issuer_signature, cert.issuer_signature);
+}
+
+TEST(Certificate, DeserializeGarbageFails) {
+  EXPECT_FALSE(Certificate::Deserialize(proto::ToBytes("nonsense")).has_value());
+  EXPECT_FALSE(Certificate::Deserialize({}).has_value());
+}
+
+TEST(MspRegistry, ValidatesAcrossOrganizations) {
+  MspRegistry msps;
+  const auto& org1 = msps.AddOrganization("Org1MSP");
+  msps.AddOrganization("Org2MSP");
+  const Identity id = org1.Enroll("peer0", Role::kPeer);
+  EXPECT_TRUE(msps.ValidateCertificate(id.Cert()));
+}
+
+TEST(MspRegistry, RejectsUnknownMsp) {
+  MspRegistry msps;
+  msps.AddOrganization("Org1MSP");
+  CertificateAuthority rogue("RogueMSP");
+  EXPECT_FALSE(msps.ValidateCertificate(
+      rogue.Enroll("peer0", Role::kPeer).Cert()));
+}
+
+TEST(MspRegistry, ValidateSignatureEndToEnd) {
+  MspRegistry msps;
+  const auto& org = msps.AddOrganization("Org1MSP");
+  const Identity id = org.Enroll("client0", Role::kClient);
+  const auto msg = proto::ToBytes("message");
+  EXPECT_TRUE(msps.ValidateSignature(id.Cert(), msg, id.Sign(msg)));
+  EXPECT_FALSE(msps.ValidateSignature(id.Cert(), proto::ToBytes("other"),
+                                      id.Sign(msg)));
+}
+
+TEST(MspRegistry, CachedCertificateValidAndInvalid) {
+  MspRegistry msps;
+  const auto& org = msps.AddOrganization("Org1MSP");
+  const Identity id = org.Enroll("peer0", Role::kPeer);
+  const proto::Bytes wire = id.Cert().Serialize();
+  const Certificate* c1 = msps.CachedCertificate(wire);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->subject, "peer0");
+  // Second lookup hits the cache and returns the same object.
+  EXPECT_EQ(msps.CachedCertificate(wire), c1);
+  EXPECT_EQ(msps.IdentityCacheSize(), 1u);
+
+  // Tampered bytes are rejected (and negatively cached).
+  proto::Bytes bad = wire;
+  bad[bad.size() / 2] ^= 1;
+  EXPECT_EQ(msps.CachedCertificate(bad), nullptr);
+  EXPECT_EQ(msps.CachedCertificate(bad), nullptr);
+}
+
+TEST(Identity, SatisfiesPrincipalRules) {
+  CertificateAuthority ca("Org1MSP");
+  const Identity peer = ca.Enroll("peer0", Role::kPeer);
+  const Identity admin = ca.Enroll("boss", Role::kAdmin);
+  EXPECT_TRUE(peer.Satisfies({"Org1MSP", Role::kPeer}));
+  EXPECT_FALSE(peer.Satisfies({"Org2MSP", Role::kPeer}));
+  EXPECT_FALSE(peer.Satisfies({"Org1MSP", Role::kClient}));
+  // Admins satisfy any role of their MSP.
+  EXPECT_TRUE(admin.Satisfies({"Org1MSP", Role::kPeer}));
+  EXPECT_TRUE(admin.Satisfies({"Org1MSP", Role::kClient}));
+}
+
+TEST(AddOrganization, IsIdempotent) {
+  MspRegistry msps;
+  const auto& a = msps.AddOrganization("Org1MSP");
+  const auto& b = msps.AddOrganization("Org1MSP");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(msps.OrganizationCount(), 1u);
+}
+
+}  // namespace
+}  // namespace fabricsim::crypto

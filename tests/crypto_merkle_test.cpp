@@ -1,0 +1,106 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace fabricsim::crypto {
+namespace {
+
+std::vector<proto::Bytes> MakeLeaves(int n) {
+  std::vector<proto::Bytes> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(proto::ToBytes("leaf-" + std::to_string(i)));
+  }
+  return out;
+}
+
+TEST(Merkle, EmptyTreeHasCanonicalRoot) {
+  MerkleTree t({});
+  EXPECT_EQ(t.Root(), Hash(proto::BytesView{}));
+  EXPECT_EQ(t.LeafCount(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = MakeLeaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.Root(), MerkleTree::HashLeaf(leaves[0]));
+}
+
+TEST(Merkle, TwoLeavesCombine) {
+  const auto leaves = MakeLeaves(2);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.Root(),
+            MerkleTree::HashInterior(MerkleTree::HashLeaf(leaves[0]),
+                                     MerkleTree::HashLeaf(leaves[1])));
+}
+
+TEST(Merkle, RootDeterministic) {
+  EXPECT_EQ(MerkleTree(MakeLeaves(9)).Root(), MerkleTree(MakeLeaves(9)).Root());
+}
+
+TEST(Merkle, RootSensitiveToAnyLeafChange) {
+  auto leaves = MakeLeaves(8);
+  const Digest original = MerkleTree(leaves).Root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i][0] ^= 1;
+    EXPECT_NE(MerkleTree(tampered).Root(), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootSensitiveToLeafOrder) {
+  auto leaves = MakeLeaves(4);
+  const Digest original = MerkleTree(leaves).Root();
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(MerkleTree(leaves).Root(), original);
+}
+
+TEST(Merkle, LeafAndInteriorDomainsAreSeparated) {
+  // H_leaf(x) must differ from H_interior applied to anything equal-length.
+  const proto::Bytes x = MakeLeaves(1)[0];
+  EXPECT_NE(MerkleTree::HashLeaf(x), Hash(x));
+}
+
+class MerklePathTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerklePathTest, AllPathsVerify) {
+  const int n = GetParam();
+  const auto leaves = MakeLeaves(n);
+  MerkleTree t(leaves);
+  for (int i = 0; i < n; ++i) {
+    const auto path = t.PathFor(static_cast<std::size_t>(i));
+    EXPECT_TRUE(MerkleTree::Verify(leaves[static_cast<std::size_t>(i)], path,
+                                   t.Root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerklePathTest, WrongLeafFailsVerification) {
+  const int n = GetParam();
+  const auto leaves = MakeLeaves(n);
+  MerkleTree t(leaves);
+  const auto path = t.PathFor(0);
+  EXPECT_FALSE(
+      MerkleTree::Verify(proto::ToBytes("not-a-leaf"), path, t.Root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerklePathTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 100));
+
+TEST(Merkle, TamperedPathFails) {
+  const auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  auto path = t.PathFor(3);
+  path[1].sibling[0] ^= 0xFF;
+  EXPECT_FALSE(MerkleTree::Verify(leaves[3], path, t.Root()));
+}
+
+TEST(Merkle, WrongRootFails) {
+  const auto leaves = MakeLeaves(8);
+  MerkleTree t(leaves);
+  Digest wrong = t.Root();
+  wrong[31] ^= 1;
+  EXPECT_FALSE(MerkleTree::Verify(leaves[0], t.PathFor(0), wrong));
+}
+
+}  // namespace
+}  // namespace fabricsim::crypto

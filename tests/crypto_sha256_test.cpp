@@ -1,0 +1,91 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace fabricsim::crypto {
+namespace {
+
+std::string HexOf(std::string_view s) { return DigestHex(HashStr(s)); }
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HexOf(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexOf("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding spills into a second block.
+  EXPECT_EQ(HexOf(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: padding + length fit in one block; 56: they do not.
+  EXPECT_EQ(HexOf(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(HexOf(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  EXPECT_EQ(HexOf(std::string(1000000, 'a')),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at length";
+  const Digest oneshot = HashStr(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(proto::BytesView(
+        reinterpret_cast<const std::uint8_t*>(msg.data()), split));
+    h.Update(proto::BytesView(
+        reinterpret_cast<const std::uint8_t*>(msg.data()) + split,
+        msg.size() - split));
+    EXPECT_EQ(h.Finalize(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ManySmallUpdates) {
+  const std::string msg(300, 'q');
+  Sha256 h;
+  for (char c : msg) {
+    const auto b = static_cast<std::uint8_t>(c);
+    h.Update(proto::BytesView(&b, 1));
+  }
+  EXPECT_EQ(h.Finalize(), HashStr(msg));
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(HashStr("foo"), HashStr("fop"));
+  EXPECT_NE(HashStr("foo"), HashStr("foo "));
+}
+
+TEST(Sha256, DigestBytesRoundTrip) {
+  const Digest d = HashStr("x");
+  const proto::Bytes b = DigestBytes(d);
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_TRUE(std::equal(d.begin(), d.end(), b.begin()));
+}
+
+TEST(Sha256, HexIsLowercase64Chars) {
+  const std::string hex = DigestHex(HashStr("y"));
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace fabricsim::crypto

@@ -1,0 +1,158 @@
+// Gossip block dissemination: leader peers + push forwarding +
+// anti-entropy pull (Fabric's gossip layer).
+#include <gtest/gtest.h>
+
+#include "fabric/network_builder.h"
+
+namespace fabricsim {
+namespace {
+
+using fabric::FabricNetwork;
+using fabric::NetworkOptions;
+using fabric::OrderingType;
+
+NetworkOptions GossipNetwork(int endorsing = 6, int leaders = 2) {
+  NetworkOptions opts;
+  opts.topology.ordering = OrderingType::kSolo;
+  opts.topology.endorsing_peers = endorsing;
+  opts.gossip = true;
+  opts.gossip_leaders = leaders;
+  opts.seeded_accounts = 10;
+  opts.seed = 31;
+  return opts;
+}
+
+void SubmitKv(client::Client* c, const std::string& key) {
+  proto::ChaincodeInvocation inv;
+  inv.chaincode_id = "kvwrite";
+  inv.function = "write";
+  inv.args = {proto::ToBytes(key), proto::ToBytes("v")};
+  c->Submit(std::move(inv));
+}
+
+TEST(Gossip, AllPeersConvergeThroughLeaders) {
+  FabricNetwork net(GossipNetwork());
+  net.Start();
+  net.Env().Sched().RunUntil(sim::FromSeconds(1));
+  auto clients = net.Clients();
+  for (int i = 0; i < 12; ++i) {
+    SubmitKv(clients[static_cast<std::size_t>(i) % clients.size()],
+             "k" + std::to_string(i));
+  }
+  net.Env().Sched().RunUntil(sim::FromSeconds(20));
+
+  const auto& reference = net.Peer(0).GetCommitter().Chain();
+  ASSERT_GT(reference.Height(), 1u);
+  for (std::size_t p = 0; p < net.PeerCount(); ++p) {
+    const auto& chain = net.Peer(p).GetCommitter().Chain();
+    EXPECT_EQ(chain.Height(), reference.Height()) << "peer " << p;
+    EXPECT_EQ(chain.TipHash(), reference.TipHash()) << "peer " << p;
+  }
+  // Leaders actually forwarded blocks.
+  EXPECT_GT(net.Peer(0).GossipBlocksForwarded(), 0u);
+}
+
+TEST(Gossip, ClientsStillGetCommitEvents) {
+  FabricNetwork net(GossipNetwork());
+  net.Start();
+  net.Env().Sched().RunUntil(sim::FromSeconds(1));
+  auto clients = net.Clients();
+  SubmitKv(clients[0], "x");
+  net.Env().Sched().RunUntil(sim::FromSeconds(15));
+  // The validator (a non-leader) received the block via gossip and emitted
+  // the commit event the client waits for.
+  EXPECT_EQ(clients[0]->CommittedValid(), 1u);
+}
+
+TEST(Gossip, AntiEntropyRecoversFromLeaderOutage) {
+  // Cut a non-leader off from BOTH leaders while blocks flow (push lost),
+  // then heal: the periodic pull must catch it up.
+  FabricNetwork net(GossipNetwork(6, 2));
+  net.Start();
+  net.Env().Sched().RunUntil(sim::FromSeconds(1));
+
+  const std::size_t straggler = 4;  // a non-leader endorsing peer
+  net.Env().Net().Partition(net.Peer(straggler).NetId(), net.Peer(0).NetId());
+  net.Env().Net().Partition(net.Peer(straggler).NetId(), net.Peer(1).NetId());
+
+  auto clients = net.Clients();
+  for (int i = 0; i < 8; ++i) {
+    SubmitKv(clients[static_cast<std::size_t>(i) % clients.size()],
+             "k" + std::to_string(i));
+  }
+  net.Env().Sched().RunUntil(sim::FromSeconds(12));
+  const auto reference_height = net.Peer(0).GetCommitter().Chain().Height();
+  ASSERT_GT(reference_height, 1u);
+  EXPECT_LT(net.Peer(straggler).GetCommitter().Chain().Height(),
+            reference_height);
+
+  net.Env().Net().HealAll();
+  net.Env().Sched().RunUntil(sim::FromSeconds(30));  // a few pull periods
+  EXPECT_EQ(net.Peer(straggler).GetCommitter().Chain().Height(),
+            reference_height);
+  EXPECT_TRUE(net.Peer(straggler).GetCommitter().Chain().Audit().ok);
+}
+
+TEST(Gossip, OffloadsOrdererEgress) {
+  // With gossip, the orderer sends each block to 2 leaders instead of all
+  // 7 peers: its egress drops (the dissemination cost moves to the peers).
+  std::uint64_t direct_deliveries = 0, gossip_deliveries = 0;
+  for (bool gossip : {false, true}) {
+    NetworkOptions opts = GossipNetwork(6, 2);
+    opts.gossip = gossip;
+    FabricNetwork net(opts);
+    net.Start();
+    net.Env().Sched().RunUntil(sim::FromSeconds(1));
+    auto clients = net.Clients();
+    for (int i = 0; i < 30; ++i) {
+      SubmitKv(clients[static_cast<std::size_t>(i) % clients.size()],
+               "k" + std::to_string(i));
+    }
+    net.Env().Sched().RunUntil(sim::FromSeconds(20));
+    // Every block the solo orderer cut was fanned out to its subscribers;
+    // subscribers = 7 peers direct vs 2 leaders with gossip.
+    const std::uint64_t blocks = net.Solo()->DeliveredBlocks();
+    ASSERT_GT(blocks, 0u);
+    if (gossip) {
+      gossip_deliveries = blocks * 2;
+      // And all peers still converged.
+      for (std::size_t p = 0; p < net.PeerCount(); ++p) {
+        EXPECT_EQ(net.Peer(p).GetCommitter().Chain().Height(),
+                  net.Peer(0).GetCommitter().Chain().Height());
+      }
+    } else {
+      direct_deliveries = blocks * 7;
+    }
+  }
+  EXPECT_LT(gossip_deliveries, direct_deliveries);
+}
+
+TEST(Gossip, ConvergesDespiteMessageLoss) {
+  // 5% message loss drops some pushes; anti-entropy pulls must still bring
+  // every peer to the same chain. (Clients may reject lost-in-transit
+  // transactions; convergence of what committed is the invariant.)
+  NetworkOptions opts = GossipNetwork(5, 2);
+  opts.net.loss_probability = 0.05;
+  opts.topology.ordering = OrderingType::kSolo;
+  FabricNetwork net(opts);
+  net.Start();
+  net.Env().Sched().RunUntil(sim::FromSeconds(1));
+  auto clients = net.Clients();
+  for (int i = 0; i < 20; ++i) {
+    SubmitKv(clients[static_cast<std::size_t>(i) % clients.size()],
+             "k" + std::to_string(i));
+  }
+  net.Env().Sched().RunUntil(sim::FromSeconds(40));  // many pull periods
+
+  const auto& reference = net.Peer(0).GetCommitter().Chain();
+  ASSERT_GT(reference.Height(), 1u);
+  for (std::size_t p = 0; p < net.PeerCount(); ++p) {
+    const auto& chain = net.Peer(p).GetCommitter().Chain();
+    EXPECT_EQ(chain.Height(), reference.Height()) << "peer " << p;
+    EXPECT_EQ(chain.TipHash(), reference.TipHash()) << "peer " << p;
+    EXPECT_TRUE(chain.Audit().ok) << "peer " << p;
+  }
+}
+
+}  // namespace
+}  // namespace fabricsim

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ca.h"
+#include "ledger/block_store.h"
+#include "ledger/blockchain.h"
+#include "ledger/history_index.h"
+#include "ledger/mvcc.h"
+#include "ledger/state_db.h"
+
+namespace fabricsim::ledger {
+namespace {
+
+using proto::Bytes;
+using proto::KeyVersion;
+using proto::ToBytes;
+using proto::ValidationCode;
+
+TEST(StateDb, GetMissingKeyReturnsNullopt) {
+  StateDb db;
+  EXPECT_FALSE(db.Get("cc", "nope").has_value());
+  EXPECT_FALSE(db.GetVersion("cc", "nope").has_value());
+}
+
+TEST(StateDb, PutThenGet) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{2, 7});
+  const auto v = db.Get("cc", "k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(proto::ToString(v->value), "v");
+  EXPECT_EQ(v->version, (KeyVersion{2, 7}));
+  EXPECT_EQ(db.KeyCount(), 1u);
+}
+
+TEST(StateDb, NamespacesAreIsolated) {
+  StateDb db;
+  db.Put("cc1", "k", ToBytes("a"), KeyVersion{1, 0});
+  db.Put("cc2", "k", ToBytes("b"), KeyVersion{1, 1});
+  EXPECT_EQ(proto::ToString(db.Get("cc1", "k")->value), "a");
+  EXPECT_EQ(proto::ToString(db.Get("cc2", "k")->value), "b");
+}
+
+TEST(StateDb, CompositeKeyUnambiguous) {
+  // ("a", "b\0c") must not collide with ("a\0b", "c").
+  StateDb db;
+  db.Put("a", std::string("b\0c", 3), ToBytes("1"), KeyVersion{1, 0});
+  EXPECT_FALSE(db.Get(std::string("a\0b", 3), "c").has_value());
+}
+
+TEST(StateDb, DeleteRemovesKey) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{1, 0});
+  db.Delete("cc", "k");
+  EXPECT_FALSE(db.Get("cc", "k").has_value());
+  EXPECT_EQ(db.KeyCount(), 0u);
+}
+
+TEST(StateDb, ApplyRwSetWritesAndDeletes) {
+  StateDb db;
+  db.Put("cc", "gone", ToBytes("x"), KeyVersion{1, 0});
+  proto::RwSetBuilder b("cc");
+  b.AddWrite("k1", ToBytes("v1"));
+  b.AddDelete("gone");
+  db.ApplyRwSet(std::move(b).Build(), KeyVersion{5, 3});
+  EXPECT_EQ(db.Get("cc", "k1")->version, (KeyVersion{5, 3}));
+  EXPECT_FALSE(db.Get("cc", "gone").has_value());
+}
+
+// ---------------------------------------------------------------- helpers
+
+proto::TransactionEnvelope TxRW(
+    const std::string& tx_id,
+    std::vector<std::pair<std::string, std::optional<KeyVersion>>> reads,
+    std::vector<std::string> writes) {
+  proto::TransactionEnvelope env;
+  env.channel_id = "ch";
+  env.tx_id = tx_id;
+  env.chaincode_id = "cc";
+  proto::NsReadWriteSet ns;
+  ns.ns = "cc";
+  for (auto& [k, ver] : reads) ns.reads.push_back(proto::KVRead{k, ver});
+  for (auto& k : writes) {
+    ns.writes.push_back(proto::KVWrite{k, ToBytes("v"), false});
+  }
+  env.rwset.ns_rwsets.push_back(std::move(ns));
+  return env;
+}
+
+proto::BlockPtr MakeBlock(std::uint64_t num, const crypto::Digest* prev,
+                          std::vector<proto::TransactionEnvelope> txs) {
+  return std::make_shared<proto::Block>(proto::Block::Make(num, prev, txs));
+}
+
+// ------------------------------------------------------------------- MVCC
+
+TEST(Mvcc, FreshKeyReadOfNulloptIsValid) {
+  StateDb db;
+  auto block = MakeBlock(0, nullptr, {TxRW("t1", {{"k", std::nullopt}}, {"k"})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.codes[0], ValidationCode::kValid);
+  EXPECT_EQ(result.valid_count, 1u);
+}
+
+TEST(Mvcc, StaleReadVersionConflicts) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{3, 0});
+  auto block =
+      MakeBlock(4, nullptr, {TxRW("t1", {{"k", KeyVersion{2, 0}}}, {"k"})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.codes[0], ValidationCode::kMvccReadConflict);
+  EXPECT_EQ(result.conflict_count, 1u);
+}
+
+TEST(Mvcc, MatchingReadVersionIsValid) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{3, 1});
+  auto block =
+      MakeBlock(4, nullptr, {TxRW("t1", {{"k", KeyVersion{3, 1}}}, {})});
+  EXPECT_EQ(MvccValidator::Validate(*block, db).codes[0],
+            ValidationCode::kValid);
+}
+
+TEST(Mvcc, ReadOfMissingKeyThatExistsConflicts) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{1, 0});
+  auto block = MakeBlock(2, nullptr, {TxRW("t1", {{"k", std::nullopt}}, {})});
+  EXPECT_EQ(MvccValidator::Validate(*block, db).codes[0],
+            ValidationCode::kMvccReadConflict);
+}
+
+TEST(Mvcc, IntraBlockWriteConflictsLaterRead) {
+  // t1 writes k; t2 read k at the pre-block version -> conflict (Fabric's
+  // in-block pending view).
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{1, 0});
+  auto block = MakeBlock(
+      2, nullptr,
+      {TxRW("t1", {{"k", KeyVersion{1, 0}}}, {"k"}),
+       TxRW("t2", {{"k", KeyVersion{1, 0}}}, {"k"})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.codes[0], ValidationCode::kValid);
+  EXPECT_EQ(result.codes[1], ValidationCode::kMvccReadConflict);
+}
+
+TEST(Mvcc, InvalidTxDoesNotPoisonPendingView) {
+  // t1 is pre-flagged invalid (VSCC); its write must NOT enter the pending
+  // view, so t2's read at the committed version stays valid.
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{1, 0});
+  auto block = MakeBlock(
+      2, nullptr,
+      {TxRW("t1", {}, {"k"}), TxRW("t2", {{"k", KeyVersion{1, 0}}}, {})});
+  std::vector<ValidationCode> pre = {ValidationCode::kBadSignature,
+                                     ValidationCode::kValid};
+  const auto result = MvccValidator::Validate(*block, db, &pre);
+  EXPECT_EQ(result.codes[0], ValidationCode::kBadSignature);
+  EXPECT_EQ(result.codes[1], ValidationCode::kValid);
+}
+
+TEST(Mvcc, IndependentKeysDoNotConflict) {
+  StateDb db;
+  auto block = MakeBlock(0, nullptr,
+                         {TxRW("t1", {{"a", std::nullopt}}, {"a"}),
+                          TxRW("t2", {{"b", std::nullopt}}, {"b"})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.valid_count, 2u);
+}
+
+TEST(Mvcc, CommitAppliesOnlyValidWrites) {
+  StateDb db;
+  auto block = MakeBlock(0, nullptr,
+                         {TxRW("t1", {}, {"a"}), TxRW("t2", {}, {"b"})});
+  std::vector<ValidationCode> codes = {ValidationCode::kValid,
+                                       ValidationCode::kMvccReadConflict};
+  MvccValidator::Commit(*block, codes, db);
+  EXPECT_TRUE(db.Get("cc", "a").has_value());
+  EXPECT_FALSE(db.Get("cc", "b").has_value());
+  EXPECT_EQ(db.Get("cc", "a")->version, (KeyVersion{0, 0}));
+  EXPECT_EQ(db.Height(), 1u);
+}
+
+TEST(Mvcc, BlindWritesNeverConflict) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{9, 9});
+  auto block = MakeBlock(10, nullptr,
+                         {TxRW("t1", {}, {"k"}), TxRW("t2", {}, {"k"})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.valid_count, 2u);
+}
+
+TEST(Mvcc, DeleteInBlockMakesLaterNulloptReadValid) {
+  StateDb db;
+  db.Put("cc", "k", ToBytes("v"), KeyVersion{1, 0});
+  proto::TransactionEnvelope del = TxRW("t1", {}, {});
+  del.rwset.ns_rwsets[0].writes.push_back(proto::KVWrite{"k", {}, true});
+  auto block = MakeBlock(2, nullptr,
+                         {del, TxRW("t2", {{"k", std::nullopt}}, {})});
+  const auto result = MvccValidator::Validate(*block, db);
+  EXPECT_EQ(result.codes[0], ValidationCode::kValid);
+  EXPECT_EQ(result.codes[1], ValidationCode::kValid);
+}
+
+// ------------------------------------------------------------- BlockStore
+
+TEST(BlockStore, AppendAndLookup) {
+  BlockStore store;
+  auto b0 = MakeBlock(0, nullptr, {TxRW("t1", {}, {"a"})});
+  store.Append(b0, {ValidationCode::kValid});
+  EXPECT_EQ(store.Height(), 1u);
+  EXPECT_EQ(store.GetBlock(0), b0);
+  EXPECT_EQ(store.GetBlock(1), nullptr);
+  EXPECT_TRUE(store.HasTransaction("t1"));
+  EXPECT_FALSE(store.HasTransaction("t2"));
+  const auto loc = store.FindTransaction("t1");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->block_num, 0u);
+  EXPECT_EQ(loc->tx_index, 0u);
+  ASSERT_EQ(store.CodesFor(0).size(), 1u);
+  EXPECT_EQ(store.CodesFor(0)[0], ValidationCode::kValid);
+  EXPECT_GT(store.StoredBytes(), 0u);
+}
+
+// ------------------------------------------------------------- Blockchain
+
+TEST(Blockchain, AppendsLinkedBlocks) {
+  Blockchain chain;
+  auto b0 = MakeBlock(0, nullptr, {TxRW("t1", {}, {"a"})});
+  EXPECT_TRUE(chain.Append(b0));
+  const auto tip = chain.TipHash();
+  auto b1 = MakeBlock(1, &tip, {TxRW("t2", {}, {"b"})});
+  EXPECT_TRUE(chain.Append(b1));
+  EXPECT_EQ(chain.Height(), 2u);
+  EXPECT_TRUE(chain.Audit().ok);
+}
+
+TEST(Blockchain, RejectsWrongNumber) {
+  Blockchain chain;
+  auto b5 = MakeBlock(5, nullptr, {});
+  EXPECT_FALSE(chain.Append(b5));
+  EXPECT_EQ(chain.Height(), 0u);
+}
+
+TEST(Blockchain, RejectsWrongPrevHash) {
+  Blockchain chain;
+  EXPECT_TRUE(chain.Append(MakeBlock(0, nullptr, {})));
+  crypto::Digest wrong{};
+  wrong[0] = 0xAA;
+  EXPECT_FALSE(chain.Append(MakeBlock(1, &wrong, {})));
+}
+
+TEST(Blockchain, RejectsTamperedDataHash) {
+  Blockchain chain;
+  auto block = std::make_shared<proto::Block>(
+      proto::Block::Make(0, nullptr, {TxRW("t1", {}, {"a"})}));
+  block->transactions[0].tx_id = "tampered";
+  block->transactions[0].InvalidateCaches();
+  std::string reason;
+  EXPECT_FALSE(chain.ValidateLinkage(*block, &reason));
+  EXPECT_EQ(reason, "data-hash mismatch");
+}
+
+TEST(Blockchain, AuditDetectsDeepTampering) {
+  Blockchain chain;
+  auto b0 = std::make_shared<proto::Block>(
+      proto::Block::Make(0, nullptr, {TxRW("t1", {}, {"a"})}));
+  chain.Append(b0);
+  const auto tip = chain.TipHash();
+  chain.Append(MakeBlock(1, &tip, {TxRW("t2", {}, {"b"})}));
+  ASSERT_TRUE(chain.Audit().ok);
+
+  // Tamper with the stored (shared) block 0 in place.
+  b0->transactions[0].rwset.ns_rwsets[0].writes[0].key = "evil";
+  b0->transactions[0].InvalidateCaches();
+  const auto audit = chain.Audit();
+  EXPECT_FALSE(audit.ok);
+  EXPECT_EQ(audit.bad_block, 0u);
+}
+
+// ------------------------------------------------------------ HistoryIndex
+
+TEST(HistoryIndex, TracksValidWritesOnly) {
+  HistoryIndex idx;
+  auto block = MakeBlock(3, nullptr,
+                         {TxRW("t1", {}, {"k"}), TxRW("t2", {}, {"k"})});
+  idx.IndexBlock(*block, {ValidationCode::kValid,
+                          ValidationCode::kMvccReadConflict});
+  const auto& hist = idx.HistoryFor("cc", "k");
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].tx_id, "t1");
+  EXPECT_EQ(hist[0].block_num, 3u);
+}
+
+TEST(HistoryIndex, ChronologicalAcrossBlocks) {
+  HistoryIndex idx;
+  auto b0 = MakeBlock(0, nullptr, {TxRW("t1", {}, {"k"})});
+  auto b1 = MakeBlock(1, nullptr, {TxRW("t2", {}, {"k"})});
+  idx.IndexBlock(*b0, {ValidationCode::kValid});
+  idx.IndexBlock(*b1, {ValidationCode::kValid});
+  const auto& hist = idx.HistoryFor("cc", "k");
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].tx_id, "t1");
+  EXPECT_EQ(hist[1].tx_id, "t2");
+}
+
+TEST(HistoryIndex, UnknownKeyEmpty) {
+  HistoryIndex idx;
+  EXPECT_TRUE(idx.HistoryFor("cc", "never").empty());
+}
+
+}  // namespace
+}  // namespace fabricsim::ledger

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/histogram.h"
+#include "metrics/phase_stats.h"
+#include "metrics/reporter.h"
+
+namespace fabricsim::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(sim::FromMillis(10));
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), sim::FromMillis(10));
+  EXPECT_EQ(h.Max(), sim::FromMillis(10));
+  EXPECT_NEAR(h.Mean(), static_cast<double>(sim::FromMillis(10)), 1.0);
+  EXPECT_EQ(h.Percentile(50), sim::FromMillis(10));
+}
+
+TEST(Histogram, MeanExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1000);
+  EXPECT_NEAR(h.Mean(), 50500.0, 0.01);  // the mean is tracked exactly
+}
+
+TEST(Histogram, PercentilesApproximateUniform) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i * 1000);
+  // ~2% relative error from log bucketing.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 5000.0 * 1000, 0.05 * 5e6);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(95)), 9500.0 * 1000, 0.05 * 9.5e6);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 9900.0 * 1000, 0.05 * 9.9e6);
+}
+
+TEST(Histogram, PercentileBoundsClampToMinMax) {
+  Histogram h;
+  h.Record(100);
+  h.Record(1000000);
+  EXPECT_EQ(h.Percentile(0), 100);
+  EXPECT_EQ(h.Percentile(100), 1000000);
+  EXPECT_GE(h.Percentile(99.9), 100);
+  EXPECT_LE(h.Percentile(99.9), 1000000);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-50);
+  EXPECT_EQ(h.Min(), 0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 100);
+  EXPECT_EQ(a.Max(), 300);
+  EXPECT_NEAR(a.Mean(), 200.0, 0.01);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+TEST(TxTracker, LifecycleProducesPhaseLatencies) {
+  TxTracker t;
+  t.MarkSubmitted("tx", sim::FromMillis(0));
+  t.MarkEndorsed("tx", sim::FromMillis(250));
+  t.MarkOrdered("tx", sim::FromMillis(700));
+  t.MarkCommitted("tx", sim::FromMillis(1000), proto::ValidationCode::kValid);
+
+  const Report r = t.BuildReport(0, sim::FromSeconds(2));
+  EXPECT_EQ(r.submitted, 1u);
+  EXPECT_EQ(r.execute.completed, 1u);
+  EXPECT_NEAR(r.execute.mean_latency_s, 0.25, 0.01);
+  EXPECT_NEAR(r.order.mean_latency_s, 0.45, 0.01);
+  EXPECT_NEAR(r.validate.mean_latency_s, 0.30, 0.01);
+  EXPECT_NEAR(r.order_and_validate.mean_latency_s, 0.75, 0.01);
+  EXPECT_NEAR(r.end_to_end.mean_latency_s, 1.0, 0.01);
+  EXPECT_NEAR(r.end_to_end.throughput_tps, 0.5, 0.01);  // 1 tx / 2 s
+}
+
+TEST(TxTracker, PhaseCountsOnlyInsideWindow) {
+  TxTracker t;
+  t.MarkSubmitted("early", 0);
+  t.MarkEndorsed("early", sim::FromSeconds(1));
+  t.MarkSubmitted("late", 0);
+  t.MarkEndorsed("late", sim::FromSeconds(9));
+
+  const Report r = t.BuildReport(sim::FromSeconds(5), sim::FromSeconds(10));
+  EXPECT_EQ(r.execute.completed, 1u);  // only "late" endorsed in-window
+}
+
+TEST(TxTracker, FirstTimestampWins) {
+  TxTracker t;
+  t.MarkSubmitted("tx", 0);
+  t.MarkEndorsed("tx", 100);
+  t.MarkEndorsed("tx", 999);  // duplicate endorsement report ignored
+  EXPECT_EQ(t.Find("tx")->endorsed, 100);
+}
+
+TEST(TxTracker, RejectedExcludedFromEndToEnd) {
+  TxTracker t;
+  t.MarkSubmitted("tx", 0);
+  t.MarkRejected("tx", sim::FromSeconds(3));
+  t.MarkCommitted("tx", sim::FromSeconds(4), proto::ValidationCode::kValid);
+  const Report r = t.BuildReport(0, sim::FromSeconds(5));
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.end_to_end.completed, 0u);
+}
+
+TEST(TxTracker, InvalidCommitsCounted) {
+  TxTracker t;
+  t.MarkSubmitted("tx", 0);
+  t.MarkCommitted("tx", sim::FromSeconds(1),
+                  proto::ValidationCode::kMvccReadConflict);
+  const Report r = t.BuildReport(0, sim::FromSeconds(5));
+  EXPECT_EQ(r.invalid, 1u);
+  EXPECT_EQ(r.end_to_end.completed, 0u);
+}
+
+TEST(TxTracker, BlockTimeFromCuts) {
+  TxTracker t;
+  t.RecordBlockCut(sim::FromSeconds(1), 100);
+  t.RecordBlockCut(sim::FromSeconds(2), 100);
+  t.RecordBlockCut(sim::FromSeconds(3), 50);
+  const Report r = t.BuildReport(0, sim::FromSeconds(5));
+  EXPECT_EQ(r.blocks, 3u);
+  EXPECT_NEAR(r.mean_block_time_s, 1.0, 0.001);
+  EXPECT_NEAR(r.mean_block_size, 83.3, 0.1);
+}
+
+TEST(TxTracker, UnknownTxMarksIgnored) {
+  TxTracker t;
+  t.MarkEndorsed("ghost", 5);  // no submit: ignored
+  t.MarkCommitted("ghost", 6, proto::ValidationCode::kValid);
+  EXPECT_EQ(t.TxCount(), 0u);
+}
+
+TEST(Table, PrintsAlignedTable) {
+  Table t({"col", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-cell", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| col         | value |"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash; missing cells render empty
+  EXPECT_EQ(t.Rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.AddRow({"x", "hello, \"world\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Fmt, FormatsNumbers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(300.0, 0), "300");
+  EXPECT_EQ(FmtOrNa(-1.0), "-");
+  EXPECT_EQ(FmtOrNa(2.5, 1), "2.5");
+}
+
+}  // namespace
+}  // namespace fabricsim::metrics

@@ -1,0 +1,96 @@
+#include "ordering/block_cutter.h"
+
+#include <gtest/gtest.h>
+
+namespace fabricsim::ordering {
+namespace {
+
+EnvelopePtr Env(const std::string& id) {
+  auto env = std::make_shared<proto::TransactionEnvelope>();
+  env->tx_id = id;
+  return env;
+}
+
+BatchConfig SmallBatch() {
+  BatchConfig c;
+  c.max_message_count = 3;
+  c.preferred_max_bytes = 1000;
+  return c;
+}
+
+TEST(BlockCutter, CutsOnMessageCount) {
+  BlockCutter cutter(SmallBatch());
+  EXPECT_TRUE(cutter.Ordered(Env("a"), 10).batches.empty());
+  EXPECT_TRUE(cutter.Ordered(Env("b"), 10).batches.empty());
+  auto result = cutter.Ordered(Env("c"), 10);
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].size(), 3u);
+  EXPECT_FALSE(result.pending);
+  EXPECT_EQ(cutter.PendingCount(), 0u);
+}
+
+TEST(BlockCutter, PendingFlagWhileFilling) {
+  BlockCutter cutter(SmallBatch());
+  auto result = cutter.Ordered(Env("a"), 10);
+  EXPECT_TRUE(result.pending);
+  EXPECT_EQ(cutter.PendingCount(), 1u);
+  EXPECT_EQ(cutter.PendingBytes(), 10u);
+}
+
+TEST(BlockCutter, ManualCutFlushesPending) {
+  BlockCutter cutter(SmallBatch());
+  cutter.Ordered(Env("a"), 10);
+  cutter.Ordered(Env("b"), 10);
+  Batch batch = cutter.Cut();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(cutter.PendingCount(), 0u);
+  EXPECT_TRUE(cutter.Cut().empty());
+}
+
+TEST(BlockCutter, ByteOverflowCutsPendingFirst) {
+  BlockCutter cutter(SmallBatch());  // preferred_max_bytes = 1000
+  cutter.Ordered(Env("a"), 600);
+  auto result = cutter.Ordered(Env("b"), 600);  // 1200 > 1000: cut "a" first
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].size(), 1u);
+  EXPECT_EQ(result.batches[0][0]->tx_id, "a");
+  EXPECT_EQ(cutter.PendingCount(), 1u);  // "b" remains pending
+}
+
+TEST(BlockCutter, OversizedMessageIsItsOwnBatch) {
+  BlockCutter cutter(SmallBatch());
+  cutter.Ordered(Env("a"), 10);
+  auto result = cutter.Ordered(Env("big"), 5000);
+  ASSERT_EQ(result.batches.size(), 2u);
+  EXPECT_EQ(result.batches[0][0]->tx_id, "a");    // flushed pending
+  EXPECT_EQ(result.batches[1][0]->tx_id, "big");  // isolated
+  EXPECT_FALSE(result.pending);
+}
+
+TEST(BlockCutter, OversizedWithEmptyPendingSingleBatch) {
+  BlockCutter cutter(SmallBatch());
+  auto result = cutter.Ordered(Env("big"), 5000);
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].size(), 1u);
+}
+
+TEST(BlockCutter, PreservesOrder) {
+  BatchConfig c;
+  c.max_message_count = 5;
+  BlockCutter cutter(c);
+  for (const char* id : {"1", "2", "3", "4"}) cutter.Ordered(Env(id), 10);
+  auto result = cutter.Ordered(Env("5"), 10);
+  ASSERT_EQ(result.batches.size(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.batches[0][i]->tx_id, std::to_string(i + 1));
+  }
+}
+
+TEST(BlockCutter, DefaultsMatchPaper) {
+  BlockCutter cutter(BatchConfig{});
+  EXPECT_EQ(cutter.Config().max_message_count, 100u);  // BatchSize = 100
+  EXPECT_EQ(cutter.Config().batch_timeout, sim::FromSeconds(1));
+}
+
+}  // namespace
+}  // namespace fabricsim::ordering

@@ -1,0 +1,270 @@
+#include "peer/committer.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/channel.h"
+#include "policy/parser.h"
+
+namespace fabricsim::peer {
+namespace {
+
+/// Builds valid endorsed envelopes against a fixed trust registry.
+struct CommitterFixture {
+  CommitterFixture() : env(3) {
+    msps.AddOrganization("Org1MSP");
+    msps.AddOrganization("Org2MSP");
+    msps.AddOrganization("ClientOrgMSP");
+    msps.AddOrganization("OrdererMSP");
+    client = std::make_unique<crypto::Identity>(
+        msps.Find("ClientOrgMSP")->Enroll("app0", crypto::Role::kClient));
+    peer1 = std::make_unique<crypto::Identity>(
+        msps.Find("Org1MSP")->Enroll("peer0", crypto::Role::kPeer));
+    peer2 = std::make_unique<crypto::Identity>(
+        msps.Find("Org2MSP")->Enroll("peer0", crypto::Role::kPeer));
+    orderer = std::make_unique<crypto::Identity>(
+        msps.Find("OrdererMSP")->Enroll("orderer0", crypto::Role::kOrderer));
+
+    machine = &env.AddMachine("peer", sim::I7_2600());
+    disk = std::make_unique<sim::Cpu>(env.Sched(), 1);
+    committer = std::make_unique<Committer>(env, *machine, *disk, msps,
+                                            fabric::DefaultCalibration(),
+                                            &tracker);
+    committer->SetPolicy("cc", policy::MustParsePolicy("OR('Org1MSP.peer',"
+                                                       "'Org2MSP.peer')"));
+  }
+
+  proto::TransactionEnvelope MakeTx(
+      const std::string& tx_id, std::vector<const crypto::Identity*> endorsers,
+      std::vector<std::pair<std::string, std::optional<proto::KeyVersion>>>
+          reads = {},
+      std::vector<std::string> writes = {"k"}) {
+    proto::TransactionEnvelope tx;
+    tx.channel_id = "ch";
+    tx.tx_id = tx_id;
+    tx.creator_cert = client->Cert().Serialize();
+    tx.chaincode_id = "cc";
+    proto::NsReadWriteSet ns;
+    ns.ns = "cc";
+    for (auto& [k, v] : reads) ns.reads.push_back(proto::KVRead{k, v});
+    for (auto& k : writes) {
+      ns.writes.push_back(proto::KVWrite{k, proto::ToBytes("v"), false});
+    }
+    tx.rwset.ns_rwsets.push_back(std::move(ns));
+    for (const auto* e : endorsers) {
+      proto::Endorsement en;
+      en.endorser_cert = e->Cert().Serialize();
+      en.signature = e->Sign(tx.EndorsedPayloadBytes());
+      tx.endorsements.push_back(std::move(en));
+    }
+    tx.client_signature = client->Sign(tx.SignedBody());
+    return tx;
+  }
+
+  proto::BlockPtr MakeBlock(std::vector<proto::TransactionEnvelope> txs) {
+    auto block = std::make_shared<proto::Block>(proto::Block::Make(
+        next_block_number, next_block_number == 0 ? nullptr : &prev_hash,
+        std::move(txs)));
+    block->metadata.orderer_cert = orderer->Cert().Serialize();
+    block->metadata.orderer_signature =
+        orderer->Sign(block->header.Serialize());
+    prev_hash = block->header.Hash();
+    ++next_block_number;
+    return block;
+  }
+
+  /// Delivers a block and runs the sim until it commits.
+  std::vector<proto::ValidationCode> Commit(proto::BlockPtr block) {
+    std::vector<proto::ValidationCode> out;
+    committer->OnBlock(std::move(block), [&](const CommittedBlock& cb) {
+      out = cb.codes;
+    });
+    env.Sched().RunUntil(env.Now() + sim::FromSeconds(5));
+    return out;
+  }
+
+  sim::Environment env;
+  crypto::MspRegistry msps;
+  std::unique_ptr<crypto::Identity> client, peer1, peer2, orderer;
+  sim::Machine* machine = nullptr;
+  std::unique_ptr<sim::Cpu> disk;
+  metrics::TxTracker tracker;
+  std::unique_ptr<Committer> committer;
+  std::uint64_t next_block_number = 0;
+  crypto::Digest prev_hash{};
+};
+
+TEST(Committer, CommitsValidTransaction) {
+  CommitterFixture f;
+  const auto codes = f.Commit(f.MakeBlock({f.MakeTx("t1", {f.peer1.get()})}));
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0], proto::ValidationCode::kValid);
+  EXPECT_EQ(f.committer->Chain().Height(), 1u);
+  EXPECT_EQ(f.committer->CommittedTx(), 1u);
+  EXPECT_TRUE(f.committer->State().Get("cc", "k").has_value());
+  EXPECT_TRUE(f.committer->Chain().Audit().ok);
+}
+
+TEST(Committer, VsccRejectsUnendorsedTransaction) {
+  CommitterFixture f;
+  const auto codes = f.Commit(f.MakeBlock({f.MakeTx("t1", {})}));
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0], proto::ValidationCode::kEndorsementPolicyFailure);
+  // Invalid transactions are still recorded on the chain...
+  EXPECT_EQ(f.committer->Chain().Height(), 1u);
+  EXPECT_TRUE(f.committer->Chain().Store().HasTransaction("t1"));
+  // ...but do not touch world state.
+  EXPECT_FALSE(f.committer->State().Get("cc", "k").has_value());
+  EXPECT_EQ(f.committer->InvalidTx(), 1u);
+}
+
+TEST(Committer, VsccRejectsWrongOrgEndorsement) {
+  CommitterFixture f;
+  f.committer->SetPolicy("cc", policy::MustParsePolicy("'Org1MSP.peer'"));
+  const auto codes = f.Commit(f.MakeBlock({f.MakeTx("t1", {f.peer2.get()})}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kEndorsementPolicyFailure);
+}
+
+TEST(Committer, VsccRejectsTamperedEndorsement) {
+  CommitterFixture f;
+  auto tx = f.MakeTx("t1", {f.peer1.get()});
+  tx.endorsements[0].signature.bytes[5] ^= 1;
+  tx.InvalidateCaches();
+  const auto codes = f.Commit(f.MakeBlock({tx}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kBadSignature);
+}
+
+TEST(Committer, VsccRejectsTamperedRwSet) {
+  CommitterFixture f;
+  auto tx = f.MakeTx("t1", {f.peer1.get()});
+  // Tamper with the rwset after endorsement: the endorsement signature no
+  // longer covers the payload.
+  tx.rwset.ns_rwsets[0].writes[0].value = proto::ToBytes("evil");
+  tx.client_signature = f.client->Sign([&] {
+    tx.InvalidateCaches();
+    return tx.SignedBody();
+  }());
+  const auto codes = f.Commit(f.MakeBlock({tx}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kBadSignature);
+}
+
+TEST(Committer, VsccRejectsBadClientSignature) {
+  CommitterFixture f;
+  auto tx = f.MakeTx("t1", {f.peer1.get()});
+  tx.client_signature.bytes[0] ^= 1;
+  tx.InvalidateCaches();
+  const auto codes = f.Commit(f.MakeBlock({tx}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kBadSignature);
+}
+
+TEST(Committer, AndPolicyNeedsBothEndorsements) {
+  CommitterFixture f;
+  f.committer->SetPolicy(
+      "cc", policy::MustParsePolicy("AND('Org1MSP.peer','Org2MSP.peer')"));
+  auto block = f.MakeBlock({f.MakeTx("t1", {f.peer1.get()}),
+                            f.MakeTx("t2", {f.peer1.get(), f.peer2.get()})});
+  const auto codes = f.Commit(block);
+  EXPECT_EQ(codes[0], proto::ValidationCode::kEndorsementPolicyFailure);
+  EXPECT_EQ(codes[1], proto::ValidationCode::kValid);
+}
+
+TEST(Committer, DuplicateTxIdWithinBlockFlagged) {
+  CommitterFixture f;
+  auto t1 = f.MakeTx("dup", {f.peer1.get()});
+  const auto codes = f.Commit(f.MakeBlock({t1, t1}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kValid);
+  EXPECT_EQ(codes[1], proto::ValidationCode::kDuplicateTxId);
+}
+
+TEST(Committer, DuplicateTxIdAcrossBlocksFlagged) {
+  CommitterFixture f;
+  auto tx = f.MakeTx("dup", {f.peer1.get()});
+  EXPECT_EQ(f.Commit(f.MakeBlock({tx}))[0], proto::ValidationCode::kValid);
+  EXPECT_EQ(f.Commit(f.MakeBlock({tx}))[0],
+            proto::ValidationCode::kDuplicateTxId);
+}
+
+TEST(Committer, MvccConflictWithinBlock) {
+  CommitterFixture f;
+  // Both transactions read "k" as absent and write it: second conflicts.
+  auto t1 = f.MakeTx("t1", {f.peer1.get()}, {{"k", std::nullopt}}, {"k"});
+  auto t2 = f.MakeTx("t2", {f.peer1.get()}, {{"k", std::nullopt}}, {"k"});
+  const auto codes = f.Commit(f.MakeBlock({t1, t2}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kValid);
+  EXPECT_EQ(codes[1], proto::ValidationCode::kMvccReadConflict);
+}
+
+TEST(Committer, DropsBlockWithForgedOrdererSignature) {
+  CommitterFixture f;
+  auto block = std::make_shared<proto::Block>(proto::Block::Make(
+      0, nullptr, {f.MakeTx("t1", {f.peer1.get()})}));
+  block->metadata.orderer_cert = f.orderer->Cert().Serialize();
+  block->metadata.orderer_signature.bytes[0] ^= 1;  // forged
+  bool committed = false;
+  f.committer->OnBlock(block,
+                       [&](const CommittedBlock&) { committed = true; });
+  f.env.Sched().RunUntil(sim::FromSeconds(5));
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(f.committer->Chain().Height(), 0u);
+}
+
+TEST(Committer, CommitsBlocksInOrderEvenIfDeliveredOutOfOrder) {
+  CommitterFixture f;
+  auto b0 = f.MakeBlock({f.MakeTx("t1", {f.peer1.get()})});
+  auto b1 = f.MakeBlock({f.MakeTx("t2", {f.peer1.get()})});
+  std::vector<std::uint64_t> commit_order;
+  auto record = [&](const CommittedBlock& cb) {
+    commit_order.push_back(cb.block->header.number);
+  };
+  f.committer->OnBlock(b1, record);  // deliver out of order
+  f.committer->OnBlock(b0, record);
+  f.env.Sched().RunUntil(sim::FromSeconds(5));
+  EXPECT_EQ(commit_order, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_TRUE(f.committer->Chain().Audit().ok);
+}
+
+TEST(Committer, IgnoresRedeliveredBlock) {
+  CommitterFixture f;
+  auto b0 = f.MakeBlock({f.MakeTx("t1", {f.peer1.get()})});
+  int commits = 0;
+  auto count = [&](const CommittedBlock&) { ++commits; };
+  f.committer->OnBlock(b0, count);
+  f.committer->OnBlock(b0, count);  // duplicate delivery
+  f.env.Sched().RunUntil(sim::FromSeconds(5));
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(f.committer->Chain().Height(), 1u);
+}
+
+TEST(Committer, TrackerRecordsCommitAndCode) {
+  CommitterFixture f;
+  f.tracker.MarkSubmitted("t1", 0);
+  f.Commit(f.MakeBlock({f.MakeTx("t1", {f.peer1.get()})}));
+  const auto* rec = f.tracker.Find("t1");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->committed, 0);
+  EXPECT_EQ(rec->code, proto::ValidationCode::kValid);
+}
+
+TEST(Committer, StateVersionsReflectBlockAndTxIndex) {
+  CommitterFixture f;
+  f.Commit(f.MakeBlock({f.MakeTx("a", {f.peer1.get()}, {}, {"k1"}),
+                        f.MakeTx("b", {f.peer1.get()}, {}, {"k2"})}));
+  EXPECT_EQ(f.committer->State().Get("cc", "k1")->version,
+            (proto::KeyVersion{0, 0}));
+  EXPECT_EQ(f.committer->State().Get("cc", "k2")->version,
+            (proto::KeyVersion{0, 1}));
+}
+
+TEST(Committer, UnknownChaincodePolicyInvalid) {
+  CommitterFixture f;
+  auto tx = f.MakeTx("t1", {f.peer1.get()});
+  tx.chaincode_id = "unregistered";
+  tx.client_signature = f.client->Sign([&] {
+    tx.InvalidateCaches();
+    return tx.SignedBody();
+  }());
+  const auto codes = f.Commit(f.MakeBlock({tx}));
+  EXPECT_EQ(codes[0], proto::ValidationCode::kInvalidOtherReason);
+}
+
+}  // namespace
+}  // namespace fabricsim::peer

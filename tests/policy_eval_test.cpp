@@ -1,0 +1,164 @@
+#include "policy/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/parser.h"
+#include "sim/rng.h"
+
+namespace fabricsim::policy {
+namespace {
+
+using crypto::Principal;
+using crypto::Role;
+
+Principal Peer(const std::string& org) { return {org, Role::kPeer}; }
+
+TEST(Evaluator, OrSatisfiedByAnyOne) {
+  auto p = MustParsePolicy("OR('A.peer','B.peer')");
+  EXPECT_TRUE(Satisfied(p, {Peer("A")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("B")}));
+  EXPECT_FALSE(Satisfied(p, {Peer("C")}));
+  EXPECT_FALSE(Satisfied(p, {}));
+}
+
+TEST(Evaluator, AndNeedsAll) {
+  auto p = MustParsePolicy("AND('A.peer','B.peer')");
+  EXPECT_FALSE(Satisfied(p, {Peer("A")}));
+  EXPECT_FALSE(Satisfied(p, {Peer("B")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("A"), Peer("B")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("B"), Peer("A")}));  // order-insensitive
+}
+
+TEST(Evaluator, EachSignerUsableOnce) {
+  // Two A-peers required: one A signer is not enough, two are.
+  auto p = MustParsePolicy("AND('A.peer','A.peer')");
+  EXPECT_FALSE(Satisfied(p, {Peer("A")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("A"), Peer("A")}));
+}
+
+TEST(Evaluator, BacktrackingFindsValidAssignment) {
+  // A-signer could greedily satisfy the OR, starving the AND branch; exact
+  // evaluation must still find the assignment.
+  auto p = MustParsePolicy("AND(OR('A.peer','B.peer'),'A.peer')");
+  EXPECT_TRUE(Satisfied(p, {Peer("A"), Peer("B")}));
+  EXPECT_FALSE(Satisfied(p, {Peer("A")}));
+}
+
+TEST(Evaluator, OutOfThreshold) {
+  auto p = MustParsePolicy("OutOf(2,'A.peer','B.peer','C.peer')");
+  EXPECT_FALSE(Satisfied(p, {Peer("A")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("A"), Peer("C")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("B"), Peer("C")}));
+  EXPECT_FALSE(Satisfied(p, {Peer("A"), Peer("A")}));  // distinct branches
+}
+
+TEST(Evaluator, AdminSatisfiesPeerRole) {
+  auto p = MustParsePolicy("'A.peer'");
+  EXPECT_TRUE(Satisfied(p, {{"A", Role::kAdmin}}));
+  EXPECT_FALSE(Satisfied(p, {{"A", Role::kClient}}));
+}
+
+TEST(Evaluator, ExtraSignersDoNotHurt) {
+  auto p = MustParsePolicy("AND('A.peer','B.peer')");
+  EXPECT_TRUE(Satisfied(p, {Peer("X"), Peer("A"), Peer("Y"), Peer("B")}));
+}
+
+TEST(Evaluator, DeeplyNested) {
+  auto p = MustParsePolicy(
+      "OutOf(2,AND('A.peer','B.peer'),'C.peer',OR('D.peer','E.peer'))");
+  EXPECT_TRUE(Satisfied(p, {Peer("C"), Peer("E")}));
+  EXPECT_TRUE(Satisfied(p, {Peer("A"), Peer("B"), Peer("D")}));
+  EXPECT_FALSE(Satisfied(p, {Peer("A"), Peer("C")}));  // AND incomplete
+}
+
+TEST(Planner, OrPicksExactlyOne) {
+  auto p = MustParsePolicy("OR('A.peer','B.peer','C.peer')");
+  std::vector<Principal> candidates = {Peer("A"), Peer("B"), Peer("C")};
+  auto plan = PlanEndorsers(p, candidates, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 1u);
+}
+
+TEST(Planner, RotationLoadBalancesOr) {
+  auto p = MustParsePolicy("OR('A.peer','B.peer','C.peer')");
+  std::vector<Principal> candidates = {Peer("A"), Peer("B"), Peer("C")};
+  std::set<std::size_t> chosen;
+  for (std::size_t rot = 0; rot < 3; ++rot) {
+    auto plan = PlanEndorsers(p, candidates, rot);
+    ASSERT_TRUE(plan.has_value());
+    chosen.insert((*plan)[0]);
+  }
+  EXPECT_EQ(chosen.size(), 3u);  // rotation cycles through all targets
+}
+
+TEST(Planner, AndPicksAll) {
+  auto p = MustParsePolicy("AND('A.peer','B.peer','C.peer')");
+  std::vector<Principal> candidates = {Peer("A"), Peer("B"), Peer("C"),
+                                       Peer("D")};
+  auto plan = PlanEndorsers(p, candidates, 5);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(*plan, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Planner, ImpossiblePolicyReturnsNullopt) {
+  auto p = MustParsePolicy("AND('A.peer','Z.peer')");
+  std::vector<Principal> candidates = {Peer("A"), Peer("B")};
+  EXPECT_FALSE(PlanEndorsers(p, candidates, 0).has_value());
+}
+
+TEST(Planner, EmptyCandidatesReturnsNullopt) {
+  auto p = MustParsePolicy("'A.peer'");
+  EXPECT_FALSE(PlanEndorsers(p, {}, 0).has_value());
+}
+
+TEST(Planner, DuplicatePrincipalNeedsTwoDistinctCandidates) {
+  auto p = MustParsePolicy("AND('A.peer','A.peer')");
+  EXPECT_FALSE(PlanEndorsers(p, {Peer("A")}, 0).has_value());
+  auto plan = PlanEndorsers(p, {Peer("A"), Peer("A")}, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->size(), 2u);
+}
+
+// Property: whatever the planner returns, the chosen principals satisfy the
+// policy. Swept over random-ish policies, candidate pools, and rotations.
+class PlannerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerProperty, PlanAlwaysSatisfiesPolicy) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  static const std::vector<std::string> kOrgs = {"A", "B", "C", "D", "E"};
+
+  // Random policy: OutOf(k, n principals drawn with replacement).
+  const int n = static_cast<int>(rng.NextInRange(1, 5));
+  std::vector<Principal> policy_ps;
+  for (int i = 0; i < n; ++i) {
+    policy_ps.push_back(Peer(kOrgs[static_cast<std::size_t>(
+        rng.NextBelow(kOrgs.size()))]));
+  }
+  const int k = static_cast<int>(rng.NextInRange(1, n));
+  const auto policy = EndorsementPolicy::KOutOf(k, policy_ps);
+
+  // Random candidate pool.
+  const int pool = static_cast<int>(rng.NextInRange(1, 8));
+  std::vector<Principal> candidates;
+  for (int i = 0; i < pool; ++i) {
+    candidates.push_back(Peer(kOrgs[static_cast<std::size_t>(
+        rng.NextBelow(kOrgs.size()))]));
+  }
+
+  for (std::size_t rot = 0; rot < 6; ++rot) {
+    auto plan = PlanEndorsers(policy, candidates, rot);
+    if (!plan) continue;  // legitimately unsatisfiable with this pool
+    std::vector<Principal> chosen;
+    for (std::size_t idx : *plan) {
+      ASSERT_LT(idx, candidates.size());
+      chosen.push_back(candidates[idx]);
+    }
+    EXPECT_TRUE(Satisfied(policy, chosen))
+        << "policy=" << policy.ToString() << " rot=" << rot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace fabricsim::policy

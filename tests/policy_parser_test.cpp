@@ -1,0 +1,135 @@
+#include "policy/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace fabricsim::policy {
+namespace {
+
+TEST(Parser, SinglePrincipal) {
+  auto r = ParsePolicy("'Org1MSP.peer'");
+  ASSERT_TRUE(r.Ok());
+  EXPECT_EQ(r.policy->ToString(), "'Org1MSP.peer'");
+  EXPECT_EQ(r.policy->MinEndorsements(), 1);
+}
+
+TEST(Parser, OrOfTwo) {
+  auto p = MustParsePolicy("OR('Org1MSP.peer','Org2MSP.peer')");
+  EXPECT_EQ(p.MinEndorsements(), 1);
+  EXPECT_EQ(p.ToString(), "OR('Org1MSP.peer','Org2MSP.peer')");
+}
+
+TEST(Parser, AndOfThree) {
+  auto p = MustParsePolicy("AND('A.peer','B.peer','C.peer')");
+  EXPECT_EQ(p.MinEndorsements(), 3);
+  EXPECT_EQ(p.ToString(), "AND('A.peer','B.peer','C.peer')");
+}
+
+TEST(Parser, OutOf) {
+  auto p = MustParsePolicy("OutOf(2,'A.peer','B.peer','C.peer')");
+  EXPECT_EQ(p.MinEndorsements(), 2);
+  EXPECT_EQ(p.ToString(), "OutOf(2,'A.peer','B.peer','C.peer')");
+}
+
+TEST(Parser, Nested) {
+  auto p = MustParsePolicy(
+      "AND('A.peer',OR('B.peer','C.peer'),OutOf(2,'D.peer','E.peer','F.peer'))");
+  EXPECT_EQ(p.MinEndorsements(), 4);  // A + one of B/C + two of D/E/F
+}
+
+TEST(Parser, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParsePolicy("or('A.peer','B.peer')").Ok());
+  EXPECT_TRUE(ParsePolicy("And('A.peer','B.peer')").Ok());
+  EXPECT_TRUE(ParsePolicy("OUTOF(1,'A.peer','B.peer')").Ok());
+  EXPECT_TRUE(ParsePolicy("outof(1,'A.peer','B.peer')").Ok());
+}
+
+TEST(Parser, WhitespaceInsignificant) {
+  auto p = MustParsePolicy("  AND ( 'A.peer' ,\n  'B.peer' )  ");
+  EXPECT_EQ(p.ToString(), "AND('A.peer','B.peer')");
+}
+
+TEST(Parser, AllRolesParse) {
+  EXPECT_TRUE(ParsePolicy("'X.client'").Ok());
+  EXPECT_TRUE(ParsePolicy("'X.admin'").Ok());
+  EXPECT_TRUE(ParsePolicy("'X.orderer'").Ok());
+}
+
+TEST(Parser, ErrorUnterminatedQuote) {
+  auto r = ParsePolicy("OR('A.peer");
+  EXPECT_FALSE(r.Ok());
+  EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, ErrorBadRole) {
+  auto r = ParsePolicy("'Org1MSP.banker'");
+  EXPECT_FALSE(r.Ok());
+  EXPECT_NE(r.error.find("bad principal"), std::string::npos);
+}
+
+TEST(Parser, ErrorTrailingGarbage) {
+  auto r = ParsePolicy("OR('A.peer','B.peer') extra");
+  EXPECT_FALSE(r.Ok());
+  EXPECT_NE(r.error.find("trailing"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingParen) {
+  EXPECT_FALSE(ParsePolicy("AND('A.peer','B.peer'").Ok());
+  EXPECT_FALSE(ParsePolicy("AND 'A.peer')").Ok());
+}
+
+TEST(Parser, ErrorOutOfRangeThreshold) {
+  EXPECT_FALSE(ParsePolicy("OutOf(4,'A.peer','B.peer')").Ok());
+  EXPECT_FALSE(ParsePolicy("OutOf(0,'A.peer')").Ok());
+}
+
+TEST(Parser, ErrorUnknownOperator) {
+  EXPECT_FALSE(ParsePolicy("XOR('A.peer','B.peer')").Ok());
+}
+
+TEST(Parser, ErrorEmptyInput) {
+  EXPECT_FALSE(ParsePolicy("").Ok());
+  EXPECT_FALSE(ParsePolicy("   ").Ok());
+}
+
+TEST(Parser, MustParseThrowsWithOffset) {
+  EXPECT_THROW(MustParsePolicy("OR("), std::invalid_argument);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  for (const char* expr :
+       {"'A.peer'", "OR('A.peer','B.peer')", "AND('A.peer','B.peer')",
+        "OutOf(2,'A.peer','B.peer','C.peer')",
+        "AND('A.peer',OR('B.client','C.admin'))"}) {
+    auto p = MustParsePolicy(expr);
+    auto reparsed = MustParsePolicy(p.ToString());
+    EXPECT_EQ(reparsed.ToString(), p.ToString()) << expr;
+  }
+}
+
+TEST(Policy, BuildersMatchParser) {
+  using crypto::Principal;
+  std::vector<Principal> ps = {{"Org1MSP", crypto::Role::kPeer},
+                               {"Org2MSP", crypto::Role::kPeer}};
+  EXPECT_EQ(EndorsementPolicy::AnyOf(ps).ToString(),
+            "OR('Org1MSP.peer','Org2MSP.peer')");
+  EXPECT_EQ(EndorsementPolicy::AllOf(ps).ToString(),
+            "AND('Org1MSP.peer','Org2MSP.peer')");
+  EXPECT_EQ(EndorsementPolicy::KOutOf(1, ps).ToString(),
+            "OR('Org1MSP.peer','Org2MSP.peer')");
+}
+
+TEST(Policy, PrincipalsDeduplicated) {
+  auto p = MustParsePolicy("OR('A.peer','B.peer','A.peer')");
+  EXPECT_EQ(p.Principals().size(), 2u);
+}
+
+TEST(Policy, CopySemantics) {
+  auto p = MustParsePolicy("AND('A.peer','B.peer')");
+  EndorsementPolicy copy = p;
+  EXPECT_EQ(copy.ToString(), p.ToString());
+  p = MustParsePolicy("'C.peer'");
+  EXPECT_EQ(copy.ToString(), "AND('A.peer','B.peer')");  // deep copy
+}
+
+}  // namespace
+}  // namespace fabricsim::policy

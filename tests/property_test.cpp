@@ -1,0 +1,184 @@
+// Cross-checking property tests: independent reference implementations
+// validate the optimized ones on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "policy/evaluator.h"
+#include "policy/parser.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace fabricsim {
+namespace {
+
+using crypto::Principal;
+using crypto::Role;
+
+// ---------------------------------------------------------------- policy
+
+/// Reference satisfaction check: brute force over all signer->principal
+/// assignments (each signer used at most once).
+bool BruteForceSatisfied(const policy::Node& node,
+                         std::vector<bool>& used,
+                         const std::vector<Principal>& signers);
+
+bool BruteForceOutOf(const policy::Node& node, std::size_t child_idx,
+                     int still_needed, std::vector<bool>& used,
+                     const std::vector<Principal>& signers) {
+  if (still_needed == 0) return true;
+  if (child_idx >= node.children.size()) return false;
+  const int remaining = static_cast<int>(node.children.size() - child_idx);
+  if (remaining < still_needed) return false;
+  // Option 1: satisfy this child.
+  {
+    std::vector<bool> snapshot = used;
+    if (BruteForceSatisfied(*node.children[child_idx], used, signers) &&
+        BruteForceOutOf(node, child_idx + 1, still_needed - 1, used,
+                        signers)) {
+      return true;
+    }
+    used = snapshot;  // backtrack
+  }
+  // Option 2: skip this child.
+  return BruteForceOutOf(node, child_idx + 1, still_needed, used, signers);
+}
+
+bool BruteForceSatisfied(const policy::Node& node, std::vector<bool>& used,
+                         const std::vector<Principal>& signers) {
+  if (node.kind == policy::NodeKind::kPrincipal) {
+    for (std::size_t i = 0; i < signers.size(); ++i) {
+      if (used[i]) continue;
+      const bool match =
+          signers[i].msp_id == node.principal.msp_id &&
+          (signers[i].role == node.principal.role ||
+           signers[i].role == Role::kAdmin);
+      if (match) {
+        used[i] = true;
+        return true;  // principal leaves are interchangeable: any match is
+                      // equivalent under the outer backtracking
+      }
+    }
+    return false;
+  }
+  return BruteForceOutOf(node, 0, node.threshold, used, signers);
+}
+
+class PolicyCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyCrossCheck, EvaluatorMatchesBruteForceOnFlatPolicies) {
+  // Flat OutOf(k, principals) policies: the greedy-leaf brute force above is
+  // exact for these (leaves are interchangeable), giving an independent
+  // oracle for the backtracking evaluator.
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  static const std::vector<std::string> kOrgs = {"A", "B", "C", "D"};
+
+  for (int round = 0; round < 40; ++round) {
+    const int n = static_cast<int>(rng.NextInRange(1, 5));
+    std::vector<Principal> ps;
+    for (int i = 0; i < n; ++i) {
+      ps.push_back(
+          {kOrgs[static_cast<std::size_t>(rng.NextBelow(kOrgs.size()))],
+           Role::kPeer});
+    }
+    const int k = static_cast<int>(rng.NextInRange(1, n));
+    const auto pol = policy::EndorsementPolicy::KOutOf(k, ps);
+
+    const int signer_count = static_cast<int>(rng.NextInRange(0, 6));
+    std::vector<Principal> signers;
+    for (int i = 0; i < signer_count; ++i) {
+      const auto role = rng.NextBelow(8) == 0 ? Role::kAdmin : Role::kPeer;
+      signers.push_back(
+          {kOrgs[static_cast<std::size_t>(rng.NextBelow(kOrgs.size()))],
+           role});
+    }
+
+    std::vector<bool> used(signers.size(), false);
+    const bool expected = BruteForceSatisfied(pol.Root(), used, signers);
+    EXPECT_EQ(policy::Satisfied(pol, signers), expected)
+        << "policy=" << pol.ToString() << " signers=" << signer_count
+        << " seed=" << GetParam() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyCrossCheck, ::testing::Range(0, 20));
+
+TEST(PolicyCrossCheck, NestedPoliciesAgainstHandComputedTruth) {
+  const auto pol = policy::MustParsePolicy(
+      "OutOf(2,AND('A.peer','B.peer'),'C.peer',OR('A.peer','D.peer'))");
+  struct Case {
+    std::vector<Principal> signers;
+    bool expected;
+  };
+  const Case cases[] = {
+      {{{"C", Role::kPeer}, {"D", Role::kPeer}}, true},
+      {{{"A", Role::kPeer}, {"B", Role::kPeer}, {"C", Role::kPeer}}, true},
+      {{{"A", Role::kPeer}, {"B", Role::kPeer}}, false},  // AND + nothing else
+      // A-signer can serve the OR branch; with C that is 2 of 3.
+      {{{"A", Role::kPeer}, {"C", Role::kPeer}}, true},
+      // The single A cannot serve both the AND and the OR.
+      {{{"A", Role::kPeer}, {"B", Role::kPeer}, {"D", Role::kPeer}}, true},
+      {{{"C", Role::kPeer}}, false},
+      {{}, false},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(policy::Satisfied(pol, c.signers), c.expected);
+  }
+}
+
+// ------------------------------------------------------------- scheduler
+
+TEST(SchedulerProperty, RandomScheduleExecutesInNondecreasingTimeOrder) {
+  sim::Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    sim::Scheduler sched;
+    std::vector<sim::SimTime> fired;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 500; ++i) {
+      const auto when = static_cast<sim::SimTime>(rng.NextBelow(10000));
+      ids.push_back(sched.ScheduleAt(
+          when, [&fired, &sched] { fired.push_back(sched.Now()); }));
+    }
+    // Cancel a random quarter.
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (rng.NextBelow(4) == 0) {
+        sched.Cancel(ids[i]);
+        ++cancelled;
+      }
+    }
+    sched.Run();
+    EXPECT_EQ(fired.size(), 500 - cancelled);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  }
+}
+
+TEST(SchedulerProperty, InterleavedRunUntilNeverGoesBackwards) {
+  sim::Rng rng(123);
+  sim::Scheduler sched;
+  sim::SimTime last_observed = 0;
+  bool monotonic = true;
+  for (int i = 0; i < 300; ++i) {
+    sched.ScheduleAt(static_cast<sim::SimTime>(rng.NextBelow(5000)), [&] {
+      if (sched.Now() < last_observed) monotonic = false;
+      last_observed = sched.Now();
+      // Events may reschedule into the future.
+      if (sched.Now() < 4000) {
+        sched.ScheduleAfter(static_cast<sim::SimDuration>(rng.NextBelow(100)),
+                            [&] {
+                              if (sched.Now() < last_observed) {
+                                monotonic = false;
+                              }
+                              last_observed = sched.Now();
+                            });
+      }
+    });
+  }
+  for (sim::SimTime t = 0; t <= 6000; t += 500) sched.RunUntil(t);
+  sched.Run();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace fabricsim

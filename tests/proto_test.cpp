@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ca.h"
+#include "proto/block.h"
+#include "proto/proposal.h"
+#include "proto/rwset.h"
+#include "proto/transaction.h"
+
+namespace fabricsim::proto {
+namespace {
+
+TEST(Writer, PrimitiveRoundTrip) {
+  Writer w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFULL);
+  w.I64(-42);
+  w.Blob(ToBytes("blob"));
+  w.Str("string");
+  Reader r(w.Data());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(ToString(r.Blob()), "blob");
+  EXPECT_EQ(r.Str(), "string");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Reader, ThrowsOnTruncation) {
+  Writer w;
+  w.U64(7);
+  Bytes data = w.Take();
+  data.resize(4);
+  Reader r(data);
+  EXPECT_THROW(r.U64(), std::out_of_range);
+}
+
+TEST(Reader, ThrowsOnBogusBlobLength) {
+  Writer w;
+  w.U32(1000000);  // claims 1MB follows, but nothing does
+  Reader r(w.Data());
+  EXPECT_THROW(r.Blob(), std::out_of_range);
+}
+
+TEST(Hex, Encoding) {
+  const Bytes raw = {0x00, 0xff, 0x10};
+  EXPECT_EQ(ToHex(raw), "00ff10");
+  EXPECT_EQ(ToHex({}), "");
+}
+
+TxReadWriteSet SampleRwSet() {
+  RwSetBuilder b("mycc");
+  b.AddRead("k1", KeyVersion{3, 1});
+  b.AddRead("missing", std::nullopt);
+  b.AddWrite("k1", ToBytes("v1"));
+  b.AddDelete("k2");
+  return std::move(b).Build();
+}
+
+TEST(RwSet, SerializeRoundTrip) {
+  const TxReadWriteSet original = SampleRwSet();
+  const auto parsed = TxReadWriteSet::Deserialize(original.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(RwSet, CountsReadsAndWrites) {
+  const TxReadWriteSet s = SampleRwSet();
+  EXPECT_EQ(s.ReadCount(), 2u);
+  EXPECT_EQ(s.WriteCount(), 2u);
+}
+
+TEST(RwSetBuilder, DeduplicatesReads) {
+  RwSetBuilder b("cc");
+  b.AddRead("k", KeyVersion{1, 0});
+  b.AddRead("k", KeyVersion{9, 9});  // ignored: already read
+  const auto s = std::move(b).Build();
+  ASSERT_EQ(s.ns_rwsets[0].reads.size(), 1u);
+  EXPECT_EQ(s.ns_rwsets[0].reads[0].version, (KeyVersion{1, 0}));
+}
+
+TEST(RwSetBuilder, LastWriteWins) {
+  RwSetBuilder b("cc");
+  b.AddWrite("k", ToBytes("v1"));
+  b.AddWrite("k", ToBytes("v2"));
+  const auto s = std::move(b).Build();
+  ASSERT_EQ(s.ns_rwsets[0].writes.size(), 1u);
+  EXPECT_EQ(ToString(s.ns_rwsets[0].writes[0].value), "v2");
+}
+
+TEST(RwSetBuilder, DeleteOverridesWrite) {
+  RwSetBuilder b("cc");
+  b.AddWrite("k", ToBytes("v1"));
+  b.AddDelete("k");
+  const auto s = std::move(b).Build();
+  ASSERT_EQ(s.ns_rwsets[0].writes.size(), 1u);
+  EXPECT_TRUE(s.ns_rwsets[0].writes[0].is_delete);
+}
+
+TEST(RwSetBuilder, PendingWriteVisible) {
+  RwSetBuilder b("cc");
+  EXPECT_EQ(b.PendingWrite("k"), nullptr);
+  b.AddWrite("k", ToBytes("v"));
+  ASSERT_NE(b.PendingWrite("k"), nullptr);
+  EXPECT_EQ(ToString(b.PendingWrite("k")->value), "v");
+}
+
+crypto::Identity TestClient() {
+  static crypto::CertificateAuthority ca("ClientOrgMSP");
+  return ca.Enroll("app0", crypto::Role::kClient);
+}
+
+Proposal SampleProposal() {
+  Proposal p;
+  p.channel_id = "mychannel";
+  p.nonce = ToBytes("nonce-1");
+  p.creator_cert = TestClient().Cert().Serialize();
+  p.invocation.chaincode_id = "kvwrite";
+  p.invocation.function = "write";
+  p.invocation.args = {ToBytes("k"), ToBytes("v")};
+  p.client_timestamp = 123456;
+  p.tx_id = Proposal::ComputeTxId(p.nonce, p.creator_cert);
+  return p;
+}
+
+TEST(Proposal, SerializeRoundTrip) {
+  const Proposal p = SampleProposal();
+  const auto parsed = Proposal::Deserialize(p.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tx_id, p.tx_id);
+  EXPECT_EQ(parsed->channel_id, p.channel_id);
+  EXPECT_EQ(parsed->invocation.function, "write");
+  EXPECT_EQ(parsed->invocation.args.size(), 2u);
+  EXPECT_EQ(parsed->client_timestamp, 123456);
+}
+
+TEST(Proposal, TxIdBindsNonceAndCreator) {
+  const Proposal p = SampleProposal();
+  EXPECT_EQ(p.tx_id, Proposal::ComputeTxId(p.nonce, p.creator_cert));
+  EXPECT_NE(p.tx_id,
+            Proposal::ComputeTxId(ToBytes("other-nonce"), p.creator_cert));
+}
+
+TEST(SignedProposal, RoundTripPreservesSignature) {
+  SignedProposal sp;
+  sp.proposal = SampleProposal();
+  sp.client_signature = TestClient().Sign(sp.proposal.Serialize());
+  const auto parsed = SignedProposal::Deserialize(sp.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->client_signature, sp.client_signature);
+  EXPECT_EQ(parsed->proposal.tx_id, sp.proposal.tx_id);
+}
+
+TransactionEnvelope SampleEnvelope() {
+  TransactionEnvelope env;
+  env.channel_id = "mychannel";
+  env.tx_id = "txid-1";
+  env.creator_cert = TestClient().Cert().Serialize();
+  env.rwset = SampleRwSet();
+  env.chaincode_result = ToBytes("ok");
+  env.chaincode_id = "kvwrite";
+  Endorsement e;
+  e.endorser_cert = TestClient().Cert().Serialize();
+  e.signature = TestClient().Sign(env.EndorsedPayloadBytes());
+  env.endorsements.push_back(e);
+  env.client_timestamp = 77;
+  env.client_signature = TestClient().Sign(env.SignedBody());
+  return env;
+}
+
+TEST(Envelope, SerializeRoundTrip) {
+  TransactionEnvelope env = SampleEnvelope();
+  const auto parsed = TransactionEnvelope::Deserialize(env.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tx_id, env.tx_id);
+  EXPECT_EQ(parsed->rwset, env.rwset);
+  EXPECT_EQ(parsed->endorsements.size(), 1u);
+  EXPECT_EQ(parsed->client_signature, env.client_signature);
+}
+
+TEST(Envelope, CopyResetsCachesHonestly) {
+  TransactionEnvelope env = SampleEnvelope();
+  const Bytes before = env.Serialize();  // populates the cache
+  TransactionEnvelope copy = env;
+  copy.tx_id = "txid-2";  // mutate the copy
+  EXPECT_NE(copy.Serialize(), before);
+  EXPECT_EQ(env.Serialize(), before);  // original unchanged
+}
+
+TEST(Envelope, InvalidateCachesReflectsInPlaceMutation) {
+  TransactionEnvelope env = SampleEnvelope();
+  const Bytes before = env.Serialize();
+  env.tx_id = "txid-9";
+  env.InvalidateCaches();
+  EXPECT_NE(env.Serialize(), before);
+}
+
+TEST(Envelope, SignedBodyExcludesSignature) {
+  TransactionEnvelope env = SampleEnvelope();
+  const Bytes body = env.SignedBody();
+  env.client_signature.bytes[0] ^= 1;
+  env.InvalidateCaches();
+  EXPECT_EQ(env.SignedBody(), body);       // body unaffected by signature
+  EXPECT_NE(env.Serialize().size(), 0u);
+}
+
+TEST(Block, MakeComputesDataHashAndChainsPrev) {
+  std::vector<TransactionEnvelope> txs{SampleEnvelope()};
+  const Block genesis = Block::Make(0, nullptr, txs);
+  EXPECT_EQ(genesis.header.number, 0u);
+  EXPECT_EQ(genesis.header.data_hash, Block::ComputeDataHash(txs));
+
+  const crypto::Digest prev = genesis.header.Hash();
+  const Block next = Block::Make(1, &prev, txs);
+  EXPECT_EQ(next.header.previous_hash, prev);
+}
+
+TEST(Block, SerializeRoundTrip) {
+  std::vector<TransactionEnvelope> txs{SampleEnvelope(), SampleEnvelope()};
+  Block b = Block::Make(5, nullptr, txs);
+  b.metadata.validation_codes = {ValidationCode::kValid,
+                                 ValidationCode::kMvccReadConflict};
+  const auto parsed = Block::Deserialize(b.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header, b.header);
+  EXPECT_EQ(parsed->TxCount(), 2u);
+  EXPECT_EQ(parsed->metadata.validation_codes[1],
+            ValidationCode::kMvccReadConflict);
+}
+
+TEST(Block, HeaderHashSensitiveToEveryField) {
+  BlockHeader h;
+  h.number = 1;
+  const auto base = h.Hash();
+  BlockHeader h2 = h;
+  h2.number = 2;
+  EXPECT_NE(h2.Hash(), base);
+  BlockHeader h3 = h;
+  h3.data_hash[0] ^= 1;
+  EXPECT_NE(h3.Hash(), base);
+  BlockHeader h4 = h;
+  h4.previous_hash[0] ^= 1;
+  EXPECT_NE(h4.Hash(), base);
+}
+
+TEST(ValidationCode, Names) {
+  EXPECT_EQ(ValidationCodeName(ValidationCode::kValid), "VALID");
+  EXPECT_EQ(ValidationCodeName(ValidationCode::kMvccReadConflict),
+            "MVCC_READ_CONFLICT");
+  EXPECT_EQ(ValidationCodeName(ValidationCode::kDuplicateTxId),
+            "DUPLICATE_TXID");
+}
+
+TEST(EndorseStatus, Names) {
+  EXPECT_EQ(EndorseStatusName(EndorseStatus::kSuccess), "SUCCESS");
+  EXPECT_EQ(EndorseStatusName(EndorseStatus::kDuplicateTxId),
+            "DUPLICATE_TXID");
+}
+
+}  // namespace
+}  // namespace fabricsim::proto

@@ -1,0 +1,76 @@
+#include "metrics/rate_log.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/experiment.h"
+
+namespace fabricsim::metrics {
+namespace {
+
+TEST(RateLog, EmptyLog) {
+  RateLog log("x");
+  EXPECT_EQ(log.Total(), 0u);
+  EXPECT_TRUE(log.Windows().empty());
+  EXPECT_EQ(log.MeanRate(0, sim::FromSeconds(10)), 0.0);
+}
+
+TEST(RateLog, BucketsEventsPerWindow) {
+  RateLog log("x", sim::FromSeconds(1));
+  for (int i = 0; i < 10; ++i) log.Record(sim::FromMillis(100 * i));   // s 0
+  for (int i = 0; i < 20; ++i) log.Record(sim::FromMillis(1000 + i));  // s 1
+  const auto windows = log.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].count, 10u);
+  EXPECT_EQ(windows[1].count, 20u);
+  EXPECT_NEAR(windows[1].tps, 20.0, 0.001);
+  EXPECT_EQ(log.Total(), 30u);
+}
+
+TEST(RateLog, MeanRateOverSpan) {
+  RateLog log("x");
+  for (int s = 0; s < 10; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      log.Record(sim::FromSeconds(s) + sim::FromMillis(i));
+    }
+  }
+  EXPECT_NEAR(log.MeanRate(0, sim::FromSeconds(10)), 50.0, 0.001);
+  EXPECT_NEAR(log.MeanRate(sim::FromSeconds(2), sim::FromSeconds(4)), 50.0,
+              0.001);
+}
+
+TEST(RateLog, FractionWithinTolerance) {
+  RateLog log("x");
+  // 5 windows at 50/s, then 5 windows at 10/s.
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < 50; ++i) log.Record(sim::FromSeconds(s) + i);
+  }
+  for (int s = 5; s < 10; ++s) {
+    for (int i = 0; i < 10; ++i) log.Record(sim::FromSeconds(s) + i);
+  }
+  EXPECT_NEAR(log.FractionWithin(50.0, 0.25, 0, sim::FromSeconds(10)), 0.5,
+              0.001);
+  EXPECT_NEAR(log.FractionWithin(50.0, 0.25, 0, sim::FromSeconds(5)), 1.0,
+              0.001);
+}
+
+TEST(RateLog, NegativeTimesClampToFirstWindow) {
+  RateLog log("x");
+  log.Record(-5);
+  EXPECT_EQ(log.Windows()[0].count, 1u);
+}
+
+TEST(RateLog, ExperimentGeneratorHitsConfiguredRate) {
+  // The end-to-end double-check the paper describes: below every ceiling,
+  // the generator must produce the configured load, window by window.
+  fabric::ExperimentConfig config =
+      fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
+  config.network.topology.endorsing_peers = 4;
+  config.workload.duration = sim::FromSeconds(15);
+  config.warmup = sim::FromSeconds(3);
+  const auto result = fabric::RunExperiment(config);
+  EXPECT_NEAR(result.generated_rate_tps, 150.0, 15.0);
+  EXPECT_GT(result.generated_rate_check, 0.8);
+}
+
+}  // namespace
+}  // namespace fabricsim::metrics

@@ -1,0 +1,176 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fabricsim::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.Now(), 0);
+  EXPECT_EQ(s.PendingEvents(), 0u);
+  EXPECT_EQ(s.ExecutedEvents(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime fired_at = -1;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAfter(50, [&] { fired_at = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  SimTime fired_at = -1;
+  s.ScheduleAt(100, [&] {
+    s.ScheduleAt(10, [&] { fired_at = s.Now(); });  // in the past
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Scheduler, NegativeDelayClampsToZero) {
+  Scheduler s;
+  SimTime fired_at = -1;
+  s.ScheduleAfter(-5, [&] { fired_at = s.Now(); });
+  s.Run();
+  EXPECT_EQ(fired_at, 0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventId id = s.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  s.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.ExecutedEvents(), 0u);
+}
+
+TEST(Scheduler, CancelIsIdempotent) {
+  Scheduler s;
+  EventId id = s.ScheduleAt(10, [] {});
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler s;
+  EventId id = s.ScheduleAt(10, [] {});
+  s.Run();
+  EXPECT_FALSE(s.Cancel(id));
+}
+
+TEST(Scheduler, CancelUnknownIdReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.Cancel(0));
+  EXPECT_FALSE(s.Cancel(12345));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    s.ScheduleAt(t, [&fired, &s] { fired.push_back(s.Now()); });
+  }
+  s.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(s.Now(), 25);
+  s.RunUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(s.Now(), 100);
+}
+
+TEST(Scheduler, RunUntilIncludesBoundaryEvents) {
+  Scheduler s;
+  bool ran = false;
+  s.ScheduleAt(25, [&] { ran = true; });
+  s.RunUntil(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.ScheduleAt(1, [&] { ++count; });
+  s.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.ScheduleAfter(1, recurse);
+  };
+  s.ScheduleAt(0, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.Now(), 99);
+}
+
+TEST(Scheduler, RunWithLimitStopsEarly) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.ScheduleAt(i, [&] { ++count; });
+  EXPECT_EQ(s.Run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.PendingEvents(), 7u);
+}
+
+TEST(Scheduler, PendingEventsTracksCancellations) {
+  Scheduler s;
+  EventId a = s.ScheduleAt(1, [] {});
+  s.ScheduleAt(2, [] {});
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  s.Cancel(a);
+  EXPECT_EQ(s.PendingEvents(), 1u);
+}
+
+TEST(Scheduler, CancelInsideEventCallback) {
+  Scheduler s;
+  bool second_ran = false;
+  EventId second = s.ScheduleAt(20, [&] { second_ran = true; });
+  s.ScheduleAt(10, [&] { s.Cancel(second); });
+  s.Run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Scheduler, RunUntilWithEmptyQueueStillAdvancesClock) {
+  Scheduler s;
+  s.RunUntil(500);
+  EXPECT_EQ(s.Now(), 500);
+}
+
+}  // namespace
+}  // namespace fabricsim::sim

@@ -1,0 +1,172 @@
+// Simulator validation: the DES substrate against closed-form results.
+//
+// The reproduction's conclusions rest on queueing behaviour, so the kernel
+// is checked against analytic baselines: M/D/1 waiting times for the CPU
+// station, utilization laws, Poisson thinning for the workload process, and
+// the nominal line rate for bulk transfers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cpu.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/rng.h"
+
+namespace fabricsim::sim {
+namespace {
+
+/// Drives a 1-core CPU with Poisson arrivals of deterministic service time
+/// and returns the mean waiting time (time in queue, excluding service).
+double MeasureMD1Wait(double rho, SimDuration service, std::uint64_t seed,
+                      int jobs) {
+  Scheduler sched;
+  Cpu cpu(sched, 1);
+  Rng rng(seed);
+  const double mean_gap =
+      static_cast<double>(service) / rho;  // arrival rate = rho / service
+
+  double total_wait = 0;
+  int completed = 0;
+  SimTime next_arrival = 0;
+  std::function<void(int)> arrive = [&](int remaining) {
+    if (remaining == 0) return;
+    next_arrival += static_cast<SimTime>(rng.NextExponential(mean_gap));
+    sched.ScheduleAt(next_arrival, [&, remaining] {
+      const SimTime arrived = sched.Now();
+      cpu.Submit(service, [&, arrived] {
+        total_wait +=
+            static_cast<double>(sched.Now() - arrived - service);
+        ++completed;
+      });
+      arrive(remaining - 1);
+    });
+  };
+  arrive(jobs);
+  sched.Run();
+  return completed > 0 ? total_wait / completed : 0.0;
+}
+
+class MD1Validation : public ::testing::TestWithParam<double> {};
+
+TEST_P(MD1Validation, MeanWaitMatchesPollaczekKhinchine) {
+  const double rho = GetParam();
+  constexpr SimDuration kService = 1000;
+  // M/D/1: Wq = rho * S / (2 * (1 - rho)).
+  const double expected = rho * kService / (2.0 * (1.0 - rho));
+  // Average over several seeds; heavier load has higher variance.
+  double sum = 0;
+  constexpr int kSeeds = 4;
+  for (int s = 0; s < kSeeds; ++s) {
+    sum += MeasureMD1Wait(rho, kService, 100 + static_cast<std::uint64_t>(s),
+                          60000);
+  }
+  const double measured = sum / kSeeds;
+  EXPECT_NEAR(measured, expected, expected * 0.15 + 10.0)
+      << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MD1Validation,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(SimValidation, UtilizationLawHolds) {
+  // Utilization = lambda * S (per core).
+  Scheduler sched;
+  Cpu cpu(sched, 2);
+  Rng rng(7);
+  constexpr SimDuration kService = 800;
+  constexpr double kLambdaPerNs = 0.001;  // jobs per ns; rho = 0.4 over 2 cores
+  SimTime t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += static_cast<SimTime>(rng.NextExponential(1.0 / kLambdaPerNs));
+    sched.ScheduleAt(t, [&] { cpu.Submit(kService, nullptr); });
+  }
+  sched.Run();
+  EXPECT_NEAR(cpu.Utilization(), kLambdaPerNs * kService / 2.0, 0.02);
+}
+
+TEST(SimValidation, MultiCoreErlangCapacity) {
+  // A c-core station must sustain just under c/S jobs per time unit.
+  Scheduler sched;
+  Cpu cpu(sched, 4);
+  constexpr SimDuration kService = 1000;
+  constexpr int kJobs = 10000;
+  int done = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    sched.ScheduleAt(0, [&] { cpu.Submit(kService, [&] { ++done; }); });
+  }
+  sched.Run();
+  EXPECT_EQ(done, kJobs);
+  // Makespan = jobs * S / cores.
+  EXPECT_EQ(sched.Now(), kJobs * kService / 4);
+}
+
+TEST(SimValidation, PoissonProcessCoefficientOfVariation) {
+  // Exponential gaps: CV = 1 (distinguishes Poisson from uniform pacing).
+  Rng rng(21);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextExponential(3.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.02);
+}
+
+TEST(SimValidation, BulkTransferApproachesLineRate) {
+  // 100 MB in 1 MB messages over the 1 Gbps link: finishing time must be
+  // ~0.8 s (serialization-bound), within the latency/overhead margin.
+  Scheduler sched;
+  NetworkConfig cfg;
+  cfg.jitter_fraction = 0.0;
+  Network net(sched, Rng(5), cfg);
+
+  class Bulk final : public Message {
+   public:
+    [[nodiscard]] std::size_t WireSize() const override { return 1000000; }
+    [[nodiscard]] std::string TypeName() const override { return "Bulk"; }
+  };
+
+  SimTime last = 0;
+  NodeId a = net.Register("a", nullptr);
+  NodeId b = net.Register("b", [&](NodeId, MessagePtr) { last = sched.Now(); });
+  for (int i = 0; i < 100; ++i) net.Send(a, b, std::make_shared<Bulk>());
+  sched.Run();
+  const double seconds = ToSeconds(last);
+  const double gbps = 100.0 * 1000000 * 8.0 / seconds / 1e9;
+  EXPECT_GT(gbps, 0.95);
+  EXPECT_LT(gbps, 1.01);
+}
+
+TEST(SimValidation, SpeedFactorScalesThroughputProportionally) {
+  // A 0.7-speed machine completes 70% of the work of a 1.0 machine in the
+  // same window.
+  auto completed = [](double speed) {
+    Scheduler sched;
+    Cpu cpu(sched, 1, speed);
+    int done = 0;
+    for (int i = 0; i < 100000; ++i) {
+      cpu.Submit(1000, [&] { ++done; });
+    }
+    sched.RunUntil(10000000);  // 10k nominal jobs' worth of time
+    return done;
+  };
+  const int fast = completed(1.0);
+  const int slow = completed(0.7);
+  EXPECT_NEAR(static_cast<double>(slow) / fast, 0.7, 0.01);
+}
+
+TEST(SimValidation, OpenLoopLatencyExplodesAboveCapacity) {
+  // Sanity of the paper's "latency rises sharply past the knee": drive a
+  // 1-core station at 1.2x capacity and watch the mean wait exceed any
+  // fixed bound that held below capacity.
+  const double below = MeasureMD1Wait(0.8, 1000, 42, 30000);
+  const double above = MeasureMD1Wait(1.2, 1000, 42, 30000);
+  EXPECT_GT(above, 10 * below);
+}
+
+}  // namespace
+}  // namespace fabricsim::sim

@@ -1,0 +1,217 @@
+// fabricsim-cli: run a single configurable experiment from the command
+// line and print the paper's metrics — a Caliper-style driver for the
+// simulated network.
+//
+// Usage examples:
+//   fabricsim_cli --ordering=raft --rate=250 --duration=30
+//   fabricsim_cli --ordering=kafka --policy="AND('Org1MSP.peer','Org2MSP.peer')"
+//   fabricsim_cli --workload=smallbank --peers=6 --channels=2 --csv
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "fabric/experiment.h"
+#include "metrics/reporter.h"
+
+using namespace fabricsim;
+
+namespace {
+
+struct CliOptions {
+  fabric::OrderingType ordering = fabric::OrderingType::kSolo;
+  double rate = 200.0;
+  double duration_s = 30.0;
+  int peers = 10;
+  int committing_peers = 1;
+  int clients = -1;
+  int osns = 3;
+  int brokers = 3;
+  int zookeepers = 3;
+  int channels = 1;
+  std::string policy;  // empty = OR over all peers
+  client::WorkloadKind workload = client::WorkloadKind::kKvWrite;
+  std::size_t value_size = 1;
+  std::size_t key_space = 1000;
+  std::uint64_t seed = 42;
+  std::uint32_t batch_size = 100;
+  double batch_timeout_s = 1.0;
+  bool csv = false;
+  bool help = false;
+};
+
+void PrintHelp() {
+  std::cout <<
+      "fabricsim-cli: drive one experiment on the simulated Fabric network\n"
+      "\n"
+      "  --ordering=solo|kafka|raft   consenter type (default solo)\n"
+      "  --rate=<tps>                 aggregate arrival rate (default 200)\n"
+      "  --duration=<s>               measurement window (default 30)\n"
+      "  --peers=<n>                  endorsing peers (default 10)\n"
+      "  --committing-peers=<n>       dedicated validators (default 1)\n"
+      "  --clients=<n>                client machines (default: = peers)\n"
+      "  --osns=<n>                   ordering service nodes (default 3)\n"
+      "  --brokers=<n>                kafka brokers (default 3)\n"
+      "  --zookeepers=<n>             zookeeper servers (default 3)\n"
+      "  --channels=<n>               channels (default 1)\n"
+      "  --policy=<expr>              endorsement policy, e.g.\n"
+      "                               \"AND('Org1MSP.peer','Org2MSP.peer')\"\n"
+      "  --workload=kvwrite|readwrite|token|smallbank (default kvwrite)\n"
+      "  --value-size=<bytes>         kvwrite value size (default 1)\n"
+      "  --key-space=<n>              shared-key pool size (default 1000)\n"
+      "  --batch-size=<n>             BatchSize (default 100)\n"
+      "  --batch-timeout=<s>          BatchTimeout (default 1.0)\n"
+      "  --seed=<n>                   RNG seed (default 42)\n"
+      "  --csv                        CSV output\n"
+      "  --help                       this text\n";
+}
+
+std::optional<std::string> ArgValue(const std::string& arg,
+                                    const std::string& key) {
+  const std::string prefix = key + "=";
+  if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  return std::nullopt;
+}
+
+bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+      return true;
+    }
+    if (arg == "--csv") {
+      out.csv = true;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--ordering")) {
+      if (*v == "solo") {
+        out.ordering = fabric::OrderingType::kSolo;
+      } else if (*v == "kafka") {
+        out.ordering = fabric::OrderingType::kKafka;
+      } else if (*v == "raft") {
+        out.ordering = fabric::OrderingType::kRaft;
+      } else {
+        error = "unknown ordering: " + *v;
+        return false;
+      }
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--workload")) {
+      if (*v == "kvwrite") {
+        out.workload = client::WorkloadKind::kKvWrite;
+      } else if (*v == "readwrite") {
+        out.workload = client::WorkloadKind::kKvReadWrite;
+      } else if (*v == "token") {
+        out.workload = client::WorkloadKind::kTokenTransfer;
+      } else if (*v == "smallbank") {
+        out.workload = client::WorkloadKind::kSmallBank;
+      } else {
+        error = "unknown workload: " + *v;
+        return false;
+      }
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--policy")) {
+      out.policy = *v;
+      continue;
+    }
+    auto number = [&](const char* key, auto& field) -> bool {
+      if (auto v = ArgValue(arg, key)) {
+        field = static_cast<std::decay_t<decltype(field)>>(std::stod(*v));
+        return true;
+      }
+      return false;
+    };
+    if (number("--rate", out.rate) || number("--duration", out.duration_s) ||
+        number("--peers", out.peers) ||
+        number("--committing-peers", out.committing_peers) ||
+        number("--clients", out.clients) || number("--osns", out.osns) ||
+        number("--brokers", out.brokers) ||
+        number("--zookeepers", out.zookeepers) ||
+        number("--channels", out.channels) ||
+        number("--value-size", out.value_size) ||
+        number("--key-space", out.key_space) ||
+        number("--batch-size", out.batch_size) ||
+        number("--batch-timeout", out.batch_timeout_s) ||
+        number("--seed", out.seed)) {
+      continue;
+    }
+    error = "unknown argument: " + arg;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  std::string error;
+  if (!Parse(argc, argv, cli, error)) {
+    std::cerr << "error: " << error << "\n\n";
+    PrintHelp();
+    return 2;
+  }
+  if (cli.help) {
+    PrintHelp();
+    return 0;
+  }
+
+  fabric::ExperimentConfig config;
+  config.network.topology.ordering = cli.ordering;
+  config.network.topology.endorsing_peers = cli.peers;
+  config.network.topology.committing_peers = cli.committing_peers;
+  config.network.topology.clients = cli.clients;
+  config.network.topology.osns = cli.osns;
+  config.network.topology.kafka_brokers = cli.brokers;
+  config.network.topology.zookeepers = cli.zookeepers;
+  config.network.channels = cli.channels;
+  config.network.channel.policy_expr = cli.policy;
+  config.network.channel.batch.max_message_count = cli.batch_size;
+  config.network.channel.batch.batch_timeout =
+      sim::FromSeconds(cli.batch_timeout_s);
+  config.network.seed = cli.seed;
+  config.workload.kind = cli.workload;
+  config.workload.rate_tps = cli.rate;
+  config.workload.duration = sim::FromSeconds(cli.duration_s);
+  config.workload.value_size = cli.value_size;
+  config.workload.key_space = cli.key_space;
+
+  const auto result = fabric::RunExperiment(config);
+  const auto& r = result.report;
+
+  metrics::Table table({"metric", "value"});
+  table.AddRow({"ordering", fabric::OrderingTypeName(cli.ordering)});
+  table.AddRow({"offered_tps", metrics::Fmt(cli.rate, 1)});
+  table.AddRow({"committed_tps", metrics::Fmt(r.end_to_end.throughput_tps, 1)});
+  table.AddRow({"e2e_latency_s", metrics::Fmt(r.end_to_end.mean_latency_s, 3)});
+  table.AddRow({"e2e_p95_s", metrics::Fmt(r.end_to_end.p95_latency_s, 3)});
+  table.AddRow({"execute_latency_s", metrics::Fmt(r.execute.mean_latency_s, 3)});
+  table.AddRow({"order_latency_s", metrics::Fmt(r.order.mean_latency_s, 3)});
+  table.AddRow(
+      {"validate_latency_s", metrics::Fmt(r.validate.mean_latency_s, 3)});
+  table.AddRow({"execute_tps", metrics::Fmt(r.execute.throughput_tps, 1)});
+  table.AddRow({"order_tps", metrics::Fmt(r.order.throughput_tps, 1)});
+  table.AddRow({"validate_tps", metrics::Fmt(r.validate.throughput_tps, 1)});
+  table.AddRow({"block_time_s", metrics::Fmt(r.mean_block_time_s, 2)});
+  table.AddRow({"txs_per_block", metrics::Fmt(r.mean_block_size, 1)});
+  table.AddRow({"invalid_txs", std::to_string(r.invalid)});
+  table.AddRow({"rejected_txs", std::to_string(result.client_rejected)});
+  table.AddRow({"chain_height", std::to_string(result.chain_height)});
+  table.AddRow({"chain_audit", result.chain_audit_ok ? "OK" : "FAILED"});
+  table.AddRow({"generated_rate_tps", metrics::Fmt(result.generated_rate_tps, 1)});
+  table.AddRow({"rate_check_fraction",
+                metrics::Fmt(result.generated_rate_check, 2)});
+  table.AddRow({"messages_sent", std::to_string(result.messages_sent)});
+  table.AddRow(
+      {"MB_on_wire",
+       metrics::Fmt(static_cast<double>(result.bytes_sent) / 1e6, 1)});
+
+  if (cli.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return result.chain_audit_ok ? 0 : 1;
+}
