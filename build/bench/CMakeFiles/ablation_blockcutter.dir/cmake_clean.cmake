@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blockcutter.dir/ablation_blockcutter.cpp.o"
+  "CMakeFiles/ablation_blockcutter.dir/ablation_blockcutter.cpp.o.d"
+  "ablation_blockcutter"
+  "ablation_blockcutter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blockcutter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

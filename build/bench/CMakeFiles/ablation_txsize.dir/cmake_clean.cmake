@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_txsize.dir/ablation_txsize.cpp.o"
+  "CMakeFiles/ablation_txsize.dir/ablation_txsize.cpp.o.d"
+  "ablation_txsize"
+  "ablation_txsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_txsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_phase_throughput_or.dir/fig4_phase_throughput_or.cpp.o"
+  "CMakeFiles/fig4_phase_throughput_or.dir/fig4_phase_throughput_or.cpp.o.d"
+  "fig4_phase_throughput_or"
+  "fig4_phase_throughput_or.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_phase_throughput_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_phase_throughput_and.dir/fig5_phase_throughput_and.cpp.o"
+  "CMakeFiles/fig5_phase_throughput_and.dir/fig5_phase_throughput_and.cpp.o.d"
+  "fig5_phase_throughput_and"
+  "fig5_phase_throughput_and.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_phase_throughput_and.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_phase_throughput_and.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_phase_latency_or.dir/fig6_phase_latency_or.cpp.o"
+  "CMakeFiles/fig6_phase_latency_or.dir/fig6_phase_latency_or.cpp.o.d"
+  "fig6_phase_latency_or"
+  "fig6_phase_latency_or.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_phase_latency_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

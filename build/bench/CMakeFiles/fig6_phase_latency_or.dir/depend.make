@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_phase_latency_or.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phase_latency_and.dir/fig7_phase_latency_and.cpp.o"
+  "CMakeFiles/fig7_phase_latency_and.dir/fig7_phase_latency_and.cpp.o.d"
+  "fig7_phase_latency_and"
+  "fig7_phase_latency_and.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phase_latency_and.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

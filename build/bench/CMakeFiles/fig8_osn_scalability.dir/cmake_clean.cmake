@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_osn_scalability.dir/fig8_osn_scalability.cpp.o"
+  "CMakeFiles/fig8_osn_scalability.dir/fig8_osn_scalability.cpp.o.d"
+  "fig8_osn_scalability"
+  "fig8_osn_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_osn_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

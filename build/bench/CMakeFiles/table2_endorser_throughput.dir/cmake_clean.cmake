@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_endorser_throughput.dir/table2_endorser_throughput.cpp.o"
+  "CMakeFiles/table2_endorser_throughput.dir/table2_endorser_throughput.cpp.o.d"
+  "table2_endorser_throughput"
+  "table2_endorser_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_endorser_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_endorser_latency.dir/table3_endorser_latency.cpp.o"
+  "CMakeFiles/table3_endorser_latency.dir/table3_endorser_latency.cpp.o.d"
+  "table3_endorser_latency"
+  "table3_endorser_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_endorser_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_app.dir/multichannel_app.cpp.o"
+  "CMakeFiles/multichannel_app.dir/multichannel_app.cpp.o.d"
+  "multichannel_app"
+  "multichannel_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_comparison.dir/ordering_comparison.cpp.o"
+  "CMakeFiles/ordering_comparison.dir/ordering_comparison.cpp.o.d"
+  "ordering_comparison"
+  "ordering_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

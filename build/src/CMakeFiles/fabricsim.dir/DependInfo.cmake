@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaincode/kvwrite.cpp" "src/CMakeFiles/fabricsim.dir/chaincode/kvwrite.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/kvwrite.cpp.o.d"
+  "/root/repo/src/chaincode/shim.cpp" "src/CMakeFiles/fabricsim.dir/chaincode/shim.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/shim.cpp.o.d"
+  "/root/repo/src/chaincode/smallbank.cpp" "src/CMakeFiles/fabricsim.dir/chaincode/smallbank.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/smallbank.cpp.o.d"
+  "/root/repo/src/chaincode/token.cpp" "src/CMakeFiles/fabricsim.dir/chaincode/token.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/chaincode/token.cpp.o.d"
+  "/root/repo/src/client/client.cpp" "src/CMakeFiles/fabricsim.dir/client/client.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/client/client.cpp.o.d"
+  "/root/repo/src/client/workload.cpp" "src/CMakeFiles/fabricsim.dir/client/workload.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/client/workload.cpp.o.d"
+  "/root/repo/src/crypto/ca.cpp" "src/CMakeFiles/fabricsim.dir/crypto/ca.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/crypto/ca.cpp.o.d"
+  "/root/repo/src/crypto/identity.cpp" "src/CMakeFiles/fabricsim.dir/crypto/identity.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/crypto/identity.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/CMakeFiles/fabricsim.dir/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/crypto/merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/fabricsim.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/CMakeFiles/fabricsim.dir/crypto/signature.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/crypto/signature.cpp.o.d"
+  "/root/repo/src/fabric/calibration.cpp" "src/CMakeFiles/fabricsim.dir/fabric/calibration.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/calibration.cpp.o.d"
+  "/root/repo/src/fabric/channel.cpp" "src/CMakeFiles/fabricsim.dir/fabric/channel.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/channel.cpp.o.d"
+  "/root/repo/src/fabric/experiment.cpp" "src/CMakeFiles/fabricsim.dir/fabric/experiment.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/experiment.cpp.o.d"
+  "/root/repo/src/fabric/network_builder.cpp" "src/CMakeFiles/fabricsim.dir/fabric/network_builder.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/network_builder.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/CMakeFiles/fabricsim.dir/fabric/topology.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/fabric/topology.cpp.o.d"
+  "/root/repo/src/ledger/block_store.cpp" "src/CMakeFiles/fabricsim.dir/ledger/block_store.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/block_store.cpp.o.d"
+  "/root/repo/src/ledger/blockchain.cpp" "src/CMakeFiles/fabricsim.dir/ledger/blockchain.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/blockchain.cpp.o.d"
+  "/root/repo/src/ledger/history_index.cpp" "src/CMakeFiles/fabricsim.dir/ledger/history_index.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/history_index.cpp.o.d"
+  "/root/repo/src/ledger/mvcc.cpp" "src/CMakeFiles/fabricsim.dir/ledger/mvcc.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/mvcc.cpp.o.d"
+  "/root/repo/src/ledger/state_db.cpp" "src/CMakeFiles/fabricsim.dir/ledger/state_db.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ledger/state_db.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/CMakeFiles/fabricsim.dir/metrics/histogram.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/metrics/histogram.cpp.o.d"
+  "/root/repo/src/metrics/phase_stats.cpp" "src/CMakeFiles/fabricsim.dir/metrics/phase_stats.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/metrics/phase_stats.cpp.o.d"
+  "/root/repo/src/metrics/rate_log.cpp" "src/CMakeFiles/fabricsim.dir/metrics/rate_log.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/metrics/rate_log.cpp.o.d"
+  "/root/repo/src/metrics/reporter.cpp" "src/CMakeFiles/fabricsim.dir/metrics/reporter.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/metrics/reporter.cpp.o.d"
+  "/root/repo/src/ordering/block_cutter.cpp" "src/CMakeFiles/fabricsim.dir/ordering/block_cutter.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/block_cutter.cpp.o.d"
+  "/root/repo/src/ordering/deliver.cpp" "src/CMakeFiles/fabricsim.dir/ordering/deliver.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/deliver.cpp.o.d"
+  "/root/repo/src/ordering/kafka_broker.cpp" "src/CMakeFiles/fabricsim.dir/ordering/kafka_broker.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/kafka_broker.cpp.o.d"
+  "/root/repo/src/ordering/kafka_orderer.cpp" "src/CMakeFiles/fabricsim.dir/ordering/kafka_orderer.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/kafka_orderer.cpp.o.d"
+  "/root/repo/src/ordering/osn_base.cpp" "src/CMakeFiles/fabricsim.dir/ordering/osn_base.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/osn_base.cpp.o.d"
+  "/root/repo/src/ordering/raft.cpp" "src/CMakeFiles/fabricsim.dir/ordering/raft.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/raft.cpp.o.d"
+  "/root/repo/src/ordering/raft_orderer.cpp" "src/CMakeFiles/fabricsim.dir/ordering/raft_orderer.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/raft_orderer.cpp.o.d"
+  "/root/repo/src/ordering/solo.cpp" "src/CMakeFiles/fabricsim.dir/ordering/solo.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/solo.cpp.o.d"
+  "/root/repo/src/ordering/zookeeper.cpp" "src/CMakeFiles/fabricsim.dir/ordering/zookeeper.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/ordering/zookeeper.cpp.o.d"
+  "/root/repo/src/peer/committer.cpp" "src/CMakeFiles/fabricsim.dir/peer/committer.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/committer.cpp.o.d"
+  "/root/repo/src/peer/endorser.cpp" "src/CMakeFiles/fabricsim.dir/peer/endorser.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/endorser.cpp.o.d"
+  "/root/repo/src/peer/peer_node.cpp" "src/CMakeFiles/fabricsim.dir/peer/peer_node.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/peer/peer_node.cpp.o.d"
+  "/root/repo/src/policy/evaluator.cpp" "src/CMakeFiles/fabricsim.dir/policy/evaluator.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/evaluator.cpp.o.d"
+  "/root/repo/src/policy/parser.cpp" "src/CMakeFiles/fabricsim.dir/policy/parser.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/parser.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/fabricsim.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/proto/block.cpp" "src/CMakeFiles/fabricsim.dir/proto/block.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/proto/block.cpp.o.d"
+  "/root/repo/src/proto/bytes.cpp" "src/CMakeFiles/fabricsim.dir/proto/bytes.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/proto/bytes.cpp.o.d"
+  "/root/repo/src/proto/proposal.cpp" "src/CMakeFiles/fabricsim.dir/proto/proposal.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/proto/proposal.cpp.o.d"
+  "/root/repo/src/proto/rwset.cpp" "src/CMakeFiles/fabricsim.dir/proto/rwset.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/proto/rwset.cpp.o.d"
+  "/root/repo/src/proto/transaction.cpp" "src/CMakeFiles/fabricsim.dir/proto/transaction.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/proto/transaction.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/fabricsim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/fabricsim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/fabricsim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/fabricsim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/fabricsim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/fabricsim.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

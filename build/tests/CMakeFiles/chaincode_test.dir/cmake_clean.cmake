@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaincode_test.dir/chaincode_test.cpp.o"
+  "CMakeFiles/chaincode_test.dir/chaincode_test.cpp.o.d"
+  "chaincode_test"
+  "chaincode_test.pdb"
+  "chaincode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaincode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

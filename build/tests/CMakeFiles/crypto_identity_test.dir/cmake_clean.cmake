@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_identity_test.dir/crypto_identity_test.cpp.o"
+  "CMakeFiles/crypto_identity_test.dir/crypto_identity_test.cpp.o.d"
+  "crypto_identity_test"
+  "crypto_identity_test.pdb"
+  "crypto_identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_test.dir/multichannel_test.cpp.o"
+  "CMakeFiles/multichannel_test.dir/multichannel_test.cpp.o.d"
+  "multichannel_test"
+  "multichannel_test.pdb"
+  "multichannel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

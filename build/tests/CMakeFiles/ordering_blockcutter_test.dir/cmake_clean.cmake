@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_blockcutter_test.dir/ordering_blockcutter_test.cpp.o"
+  "CMakeFiles/ordering_blockcutter_test.dir/ordering_blockcutter_test.cpp.o.d"
+  "ordering_blockcutter_test"
+  "ordering_blockcutter_test.pdb"
+  "ordering_blockcutter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_blockcutter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

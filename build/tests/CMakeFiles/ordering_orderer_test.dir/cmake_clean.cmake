@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_orderer_test.dir/ordering_orderer_test.cpp.o"
+  "CMakeFiles/ordering_orderer_test.dir/ordering_orderer_test.cpp.o.d"
+  "ordering_orderer_test"
+  "ordering_orderer_test.pdb"
+  "ordering_orderer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_orderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

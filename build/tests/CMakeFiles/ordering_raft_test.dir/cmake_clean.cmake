@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_raft_test.dir/ordering_raft_test.cpp.o"
+  "CMakeFiles/ordering_raft_test.dir/ordering_raft_test.cpp.o.d"
+  "ordering_raft_test"
+  "ordering_raft_test.pdb"
+  "ordering_raft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_raft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_services_test.dir/ordering_services_test.cpp.o"
+  "CMakeFiles/ordering_services_test.dir/ordering_services_test.cpp.o.d"
+  "ordering_services_test"
+  "ordering_services_test.pdb"
+  "ordering_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_committer_test.dir/peer_committer_test.cpp.o"
+  "CMakeFiles/peer_committer_test.dir/peer_committer_test.cpp.o.d"
+  "peer_committer_test"
+  "peer_committer_test.pdb"
+  "peer_committer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_committer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

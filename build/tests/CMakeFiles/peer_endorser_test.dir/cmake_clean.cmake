@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_endorser_test.dir/peer_endorser_test.cpp.o"
+  "CMakeFiles/peer_endorser_test.dir/peer_endorser_test.cpp.o.d"
+  "peer_endorser_test"
+  "peer_endorser_test.pdb"
+  "peer_endorser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_endorser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_log_test.dir/rate_log_test.cpp.o"
+  "CMakeFiles/rate_log_test.dir/rate_log_test.cpp.o.d"
+  "rate_log_test"
+  "rate_log_test.pdb"
+  "rate_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
