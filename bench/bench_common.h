@@ -4,20 +4,26 @@
 // optional flags:
 //   --quick        smaller sweeps / shorter windows (CI-friendly)
 //   --csv          emit CSV instead of aligned tables
+//   --attribution  trace every run and print the per-phase bottleneck
+//                  attribution after each measurement point
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fabric/experiment.h"
 #include "metrics/reporter.h"
+#include "obs/attribution.h"
+#include "obs/trace.h"
 
 namespace benchutil {
 
 struct Args {
   bool quick = false;
   bool csv = false;
+  bool attribution = false;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -26,8 +32,28 @@ inline Args ParseArgs(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--quick") out.quick = true;
     if (a == "--csv") out.csv = true;
+    if (a == "--attribution") out.attribution = true;
   }
   return out;
+}
+
+/// Runs one measurement point. With --attribution, a fresh Tracer is
+/// attached for just this run (bounding span memory across a sweep) and the
+/// per-phase latency decomposition is printed under `label`.
+inline fabricsim::fabric::ExperimentResult RunPoint(
+    fabricsim::fabric::ExperimentConfig config, const Args& args,
+    const std::string& label) {
+  std::optional<fabricsim::obs::Tracer> tracer;
+  if (args.attribution) {
+    tracer.emplace();
+    config.network.tracer = &*tracer;
+  }
+  auto result = fabricsim::fabric::RunExperiment(config);
+  if (result.attribution) {
+    std::cout << "attribution @ " << label << ":\n";
+    fabricsim::obs::PrintAttribution(*result.attribution, std::cout, args.csv);
+  }
+  return result;
 }
 
 inline void PrintTable(const fabricsim::metrics::Table& table,

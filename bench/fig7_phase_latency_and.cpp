@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
       fabric::ExperimentConfig config =
           fabric::StandardConfig(benchutil::OrderingAt(o), 5, rate);
       benchutil::Tune(config, args.quick);
-      const auto r = fabric::RunExperiment(config).report;
+      const std::string label = std::string(benchutil::kOrderings[o]) + " " +
+                                metrics::Fmt(rate, 0) + " tps";
+      const auto r = benchutil::RunPoint(config, args, label).report;
       table.AddRow({metrics::Fmt(rate, 0),
                     metrics::Fmt(r.execute.mean_latency_s, 2),
                     metrics::Fmt(r.order_and_validate.mean_latency_s, 2)});

@@ -1,5 +1,7 @@
 #include "client/client.h"
 
+#include "obs/trace.h"
+
 namespace fabricsim::client {
 
 Client::Client(sim::Environment& env, sim::Machine& machine,
@@ -61,12 +63,23 @@ void Client::Submit(proto::ChaincodeInvocation inv,
   pending.proposal = std::move(p);
   pending_.emplace(tx_id, std::move(pending));
 
+  const sim::SimTime enqueued = env_.Now();
   machine_.GetCpu().Submit(
       cal_.client_proposal_cpu,
-      [this, tx_id, proposal_built = std::move(proposal_built)] {
+      [this, tx_id, enqueued, proposal_built = std::move(proposal_built)] {
+        if (auto* tr = env_.Trace()) {
+          tr->RecordResourceSpan(
+              tr->PidFor(machine_.Name()), "client.proposal", tx_id, enqueued,
+              env_.Now(),
+              machine_.GetCpu().ScaledCost(cal_.client_proposal_cpu));
+        }
         // Event-loop / MSP latency before the proposals reach the wire.
-        env_.Sched().ScheduleAfter(Jittered(cal_.client_sdk_pre_latency),
-                                   [this, tx_id] { SendProposals(tx_id); });
+        const sim::SimDuration pre = Jittered(cal_.client_sdk_pre_latency);
+        if (auto* tr = env_.Trace()) {
+          tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kService,
+                     "client.sdk_pre", tx_id, env_.Now(), env_.Now() + pre);
+        }
+        env_.Sched().ScheduleAfter(pre, [this, tx_id] { SendProposals(tx_id); });
         if (proposal_built) proposal_built();
       });
 }
@@ -94,7 +107,7 @@ void Client::SendProposals(const std::string& tx_id) {
   for (sim::NodeId target : tx.targets) {
     env_.Net().Send(net_id_, target,
                     std::make_shared<peer::EndorseRequestMsg>(signed_proposal,
-                                                              wire));
+                                                              wire, env_.Now()));
   }
   tx.endorse_timer =
       env_.Sched().ScheduleAfter(config_.endorse_timeout, [this, tx_id] {
@@ -111,10 +124,24 @@ void Client::SendProposals(const std::string& tx_id) {
 void Client::OnMessage(sim::NodeId /*from*/, const sim::MessagePtr& msg) {
   if (auto resp = std::dynamic_pointer_cast<const peer::EndorseResponseMsg>(
           msg)) {
+    if (auto* tr = env_.Trace()) {
+      tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kWire,
+                 "rpc.endorse_resp", resp->Response().tx_id, resp->SentAt(),
+                 env_.Now());
+    }
     // Response handling costs event-loop CPU whether or not it succeeds.
+    const sim::SimTime enqueued = env_.Now();
     machine_.GetCpu().Submit(
         cal_.client_per_response_cpu,
-        [this, response = resp->Response()] { OnEndorseResponse(response); });
+        [this, enqueued, response = resp->Response()] {
+          if (auto* tr = env_.Trace()) {
+            tr->RecordResourceSpan(
+                tr->PidFor(machine_.Name()), "client.response", response.tx_id,
+                enqueued, env_.Now(),
+                machine_.GetCpu().ScaledCost(cal_.client_per_response_cpu));
+          }
+          OnEndorseResponse(response);
+        });
     return;
   }
   if (auto ack =
@@ -168,9 +195,19 @@ void Client::FinishEndorsement(const std::string& tx_id) {
     }
   }
 
-  machine_.GetCpu().Submit(cal_.client_envelope_cpu, [this, tx_id] {
-    env_.Sched().ScheduleAfter(Jittered(cal_.client_sdk_post_latency),
-                               [this, tx_id] { BroadcastEnvelope(tx_id); });
+  const sim::SimTime enqueued = env_.Now();
+  machine_.GetCpu().Submit(cal_.client_envelope_cpu, [this, tx_id, enqueued] {
+    if (auto* tr = env_.Trace()) {
+      tr->RecordResourceSpan(
+          tr->PidFor(machine_.Name()), "client.envelope", tx_id, enqueued,
+          env_.Now(), machine_.GetCpu().ScaledCost(cal_.client_envelope_cpu));
+    }
+    const sim::SimDuration post = Jittered(cal_.client_sdk_post_latency);
+    if (auto* tr = env_.Trace()) {
+      tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kService,
+                 "client.sdk_post", tx_id, env_.Now(), env_.Now() + post);
+    }
+    env_.Sched().ScheduleAfter(post, [this, tx_id] { BroadcastEnvelope(tx_id); });
   });
 }
 
@@ -200,7 +237,7 @@ void Client::BroadcastEnvelope(const std::string& tx_id) {
   ++tx.broadcast_attempts;
   env_.Net().Send(net_id_, orderer_,
                   std::make_shared<ordering::BroadcastEnvelopeMsg>(
-                      tx.envelope, tx.envelope_bytes));
+                      tx.envelope, tx.envelope_bytes, env_.Now()));
   tx.broadcast_timer =
       env_.Sched().ScheduleAfter(cal_.broadcast_timeout, [this, tx_id] {
         auto pit = pending_.find(tx_id);

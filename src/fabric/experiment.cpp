@@ -1,10 +1,50 @@
 #include "fabric/experiment.h"
 
+#include <string_view>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace fabricsim::fabric {
+
+namespace {
+
+/// Maps a machine to the Fabric phase its saturation would explain, by the
+/// builder's naming convention.
+const char* PhaseOfMachine(std::string_view name) {
+  if (name.starts_with("peer-machine") || name.starts_with("client-machine")) {
+    return "execute";
+  }
+  if (name.starts_with("validator-machine")) return "validate";
+  return "order";  // orderer-, broker-, zk- machines
+}
+
+std::vector<obs::ResourceUsage> CollectUsage(FabricNetwork& net,
+                                             sim::SimTime t0, sim::SimTime t1) {
+  std::vector<obs::ResourceUsage> usage;
+  sim::Environment& env = net.Env();
+  for (std::size_t i = 0; i < env.MachineCount(); ++i) {
+    const sim::Machine& m = env.MachineAt(i);
+    usage.push_back(
+        {m.Name(), PhaseOfMachine(m.Name()), m.GetCpu().Utilization(t0, t1)});
+  }
+  const peer::PeerNode& validator = net.ValidatorPeer();
+  usage.push_back({"validator disk", "validate",
+                   validator.Disk().Utilization(t0, t1)});
+  return usage;
+}
+
+}  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   FabricNetwork net(config.network);
   net.Start();
+
+  if (config.telemetry != nullptr) {
+    config.telemetry->Monitor(net.Env());
+    config.telemetry->AddCpu("validator disk", &net.ValidatorPeer().Disk());
+    config.telemetry->Start(net.Env().Sched());
+  }
 
   // The workload opens after the warm-up and runs through the window.
   client::WorkloadConfig wl = config.workload;
@@ -15,6 +55,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const sim::SimTime window_start = config.warmup;
   const sim::SimTime window_end = config.warmup + wl.duration;
   net.Env().Sched().RunUntil(window_end + config.drain);
+  if (config.telemetry != nullptr) config.telemetry->Stop();
 
   ExperimentResult out;
   // Measure with a short lead-in skipped so queues are in steady state.
@@ -37,6 +78,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   out.chain_audit_ok = chain.Audit().ok;
   out.messages_sent = net.Env().Net().MessagesSent();
   out.bytes_sent = net.Env().Net().BytesSent();
+  if (config.network.tracer != nullptr) {
+    out.attribution = obs::BuildAttribution(
+        *config.network.tracer, net.Tracker(), measure_start, window_end,
+        CollectUsage(net, measure_start, window_end));
+  }
   return out;
 }
 

@@ -5,11 +5,17 @@
 // throughput and latency, block time, rejections).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "client/workload.h"
 #include "fabric/network_builder.h"
 #include "metrics/phase_stats.h"
+#include "obs/attribution.h"
+
+namespace fabricsim::obs {
+class TelemetrySampler;
+}  // namespace fabricsim::obs
 
 namespace fabricsim::fabric {
 
@@ -20,6 +26,9 @@ struct ExperimentConfig {
   sim::SimDuration warmup = sim::FromSeconds(10);
   /// Time after the window closes, letting in-flight transactions commit.
   sim::SimDuration drain = sim::FromSeconds(15);
+  /// Optional resource-telemetry sampler: monitored over the whole run
+  /// (machine CPUs, validator disk, network bytes-in-flight). Not owned.
+  obs::TelemetrySampler* telemetry = nullptr;
 };
 
 struct ExperimentResult {
@@ -37,6 +46,9 @@ struct ExperimentResult {
   /// window, and the fraction of 1 s windows within 25% of the target.
   double generated_rate_tps = 0.0;
   double generated_rate_check = 0.0;
+  /// Present iff the experiment ran with `network.tracer` attached: the
+  /// per-phase service/queue/wire latency decomposition + verdicts.
+  std::optional<obs::AttributionReport> attribution;
 };
 
 /// Runs one experiment to completion (simulated time, wall-clock fast).

@@ -11,6 +11,7 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
       policy_(ResolvePolicy(options_.channel,
                             options_.topology.endorsing_peers)) {
   if (options_.channels < 1) options_.channels = 1;
+  env_->SetTracer(options_.tracer);
 
   chaincodes_->Install(std::make_shared<chaincode::KvWriteChaincode>());
   chaincodes_->Install(std::make_shared<chaincode::TokenChaincode>());

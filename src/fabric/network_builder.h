@@ -30,6 +30,10 @@
 #include "ordering/solo.h"
 #include "peer/peer_node.h"
 
+namespace fabricsim::obs {
+class Tracer;
+}  // namespace fabricsim::obs
+
 namespace fabricsim::fabric {
 
 struct NetworkOptions {
@@ -50,6 +54,10 @@ struct NetworkOptions {
   /// Accounts pre-seeded for the token/smallbank chaincodes (per channel).
   std::size_t seeded_accounts = 1000;
   std::int64_t seeded_balance = 1'000'000;
+  /// Optional span tracer, attached to the environment before any component
+  /// is built. Not owned; must outlive the network. nullptr = tracing off
+  /// (zero overhead).
+  obs::Tracer* tracer = nullptr;
 };
 
 class FabricNetwork {

@@ -71,6 +71,12 @@ class TxTracker {
   [[nodiscard]] const TxRecord* Find(const std::string& tx_id) const;
   [[nodiscard]] std::size_t TxCount() const { return records_.size(); }
 
+  /// All per-transaction records (for attribution and post-hoc analysis).
+  [[nodiscard]] const std::unordered_map<std::string, TxRecord>& Records()
+      const {
+    return records_;
+  }
+
   /// Builds the report over [window_start, window_end]; a transaction counts
   /// toward a phase iff the phase *completed* inside the window (the paper's
   /// committed-rate definition of throughput).

@@ -1,0 +1,195 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/reporter.h"
+
+namespace fabricsim::obs {
+
+namespace {
+
+/// A span clipped to one phase's interval.
+struct Clipped {
+  sim::SimTime begin;
+  sim::SimTime end;
+  SpanKind kind;
+};
+
+/// Priority for overlap resolution: lower wins. If any resource is actively
+/// serving the transaction, the time is service, even if another copy of it
+/// is queued elsewhere (parallel endorsement).
+int KindPriority(SpanKind k) {
+  switch (k) {
+    case SpanKind::kService:
+      return 0;
+    case SpanKind::kQueue:
+      return 1;
+    case SpanKind::kWire:
+      return 2;
+    case SpanKind::kOther:
+      return 3;
+  }
+  return 3;
+}
+
+/// Per-transaction totals in nanoseconds, by kind, plus uncovered time.
+struct SweepTotals {
+  double by_kind[4] = {0, 0, 0, 0};
+  double uncovered = 0;
+};
+
+/// Sweeps the elementary intervals of [a, b] induced by the clipped spans,
+/// charging each to the highest-priority covering kind.
+SweepTotals Sweep(const std::vector<Clipped>& spans, sim::SimTime a,
+                  sim::SimTime b) {
+  SweepTotals out;
+  std::vector<sim::SimTime> cuts;
+  cuts.reserve(spans.size() * 2 + 2);
+  cuts.push_back(a);
+  cuts.push_back(b);
+  for (const Clipped& s : spans) {
+    cuts.push_back(s.begin);
+    cuts.push_back(s.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const sim::SimTime lo = cuts[i];
+    const sim::SimTime hi = cuts[i + 1];
+    int best = 4;
+    for (const Clipped& s : spans) {
+      if (s.begin <= lo && s.end >= hi) {
+        best = std::min(best, KindPriority(s.kind));
+        if (best == 0) break;
+      }
+    }
+    const double len = static_cast<double>(hi - lo);
+    if (best == 4) {
+      out.uncovered += len;
+    } else {
+      static constexpr SpanKind kByPriority[4] = {
+          SpanKind::kService, SpanKind::kQueue, SpanKind::kWire,
+          SpanKind::kOther};
+      out.by_kind[static_cast<int>(kByPriority[best])] += len;
+    }
+  }
+  return out;
+}
+
+std::string MakeVerdict(const PhaseBreakdown& b, const std::string& phase,
+                        const std::vector<ResourceUsage>& resources) {
+  std::string verdict = b.dominant + "-bound";
+  const ResourceUsage* top = nullptr;
+  for (const ResourceUsage& r : resources) {
+    if (r.phase != phase) continue;
+    if (top == nullptr || r.utilization > top->utilization) top = &r;
+  }
+  if (top != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " (%.0f%% util)", top->utilization * 100.0);
+    verdict += "; most saturated: " + top->name + buf;
+  }
+  return verdict;
+}
+
+}  // namespace
+
+AttributionReport BuildAttribution(const Tracer& tracer,
+                                   const metrics::TxTracker& tracker,
+                                   sim::SimTime window_start,
+                                   sim::SimTime window_end,
+                                   const std::vector<ResourceUsage>& resources) {
+  const auto by_key = tracer.SpansByKey();
+
+  struct PhaseAccum {
+    double total = 0, service = 0, queue = 0, wire = 0, other = 0;
+    std::uint64_t n = 0;
+  };
+  PhaseAccum acc[3];  // execute, order, validate
+
+  for (const auto& [tx_id, rec] : tracker.Records()) {
+    const sim::SimTime starts[3] = {rec.submitted, rec.endorsed, rec.ordered};
+    const sim::SimTime ends[3] = {rec.endorsed, rec.ordered, rec.committed};
+    const auto spans_it = by_key.find(tx_id);
+    for (int p = 0; p < 3; ++p) {
+      const sim::SimTime a = starts[p];
+      const sim::SimTime b = ends[p];
+      // Same rule as TxTracker::BuildReport: the phase counts iff it
+      // completed inside the window.
+      if (a < 0 || b < 0 || b < window_start || b > window_end) continue;
+      std::vector<Clipped> clipped;
+      if (spans_it != by_key.end()) {
+        for (const Span* s : spans_it->second) {
+          const sim::SimTime lo = std::max(s->begin, a);
+          const sim::SimTime hi = std::min(s->end, b);
+          if (hi > lo) clipped.push_back({lo, hi, s->kind});
+        }
+      }
+      const SweepTotals t = Sweep(clipped, a, b);
+      PhaseAccum& pa = acc[p];
+      pa.total += static_cast<double>(b - a);
+      pa.service += t.by_kind[static_cast<int>(SpanKind::kService)];
+      pa.queue += t.by_kind[static_cast<int>(SpanKind::kQueue)];
+      pa.wire += t.by_kind[static_cast<int>(SpanKind::kWire)];
+      pa.other += t.uncovered + t.by_kind[static_cast<int>(SpanKind::kOther)];
+      ++pa.n;
+    }
+  }
+
+  AttributionReport report;
+  PhaseBreakdown* phases[3] = {&report.execute, &report.order,
+                               &report.validate};
+  const char* names[3] = {"execute", "order", "validate"};
+  for (int p = 0; p < 3; ++p) {
+    PhaseBreakdown& b = *phases[p];
+    const PhaseAccum& pa = acc[p];
+    b.tx_count = pa.n;
+    if (pa.n == 0) {
+      b.dominant = "other";
+      b.verdict = "no data";
+      continue;
+    }
+    const double inv = 1.0 / (static_cast<double>(pa.n) * 1e6);  // ns -> ms
+    b.mean_total_ms = pa.total * inv;
+    b.service_ms = pa.service * inv;
+    b.queue_ms = pa.queue * inv;
+    b.wire_ms = pa.wire * inv;
+    b.other_ms = pa.other * inv;
+    const double vals[4] = {b.service_ms, b.queue_ms, b.wire_ms, b.other_ms};
+    const char* labels[4] = {"service", "queue", "wire", "other"};
+    int best = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (vals[i] > vals[best]) best = i;
+    }
+    b.dominant = labels[best];
+    b.verdict = MakeVerdict(b, names[p], resources);
+  }
+  return report;
+}
+
+void PrintAttribution(const AttributionReport& report, std::ostream& os,
+                      bool csv) {
+  metrics::Table table({"phase", "txs", "total_ms", "service_ms", "queue_ms",
+                        "wire_ms", "other_ms", "verdict"});
+  const PhaseBreakdown* phases[3] = {&report.execute, &report.order,
+                                     &report.validate};
+  const char* names[3] = {"execute", "order", "validate"};
+  for (int p = 0; p < 3; ++p) {
+    const PhaseBreakdown& b = *phases[p];
+    table.AddRow({names[p], std::to_string(b.tx_count),
+                  metrics::Fmt(b.mean_total_ms, 2),
+                  metrics::Fmt(b.service_ms, 2), metrics::Fmt(b.queue_ms, 2),
+                  metrics::Fmt(b.wire_ms, 2), metrics::Fmt(b.other_ms, 2),
+                  b.verdict});
+  }
+  if (csv) {
+    table.PrintCsv(os);
+  } else {
+    table.Print(os);
+  }
+}
+
+}  // namespace fabricsim::obs

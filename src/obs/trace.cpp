@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+namespace fabricsim::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kService:
+      return "service";
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kWire:
+      return "wire";
+    case SpanKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+int Tracer::PidFor(const std::string& process_name) {
+  auto it = pids_.find(process_name);
+  if (it != pids_.end()) return it->second;
+  const int pid = static_cast<int>(pid_names_.size());
+  pids_.emplace(process_name, pid);
+  pid_names_.push_back(process_name);
+  return pid;
+}
+
+void Tracer::Record(int pid, SpanKind kind, std::string name, std::string key,
+                    sim::SimTime begin, sim::SimTime end) {
+  if (end < begin) end = begin;
+  Span s;
+  s.name = std::move(name);
+  s.key = std::move(key);
+  s.kind = kind;
+  s.pid = pid;
+  s.begin = begin;
+  s.end = end;
+  spans_.push_back(std::move(s));
+}
+
+void Tracer::RecordResourceSpan(int pid, const std::string& name,
+                                const std::string& key, sim::SimTime enqueued,
+                                sim::SimTime end, sim::SimDuration service) {
+  if (service < 0) service = 0;
+  sim::SimTime start = end - service;
+  if (start < enqueued) start = enqueued;  // clamp (zero-cost jobs)
+  if (start > enqueued) {
+    Record(pid, SpanKind::kQueue, name + ".queue", key, enqueued, start);
+  }
+  if (end > start) {
+    Record(pid, SpanKind::kService, name, key, start, end);
+  }
+}
+
+void Tracer::Begin(int pid, SpanKind kind, const std::string& name,
+                   const std::string& key, sim::SimTime now) {
+  open_.emplace(key + '\x1f' + name, OpenSpan{kind, pid, now});
+}
+
+void Tracer::End(const std::string& key, const std::string& name,
+                 sim::SimTime now) {
+  auto it = open_.find(key + '\x1f' + name);
+  if (it == open_.end()) return;
+  Record(it->second.pid, it->second.kind, name, key, it->second.begin, now);
+  open_.erase(it);
+}
+
+std::unordered_map<std::string, std::vector<const Span*>> Tracer::SpansByKey()
+    const {
+  std::unordered_map<std::string, std::vector<const Span*>> out;
+  for (const Span& s : spans_) {
+    if (!s.key.empty()) out[s.key].push_back(&s);
+  }
+  return out;
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome trace timestamps are microseconds; keep sub-microsecond precision
+/// by emitting fractional values.
+void WriteMicros(std::ostream& os, sim::SimTime t) {
+  const auto us = t / 1000;
+  const auto frac = t % 1000;
+  os << us;
+  if (frac != 0) {
+    os << '.';
+    os << (frac / 100) << ((frac / 10) % 10) << (frac % 10);
+  }
+}
+
+}  // namespace
+
+void Tracer::ExportChromeTrace(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  for (std::size_t pid = 0; pid < pid_names_.size(); ++pid) {
+    sep();
+    os << R"({"name":"process_name","ph":"M","pid":)" << pid
+       << R"(,"tid":0,"args":{"name":)";
+    WriteJsonString(os, pid_names_[pid]);
+    os << "}}";
+    // One named track per span kind, so service/queue/wire separate visually.
+    for (int tid = 0; tid < 4; ++tid) {
+      sep();
+      os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)"
+         << tid << R"(,"args":{"name":")"
+         << SpanKindName(static_cast<SpanKind>(tid)) << "\"}}";
+    }
+  }
+
+  for (const Span& s : spans_) {
+    sep();
+    os << R"({"name":)";
+    WriteJsonString(os, s.name);
+    os << R"(,"cat":")" << SpanKindName(s.kind) << R"(","ph":"X","ts":)";
+    WriteMicros(os, s.begin);
+    os << R"(,"dur":)";
+    WriteMicros(os, s.end - s.begin);
+    os << R"(,"pid":)" << s.pid << R"(,"tid":)" << static_cast<int>(s.kind);
+    if (!s.key.empty()) {
+      os << R"(,"args":{"key":)";
+      WriteJsonString(os, s.key);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace fabricsim::obs

@@ -1,0 +1,108 @@
+// Span tracing for the simulated Fabric network.
+//
+// A `Tracer` records structured spans — named intervals of simulated time,
+// attached to a process (machine) and usually keyed by a transaction or
+// block id — for every sub-step of a transaction's life: proposal build,
+// endorsement RPC per endorser, signature verify, chaincode execute,
+// orderer verify, batching + consensus, block assembly, deliver, VSCC per
+// transaction, and the serial MVCC + ledger write. Each span carries a
+// `SpanKind` classifying its time as resource *service*, resource *queueing*,
+// or *wire* transfer, which is what the bottleneck-attribution report (see
+// attribution.h) consumes.
+//
+// Tracing is opt-in and zero-overhead when disabled: components reach the
+// tracer through `sim::Environment::Trace()`, which returns nullptr unless a
+// tracer was attached, and every call site guards on that pointer. The
+// tracer itself schedules nothing and mutates nothing in the simulation, so
+// attaching it cannot perturb results.
+//
+// A whole run can be exported as Chrome trace-event JSON (the "JSON array
+// format") and opened in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fabricsim::obs {
+
+/// What a span's time was spent on, for bottleneck attribution.
+enum class SpanKind : std::uint8_t {
+  kService,  // a resource (CPU core, disk) actively working on the item
+  kQueue,    // waiting for a resource (CPU queue, batch buffer, commit order)
+  kWire,     // on the network (serialization + propagation)
+  kOther,    // anything else worth seeing in the trace viewer
+};
+
+[[nodiscard]] const char* SpanKindName(SpanKind kind);
+
+/// One closed span. `key` groups spans belonging to the same transaction or
+/// block ("tx id" or "block:<channel>:<number>"); empty for free spans.
+struct Span {
+  std::string name;
+  std::string key;
+  SpanKind kind = SpanKind::kOther;
+  int pid = 0;  // process id from Tracer::PidFor
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Stable process id for a machine/process name (registers on first use);
+  /// exported as the Chrome trace pid with a process_name metadata record.
+  int PidFor(const std::string& process_name);
+
+  /// Records a closed span directly.
+  void Record(int pid, SpanKind kind, std::string name, std::string key,
+              sim::SimTime begin, sim::SimTime end);
+
+  /// Records the two halves of a completed FIFO-resource job as a queue span
+  /// [enqueued, end - service] and a service span [end - service, end].
+  /// Degenerate halves (zero length) are skipped.
+  void RecordResourceSpan(int pid, const std::string& name,
+                          const std::string& key, sim::SimTime enqueued,
+                          sim::SimTime end, sim::SimDuration service);
+
+  /// Opens a span keyed (key, name); a second Begin for an open span is
+  /// ignored (first wins, matching at-most-once phase semantics).
+  void Begin(int pid, SpanKind kind, const std::string& name,
+             const std::string& key, sim::SimTime now);
+
+  /// Closes an open span; End without a matching Begin (or after the span
+  /// already closed) is a no-op.
+  void End(const std::string& key, const std::string& name, sim::SimTime now);
+
+  [[nodiscard]] const std::vector<Span>& Spans() const { return spans_; }
+  [[nodiscard]] std::size_t EventCount() const { return spans_.size(); }
+
+  /// Spans grouped by key (transaction id), built on demand for attribution.
+  [[nodiscard]] std::unordered_map<std::string, std::vector<const Span*>>
+  SpansByKey() const;
+
+  /// Writes the whole trace as Chrome trace-event JSON ("X" complete events
+  /// plus process_name metadata), timestamps in microseconds.
+  void ExportChromeTrace(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::unordered_map<std::string, int> pids_;
+  std::vector<std::string> pid_names_;
+  // Open Begin/End spans keyed "key\x1fname".
+  struct OpenSpan {
+    SpanKind kind;
+    int pid;
+    sim::SimTime begin;
+  };
+  std::unordered_map<std::string, OpenSpan> open_;
+};
+
+}  // namespace fabricsim::obs

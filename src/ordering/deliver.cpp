@@ -35,7 +35,7 @@ void DeliverService::Deliver(const AssembledBlock& b) {
   for (sim::NodeId peer : subscribers_) {
     net_.Send(self_, peer,
               std::make_shared<DeliverBlockMsg>(b.block, b.wire_size,
-                                                channel_id_));
+                                                channel_id_, net_.Now()));
   }
 }
 

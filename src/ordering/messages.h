@@ -17,18 +17,22 @@ namespace fabricsim::ordering {
 /// Client -> OSN: submit one envelope for ordering (Broadcast RPC).
 class BroadcastEnvelopeMsg final : public sim::Message {
  public:
-  BroadcastEnvelopeMsg(EnvelopePtr env, std::size_t wire_size)
-      : env_(std::move(env)), wire_size_(wire_size) {}
+  BroadcastEnvelopeMsg(EnvelopePtr env, std::size_t wire_size,
+                       sim::SimTime sent_at = 0)
+      : env_(std::move(env)), wire_size_(wire_size), sent_at_(sent_at) {}
 
   [[nodiscard]] const EnvelopePtr& Envelope() const { return env_; }
   [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
   [[nodiscard]] std::string TypeName() const override {
     return "BroadcastEnvelope";
   }
+  /// Send timestamp, for wire-time spans (0 when tracing is off).
+  [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
 
  private:
   EnvelopePtr env_;
   std::size_t wire_size_;
+  sim::SimTime sent_at_;
 };
 
 /// OSN -> client: broadcast accepted/rejected.
@@ -72,20 +76,25 @@ class ForwardEnvelopeMsg final : public sim::Message {
 class DeliverBlockMsg final : public sim::Message {
  public:
   DeliverBlockMsg(proto::BlockPtr block, std::size_t wire_size,
-                  std::string channel_id = "mychannel")
+                  std::string channel_id = "mychannel",
+                  sim::SimTime sent_at = 0)
       : block_(std::move(block)),
         wire_size_(wire_size),
-        channel_id_(std::move(channel_id)) {}
+        channel_id_(std::move(channel_id)),
+        sent_at_(sent_at) {}
 
   [[nodiscard]] const proto::BlockPtr& GetBlock() const { return block_; }
   [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
   [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
   [[nodiscard]] std::string TypeName() const override { return "DeliverBlock"; }
+  /// Send timestamp, for wire-time spans (0 when tracing is off).
+  [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
 
  private:
   proto::BlockPtr block_;
   std::size_t wire_size_;
   std::string channel_id_;
+  sim::SimTime sent_at_;
 };
 
 // --------------------------------------------------------------------- raft

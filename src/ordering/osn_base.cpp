@@ -1,5 +1,7 @@
 #include "ordering/osn_base.h"
 
+#include "obs/trace.h"
+
 namespace fabricsim::ordering {
 
 OsnBase::OsnBase(sim::Environment& env, sim::Machine& machine,
@@ -31,12 +33,30 @@ void OsnBase::SetGenesis(const proto::Block& genesis) {
 void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (auto bc = std::dynamic_pointer_cast<const BroadcastEnvelopeMsg>(msg)) {
     broadcast_log_.Record(env_.Now());
+    if (auto* tr = env_.Trace()) {
+      tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kWire,
+                 "rpc.broadcast", bc->Envelope()->tx_id, bc->SentAt(),
+                 env_.Now());
+    }
     // Charge envelope unmarshal + signature/policy verification, then hand
     // to the consenter and ack the client.
+    const sim::SimTime enqueued = env_.Now();
     machine_.GetCpu().Submit(
         cal_.orderer_verify_cpu,
-        [this, from, env = bc->Envelope(), size = bc->WireSize()]() {
+        [this, from, enqueued, env = bc->Envelope(), size = bc->WireSize()]() {
+          if (auto* tr = env_.Trace()) {
+            tr->RecordResourceSpan(
+                tr->PidFor(machine_.Name()), "orderer.verify", env->tx_id,
+                enqueued, env_.Now(),
+                machine_.GetCpu().ScaledCost(cal_.orderer_verify_cpu));
+          }
           const bool ok = AcceptEnvelope(env, size);
+          if (auto* tr = env_.Trace(); tr != nullptr && ok) {
+            // Open until the tx lands in a delivered block: batching wait +
+            // consensus replication + assembly, the whole ordering pipeline.
+            tr->Begin(tr->PidFor(machine_.Name()), obs::SpanKind::kQueue,
+                      "order.consensus", env->tx_id, env_.Now());
+          }
           env_.Net().Send(net_id_, from,
                           std::make_shared<BroadcastAckMsg>(env->tx_id, ok));
         },
@@ -54,8 +74,12 @@ void OsnBase::FinishBlock(AssembledBlock b) {
     const AssembledBlock& ready = it->second;
     if (tracker_ != nullptr) {
       tracker_->RecordBlockCut(env_.Now(), ready.block->TxCount());
+      auto* tr = env_.Trace();
       for (const auto& tx : ready.block->transactions) {
         tracker_->MarkOrdered(tx.tx_id, env_.Now());
+        // Close exactly where MarkOrdered stamps the phase boundary (the
+        // span may have been opened on a different OSN instance).
+        if (tr != nullptr) tr->End(tx.tx_id, "order.consensus", env_.Now());
       }
     }
     ++delivered_blocks_;
@@ -71,8 +95,18 @@ void OsnBase::AssembleAsync(Batch batch,
   // before surfacing the block to the consenter.
   AssembledBlock built = assembler_.Assemble(batch);
   const sim::SimDuration cost = built.cpu_cost;
+  const sim::SimTime enqueued = env_.Now();
   machine_.GetCpu().Submit(
-      cost, [built = std::move(built), done = std::move(done)]() mutable {
+      cost,
+      [this, cost, enqueued, built = std::move(built),
+       done = std::move(done)]() mutable {
+        if (auto* tr = env_.Trace()) {
+          tr->RecordResourceSpan(
+              tr->PidFor(machine_.Name()), "block.assemble",
+              "block:" + channel_id_ + ":" +
+                  std::to_string(built.block->header.number),
+              enqueued, env_.Now(), machine_.GetCpu().ScaledCost(cost));
+        }
         done(std::move(built));
       });
 }

@@ -1,5 +1,7 @@
 #include "ordering/raft_orderer.h"
 
+#include "obs/trace.h"
+
 namespace fabricsim::ordering {
 
 RaftOrderer::RaftOrderer(sim::Environment& env, sim::Machine& machine,
@@ -92,6 +94,13 @@ void RaftOrderer::ProposeBatch(Batch batch) {
     // Leadership may have moved while the CPU was busy; dropping the block
     // here mirrors Fabric (clients learn via missing commit events).
     if (raft_->IsLeader()) {
+      if (auto* tr = env_.Trace()) {
+        tr->Begin(tr->PidFor(machine_.Name()), obs::SpanKind::kWire,
+                  "raft.replicate",
+                  "block:" + channel_id_ + ":" +
+                      std::to_string(built.block->header.number),
+                  env_.Now());
+      }
       raft_->Propose(built.block, built.wire_size);
     }
   });
@@ -99,6 +108,12 @@ void RaftOrderer::ProposeBatch(Batch batch) {
 
 void RaftOrderer::OnCommitted(std::uint64_t index, const RaftEntry& entry) {
   last_delivered_raft_index_ = index;
+  if (auto* tr = env_.Trace()) {
+    // First OSN to learn of the commit closes the replication span.
+    tr->End("block:" + channel_id_ + ":" +
+                std::to_string(entry.block->header.number),
+            "raft.replicate", env_.Now());
+  }
   AssembledBlock b;
   b.block = entry.block;
   b.wire_size = entry.block_bytes;

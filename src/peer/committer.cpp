@@ -1,5 +1,7 @@
 #include "peer/committer.h"
 
+#include "obs/trace.h"
+
 namespace fabricsim::peer {
 
 Committer::Committer(sim::Environment& env, sim::Machine& machine,
@@ -86,18 +88,29 @@ void Committer::StartVscc(std::uint64_t number) {
     return;
   }
 
+  const bool tracing = env_.Trace() != nullptr && tracker_ != nullptr;
+  if (tracing) pb.vscc_done_at.assign(pb.block->transactions.size(), 0);
+
   // Fan one VSCC job per transaction onto the peer CPU (worker pool).
+  const sim::SimTime enqueued = env_.Now();
   for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
     const auto& tx = pb.block->transactions[i];
     const sim::SimDuration cost =
         cal_.vscc_base_cpu +
         static_cast<sim::SimDuration>(tx.endorsements.size()) *
             cal_.vscc_per_endorsement_cpu;
-    machine_.GetCpu().Submit(cost, [this, number, i] {
+    machine_.GetCpu().Submit(cost, [this, number, i, cost, enqueued] {
       auto pit = pending_.find(number);
       if (pit == pending_.end()) return;
       PendingBlock& blk = pit->second;
       blk.vscc_codes[i] = Vscc(blk.block->transactions[i]);
+      if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
+        tr->RecordResourceSpan(tr->PidFor(machine_.Name()), "vscc",
+                               blk.block->transactions[i].tx_id, enqueued,
+                               env_.Now(),
+                               machine_.GetCpu().ScaledCost(cost));
+        if (i < blk.vscc_done_at.size()) blk.vscc_done_at[i] = env_.Now();
+      }
       if (--blk.vscc_remaining == 0) OnVsccDone(number);
     });
   }
@@ -106,6 +119,22 @@ void Committer::StartVscc(std::uint64_t number) {
 void Committer::OnVsccDone(std::uint64_t number) {
   auto it = pending_.find(number);
   if (it == pending_.end()) return;
+  PendingBlock& pb = it->second;
+  if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
+    // Transactions whose VSCC finished early wait for the block's stragglers
+    // before the serial stage can even be considered.
+    pb.all_vscc_done = env_.Now();
+    const int pid = tr->PidFor(machine_.Name());
+    for (std::size_t i = 0; i < pb.block->transactions.size() &&
+                            i < pb.vscc_done_at.size();
+         ++i) {
+      if (pb.vscc_done_at[i] > 0 && pb.vscc_done_at[i] < pb.all_vscc_done) {
+        tr->Record(pid, obs::SpanKind::kQueue, "vscc.straggle",
+                   pb.block->transactions[i].tx_id, pb.vscc_done_at[i],
+                   pb.all_vscc_done);
+      }
+    }
+  }
   ready_.emplace(number, std::move(it->second));
   pending_.erase(it);
   TrySerialCommit();
@@ -125,7 +154,18 @@ void Committer::TrySerialCommit() {
       static_cast<sim::SimDuration>(tx_count) *
           (cal_.mvcc_per_tx_disk + cal_.state_write_per_tx_disk +
            cal_.block_write_per_tx_disk);
-  disk_.Submit(cost, [this, pb = std::move(pb)]() mutable {
+  disk_.Submit(cost, [this, cost, pb = std::move(pb)]() mutable {
+    if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
+      // One commit span per transaction: queue half covers waiting for the
+      // in-order serial stage + the disk, service half the MVCC + write.
+      const int pid = tr->PidFor(machine_.Name() + "/disk");
+      const sim::SimTime enq =
+          pb.all_vscc_done > 0 ? pb.all_vscc_done : env_.Now();
+      for (const auto& tx : pb.block->transactions) {
+        tr->RecordResourceSpan(pid, "commit", tx.tx_id, enq, env_.Now(),
+                               disk_.ScaledCost(cost));
+      }
+    }
     SerialCommit(std::move(pb));
   });
 }

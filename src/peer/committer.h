@@ -79,6 +79,10 @@ class Committer {
     std::vector<proto::ValidationCode> vscc_codes;
     std::size_t vscc_remaining = 0;
     OnCommit on_commit;
+    // Tracing only: per-tx VSCC completion times and when the whole block
+    // finished VSCC (straggler + commit-queue spans).
+    std::vector<sim::SimTime> vscc_done_at;
+    sim::SimTime all_vscc_done = 0;
   };
 
   void StartVscc(std::uint64_t number);

@@ -15,8 +15,10 @@ namespace fabricsim::peer {
 class EndorseRequestMsg final : public sim::Message {
  public:
   EndorseRequestMsg(std::shared_ptr<const proto::SignedProposal> proposal,
-                    std::size_t wire_size)
-      : proposal_(std::move(proposal)), wire_size_(wire_size) {}
+                    std::size_t wire_size, sim::SimTime sent_at = 0)
+      : proposal_(std::move(proposal)),
+        wire_size_(wire_size),
+        sent_at_(sent_at) {}
 
   [[nodiscard]] const proto::SignedProposal& Proposal() const {
     return *proposal_;
@@ -25,18 +27,23 @@ class EndorseRequestMsg final : public sim::Message {
   [[nodiscard]] std::string TypeName() const override {
     return "EndorseRequest";
   }
+  /// Send timestamp, for wire-time spans (0 when tracing is off).
+  [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
 
  private:
   std::shared_ptr<const proto::SignedProposal> proposal_;
   std::size_t wire_size_;
+  sim::SimTime sent_at_;
 };
 
 /// Endorsing peer -> client: the proposal response.
 class EndorseResponseMsg final : public sim::Message {
  public:
   EndorseResponseMsg(std::shared_ptr<const proto::ProposalResponse> response,
-                     std::size_t wire_size)
-      : response_(std::move(response)), wire_size_(wire_size) {}
+                     std::size_t wire_size, sim::SimTime sent_at = 0)
+      : response_(std::move(response)),
+        wire_size_(wire_size),
+        sent_at_(sent_at) {}
 
   [[nodiscard]] const proto::ProposalResponse& Response() const {
     return *response_;
@@ -45,10 +52,13 @@ class EndorseResponseMsg final : public sim::Message {
   [[nodiscard]] std::string TypeName() const override {
     return "EndorseResponse";
   }
+  /// Send timestamp, for wire-time spans (0 when tracing is off).
+  [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
 
  private:
   std::shared_ptr<const proto::ProposalResponse> response_;
   std::size_t wire_size_;
+  sim::SimTime sent_at_;
 };
 
 /// Peer -> peer: anti-entropy pull (gossip state transfer). "Send me the

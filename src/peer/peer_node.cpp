@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "ordering/messages.h"
 
 namespace fabricsim::peer {
@@ -90,6 +91,19 @@ void PeerNode::HandleDeliverBlock(
   if (it == channels_.end()) return;  // not joined to this channel
   const std::string channel_id = msg->ChannelId();
 
+  // Wire spans for the validate phase: one per transaction, first delivery
+  // of each block only (gossip re-deliveries carry the original send stamp).
+  if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
+    auto& seen = traced_deliveries_[channel_id];
+    if (seen.insert(msg->GetBlock()->header.number).second) {
+      const int pid = tr->PidFor(machine_.Name());
+      for (const auto& tx : msg->GetBlock()->transactions) {
+        tr->Record(pid, obs::SpanKind::kWire, "deliver.wire", tx.tx_id,
+                   msg->SentAt(), env_.Now());
+      }
+    }
+  }
+
   // Gossip push: forward each block onward exactly once, whether it came
   // from the orderer or from another peer (the message object — and hence
   // the block — is shared, so forwarding costs only wire time).
@@ -161,22 +175,56 @@ void PeerNode::HandleEndorseRequest(sim::NodeId from,
   }
   Endorser* endorser = it->second->endorser.get();
 
+  if (auto* tr = env_.Trace()) {
+    tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kWire,
+               "rpc.endorse", m.Proposal().proposal.tx_id, m.SentAt(),
+               env_.Now());
+  }
+
   // Endorsement is the interactive RPC path: high priority on the CPU so
   // background VSCC work does not starve it (Go peers behave similarly —
   // proposal handling is latency-sensitive, validation is batched).
   const sim::SimDuration cost = endorser->CostOf(m.Proposal(), cal_);
   auto proposal = std::make_shared<proto::SignedProposal>(m.Proposal());
+  const sim::SimTime enqueued = env_.Now();
   machine_.GetCpu().Submit(
       cost,
-      [this, from, proposal, endorser] {
+      [this, from, proposal, endorser, cost, enqueued] {
+        if (auto* tr = env_.Trace()) RecordEndorseSpans(*tr, cost, enqueued,
+                                                        proposal->proposal.tx_id);
         auto response = std::make_shared<proto::ProposalResponse>(
             endorser->Process(*proposal));
         const std::size_t wire = response->Serialize().size();
         env_.Net().Send(net_id_, from,
                         std::make_shared<EndorseResponseMsg>(
-                            std::move(response), wire));
+                            std::move(response), wire, env_.Now()));
       },
       /*high_priority=*/true);
+}
+
+void PeerNode::RecordEndorseSpans(obs::Tracer& tr, sim::SimDuration cost,
+                                  sim::SimTime enqueued,
+                                  const std::string& tx_id) {
+  // Runs at job completion: reconstruct the service interval and split it
+  // into the endorsement sub-steps (check, chaincode execute, ESCC sign) in
+  // proportion to their calibrated costs.
+  const int pid = tr.PidFor(machine_.Name());
+  const sim::Cpu& cpu = machine_.GetCpu();
+  const sim::SimTime end = env_.Now();
+  sim::SimTime start = end - cpu.ScaledCost(cost);
+  if (start < enqueued) start = enqueued;
+  if (start > enqueued) {
+    tr.Record(pid, obs::SpanKind::kQueue, "endorse.queue", tx_id, enqueued,
+              start);
+  }
+  const sim::SimTime verify_end = start + cpu.ScaledCost(cal_.endorse_check_cpu);
+  const sim::SimTime sign_begin = end - cpu.ScaledCost(cal_.endorse_sign_cpu);
+  tr.Record(pid, obs::SpanKind::kService, "endorse.verify", tx_id, start,
+            verify_end);
+  tr.Record(pid, obs::SpanKind::kService, "endorse.execute", tx_id, verify_end,
+            sign_begin);
+  tr.Record(pid, obs::SpanKind::kService, "endorse.sign", tx_id, sign_begin,
+            end);
 }
 
 void PeerNode::OnBlockCommitted(const std::string& channel_id,

@@ -18,6 +18,10 @@
 #include "peer/endorser.h"
 #include "peer/peer_messages.h"
 
+namespace fabricsim::obs {
+class Tracer;
+}  // namespace fabricsim::obs
+
 namespace fabricsim::ordering {
 class DeliverBlockMsg;
 }  // namespace fabricsim::ordering
@@ -104,6 +108,9 @@ class PeerNode {
     return gossip_forwarded_;
   }
 
+  /// The peer's single-writer ledger disk station (for telemetry).
+  [[nodiscard]] const sim::Cpu& Disk() const { return disk_; }
+
  private:
   struct ChannelLedger {
     explicit ChannelLedger(PeerNode& peer, const std::string& channel_id);
@@ -119,6 +126,8 @@ class PeerNode {
       const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
   void HandleGossipPull(sim::NodeId from, const GossipPullMsg& m);
   void AntiEntropyTick();
+  void RecordEndorseSpans(obs::Tracer& tr, sim::SimDuration cost,
+                          sim::SimTime enqueued, const std::string& tx_id);
 
   sim::Environment& env_;
   sim::Machine& machine_;
@@ -142,6 +151,9 @@ class PeerNode {
   // Per channel: block numbers already pushed onward (loop suppression).
   std::map<std::string, std::set<std::uint64_t>> gossip_seen_;
   std::uint64_t gossip_forwarded_ = 0;
+  // Per channel: block numbers whose deliver.wire spans were recorded
+  // (touched only while tracing with a tracker attached).
+  std::map<std::string, std::set<std::uint64_t>> traced_deliveries_;
 };
 
 }  // namespace fabricsim::peer

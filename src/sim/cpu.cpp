@@ -1,5 +1,6 @@
 #include "sim/cpu.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -10,8 +11,14 @@ Cpu::Cpu(Scheduler& sched, int cores, double speed_factor)
       cores_(cores < 1 ? 1 : cores),
       inv_speed_(speed_factor > 0 ? 1.0 / speed_factor : 1.0) {}
 
+SimDuration Cpu::ScaledCost(SimDuration cost) const {
+  if (cost < 0) cost = 0;
+  return static_cast<SimDuration>(static_cast<double>(cost) * inv_speed_);
+}
+
 void Cpu::Submit(SimDuration cost, Completion done, bool high_priority) {
-  Job job{cost < 0 ? 0 : cost, std::move(done)};
+  Job job{cost < 0 ? 0 : cost, std::move(done), sched_.Now()};
+  if (observer_) observer_->OnJobSubmitted(*this);
   if (busy_cores_ < cores_) {
     StartJob(std::move(job));
   } else if (high_priority) {
@@ -21,20 +28,38 @@ void Cpu::Submit(SimDuration cost, Completion done, bool high_priority) {
   }
 }
 
+void Cpu::AccrueBusyTime() {
+  const SimTime now = sched_.Now();
+  cum_busy_ += static_cast<SimDuration>(now - last_change_) * busy_cores_;
+  last_change_ = now;
+}
+
 void Cpu::StartJob(Job job) {
+  AccrueBusyTime();
   ++busy_cores_;
-  const auto scaled =
-      static_cast<SimDuration>(static_cast<double>(job.cost) * inv_speed_);
-  busy_time_ += scaled;
+  if (marks_.empty() || marks_.back().t != last_change_) {
+    marks_.push_back({last_change_, cum_busy_, busy_cores_});
+  } else {
+    marks_.back().busy = busy_cores_;
+  }
+  if (observer_) observer_->OnJobStarted(*this, sched_.Now() - job.enqueued_at);
+  const SimDuration scaled = ScaledCost(job.cost);
   sched_.ScheduleAfter(scaled,
-                       [this, done = std::move(job.done)]() mutable {
-                         OnJobDone(std::move(done));
+                       [this, done = std::move(job.done), scaled]() mutable {
+                         OnJobDone(std::move(done), scaled);
                        });
 }
 
-void Cpu::OnJobDone(Completion done) {
+void Cpu::OnJobDone(Completion done, SimDuration service) {
+  AccrueBusyTime();
   --busy_cores_;
+  if (marks_.empty() || marks_.back().t != last_change_) {
+    marks_.push_back({last_change_, cum_busy_, busy_cores_});
+  } else {
+    marks_.back().busy = busy_cores_;
+  }
   ++completed_;
+  if (observer_) observer_->OnJobFinished(*this, service);
   // Start the next queued job before running the completion so that a
   // completion which submits new work queues behind already-waiting jobs.
   if (!high_queue_.empty()) {
@@ -49,11 +74,28 @@ void Cpu::OnJobDone(Completion done) {
   if (done) done();
 }
 
-double Cpu::Utilization() const {
+SimDuration Cpu::BusyTimeAt(SimTime t) const {
   const SimTime now = sched_.Now();
-  if (now <= 0) return 0.0;
-  const double capacity = static_cast<double>(now) * cores_;
-  double used = static_cast<double>(busy_time_);
+  if (t > now) t = now;
+  if (t <= 0 || marks_.empty()) return 0;
+  if (t >= last_change_) {
+    return cum_busy_ + static_cast<SimDuration>(t - last_change_) * busy_cores_;
+  }
+  // Last mark with mark.t <= t; marks_ is ordered by construction.
+  auto it = std::upper_bound(
+      marks_.begin(), marks_.end(), t,
+      [](SimTime lhs, const BusyMark& m) { return lhs < m.t; });
+  if (it == marks_.begin()) return 0;
+  --it;
+  return it->cum + static_cast<SimDuration>(t - it->t) * it->busy;
+}
+
+double Cpu::Utilization() const { return Utilization(0, sched_.Now()); }
+
+double Cpu::Utilization(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  const double capacity = static_cast<double>(t1 - t0) * cores_;
+  const double used = static_cast<double>(BusyTimeAt(t1) - BusyTimeAt(t0));
   return used > capacity ? 1.0 : used / capacity;
 }
 

@@ -11,11 +11,35 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "sim/scheduler.h"
 #include "sim/time.h"
 
 namespace fabricsim::sim {
+
+class Cpu;
+
+/// Observer hook for per-job telemetry. The CPU stays ignorant of who is
+/// listening (the obs layer registers itself); all callbacks fire
+/// synchronously inside the CPU's own bookkeeping, so observers must not
+/// submit work from them.
+class CpuObserver {
+ public:
+  virtual ~CpuObserver() = default;
+  /// A job entered the queue or went straight to a core.
+  virtual void OnJobSubmitted(const Cpu& cpu) { (void)cpu; }
+  /// A job left the queue for a core after waiting `queued` ns.
+  virtual void OnJobStarted(const Cpu& cpu, SimDuration queued) {
+    (void)cpu;
+    (void)queued;
+  }
+  /// A job finished after `service` ns of core time (speed-scaled).
+  virtual void OnJobFinished(const Cpu& cpu, SimDuration service) {
+    (void)cpu;
+    (void)service;
+  }
+};
 
 /// A multi-core FIFO CPU station attached to a scheduler.
 class Cpu {
@@ -46,32 +70,62 @@ class Cpu {
 
   [[nodiscard]] int Cores() const { return cores_; }
 
-  /// Total core-busy time accumulated, for utilization reporting.
-  [[nodiscard]] SimDuration BusyTime() const { return busy_time_; }
+  /// The wall duration a job of nominal cost `cost` occupies a core for
+  /// (speed-factor scaled) — what Submit charges.
+  [[nodiscard]] SimDuration ScaledCost(SimDuration cost) const;
+
+  /// Total core-busy time accrued up to the current simulated time.
+  [[nodiscard]] SimDuration BusyTime() const { return BusyTimeAt(sched_.Now()); }
+
+  /// Core-busy time accrued in [0, t] for any t <= now (exact: the CPU keeps
+  /// a compact history of busy-core transitions).
+  [[nodiscard]] SimDuration BusyTimeAt(SimTime t) const;
 
   /// Utilization in [0,1] over the window [0, now].
   [[nodiscard]] double Utilization() const;
 
+  /// Utilization in [0,1] over the window [t0, t1] (t1 <= now), so reports
+  /// can exclude warm-up exactly like TxTracker::BuildReport does.
+  [[nodiscard]] double Utilization(SimTime t0, SimTime t1) const;
+
   /// Total jobs completed.
   [[nodiscard]] std::uint64_t CompletedJobs() const { return completed_; }
+
+  /// Registers (or clears, with nullptr) the telemetry observer.
+  void SetObserver(CpuObserver* observer) { observer_ = observer; }
 
  private:
   struct Job {
     SimDuration cost;
     Completion done;
+    SimTime enqueued_at = 0;
+  };
+  /// One busy-core transition: cumulative busy time up to `t`, and the
+  /// number of busy cores from `t` onward.
+  struct BusyMark {
+    SimTime t;
+    SimDuration cum;
+    int busy;
   };
 
   void StartJob(Job job);
-  void OnJobDone(Completion done);
+  void OnJobDone(Completion done, SimDuration service);
+  void AccrueBusyTime();
 
   Scheduler& sched_;
   int cores_;
   double inv_speed_;
   int busy_cores_ = 0;
-  SimDuration busy_time_ = 0;
   std::uint64_t completed_ = 0;
   std::deque<Job> queue_;
   std::deque<Job> high_queue_;
+  CpuObserver* observer_ = nullptr;
+
+  // Busy-time accrual: cum_busy_ is exact as of last_change_; between marks
+  // the busy-core count is constant, so BusyTimeAt interpolates exactly.
+  SimDuration cum_busy_ = 0;
+  SimTime last_change_ = 0;
+  std::vector<BusyMark> marks_;
 };
 
 }  // namespace fabricsim::sim

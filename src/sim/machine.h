@@ -16,6 +16,10 @@
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 
+namespace fabricsim::obs {
+class Tracer;
+}  // namespace fabricsim::obs
+
 namespace fabricsim::sim {
 
 /// Static description of a host type.
@@ -78,11 +82,18 @@ class Environment {
 
   [[nodiscard]] SimTime Now() const { return sched_.Now(); }
 
+  /// Attaches a span tracer (nullptr detaches). The environment does not own
+  /// it. When no tracer is attached, Trace() returns nullptr and every
+  /// instrumentation site is a single branch — the simulation is unaffected.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* Trace() const { return tracer_; }
+
  private:
   Scheduler sched_;
   Rng rng_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace fabricsim::sim

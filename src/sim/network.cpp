@@ -66,15 +66,19 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
     last = deliver_at;
   }
 
-  sched_.ScheduleAt(deliver_at, [this, from, to, msg = std::move(msg)]() {
-    auto& receiver = nodes_.at(static_cast<std::size_t>(to));
-    if (receiver.crashed) {
-      ++messages_dropped_;
-      return;
-    }
-    ++messages_delivered_;
-    if (receiver.handler) receiver.handler(from, msg);
-  });
+  if (observer_) observer_->OnSend(from, to, wire_bytes, deliver_at);
+  sched_.ScheduleAt(
+      deliver_at, [this, from, to, wire_bytes, msg = std::move(msg)]() {
+        auto& receiver = nodes_.at(static_cast<std::size_t>(to));
+        if (receiver.crashed) {
+          ++messages_dropped_;
+          if (observer_) observer_->OnDrop(from, to, wire_bytes);
+          return;
+        }
+        ++messages_delivered_;
+        if (observer_) observer_->OnDeliver(from, to, wire_bytes);
+        if (receiver.handler) receiver.handler(from, msg);
+      });
 }
 
 void Network::Partition(NodeId a, NodeId b) { partitions_.insert(PairKey(a, b)); }

@@ -151,6 +151,75 @@ TEST(TxTracker, UnknownTxMarksIgnored) {
   EXPECT_EQ(t.TxCount(), 0u);
 }
 
+TEST(TxTracker, PhasesStraddlingWindowBoundarySplitCorrectly) {
+  // One transaction whose execute phase completes before the window opens
+  // but whose later phases complete inside it: only the phases that finished
+  // in-window (order, validate, end-to-end) appear in the windowed report.
+  TxTracker t;
+  t.MarkSubmitted("tx", sim::FromSeconds(1));
+  t.MarkEndorsed("tx", sim::FromSeconds(2));     // before window
+  t.MarkOrdered("tx", sim::FromSeconds(6));      // inside window
+  t.MarkCommitted("tx", sim::FromSeconds(7), proto::ValidationCode::kValid);
+
+  const Report r = t.BuildReport(sim::FromSeconds(5), sim::FromSeconds(10));
+  EXPECT_EQ(r.execute.completed, 0u);  // endorsed at 2 s < window start
+  EXPECT_EQ(r.order.completed, 1u);
+  EXPECT_EQ(r.validate.completed, 1u);
+  EXPECT_EQ(r.end_to_end.completed, 1u);  // committed inside the window
+  EXPECT_NEAR(r.order.mean_latency_s, 4.0, 0.01);
+  EXPECT_NEAR(r.validate.mean_latency_s, 1.0, 0.01);
+
+  // Conversely: committed after the window closes drops the validate and
+  // end-to-end counts but keeps the in-window order completion.
+  TxTracker late;
+  late.MarkSubmitted("tx", sim::FromSeconds(1));
+  late.MarkEndorsed("tx", sim::FromSeconds(6));
+  late.MarkOrdered("tx", sim::FromSeconds(7));
+  late.MarkCommitted("tx", sim::FromSeconds(12),
+                     proto::ValidationCode::kValid);
+  const Report r2 =
+      late.BuildReport(sim::FromSeconds(5), sim::FromSeconds(10));
+  EXPECT_EQ(r2.execute.completed, 1u);
+  EXPECT_EQ(r2.order.completed, 1u);
+  EXPECT_EQ(r2.validate.completed, 0u);
+  EXPECT_EQ(r2.end_to_end.completed, 0u);
+}
+
+TEST(TxTracker, RejectedThenNeverCommittedStaysRejectedOnly) {
+  TxTracker t;
+  t.MarkSubmitted("tx", 0);
+  t.MarkEndorsed("tx", sim::FromSeconds(1));
+  t.MarkRejected("tx", sim::FromSeconds(4));
+
+  const Report r = t.BuildReport(0, sim::FromSeconds(10));
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.execute.completed, 1u);  // the endorsement did happen
+  EXPECT_EQ(r.validate.completed, 0u);
+  EXPECT_EQ(r.end_to_end.completed, 0u);
+  EXPECT_EQ(r.invalid, 0u);
+
+  // A duplicate rejection report changes nothing.
+  t.MarkRejected("tx", sim::FromSeconds(5));
+  const Report r2 = t.BuildReport(0, sim::FromSeconds(10));
+  EXPECT_EQ(r2.rejected, 1u);
+}
+
+TEST(TxTracker, CommitForNeverSubmittedIdDoesNotCorruptReport) {
+  TxTracker t;
+  t.MarkSubmitted("real", 0);
+  t.MarkCommitted("real", sim::FromSeconds(1), proto::ValidationCode::kValid);
+  // A committing peer reporting an id the client side never registered
+  // (e.g. from a block replayed across channels) must not create a record.
+  t.MarkCommitted("phantom", sim::FromSeconds(2),
+                  proto::ValidationCode::kValid);
+  EXPECT_EQ(t.TxCount(), 1u);
+  EXPECT_EQ(t.Find("phantom"), nullptr);
+
+  const Report r = t.BuildReport(0, sim::FromSeconds(5));
+  EXPECT_EQ(r.submitted, 1u);
+  EXPECT_EQ(r.end_to_end.completed, 1u);
+}
+
 TEST(Table, PrintsAlignedTable) {
   Table t({"col", "value"});
   t.AddRow({"a", "1"});
@@ -176,6 +245,23 @@ TEST(Table, CsvEscapesSpecials) {
   std::ostringstream os;
   t.PrintCsv(os);
   EXPECT_NE(os.str().find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvQuotesNewlinesAndQuoteOnlyCells) {
+  Table t({"name", "multi,col"});
+  t.AddRow({"line1\nline2", "say \"hi\""});
+  t.AddRow({"plain", "also plain"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  const std::string out = os.str();
+  // Header cells get the same treatment as data cells.
+  EXPECT_NE(out.find("name,\"multi,col\""), std::string::npos);
+  // An embedded newline forces quoting (the newline stays literal inside).
+  EXPECT_NE(out.find("\"line1\nline2\""), std::string::npos);
+  // A quote alone (no comma) still triggers quoting, with doubling.
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+  // Unremarkable cells stay unquoted.
+  EXPECT_NE(out.find("plain,also plain\n"), std::string::npos);
 }
 
 TEST(Fmt, FormatsNumbers) {

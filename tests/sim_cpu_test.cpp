@@ -109,6 +109,52 @@ TEST(Cpu, UtilizationReflectsLoad) {
   EXPECT_NEAR(cpu.Utilization(), 0.25, 0.01);
 }
 
+TEST(Cpu, WindowedUtilizationIsolatesBusyInterval) {
+  Scheduler s;
+  Cpu cpu(s, 1);
+  // Busy exactly over [100, 300): idle before and after.
+  s.ScheduleAt(100, [&] { cpu.Submit(200, [] {}); });
+  s.RunUntil(500);
+  EXPECT_NEAR(cpu.Utilization(0, 100), 0.0, 1e-9);
+  EXPECT_NEAR(cpu.Utilization(100, 300), 1.0, 1e-9);
+  EXPECT_NEAR(cpu.Utilization(300, 500), 0.0, 1e-9);
+  EXPECT_NEAR(cpu.Utilization(0, 500), 0.4, 1e-9);    // 200 of 500
+  EXPECT_NEAR(cpu.Utilization(200, 400), 0.5, 1e-9);  // half the window busy
+  // Whole-run utilization agrees with the windowed form over [0, now].
+  EXPECT_NEAR(cpu.Utilization(), cpu.Utilization(0, s.Now()), 1e-9);
+}
+
+TEST(Cpu, WindowedUtilizationCountsAllCores) {
+  Scheduler s;
+  Cpu cpu(s, 2);
+  cpu.Submit(100, [] {});  // core 0: [0, 100)
+  cpu.Submit(300, [] {});  // core 1: [0, 300)
+  s.RunUntil(400);
+  EXPECT_NEAR(cpu.Utilization(0, 100), 1.0, 1e-9);    // both busy
+  EXPECT_NEAR(cpu.Utilization(100, 300), 0.5, 1e-9);  // one of two
+  EXPECT_NEAR(cpu.Utilization(0, 400), 0.5, 1e-9);    // 400 of 800 core-ns
+}
+
+TEST(Cpu, WindowedUtilizationHandlesDegenerateWindows) {
+  Scheduler s;
+  Cpu cpu(s, 1);
+  cpu.Submit(100, [] {});
+  s.RunUntil(200);
+  EXPECT_EQ(cpu.Utilization(50, 50), 0.0);   // empty window
+  EXPECT_EQ(cpu.Utilization(300, 100), 0.0); // inverted window
+  // A window extending past `now` only accrues busy time up to `now`.
+  EXPECT_NEAR(cpu.Utilization(0, 1000), 0.1, 1e-9);
+}
+
+TEST(Cpu, WindowedUtilizationSeesInProgressJob) {
+  Scheduler s;
+  Cpu cpu(s, 1);
+  cpu.Submit(1000, [] {});
+  s.RunUntil(400);  // job still running
+  EXPECT_NEAR(cpu.Utilization(0, 400), 1.0, 1e-9);
+  EXPECT_NEAR(cpu.Utilization(100, 300), 1.0, 1e-9);
+}
+
 TEST(Cpu, CompletionSubmittingWorkQueuesBehindWaiters) {
   Scheduler s;
   Cpu cpu(s, 1);

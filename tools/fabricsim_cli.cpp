@@ -7,12 +7,15 @@
 //   fabricsim_cli --ordering=kafka --policy="AND('Org1MSP.peer','Org2MSP.peer')"
 //   fabricsim_cli --workload=smallbank --peers=6 --channels=2 --csv
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "fabric/experiment.h"
 #include "metrics/reporter.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 using namespace fabricsim;
 
@@ -38,6 +41,8 @@ struct CliOptions {
   double batch_timeout_s = 1.0;
   bool csv = false;
   bool help = false;
+  std::string trace_out;      // Chrome trace-event JSON path ("" = off)
+  std::string telemetry_csv;  // resource time-series CSV path ("" = off)
 };
 
 void PrintHelp() {
@@ -63,6 +68,12 @@ void PrintHelp() {
       "  --batch-timeout=<s>          BatchTimeout (default 1.0)\n"
       "  --seed=<n>                   RNG seed (default 42)\n"
       "  --csv                        CSV output\n"
+      "  --trace-out=<file>           write a Chrome trace-event JSON of the\n"
+      "                               run (open in chrome://tracing or\n"
+      "                               https://ui.perfetto.dev); also prints\n"
+      "                               the bottleneck-attribution table\n"
+      "  --telemetry-csv=<file>       write per-resource time series\n"
+      "                               (time_s,resource,metric,value)\n"
       "  --help                       this text\n";
 }
 
@@ -114,6 +125,14 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
     }
     if (auto v = ArgValue(arg, "--policy")) {
       out.policy = *v;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--trace-out")) {
+      out.trace_out = *v;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--telemetry-csv")) {
+      out.telemetry_csv = *v;
       continue;
     }
     auto number = [&](const char* key, auto& field) -> bool {
@@ -178,8 +197,35 @@ int main(int argc, char** argv) {
   config.workload.value_size = cli.value_size;
   config.workload.key_space = cli.key_space;
 
+  // Open output files up front so a bad path fails before the run, not after.
+  std::optional<obs::Tracer> tracer;
+  std::ofstream trace_os;
+  if (!cli.trace_out.empty()) {
+    trace_os.open(cli.trace_out);
+    if (!trace_os) {
+      std::cerr << "error: cannot write " << cli.trace_out << "\n";
+      return 2;
+    }
+    tracer.emplace();
+    config.network.tracer = &*tracer;
+  }
+  std::optional<obs::TelemetrySampler> telemetry;
+  std::ofstream telemetry_os;
+  if (!cli.telemetry_csv.empty()) {
+    telemetry_os.open(cli.telemetry_csv);
+    if (!telemetry_os) {
+      std::cerr << "error: cannot write " << cli.telemetry_csv << "\n";
+      return 2;
+    }
+    telemetry.emplace();
+    config.telemetry = &*telemetry;
+  }
+
   const auto result = fabric::RunExperiment(config);
   const auto& r = result.report;
+
+  if (tracer) tracer->ExportChromeTrace(trace_os);
+  if (telemetry) telemetry->WriteCsv(telemetry_os);
 
   metrics::Table table({"metric", "value"});
   table.AddRow({"ordering", fabric::OrderingTypeName(cli.ordering)});
@@ -212,6 +258,10 @@ int main(int argc, char** argv) {
     table.PrintCsv(std::cout);
   } else {
     table.Print(std::cout);
+  }
+  if (result.attribution) {
+    if (!cli.csv) std::cout << "\nBottleneck attribution:\n";
+    obs::PrintAttribution(*result.attribution, std::cout, cli.csv);
   }
   return result.chain_audit_ok ? 0 : 1;
 }
