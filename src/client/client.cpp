@@ -4,6 +4,28 @@
 
 namespace fabricsim::client {
 
+const char* FailureReasonName(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kPolicyUnsatisfiable:
+      return "policy-unsatisfiable";
+    case FailureReason::kEndorseTimeout:
+      return "endorse-timeout";
+    case FailureReason::kEndorseRefused:
+      return "endorse-refused";
+    case FailureReason::kRwsetMismatch:
+      return "rwset-mismatch";
+    case FailureReason::kBroadcastTimeout:
+      return "broadcast-timeout";
+    case FailureReason::kBroadcastNack:
+      return "broadcast-nack";
+    case FailureReason::kCommitTimeout:
+      return "commit-timeout";
+    case FailureReason::kCount:
+      break;
+  }
+  return "unknown";
+}
+
 Client::Client(sim::Environment& env, sim::Machine& machine,
                crypto::Identity identity, const fabric::Calibration& cal,
                ClientConfig config, policy::EndorsementPolicy policy,
@@ -28,6 +50,18 @@ void Client::SetEndorsers(std::vector<sim::NodeId> ids,
   endorser_principals_ = std::move(principals);
 }
 
+void Client::SetOrderers(std::vector<sim::NodeId> osns,
+                         std::size_t start_index) {
+  orderers_ = std::move(osns);
+  orderer_index_ = orderers_.empty() ? 0 : start_index % orderers_.size();
+}
+
+void Client::RotateOrderer() {
+  if (orderers_.size() > 1) {
+    orderer_index_ = (orderer_index_ + 1) % orderers_.size();
+  }
+}
+
 void Client::SetEventSource(sim::NodeId peer) {
   env_.Net().Send(net_id_, peer, std::make_shared<peer::RegisterEventsMsg>());
 }
@@ -36,6 +70,26 @@ sim::SimDuration Client::Jittered(sim::SimDuration base) {
   const double j =
       1.0 + cal_.client_sdk_jitter * (2.0 * rng_.NextDouble() - 1.0);
   return static_cast<sim::SimDuration>(static_cast<double>(base) * j);
+}
+
+sim::SimDuration Client::Backoff(int attempt) {
+  double d = static_cast<double>(config_.broadcast_retry_delay);
+  for (int i = 1; i < attempt; ++i) d *= config_.backoff_factor;
+  const auto cap = static_cast<double>(config_.backoff_max);
+  if (d > cap) d = cap;
+  // Deterministic jitter: the client's forked RNG stream makes the delay
+  // reproducible for a given seed while decorrelating clients.
+  d *= 1.0 + config_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<sim::SimDuration>(d);
+}
+
+void Client::ScheduleRetry(const std::string& tx_id, sim::SimDuration delay,
+                           std::function<void()> retry) {
+  if (auto* tr = env_.Trace()) {
+    tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kQueue,
+               "client.retry", tx_id, env_.Now(), env_.Now() + delay);
+  }
+  env_.Sched().ScheduleAfter(delay, std::move(retry));
 }
 
 void Client::Submit(proto::ChaincodeInvocation inv,
@@ -57,6 +111,7 @@ void Client::Submit(proto::ChaincodeInvocation inv,
   p.tx_id = proto::Proposal::ComputeTxId(p.nonce, p.creator_cert);
 
   if (tracker_ != nullptr) tracker_->MarkSubmitted(p.tx_id, env_.Now());
+  if (config_.track_outcomes) outcomes_.submitted.insert(p.tx_id);
 
   const std::string tx_id = p.tx_id;
   PendingTx pending;
@@ -89,14 +144,35 @@ void Client::SendProposals(const std::string& tx_id) {
   if (it == pending_.end()) return;
   PendingTx& tx = it->second;
 
+  // Candidate endorsers: on retry, prefer survivors — endorsers that
+  // refused or stayed silent on a previous attempt are excluded — falling
+  // back to the full set when the survivors can't satisfy the policy.
+  std::vector<sim::NodeId> cand_ids = endorser_ids_;
+  std::vector<crypto::Principal> cand_principals = endorser_principals_;
+  if (!tx.failed_endorsers.empty()) {
+    cand_ids.clear();
+    cand_principals.clear();
+    for (std::size_t i = 0; i < endorser_ids_.size(); ++i) {
+      if (tx.failed_endorsers.count(endorser_ids_[i]) == 0) {
+        cand_ids.push_back(endorser_ids_[i]);
+        cand_principals.push_back(endorser_principals_[i]);
+      }
+    }
+    if (cand_ids.empty() ||
+        !policy::PlanEndorsers(policy_, cand_principals, 0)) {
+      cand_ids = endorser_ids_;
+      cand_principals = endorser_principals_;
+    }
+  }
+
   auto plan =
-      policy::PlanEndorsers(policy_, endorser_principals_, next_rotation_++);
+      policy::PlanEndorsers(policy_, cand_principals, next_rotation_++);
   if (!plan) {
-    ++endorse_failures_;
+    CountFailure(FailureReason::kPolicyUnsatisfiable);
     Reject(tx_id);
     return;
   }
-  for (std::size_t idx : *plan) tx.targets.push_back(endorser_ids_[idx]);
+  for (std::size_t idx : *plan) tx.targets.push_back(cand_ids[idx]);
 
   auto signed_proposal = std::make_shared<proto::SignedProposal>();
   signed_proposal->proposal = tx.proposal;
@@ -113,15 +189,40 @@ void Client::SendProposals(const std::string& tx_id) {
       env_.Sched().ScheduleAfter(config_.endorse_timeout, [this, tx_id] {
         auto pit = pending_.find(tx_id);
         if (pit == pending_.end() || pit->second.done) return;
-        if (pit->second.responses.size() + pit->second.failures <
-            pit->second.targets.size()) {
-          ++endorse_failures_;
-          Reject(tx_id);
+        PendingTx& tx2 = pit->second;
+        tx2.endorse_timer = 0;
+        if (tx2.responses.size() + tx2.failures < tx2.targets.size()) {
+          CountFailure(FailureReason::kEndorseTimeout);
+          for (sim::NodeId t : tx2.targets) {
+            if (tx2.responded.count(t) == 0) tx2.failed_endorsers.insert(t);
+          }
+          if (tx2.endorse_attempts <= config_.endorse_retries) {
+            RetryEndorsement(tx_id);
+          } else {
+            Reject(tx_id);
+          }
         }
       });
 }
 
-void Client::OnMessage(sim::NodeId /*from*/, const sim::MessagePtr& msg) {
+void Client::RetryEndorsement(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end() || it->second.done) return;
+  PendingTx& tx = it->second;
+  if (tx.endorse_timer != 0) {
+    env_.Sched().Cancel(tx.endorse_timer);
+    tx.endorse_timer = 0;
+  }
+  ++tx.endorse_attempts;
+  tx.targets.clear();
+  tx.responses.clear();
+  tx.failures = 0;
+  tx.responded.clear();
+  ScheduleRetry(tx_id, Backoff(tx.endorse_attempts - 1),
+                [this, tx_id] { SendProposals(tx_id); });
+}
+
+void Client::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (auto resp = std::dynamic_pointer_cast<const peer::EndorseResponseMsg>(
           msg)) {
     if (auto* tr = env_.Trace()) {
@@ -133,14 +234,14 @@ void Client::OnMessage(sim::NodeId /*from*/, const sim::MessagePtr& msg) {
     const sim::SimTime enqueued = env_.Now();
     machine_.GetCpu().Submit(
         cal_.client_per_response_cpu,
-        [this, enqueued, response = resp->Response()] {
+        [this, from, enqueued, response = resp->Response()] {
           if (auto* tr = env_.Trace()) {
             tr->RecordResourceSpan(
                 tr->PidFor(machine_.Name()), "client.response", response.tx_id,
                 enqueued, env_.Now(),
                 machine_.GetCpu().ScaledCost(cal_.client_per_response_cpu));
           }
-          OnEndorseResponse(response);
+          OnEndorseResponse(from, response);
         });
     return;
   }
@@ -155,21 +256,31 @@ void Client::OnMessage(sim::NodeId /*from*/, const sim::MessagePtr& msg) {
   }
 }
 
-void Client::OnEndorseResponse(const proto::ProposalResponse& resp) {
+void Client::OnEndorseResponse(sim::NodeId from,
+                               const proto::ProposalResponse& resp) {
   auto it = pending_.find(resp.tx_id);
   if (it == pending_.end() || it->second.done) return;
   PendingTx& tx = it->second;
 
+  // Drop duplicates (e.g. a straggler response from a superseded attempt
+  // arriving after the same endorser answered the current one).
+  if (!tx.responded.insert(from).second) return;
+
   if (resp.payload.status != proto::EndorseStatus::kSuccess) {
     ++tx.failures;
+    tx.failed_endorsers.insert(from);
   } else {
     tx.responses.push_back(resp);
   }
 
   if (tx.responses.size() + tx.failures < tx.targets.size()) return;
   if (tx.failures > 0) {
-    ++endorse_failures_;
-    Reject(resp.tx_id);
+    CountFailure(FailureReason::kEndorseRefused);
+    if (tx.endorse_attempts <= config_.endorse_retries) {
+      RetryEndorsement(resp.tx_id);
+    } else {
+      Reject(resp.tx_id);
+    }
     return;
   }
   FinishEndorsement(resp.tx_id);
@@ -189,7 +300,7 @@ void Client::FinishEndorsement(const std::string& tx_id) {
   // compares them; mismatches are non-deterministic chaincode).
   for (std::size_t i = 1; i < tx.responses.size(); ++i) {
     if (!(tx.responses[i].payload.rwset == tx.responses[0].payload.rwset)) {
-      ++endorse_failures_;
+      CountFailure(FailureReason::kRwsetMismatch);
       Reject(tx_id);
       return;
     }
@@ -235,15 +346,26 @@ void Client::BroadcastEnvelope(const std::string& tx_id) {
   }
 
   ++tx.broadcast_attempts;
-  env_.Net().Send(net_id_, orderer_,
+  env_.Net().Send(net_id_, CurrentOrderer(),
                   std::make_shared<ordering::BroadcastEnvelopeMsg>(
                       tx.envelope, tx.envelope_bytes, env_.Now()));
   tx.broadcast_timer =
       env_.Sched().ScheduleAfter(cal_.broadcast_timeout, [this, tx_id] {
         auto pit = pending_.find(tx_id);
         if (pit == pending_.end() || pit->second.done) return;
-        pit->second.broadcast_timer = 0;
-        Reject(tx_id);  // the paper's 3 s ordering-response rejection
+        PendingTx& tx2 = pit->second;
+        tx2.broadcast_timer = 0;
+        CountFailure(FailureReason::kBroadcastTimeout);
+        if (tx2.timeout_retries_used < config_.broadcast_timeout_retries) {
+          // The orderer is silent (crashed or partitioned): fail over to
+          // the next endpoint with exponential backoff.
+          ++tx2.timeout_retries_used;
+          RotateOrderer();
+          ScheduleRetry(tx_id, Backoff(tx2.broadcast_attempts),
+                        [this, tx_id] { BroadcastEnvelope(tx_id); });
+        } else {
+          Reject(tx_id);  // the paper's 3 s ordering-response rejection
+        }
       });
 }
 
@@ -255,13 +377,39 @@ void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
     env_.Sched().Cancel(tx.broadcast_timer);
     tx.broadcast_timer = 0;
   }
-  if (ack.Ok()) return;  // now awaiting the commit event
+  if (ack.Ok()) {
+    // Now awaiting the commit event. With a commit timeout configured, the
+    // envelope is resubmitted if the event never arrives (an acked tx can
+    // still be lost when the accepting OSN dies before ordering it); the
+    // committer's tx-id dedup makes resubmission safe.
+    if (config_.track_outcomes) outcomes_.acked.insert(ack.TxId());
+    if (config_.commit_timeout > 0) {
+      if (tx.commit_timer != 0) env_.Sched().Cancel(tx.commit_timer);
+      tx.commit_timer = env_.Sched().ScheduleAfter(
+          config_.commit_timeout, [this, tx_id = ack.TxId()] {
+            auto pit = pending_.find(tx_id);
+            if (pit == pending_.end() || pit->second.done) return;
+            PendingTx& tx2 = pit->second;
+            tx2.commit_timer = 0;
+            CountFailure(FailureReason::kCommitTimeout);
+            if (tx2.commit_retries_used < config_.commit_retries) {
+              ++tx2.commit_retries_used;
+              RotateOrderer();
+              ScheduleRetry(tx_id, Backoff(tx2.broadcast_attempts),
+                            [this, tx_id] { BroadcastEnvelope(tx_id); });
+            } else {
+              Reject(tx_id);
+            }
+          });
+    }
+    return;
+  }
 
+  CountFailure(FailureReason::kBroadcastNack);
   if (tx.broadcast_attempts <= config_.broadcast_retries) {
-    env_.Sched().ScheduleAfter(config_.broadcast_retry_delay,
-                               [this, tx_id = ack.TxId()] {
-                                 BroadcastEnvelope(tx_id);
-                               });
+    RotateOrderer();
+    ScheduleRetry(ack.TxId(), Backoff(tx.broadcast_attempts),
+                  [this, tx_id = ack.TxId()] { BroadcastEnvelope(tx_id); });
   } else {
     Reject(ack.TxId());
   }
@@ -269,6 +417,16 @@ void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
 
 void Client::OnCommitEvent(const peer::CommitEventMsg& ev) {
   for (const auto& outcome : ev.outcomes) {
+    // Outcome bookkeeping sees every commit event for our transactions,
+    // including duplicates committed after this client already finished
+    // the tx — exactly what the exactly-once invariant needs to audit.
+    if (config_.track_outcomes &&
+        outcomes_.submitted.count(outcome.tx_id) != 0) {
+      ++outcomes_.commits[outcome.tx_id];
+      if (outcome.code == proto::ValidationCode::kValid) {
+        ++outcomes_.valid_commits[outcome.tx_id];
+      }
+    }
     auto it = pending_.find(outcome.tx_id);
     if (it == pending_.end() || it->second.done) continue;
     if (outcome.code == proto::ValidationCode::kValid) {
@@ -283,6 +441,7 @@ void Client::OnCommitEvent(const peer::CommitEventMsg& ev) {
 void Client::Reject(const std::string& tx_id) {
   ++rejected_;
   if (tracker_ != nullptr) tracker_->MarkRejected(tx_id, env_.Now());
+  if (config_.track_outcomes) outcomes_.rejected.insert(tx_id);
   Finish(tx_id);
 }
 
@@ -292,6 +451,7 @@ void Client::Finish(const std::string& tx_id) {
   PendingTx& tx = it->second;
   if (tx.endorse_timer != 0) env_.Sched().Cancel(tx.endorse_timer);
   if (tx.broadcast_timer != 0) env_.Sched().Cancel(tx.broadcast_timer);
+  if (tx.commit_timer != 0) env_.Sched().Cancel(tx.commit_timer);
   tx.done = true;
   pending_.erase(it);
 }

@@ -7,11 +7,22 @@
 // broadcast to an ordering node, and commit events arrive from a peer the
 // client registered with. A broadcast response not received within the
 // paper's 3-second budget marks the transaction rejected.
+//
+// Failure handling: every retry knob defaults to the paper's SDK behaviour
+// (fixed 200 ms nack retry to one pinned orderer, no failover). With the
+// recovery options enabled (chaos experiments), the client rotates through
+// a list of orderer endpoints with exponential backoff + deterministic
+// jitter, retries endorsement against surviving endorsers, and resubmits
+// envelopes whose commit event never arrives — the committer's tx-id dedup
+// guarantees resubmission never double-commits.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "crypto/identity.h"
 #include "fabric/calibration.h"
@@ -23,11 +34,47 @@
 
 namespace fabricsim::client {
 
+/// Why an attempt (not necessarily the whole transaction) failed. Each
+/// failed attempt increments its reason's counter, so retry budgets are
+/// visible per reason instead of one undifferentiated number.
+enum class FailureReason : std::size_t {
+  kPolicyUnsatisfiable = 0,  // no endorser subset can satisfy the policy
+  kEndorseTimeout,           // endorsers silent past the endorse timeout
+  kEndorseRefused,           // an endorser answered with a failure status
+  kRwsetMismatch,            // endorsers produced divergent rwsets
+  kBroadcastTimeout,         // orderer silent past the 3 s broadcast budget
+  kBroadcastNack,            // orderer rejected the broadcast
+  kCommitTimeout,            // broadcast acked but no commit event arrived
+  kCount,
+};
+
+[[nodiscard]] const char* FailureReasonName(FailureReason reason);
+
 struct ClientConfig {
   std::string channel_id = "mychannel";
   sim::SimDuration endorse_timeout = sim::FromSeconds(10);
+  /// Broadcast-nack retry budget (the SDK's existing behaviour).
   int broadcast_retries = 2;
+  /// Base delay before a retry; grows by `backoff_factor` per attempt up to
+  /// `backoff_max`, with +/- `backoff_jitter` deterministic jitter.
   sim::SimDuration broadcast_retry_delay = sim::FromMillis(200);
+  double backoff_factor = 2.0;
+  sim::SimDuration backoff_max = sim::FromSeconds(5);
+  double backoff_jitter = 0.1;
+  /// Retries after a *silent* broadcast timeout (0 = reject immediately,
+  /// the paper's behaviour). Each retry rotates to the next orderer.
+  int broadcast_timeout_retries = 0;
+  /// Endorsement retries against surviving endorsers (0 = reject on first
+  /// failure, the SDK v1.0 behaviour).
+  int endorse_retries = 0;
+  /// After a successful broadcast ack, how long to wait for the commit
+  /// event before resubmitting / rejecting (0 = wait forever).
+  sim::SimDuration commit_timeout = 0;
+  int commit_retries = 0;
+  /// Records per-transaction outcome sets (acked / committed / rejected)
+  /// for the ledger-consistency invariant checker. Off by default: the
+  /// bookkeeping is per-tx memory that steady-state benchmarks don't need.
+  bool track_outcomes = false;
 };
 
 /// One client application instance on its own machine.
@@ -45,8 +92,17 @@ class Client {
   void SetEndorsers(std::vector<sim::NodeId> ids,
                     std::vector<crypto::Principal> principals);
 
-  /// The OSN this client broadcasts to.
-  void SetOrderer(sim::NodeId osn) { orderer_ = osn; }
+  /// The OSN this client broadcasts to (single endpoint, no failover).
+  void SetOrderer(sim::NodeId osn) { SetOrderers({osn}, 0); }
+
+  /// Orderer endpoint list for failover: broadcasts go to the endpoint at
+  /// `start_index`; every retry rotates to the next one.
+  void SetOrderers(std::vector<sim::NodeId> osns, std::size_t start_index = 0);
+
+  /// The endpoint the next broadcast will go to (tests/telemetry).
+  [[nodiscard]] sim::NodeId CurrentOrderer() const {
+    return orderers_.empty() ? sim::kInvalidNode : orderers_[orderer_index_];
+  }
 
   /// The peer whose commit events this client listens to.
   void SetEventSource(sim::NodeId peer);
@@ -68,8 +124,33 @@ class Client {
     return committed_invalid_;
   }
   [[nodiscard]] std::uint64_t Rejected() const { return rejected_; }
+
+  /// Failed attempts by reason (a rejected tx may contribute several).
+  [[nodiscard]] std::uint64_t Failures(FailureReason reason) const {
+    return failure_counts_[static_cast<std::size_t>(reason)];
+  }
+  /// Endorsement-related failures (policy, timeout, refusal, rwset) — the
+  /// pre-existing undifferentiated counter, kept for reports.
   [[nodiscard]] std::uint64_t EndorseFailures() const {
-    return endorse_failures_;
+    return Failures(FailureReason::kPolicyUnsatisfiable) +
+           Failures(FailureReason::kEndorseTimeout) +
+           Failures(FailureReason::kEndorseRefused) +
+           Failures(FailureReason::kRwsetMismatch);
+  }
+
+  /// Outcome sets for the invariant checker; only populated with
+  /// `config.track_outcomes` on.
+  struct OutcomeLog {
+    std::unordered_set<std::string> submitted;
+    std::unordered_set<std::string> acked;     // broadcast acked ok
+    std::unordered_set<std::string> rejected;  // client gave up
+    /// tx id -> number of commit events observed (any validation code).
+    std::unordered_map<std::string, int> commits;
+    /// tx id -> number of kValid commit events observed for it.
+    std::unordered_map<std::string, int> valid_commits;
+  };
+  [[nodiscard]] const OutcomeLog* Outcomes() const {
+    return config_.track_outcomes ? &outcomes_ : nullptr;
   }
 
  private:
@@ -78,9 +159,15 @@ class Client {
     std::vector<sim::NodeId> targets;
     std::vector<proto::ProposalResponse> responses;
     std::size_t failures = 0;
+    std::set<sim::NodeId> responded;         // this attempt
+    std::set<sim::NodeId> failed_endorsers;  // across attempts
+    int endorse_attempts = 1;
     sim::EventId endorse_timer = 0;
     sim::EventId broadcast_timer = 0;
+    sim::EventId commit_timer = 0;
     int broadcast_attempts = 0;
+    int timeout_retries_used = 0;
+    int commit_retries_used = 0;
     std::shared_ptr<const proto::TransactionEnvelope> envelope;
     std::size_t envelope_bytes = 0;
     bool done = false;
@@ -88,13 +175,24 @@ class Client {
 
   void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
   void SendProposals(const std::string& tx_id);
-  void OnEndorseResponse(const proto::ProposalResponse& resp);
+  void OnEndorseResponse(sim::NodeId from, const proto::ProposalResponse& resp);
   void FinishEndorsement(const std::string& tx_id);
   void BroadcastEnvelope(const std::string& tx_id);
   void OnBroadcastAck(const ordering::BroadcastAckMsg& ack);
   void OnCommitEvent(const peer::CommitEventMsg& ev);
   void Reject(const std::string& tx_id);
   void Finish(const std::string& tx_id);
+  void CountFailure(FailureReason reason) {
+    ++failure_counts_[static_cast<std::size_t>(reason)];
+  }
+  void RotateOrderer();
+  /// Exponentially backed-off delay before attempt `attempt + 1`, with
+  /// deterministic jitter from the client's forked RNG stream.
+  [[nodiscard]] sim::SimDuration Backoff(int attempt);
+  /// Records the `client.retry` span and schedules `retry` after `delay`.
+  void ScheduleRetry(const std::string& tx_id, sim::SimDuration delay,
+                     std::function<void()> retry);
+  void RetryEndorsement(const std::string& tx_id);
   [[nodiscard]] sim::SimDuration Jittered(sim::SimDuration base);
 
   sim::Environment& env_;
@@ -109,7 +207,8 @@ class Client {
 
   std::vector<sim::NodeId> endorser_ids_;
   std::vector<crypto::Principal> endorser_principals_;
-  sim::NodeId orderer_ = sim::kInvalidNode;
+  std::vector<sim::NodeId> orderers_;
+  std::size_t orderer_index_ = 0;
 
   std::unordered_map<std::string, PendingTx> pending_;
   std::uint64_t next_rotation_ = 0;
@@ -119,7 +218,9 @@ class Client {
   std::uint64_t committed_valid_ = 0;
   std::uint64_t committed_invalid_ = 0;
   std::uint64_t rejected_ = 0;
-  std::uint64_t endorse_failures_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(FailureReason::kCount)>
+      failure_counts_{};
+  OutcomeLog outcomes_;
 };
 
 }  // namespace fabricsim::client

@@ -37,7 +37,16 @@ std::vector<obs::ResourceUsage> CollectUsage(FabricNetwork& net,
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  FabricNetwork net(config.network);
+  // Faults imply recovery: the chaos runs measure the failover machinery,
+  // and the invariant checker needs the clients' outcome logs.
+  NetworkOptions net_options = config.network;
+  const faults::FaultSchedule schedule =
+      faults::FaultSchedule::Parse(config.faults);
+  if (!schedule.Empty()) net_options.recovery.enabled = true;
+
+  FabricNetwork net(net_options);
+  faults::FaultInjector injector(net, schedule);
+  injector.Arm();
   net.Start();
 
   if (config.telemetry != nullptr) {
@@ -77,11 +86,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   out.chain_height = chain.Height();
   out.chain_audit_ok = chain.Audit().ok;
   out.messages_sent = net.Env().Net().MessagesSent();
+  out.messages_dropped = net.Env().Net().MessagesDropped();
   out.bytes_sent = net.Env().Net().BytesSent();
   if (config.network.tracer != nullptr) {
     out.attribution = obs::BuildAttribution(
         *config.network.tracer, net.Tracker(), measure_start, window_end,
         CollectUsage(net, measure_start, window_end));
+  }
+  if (!schedule.Empty()) {
+    out.fault_log = injector.Log();
+    out.invariants = faults::CheckInvariants(net);
+    out.recovery = faults::AnalyzeRecovery(
+        net.ValidatorPeer().GetCommitter().CommitLog(),
+        schedule.FirstFaultAt(), window_end);
   }
   return out;
 }

@@ -10,6 +10,8 @@
 
 #include "client/workload.h"
 #include "fabric/network_builder.h"
+#include "faults/fault_injector.h"
+#include "faults/invariants.h"
 #include "metrics/phase_stats.h"
 #include "obs/attribution.h"
 
@@ -29,6 +31,11 @@ struct ExperimentConfig {
   /// Optional resource-telemetry sampler: monitored over the whole run
   /// (machine CPUs, validator disk, network bytes-in-flight). Not owned.
   obs::TelemetrySampler* telemetry = nullptr;
+  /// Declarative fault schedule (see faults/fault_schedule.h for the
+  /// grammar). Non-empty implies `network.recovery.enabled`; after the run
+  /// the ledger-consistency invariants are checked automatically and a
+  /// throughput dip/recovery analysis around the first fault is reported.
+  std::string faults;
 };
 
 struct ExperimentResult {
@@ -40,6 +47,7 @@ struct ExperimentResult {
   std::uint64_t endorse_failures = 0;
   std::uint64_t chain_height = 0;
   std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
   bool chain_audit_ok = false;
   /// The paper's methodology item 5: measured generation rate over the
@@ -49,6 +57,12 @@ struct ExperimentResult {
   /// Present iff the experiment ran with `network.tracer` attached: the
   /// per-phase service/queue/wire latency decomposition + verdicts.
   std::optional<obs::AttributionReport> attribution;
+  /// Present iff `faults` was non-empty: what the injector did, whether the
+  /// ledger-consistency invariants held, and the throughput recovery around
+  /// the first fault (measured on the validator's commit log).
+  std::vector<faults::FaultInjector::LogEntry> fault_log;
+  std::optional<faults::InvariantReport> invariants;
+  std::optional<faults::RecoverySummary> recovery;
 };
 
 /// Runs one experiment to completion (simulated time, wall-clock fast).

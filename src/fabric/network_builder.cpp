@@ -231,6 +231,15 @@ std::size_t FabricNetwork::OsnCount() const {
   return static_cast<std::size_t>(options_.topology.EffectiveOsns());
 }
 
+std::vector<sim::NodeId> FabricNetwork::OsnNetIds(int channel) const {
+  std::vector<sim::NodeId> out;
+  out.reserve(OsnCount());
+  for (std::size_t i = 0; i < OsnCount(); ++i) {
+    out.push_back(OsnNetId(channel, i));
+  }
+  return out;
+}
+
 sim::NodeId FabricNetwork::OsnNetId(int channel, std::size_t index) const {
   const auto c = static_cast<std::size_t>(channel);
   switch (options_.topology.ordering) {
@@ -266,11 +275,26 @@ void FabricNetwork::BuildClients() {
     const int channel = i % options_.channels;
     client::ClientConfig config;
     config.channel_id = ChannelId(channel);
+    const RecoveryOptions& recovery = options_.recovery;
+    if (recovery.enabled) {
+      config.broadcast_timeout_retries = recovery.broadcast_timeout_retries;
+      config.broadcast_retries = recovery.broadcast_nack_retries;
+      config.commit_timeout = recovery.commit_timeout;
+      config.commit_retries = recovery.commit_retries;
+      config.endorse_retries = recovery.endorse_retries;
+      config.track_outcomes = true;
+    }
     auto c = std::make_unique<client::Client>(
         *env_, machine, std::move(identity), options_.calibration,
         std::move(config), policy_, &tracker_, i);
     c->SetEndorsers(endorser_ids, endorser_principals);
-    c->SetOrderer(OsnNetId(channel, static_cast<std::size_t>(i)));
+    if (recovery.enabled) {
+      // The full endpoint list: broadcasts start at this client's usual OSN
+      // and rotate through the rest on failure.
+      c->SetOrderers(OsnNetIds(channel), static_cast<std::size_t>(i));
+    } else {
+      c->SetOrderer(OsnNetId(channel, static_cast<std::size_t>(i)));
+    }
     clients_.push_back(std::move(c));
   }
 }
@@ -313,6 +337,24 @@ void FabricNetwork::Start() {
   // Clients listen for commit events on the validating peer.
   for (auto& c : clients_) {
     c->SetEventSource(ValidatorPeer().NetId());
+  }
+
+  // Deliver-stream failover: each subscribed peer watches its OSN and
+  // re-subscribes to an alternate when it dies. Needs >1 OSN to rotate to.
+  if (options_.recovery.enabled && OsnCount() > 1) {
+    const std::size_t subscribers =
+        options_.gossip
+            ? std::min<std::size_t>(
+                  static_cast<std::size_t>(options_.gossip_leaders),
+                  peers_.size())
+            : peers_.size();
+    for (int c = 0; c < options_.channels; ++c) {
+      const std::vector<sim::NodeId> osns = OsnNetIds(c);
+      for (std::size_t i = 0; i < subscribers; ++i) {
+        peers_[i]->EnableDeliverFailover(ChannelId(c), osns, i % osns.size(),
+                                         options_.recovery.deliver);
+      }
+    }
   }
 }
 

@@ -36,6 +36,27 @@ class Tracer;
 
 namespace fabricsim::fabric {
 
+/// Failure-recovery behaviour for chaos experiments. Off by default, which
+/// reproduces the paper's SDK exactly: one pinned orderer endpoint, a fixed
+/// 200 ms nack retry, no endorsement retries, no deliver-stream failover.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// Client: rotate orderer endpoints on silent broadcast timeouts.
+  int broadcast_timeout_retries = 3;
+  /// Client: nack retry budget (each retry rotates endpoints and backs off).
+  int broadcast_nack_retries = 5;
+  /// Client: resubmit an acked envelope whose commit event never arrives
+  /// (the committer's tx-id dedup makes this safe).
+  sim::SimDuration commit_timeout = sim::FromSeconds(8);
+  int commit_retries = 2;
+  /// Client: retry endorsement against the surviving endorsers.
+  int endorse_retries = 1;
+  /// Peer: deliver-stream watchdog tuning. Only armed when the channel has
+  /// more than one OSN — a single-OSN channel (Solo) has nowhere to fail
+  /// over to, so its deliver stream stays down until the OSN revives.
+  peer::DeliverFailoverConfig deliver;
+};
+
 struct NetworkOptions {
   TopologyConfig topology;
   ChannelConfig channel;
@@ -58,6 +79,8 @@ struct NetworkOptions {
   /// is built. Not owned; must outlive the network. nullptr = tracing off
   /// (zero overhead).
   obs::Tracer* tracer = nullptr;
+  /// Failover/retry behaviour under faults (chaos experiments).
+  RecoveryOptions recovery;
 };
 
 class FabricNetwork {
@@ -89,6 +112,9 @@ class FabricNetwork {
 
   /// Ordering-service accessors; the default channel is channel 0.
   [[nodiscard]] std::size_t OsnCount() const;
+  /// Network endpoints of every OSN serving `channel`, in orderer index
+  /// order (Solo: one entry). For failover lists and fault targeting.
+  [[nodiscard]] std::vector<sim::NodeId> OsnNetIds(int channel = 0) const;
   [[nodiscard]] ordering::SoloOrderer* Solo(int channel = 0) {
     return solos_.empty() ? nullptr
                           : solos_.at(static_cast<std::size_t>(channel)).get();

@@ -1,0 +1,282 @@
+#include "faults/fault_injector.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fabricsim::faults {
+
+namespace {
+
+/// Parses "<prefix><index>" (e.g. "osn2"); returns -1 if `name` doesn't
+/// start with `prefix` or the tail isn't all digits.
+int IndexOf(const std::string& name, const std::string& prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return -1;
+  }
+  int index = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    index = index * 10 + (name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+void FaultInjector::Arm() {
+  for (const FaultEvent& ev : schedule_.events) {
+    net_.Env().Sched().ScheduleAt(ev.at, [this, &ev] { Fire(ev); });
+  }
+}
+
+void FaultInjector::Fire(const FaultEvent& ev) {
+  sim::Environment& env = net_.Env();
+  sim::Network& net = env.Net();
+
+  switch (ev.kind) {
+    case FaultKind::kCrash: {
+      std::vector<sim::NodeId> ids;
+      for (const auto& name : ev.groups.at(0)) {
+        for (sim::NodeId id : ResolveNodes(name)) ids.push_back(id);
+      }
+      for (sim::NodeId id : ids) CrashNode(id);
+      if (ev.until) {
+        // Revive the nodes actually crashed, not a re-resolved alias: the
+        // leader at crash time stays the target even after a re-election.
+        env.Sched().ScheduleAt(*ev.until, [this, ids] {
+          for (sim::NodeId id : ids) ReviveNode(id);
+        });
+      }
+      return;
+    }
+    case FaultKind::kRevive: {
+      std::vector<sim::NodeId> ids;
+      if (ev.groups.empty()) {
+        ids.assign(crashed_.begin(), crashed_.end());
+      } else {
+        for (const auto& name : ev.groups.at(0)) {
+          for (sim::NodeId id : ResolveNodes(name)) ids.push_back(id);
+        }
+      }
+      for (sim::NodeId id : ids) ReviveNode(id);
+      return;
+    }
+    case FaultKind::kPartition: {
+      std::vector<std::vector<sim::NodeId>> groups;
+      for (const auto& names : ev.groups) {
+        std::vector<sim::NodeId> ids;
+        for (const auto& name : names) {
+          for (sim::NodeId id : ResolveNodes(name)) ids.push_back(id);
+        }
+        groups.push_back(std::move(ids));
+      }
+      for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+        for (std::size_t h = g + 1; h < groups.size(); ++h) {
+          for (sim::NodeId a : groups[g]) {
+            for (sim::NodeId b : groups[h]) net.Partition(a, b);
+          }
+        }
+      }
+      std::ostringstream os;
+      os << "partition";
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        os << (g == 0 ? " " : " | ");
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+          os << (i == 0 ? "" : "+") << net.NameOf(groups[g][i]);
+        }
+      }
+      Note(os.str());
+      if (ev.until) {
+        env.Sched().ScheduleAt(*ev.until, [this, groups] {
+          sim::Network& n = net_.Env().Net();
+          for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+            for (std::size_t h = g + 1; h < groups.size(); ++h) {
+              for (sim::NodeId a : groups[g]) {
+                for (sim::NodeId b : groups[h]) n.Heal(a, b);
+              }
+            }
+          }
+          Note("heal partition");
+        });
+      }
+      return;
+    }
+    case FaultKind::kHeal:
+      net.HealAll();
+      Note("heal all partitions");
+      return;
+    case FaultKind::kLoss: {
+      const double base = net.Config().loss_probability;
+      net.SetLossProbability(ev.value);
+      std::ostringstream os;
+      os << "loss probability -> " << ev.value;
+      Note(os.str());
+      if (ev.until) {
+        env.Sched().ScheduleAt(*ev.until, [this, base] {
+          net_.Env().Net().SetLossProbability(base);
+          std::ostringstream o2;
+          o2 << "loss probability restored to " << base;
+          Note(o2.str());
+        });
+      }
+      return;
+    }
+    case FaultKind::kSlowCpu: {
+      const std::string& name = ev.groups.at(0).at(0);
+      sim::Cpu* cpu = nullptr;
+      for (std::size_t i = 0; i < env.MachineCount(); ++i) {
+        if (env.MachineAt(i).Name() == name) {
+          cpu = &env.MachineAt(i).GetCpu();
+          break;
+        }
+      }
+      if (cpu == nullptr) {
+        throw std::invalid_argument("unknown machine for slow fault: " + name);
+      }
+      const double base = cpu->SpeedFactor();
+      cpu->SetSpeedFactor(base * ev.value);
+      std::ostringstream os;
+      os << "cpu " << name << " speed x" << ev.value;
+      Note(os.str());
+      if (ev.until) {
+        env.Sched().ScheduleAt(*ev.until, [this, cpu, base, name] {
+          cpu->SetSpeedFactor(base);
+          Note("cpu " + name + " speed restored");
+        });
+      }
+      return;
+    }
+    case FaultKind::kSlowDisk: {
+      const std::string& name = ev.groups.at(0).at(0);
+      sim::Cpu* disk = nullptr;
+      for (std::size_t i = 0; i < net_.PeerCount(); ++i) {
+        peer::PeerNode& p = net_.Peer(i);
+        if (net.NameOf(p.NetId()) == name) {
+          disk = &p.MutableDisk();
+          break;
+        }
+      }
+      if (disk == nullptr) {
+        throw std::invalid_argument("unknown peer for slowdisk fault: " + name);
+      }
+      const double base = disk->SpeedFactor();
+      disk->SetSpeedFactor(base * ev.value);
+      std::ostringstream os;
+      os << "disk " << name << " speed x" << ev.value;
+      Note(os.str());
+      if (ev.until) {
+        env.Sched().ScheduleAt(*ev.until, [this, disk, base, name] {
+          disk->SetSpeedFactor(base);
+          Note("disk " + name + " speed restored");
+        });
+      }
+      return;
+    }
+  }
+}
+
+void FaultInjector::CrashNode(sim::NodeId id) {
+  net_.Env().Net().Crash(id);
+  crashed_.insert(id);
+  Note("crash " + net_.Env().Net().NameOf(id));
+}
+
+void FaultInjector::ReviveNode(sim::NodeId id) {
+  sim::Network& net = net_.Env().Net();
+  if (!net.IsCrashed(id)) return;
+  net.Revive(id);
+  crashed_.erase(id);
+  // A revived Raft OSN restarts its consenter process: volatile Raft state
+  // resets and timers re-arm, as a real orderer restart would.
+  if (net_.Options().topology.ordering == fabric::OrderingType::kRaft) {
+    for (int c = 0; c < net_.ChannelCount(); ++c) {
+      for (auto& osn : net_.Rafts(c)) {
+        if (osn->NetId() == id) osn->RestartAfterCrash();
+      }
+    }
+  }
+  Note("revive " + net.NameOf(id));
+}
+
+std::vector<sim::NodeId> FaultInjector::ResolveNodes(const std::string& name) {
+  const auto& topo = net_.Options().topology;
+  if (name == "leader") return {ResolveLeader()};
+
+  if (const int i = IndexOf(name, "osn"); i >= 0) {
+    std::vector<sim::NodeId> ids;
+    for (int c = 0; c < net_.ChannelCount(); ++c) {
+      const auto osns = net_.OsnNetIds(c);
+      if (static_cast<std::size_t>(i) >= osns.size()) {
+        throw std::invalid_argument("fault target out of range: " + name);
+      }
+      ids.push_back(osns[static_cast<std::size_t>(i)]);
+    }
+    return ids;
+  }
+  if (const int i = IndexOf(name, "broker"); i >= 0) {
+    if (topo.ordering != fabric::OrderingType::kKafka) {
+      throw std::invalid_argument("broker fault target without kafka: " + name);
+    }
+    std::vector<sim::NodeId> ids;
+    for (int c = 0; c < net_.ChannelCount(); ++c) {
+      auto& brokers = net_.Brokers(c);
+      if (static_cast<std::size_t>(i) >= brokers.size()) {
+        throw std::invalid_argument("fault target out of range: " + name);
+      }
+      ids.push_back(brokers[static_cast<std::size_t>(i)]->NetId());
+    }
+    return ids;
+  }
+  if (const int i = IndexOf(name, "zk"); i >= 0) {
+    if (net_.ZooKeeper() == nullptr) {
+      throw std::invalid_argument("zk fault target without zookeeper: " + name);
+    }
+    const auto ids = net_.ZooKeeper()->NetIds();
+    if (static_cast<std::size_t>(i) >= ids.size()) {
+      throw std::invalid_argument("fault target out of range: " + name);
+    }
+    return {ids[static_cast<std::size_t>(i)]};
+  }
+
+  // Exact endpoint name.
+  const sim::Network& net = net_.Env().Net();
+  for (sim::NodeId id = 0; id < static_cast<sim::NodeId>(net.NodeCount());
+       ++id) {
+    if (net.NameOf(id) == name) return {id};
+  }
+  throw std::invalid_argument("unknown fault target: " + name);
+}
+
+sim::NodeId FaultInjector::ResolveLeader() {
+  switch (net_.Options().topology.ordering) {
+    case fabric::OrderingType::kSolo:
+      return net_.Solo(0)->NetId();
+    case fabric::OrderingType::kRaft: {
+      for (auto& osn : net_.Rafts(0)) {
+        if (osn->IsLeader()) return osn->NetId();
+      }
+      return net_.Rafts(0).front()->NetId();
+    }
+    case fabric::OrderingType::kKafka: {
+      for (auto& b : net_.Brokers(0)) {
+        if (b->IsPartitionLeader()) return b->NetId();
+      }
+      return net_.Brokers(0).front()->NetId();
+    }
+  }
+  return sim::kInvalidNode;
+}
+
+void FaultInjector::Note(const std::string& what) {
+  log_.push_back({net_.Env().Now(), what});
+}
+
+std::string FaultInjector::LogText() const {
+  std::ostringstream os;
+  for (const auto& entry : log_) {
+    os << "  " << sim::ToSeconds(entry.at) << "s  " << entry.what << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fabricsim::faults

@@ -1,0 +1,190 @@
+#include "faults/fault_schedule.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fabricsim::faults {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& token, const std::string& why) {
+  throw std::invalid_argument("bad fault event \"" + token + "\": " + why);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double ParseNumber(const std::string& s, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) Bad(token, "trailing characters in number \"" + s + "\"");
+    return v;
+  } catch (const std::invalid_argument&) {
+    Bad(token, "not a number: \"" + s + "\"");
+  } catch (const std::out_of_range&) {
+    Bad(token, "number out of range: \"" + s + "\"");
+  }
+}
+
+sim::SimTime ParseTime(std::string s, const std::string& token) {
+  if (s.empty()) Bad(token, "empty time");
+  double scale = static_cast<double>(sim::kSecond);
+  if (s.size() > 2 && s.compare(s.size() - 2, 2, "ms") == 0) {
+    scale = static_cast<double>(sim::kMillisecond);
+    s.resize(s.size() - 2);
+  } else if (s.back() == 's') {
+    s.resize(s.size() - 1);
+  }
+  const double v = ParseNumber(s, token);
+  if (v < 0) Bad(token, "negative time");
+  return static_cast<sim::SimTime>(v * scale);
+}
+
+std::string FormatTime(sim::SimTime t) {
+  std::ostringstream os;
+  os << sim::ToSeconds(t) << "s";
+  return os.str();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRevive:
+      return "revive";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kSlowCpu:
+      return "slow";
+    case FaultKind::kSlowDisk:
+      return "slowdisk";
+  }
+  return "unknown";
+}
+
+sim::SimTime FaultSchedule::FirstFaultAt() const {
+  sim::SimTime first = 0;
+  bool any = false;
+  for (const auto& ev : events) {
+    if (!any || ev.at < first) first = ev.at;
+    any = true;
+  }
+  return first;
+}
+
+std::string FaultSchedule::Describe() const {
+  std::ostringstream os;
+  for (const auto& ev : events) {
+    os << FormatTime(ev.at);
+    if (ev.until) os << "-" << FormatTime(*ev.until);
+    os << " " << FaultKindName(ev.kind);
+    if (ev.kind == FaultKind::kLoss || ev.kind == FaultKind::kSlowCpu ||
+        ev.kind == FaultKind::kSlowDisk) {
+      os << " x" << ev.value;
+    }
+    for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+      os << (g == 0 ? " " : " | ");
+      for (std::size_t i = 0; i < ev.groups[g].size(); ++i) {
+        os << (i == 0 ? "" : "+") << ev.groups[g][i];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultSchedule FaultSchedule::Parse(const std::string& spec) {
+  FaultSchedule schedule;
+  if (spec.empty()) return schedule;
+
+  for (const std::string& token : Split(spec, ',')) {
+    if (token.empty()) Bad(token, "empty event");
+    const std::size_t at_pos = token.rfind('@');
+    if (at_pos == std::string::npos) Bad(token, "missing @time");
+
+    FaultEvent ev;
+    // Time (optionally a window "T-T'"). The '-' separator is searched past
+    // position 0 so negative numbers still fail with a clear message.
+    const std::string time_part = token.substr(at_pos + 1);
+    const std::size_t dash = time_part.find('-', 1);
+    if (dash == std::string::npos) {
+      ev.at = ParseTime(time_part, token);
+    } else {
+      ev.at = ParseTime(time_part.substr(0, dash), token);
+      ev.until = ParseTime(time_part.substr(dash + 1), token);
+      if (*ev.until <= ev.at) Bad(token, "window end not after start");
+    }
+
+    // Kind and arguments.
+    const std::string head = token.substr(0, at_pos);
+    const std::size_t colon = head.find(':');
+    const std::string kind =
+        colon == std::string::npos ? head : head.substr(0, colon);
+    const std::string args =
+        colon == std::string::npos ? "" : head.substr(colon + 1);
+
+    if (kind == "crash") {
+      ev.kind = FaultKind::kCrash;
+      if (args.empty()) Bad(token, "crash needs a target");
+      ev.groups.push_back(Split(args, '|'));
+    } else if (kind == "revive") {
+      ev.kind = FaultKind::kRevive;
+      if (ev.until) Bad(token, "revive cannot be a window");
+      if (!args.empty()) ev.groups.push_back(Split(args, '|'));
+    } else if (kind == "partition") {
+      ev.kind = FaultKind::kPartition;
+      const auto groups = Split(args, '|');
+      if (groups.size() < 2) Bad(token, "partition needs at least two groups");
+      for (const auto& g : groups) {
+        if (g.empty()) Bad(token, "empty partition group");
+        ev.groups.push_back(Split(g, '+'));
+      }
+    } else if (kind == "heal") {
+      ev.kind = FaultKind::kHeal;
+      if (ev.until) Bad(token, "heal cannot be a window");
+    } else if (kind == "loss") {
+      ev.kind = FaultKind::kLoss;
+      ev.value = ParseNumber(args, token);
+      if (ev.value < 0.0 || ev.value > 1.0) {
+        Bad(token, "loss probability must be in [0,1]");
+      }
+    } else if (kind == "slow" || kind == "slowdisk") {
+      ev.kind = kind == "slow" ? FaultKind::kSlowCpu : FaultKind::kSlowDisk;
+      const std::size_t sep = args.rfind(':');
+      if (sep == std::string::npos) Bad(token, kind + " needs <target>:<factor>");
+      ev.groups.push_back({args.substr(0, sep)});
+      ev.value = ParseNumber(args.substr(sep + 1), token);
+      if (ev.value <= 0.0) Bad(token, "speed factor must be positive");
+    } else {
+      Bad(token, "unknown fault kind \"" + kind + "\"");
+    }
+
+    for (const auto& group : ev.groups) {
+      for (const auto& name : group) {
+        if (name.empty()) Bad(token, "empty target name");
+      }
+    }
+    schedule.events.push_back(std::move(ev));
+  }
+  return schedule;
+}
+
+}  // namespace fabricsim::faults

@@ -1,0 +1,73 @@
+// Declarative fault timeline for chaos experiments.
+//
+// A schedule is a compact comma-separated spec, e.g.
+//   crash:osn0@5s,revive:osn0@15s,loss:0.05@10s-20s
+// Each event is `kind[:args]@time[-time]`; a second time makes the event a
+// window that automatically undoes itself (crash revives, partition heals,
+// loss/slowdown restore the baseline). Supported kinds:
+//
+//   crash:<t>[|<t>...]@T[-T']       crash the targets' network endpoints
+//   revive[:<t>[|<t>...]]@T         revive targets (no target = all crashed)
+//   partition:<g>|<g>[|<g>]@T[-T']  split groups ('+'-joined names) from
+//                                   each other; same-group traffic flows
+//   heal@T                          heal all partitions
+//   loss:<p>@T[-T']                 set per-message loss probability to p
+//   slow:<machine>:<f>@T[-T']       scale a machine's CPU speed by f (<1 is
+//                                   slower: 0.25 = 4x slowdown)
+//   slowdisk:<peer>:<f>@T[-T']      scale a peer's ledger-disk speed by f
+//
+// Times are fractional seconds by default (`5s`, `2.5`, `750ms`), measured
+// in absolute simulation time (warm-up included). Targets are resolved by
+// the FaultInjector when the event fires, so aliases like `leader` hit
+// whoever leads at that moment: `leader` (current Raft leader / Kafka
+// partition-leader broker / the Solo node), `osn<i>`, `broker<i>`, `zk<i>`,
+// or any exact endpoint name (`peer.commit0`, `client3`, ...).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fabricsim::faults {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kRevive,
+  kPartition,
+  kHeal,
+  kLoss,
+  kSlowCpu,
+  kSlowDisk,
+};
+
+[[nodiscard]] const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Target names. Partitions use one inner vector per group; every other
+  /// kind uses a single group (possibly empty, e.g. bare `revive`/`heal`).
+  std::vector<std::vector<std::string>> groups;
+  /// Loss probability (kLoss) or speed factor (kSlowCpu/kSlowDisk).
+  double value = 0.0;
+  sim::SimTime at = 0;
+  /// Windowed events automatically undo themselves at this time.
+  std::optional<sim::SimTime> until;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool Empty() const { return events.empty(); }
+  /// Earliest event time; 0 for an empty schedule.
+  [[nodiscard]] sim::SimTime FirstFaultAt() const;
+  /// Human-readable one-line-per-event rendering.
+  [[nodiscard]] std::string Describe() const;
+
+  /// Parses a spec string. Throws std::invalid_argument naming the bad
+  /// token on malformed input; an empty spec yields an empty schedule.
+  [[nodiscard]] static FaultSchedule Parse(const std::string& spec);
+};
+
+}  // namespace fabricsim::faults

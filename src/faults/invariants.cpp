@@ -1,0 +1,175 @@
+#include "faults/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace fabricsim::faults {
+
+namespace {
+
+void Violate(InvariantReport& report, const std::string& invariant,
+             std::string detail) {
+  report.violations.push_back({invariant, std::move(detail)});
+}
+
+}  // namespace
+
+std::string InvariantReport::Summary() const {
+  std::ostringstream os;
+  if (Ok()) {
+    os << "invariants ok: " << chains_audited << " chains audited, "
+       << blocks_compared << " blocks compared, " << txs_checked
+       << " txs checked\n";
+    return os.str();
+  }
+  constexpr std::size_t kMaxShown = 8;
+  for (std::size_t i = 0; i < violations.size() && i < kMaxShown; ++i) {
+    os << "VIOLATION [" << violations[i].invariant << "] "
+       << violations[i].detail << "\n";
+  }
+  if (violations.size() > kMaxShown) {
+    os << "... and " << violations.size() - kMaxShown << " more violations\n";
+  }
+  return os.str();
+}
+
+InvariantReport CheckInvariants(fabric::FabricNetwork& net) {
+  InvariantReport report;
+  const auto& records = net.Tracker().Records();
+
+  for (int c = 0; c < net.ChannelCount(); ++c) {
+    const std::string channel = net.ChannelId(c);
+    std::vector<const peer::Committer*> committers;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < net.PeerCount(); ++i) {
+      peer::PeerNode& p = net.Peer(i);
+      if (!p.HasChannel(channel)) continue;
+      committers.push_back(&p.GetCommitter(channel));
+      names.push_back(net.Env().Net().NameOf(p.NetId()));
+    }
+
+    for (std::size_t i = 0; i < committers.size(); ++i) {
+      const ledger::Blockchain& chain = committers[i]->Chain();
+      ++report.chains_audited;
+      const ledger::ChainCheck check = chain.Audit();
+      if (!check.ok) {
+        std::ostringstream os;
+        os << names[i] << "/" << channel << " block " << check.bad_block
+           << ": " << check.reason;
+        Violate(report, "chain-audit", os.str());
+      }
+      // Exactly-once within the chain, and no phantoms: every committed tx
+      // must have entered through a tracked client submission. Block 0 is
+      // the genesis config transaction. Only kValid occurrences count as
+      // committed — a resubmitted envelope may legitimately appear in a
+      // later block flagged kDuplicateTxId by the committer's dedup.
+      std::unordered_set<std::string> seen;
+      for (std::uint64_t n = 1; n < chain.Height(); ++n) {
+        const proto::BlockPtr block = chain.Store().GetBlock(n);
+        const auto& codes = chain.Store().CodesFor(n);
+        for (std::size_t t = 0; t < block->transactions.size(); ++t) {
+          const auto& tx = block->transactions[t];
+          ++report.txs_checked;
+          const bool valid =
+              t < codes.size() && codes[t] == proto::ValidationCode::kValid;
+          if (valid && !seen.insert(tx.tx_id).second) {
+            Violate(report, "double-commit",
+                    names[i] + "/" + channel + " committed " + tx.tx_id +
+                        " as valid twice");
+          }
+          if (records.count(tx.tx_id) == 0) {
+            Violate(report, "phantom-commit",
+                    names[i] + "/" + channel + " committed unsubmitted tx " +
+                        tx.tx_id);
+          }
+        }
+      }
+    }
+
+    // No forks: all peers agree on every block number both have.
+    for (std::size_t i = 1; i < committers.size(); ++i) {
+      const auto& ref = committers[0]->Chain();
+      const auto& other = committers[i]->Chain();
+      const std::uint64_t shared = std::min(ref.Height(), other.Height());
+      for (std::uint64_t n = 0; n < shared; ++n) {
+        ++report.blocks_compared;
+        if (!(ref.Store().GetBlock(n)->header.Hash() ==
+              other.Store().GetBlock(n)->header.Hash())) {
+          std::ostringstream os;
+          os << channel << " block " << n << ": " << names[i]
+             << " diverges from " << names[0];
+          Violate(report, "chain-fork", os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  // Client-side exactly-once: a broadcast-acked transaction must commit
+  // (once) or come back as an explicit rejection; never vanish, never
+  // commit valid twice.
+  for (client::Client* cl : net.Clients()) {
+    const client::Client::OutcomeLog* log = cl->Outcomes();
+    if (log == nullptr) continue;
+    for (const auto& [tx_id, n] : log->valid_commits) {
+      if (n > 1) {
+        std::ostringstream os;
+        os << "client observed " << n << " valid commits for " << tx_id;
+        Violate(report, "double-commit", os.str());
+      }
+    }
+    for (const auto& tx_id : log->acked) {
+      ++report.txs_checked;
+      if (log->commits.count(tx_id) == 0 && log->rejected.count(tx_id) == 0) {
+        Violate(report, "acked-lost",
+                tx_id + " acked by the orderer but never committed "
+                        "nor rejected");
+      }
+    }
+  }
+  return report;
+}
+
+RecoverySummary AnalyzeRecovery(const metrics::RateLog& commits,
+                                sim::SimTime fault_at, sim::SimTime end) {
+  RecoverySummary s;
+  const sim::SimTime lead = sim::FromSeconds(5);
+  s.pre_fault_tps = commits.MeanRate(
+      fault_at > lead ? fault_at - lead : 0, fault_at);
+
+  const auto windows = commits.Windows();
+  double dip = -1.0;
+  sim::SimTime dip_at = fault_at;
+  for (const auto& w : windows) {
+    if (w.start < fault_at || w.start >= end) continue;
+    if (dip < 0.0 || w.tps < dip) {
+      dip = w.tps;
+      dip_at = w.start;
+    }
+  }
+  if (dip >= 0.0) s.dip_tps = dip;
+
+  // Stall: a healthy pre-fault rate, and nothing commits in the tail.
+  if (s.pre_fault_tps > 0.0 && fault_at + lead < end) {
+    s.stalled = commits.MeanRate(end - lead, end) == 0.0;
+  }
+
+  // Recovery: the first window at/after the dip back at >= 90% of the
+  // pre-fault rate (windows straight after the fault can still ride on
+  // in-flight blocks, so the search starts at the dip).
+  const double target = 0.9 * s.pre_fault_tps;
+  if (!s.stalled) {
+    for (const auto& w : windows) {
+      if (w.start < dip_at || w.start >= end) continue;
+      if (w.tps >= target) {
+        s.time_to_recover_s = sim::ToSeconds(w.start - fault_at);
+        s.recovered_tps = commits.MeanRate(w.start, end);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace fabricsim::faults

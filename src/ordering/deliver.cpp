@@ -1,5 +1,7 @@
 #include "ordering/deliver.h"
 
+#include <algorithm>
+
 namespace fabricsim::ordering {
 
 BlockAssembler::BlockAssembler(const crypto::Identity& signer,
@@ -31,12 +33,23 @@ AssembledBlock BlockAssembler::Assemble(const Batch& batch) {
   return out;
 }
 
+void DeliverService::Subscribe(sim::NodeId peer) {
+  if (!IsSubscribed(peer)) subscribers_.push_back(peer);
+}
+
+bool DeliverService::IsSubscribed(sim::NodeId peer) const {
+  return std::find(subscribers_.begin(), subscribers_.end(), peer) !=
+         subscribers_.end();
+}
+
 void DeliverService::Deliver(const AssembledBlock& b) {
-  for (sim::NodeId peer : subscribers_) {
-    net_.Send(self_, peer,
-              std::make_shared<DeliverBlockMsg>(b.block, b.wire_size,
-                                                channel_id_, net_.Now()));
-  }
+  for (sim::NodeId peer : subscribers_) DeliverTo(peer, b);
+}
+
+void DeliverService::DeliverTo(sim::NodeId peer, const AssembledBlock& b) {
+  net_.Send(self_, peer,
+            std::make_shared<DeliverBlockMsg>(b.block, b.wire_size,
+                                              channel_id_, net_.Now()));
 }
 
 }  // namespace fabricsim::ordering

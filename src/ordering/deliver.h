@@ -56,7 +56,11 @@ class DeliverService {
                  std::string channel_id = "mychannel")
       : net_(net), self_(self), channel_id_(std::move(channel_id)) {}
 
-  void Subscribe(sim::NodeId peer) { subscribers_.push_back(peer); }
+  /// Adds a subscriber; re-subscribing is idempotent (a peer that fails over
+  /// to another OSN and back must not receive blocks twice).
+  void Subscribe(sim::NodeId peer);
+
+  [[nodiscard]] bool IsSubscribed(sim::NodeId peer) const;
 
   [[nodiscard]] const std::vector<sim::NodeId>& Subscribers() const {
     return subscribers_;
@@ -64,6 +68,9 @@ class DeliverService {
 
   /// Sends the block to every subscriber.
   void Deliver(const AssembledBlock& b);
+
+  /// Sends the block to one node (catch-up backfill after re-subscription).
+  void DeliverTo(sim::NodeId peer, const AssembledBlock& b);
 
  private:
   sim::Network& net_;

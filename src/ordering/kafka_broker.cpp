@@ -69,6 +69,7 @@ void KafkaBroker::OnBecameLeader() {
   is_leader_ = true;
   follower_log_end_.clear();
   follower_last_ack_.clear();
+  catchup_log_end_.clear();
   for (sim::NodeId f : IsrFollowers()) {
     follower_log_end_[f] = 0;
     follower_last_ack_[f] = env_.Now();
@@ -92,6 +93,9 @@ void KafkaBroker::IsrMaintenanceTick() {
     const sim::SimDuration silence =
         env_.Now() - follower_last_ack_[it->first];
     if (behind && silence > config_.isr_lag_limit) {
+      // Keep replicating to the dropped follower so it can catch up and
+      // re-enter the ISR once it revives.
+      catchup_log_end_[it->first] = it->second;
       follower_last_ack_.erase(it->first);
       replication_in_flight_.erase(it->first);
       it = follower_log_end_.erase(it);
@@ -104,6 +108,15 @@ void KafkaBroker::IsrMaintenanceTick() {
       retry = true;
     }
     ++it;
+  }
+  // Catch-up followers get their batch re-offered every tick: sends to a
+  // still-crashed broker vanish, and duplicates are harmless (followers
+  // append only the record at their log end).
+  for (auto& [follower, acked] : catchup_log_end_) {
+    if (acked < log_.size()) {
+      replication_in_flight_[follower] = false;
+      retry = true;
+    }
   }
   if (shrunk) MaybeAdvanceHighWatermark();
   if (retry) ReplicateToFollowers();
@@ -173,7 +186,22 @@ void KafkaBroker::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (auto ack = std::dynamic_pointer_cast<const KafkaReplicateAckMsg>(msg)) {
     if (!is_leader_) return;
     auto it = follower_log_end_.find(from);
-    if (it == follower_log_end_.end()) return;
+    if (it == follower_log_end_.end()) {
+      // An out-of-ISR follower catching back up.
+      auto cit = catchup_log_end_.find(from);
+      if (cit == catchup_log_end_.end()) return;
+      replication_in_flight_[from] = false;
+      if (ack->log_end > cit->second) cit->second = ack->log_end;
+      if (cit->second >= log_.size()) {
+        // Fully caught up: re-expand the ISR.
+        follower_log_end_[from] = cit->second;
+        follower_last_ack_[from] = env_.Now();
+        catchup_log_end_.erase(cit);
+      } else {
+        ReplicateToFollowers();
+      }
+      return;
+    }
     follower_last_ack_[from] = env_.Now();
     replication_in_flight_[from] = false;
     if (ack->log_end > it->second) it->second = ack->log_end;
@@ -205,9 +233,9 @@ void KafkaBroker::HandleProduce(sim::NodeId from, const KafkaProduceMsg& m) {
 }
 
 void KafkaBroker::ReplicateToFollowers() {
-  for (auto& [follower, acked] : follower_log_end_) {
-    if (acked >= log_.size()) continue;
-    if (replication_in_flight_[follower]) continue;  // pipelined: one batch
+  auto stream_to = [this](sim::NodeId follower, std::uint64_t acked) {
+    if (acked >= log_.size()) return;
+    if (replication_in_flight_[follower]) return;  // pipelined: one batch
     replication_in_flight_[follower] = true;
     auto rep = std::make_shared<KafkaReplicateMsg>();
     rep->high_watermark = high_watermark_;
@@ -217,7 +245,9 @@ void KafkaBroker::ReplicateToFollowers() {
       rep->records.push_back(log_[i]);
     }
     env_.Net().Send(net_id_, follower, rep);
-  }
+  };
+  for (auto& [follower, acked] : follower_log_end_) stream_to(follower, acked);
+  for (auto& [follower, acked] : catchup_log_end_) stream_to(follower, acked);
 }
 
 void KafkaBroker::MaybeAdvanceHighWatermark() {

@@ -54,6 +54,14 @@ class KafkaBroker {
   [[nodiscard]] bool IsPartitionLeader() const { return is_leader_; }
   [[nodiscard]] std::uint64_t LogEnd() const { return log_.size(); }
   [[nodiscard]] std::uint64_t HighWatermark() const { return high_watermark_; }
+  /// Leader-side ISR size including self (followers currently in sync).
+  [[nodiscard]] std::size_t IsrSize() const {
+    return follower_log_end_.size() + 1;
+  }
+  /// Followers dropped from the ISR that the leader is still catching up.
+  [[nodiscard]] std::size_t CatchingUp() const {
+    return catchup_log_end_.size();
+  }
 
  private:
   void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
@@ -89,6 +97,10 @@ class KafkaBroker {
 
   // Leader-side replication progress: follower -> acked log end.
   std::map<sim::NodeId, std::uint64_t> follower_log_end_;
+  // Followers dropped from the ISR (crashed/partitioned) that the leader
+  // keeps replicating to; once one acks the full log it re-enters the ISR
+  // (Kafka's shrink/re-expand cycle on broker revive).
+  std::map<sim::NodeId, std::uint64_t> catchup_log_end_;
   // Leader-side liveness: follower -> last ack time (for ISR shrinking).
   std::map<sim::NodeId, sim::SimTime> follower_last_ack_;
   // One replication batch in flight per follower (pipelined, not resent on

@@ -97,6 +97,62 @@ class DeliverBlockMsg final : public sim::Message {
   sim::SimTime sent_at_;
 };
 
+/// Peer -> OSN: deliver-stream liveness probe. Peers with deliver failover
+/// enabled ping the OSN they are subscribed to; consecutive missed pongs
+/// trigger re-subscription to an alternate OSN.
+class DeliverPingMsg final : public sim::Message {
+ public:
+  explicit DeliverPingMsg(std::string channel_id)
+      : channel_id_(std::move(channel_id)) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 24 + channel_id_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "DeliverPing"; }
+
+ private:
+  std::string channel_id_;
+};
+
+/// OSN -> peer: the deliver stream is alive.
+class DeliverPongMsg final : public sim::Message {
+ public:
+  explicit DeliverPongMsg(std::string channel_id)
+      : channel_id_(std::move(channel_id)) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 24 + channel_id_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "DeliverPong"; }
+
+ private:
+  std::string channel_id_;
+};
+
+/// Peer -> OSN: (re-)subscribe to block delivery starting at `from_number`
+/// (the peer's current chain height). The OSN backfills every block it has
+/// already delivered from that number on — Fabric's Deliver seek semantics.
+class SubscribeRequestMsg final : public sim::Message {
+ public:
+  SubscribeRequestMsg(std::string channel_id, std::uint64_t from_number)
+      : channel_id_(std::move(channel_id)), from_number_(from_number) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::uint64_t FromNumber() const { return from_number_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 32 + channel_id_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "SubscribeRequest";
+  }
+
+ private:
+  std::string channel_id_;
+  std::uint64_t from_number_;
+};
+
 // --------------------------------------------------------------------- raft
 
 /// One replicated log entry: the Raft orderer replicates whole blocks.

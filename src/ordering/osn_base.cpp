@@ -63,7 +63,31 @@ void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
         /*high_priority=*/true);
     return;
   }
+  if (auto ping = std::dynamic_pointer_cast<const DeliverPingMsg>(msg)) {
+    // Liveness probe from a subscribed peer: answer immediately. No CPU
+    // charge — the real Deliver stream's keepalive is a transport-level
+    // frame, not an application request.
+    env_.Net().Send(net_id_, from,
+                    std::make_shared<DeliverPongMsg>(ping->ChannelId()));
+    return;
+  }
+  if (auto sub = std::dynamic_pointer_cast<const SubscribeRequestMsg>(msg)) {
+    if (sub->ChannelId() == channel_id_) {
+      SubscribePeerFrom(from, sub->FromNumber());
+    }
+    return;
+  }
   OnOtherMessage(from, msg);
+}
+
+void OsnBase::SubscribePeerFrom(sim::NodeId peer, std::uint64_t from_number) {
+  deliver_.Subscribe(peer);
+  // Backfill what this OSN already delivered past the peer's height; blocks
+  // the OSN has not seen yet will arrive through the normal deliver path.
+  for (auto it = history_.lower_bound(from_number); it != history_.end();
+       ++it) {
+    deliver_.DeliverTo(peer, it->second);
+  }
 }
 
 void OsnBase::FinishBlock(AssembledBlock b) {
@@ -84,6 +108,7 @@ void OsnBase::FinishBlock(AssembledBlock b) {
     }
     ++delivered_blocks_;
     deliver_.Deliver(ready);
+    history_.emplace(ready.block->header.number, ready);
     out_of_order_.erase(it);
     ++next_deliver_number_;
   }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "crypto/identity.h"
 #include "fabric/calibration.h"
@@ -42,6 +43,11 @@ class OsnBase {
 
   /// Subscribes a peer to this OSN's block deliveries.
   void SubscribePeer(sim::NodeId peer) { deliver_.Subscribe(peer); }
+
+  /// Subscribes `peer` and backfills every already-delivered block from
+  /// `from_number` on (Fabric's Deliver seek). Used by peers failing over
+  /// from a crashed OSN; idempotent for existing subscribers.
+  void SubscribePeerFrom(sim::NodeId peer, std::uint64_t from_number);
 
   /// Anchors this OSN on the channel's genesis block: user blocks start at
   /// number 1 and chain off the genesis hash.
@@ -100,6 +106,10 @@ class OsnBase {
 
   std::uint64_t next_deliver_number_ = 0;
   std::map<std::uint64_t, AssembledBlock> out_of_order_;
+  // Every block delivered so far, by number, so late (re)subscribers can be
+  // backfilled. Blocks are shared_ptrs into the same objects the peers hold,
+  // so retention costs pointers, not copies.
+  std::map<std::uint64_t, AssembledBlock> history_;
   metrics::RateLog broadcast_log_{"broadcast-received"};
   std::uint64_t genesis_next_number_ = 0;
   crypto::Digest genesis_hash_{};

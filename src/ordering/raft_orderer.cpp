@@ -27,6 +27,14 @@ void RaftOrderer::SetGroup(const std::vector<sim::NodeId>& group) {
 
 void RaftOrderer::Start() { raft_->Start(); }
 
+void RaftOrderer::RestartAfterCrash() {
+  const bool was_leader = raft_->IsLeader();
+  raft_->RestartAfterCrash();
+  // The leadership callback does not fire inside RestartAfterCrash; drop
+  // the block-cutter timer ourselves when leadership was just lost.
+  if (was_leader) OnLeadershipChange(false);
+}
+
 void RaftOrderer::OnLeadershipChange(bool is_leader) {
   if (!is_leader) {
     if (timer_ != 0) {

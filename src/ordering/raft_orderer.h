@@ -32,6 +32,11 @@ class RaftOrderer final : public OsnBase {
   [[nodiscard]] bool IsLeader() const { return raft_->IsLeader(); }
   [[nodiscard]] const RaftNode& Raft() const { return *raft_; }
 
+  /// Crash-recovery: resets the consenter's volatile Raft state and re-arms
+  /// its timers, as a real orderer restart would. Call when the simulated
+  /// process comes back after sim::Network::Revive.
+  void RestartAfterCrash();
+
  protected:
   bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) override;
   void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) override;

@@ -83,6 +83,57 @@ void PeerNode::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
     event_subscribers_.push_back(from);
     return;
   }
+  if (auto pong = std::dynamic_pointer_cast<const ordering::DeliverPongMsg>(
+          msg)) {
+    auto it = deliver_watch_.find(pong->ChannelId());
+    if (it != deliver_watch_.end() &&
+        from == it->second.osns[it->second.index]) {
+      it->second.awaiting_pong = false;
+      it->second.missed = 0;
+    }
+    return;
+  }
+}
+
+void PeerNode::EnableDeliverFailover(const std::string& channel_id,
+                                     std::vector<sim::NodeId> osns,
+                                     std::size_t current_index,
+                                     DeliverFailoverConfig cfg) {
+  if (osns.empty() || channels_.count(channel_id) == 0) return;
+  DeliverWatch w;
+  w.osns = std::move(osns);
+  w.index = current_index % w.osns.size();
+  w.cfg = cfg;
+  deliver_watch_[channel_id] = std::move(w);
+  env_.Sched().ScheduleAfter(cfg.ping_period,
+                             [this, channel_id] { DeliverWatchTick(channel_id); });
+}
+
+void PeerNode::DeliverWatchTick(const std::string& channel_id) {
+  auto it = deliver_watch_.find(channel_id);
+  if (it == deliver_watch_.end()) return;
+  DeliverWatch& w = it->second;
+  if (w.awaiting_pong) {
+    ++w.missed;
+    if (w.missed >= w.cfg.miss_threshold) {
+      // The OSN looks dead: rotate and re-subscribe from the current chain
+      // height. The committer drops duplicate blocks, so a backfill overlap
+      // with blocks still in the validation pipeline is harmless.
+      w.index = (w.index + 1) % w.osns.size();
+      w.missed = 0;
+      ++deliver_failovers_;
+      const std::uint64_t height =
+          channels_.at(channel_id)->committer->Chain().Height();
+      env_.Net().Send(net_id_, w.osns[w.index],
+                      std::make_shared<ordering::SubscribeRequestMsg>(
+                          channel_id, height));
+    }
+  }
+  w.awaiting_pong = true;
+  env_.Net().Send(net_id_, w.osns[w.index],
+                  std::make_shared<ordering::DeliverPingMsg>(channel_id));
+  env_.Sched().ScheduleAfter(w.cfg.ping_period,
+                             [this, channel_id] { DeliverWatchTick(channel_id); });
 }
 
 void PeerNode::HandleDeliverBlock(

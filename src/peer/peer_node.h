@@ -28,6 +28,12 @@ class DeliverBlockMsg;
 
 namespace fabricsim::peer {
 
+/// Watchdog tuning for the deliver-stream failover (see PeerNode below).
+struct DeliverFailoverConfig {
+  sim::SimDuration ping_period = sim::FromMillis(500);
+  int miss_threshold = 4;
+};
+
 class PeerNode {
  public:
   /// Constructs the peer and joins it to `channel_id` (its first channel).
@@ -110,6 +116,34 @@ class PeerNode {
 
   /// The peer's single-writer ledger disk station (for telemetry).
   [[nodiscard]] const sim::Cpu& Disk() const { return disk_; }
+  /// Mutable access for fault injection (transient disk slowdown).
+  [[nodiscard]] sim::Cpu& MutableDisk() { return disk_; }
+
+  // --- deliver-stream failover --------------------------------------------
+  // A peer subscribed to one OSN's deliver stream loses its block feed when
+  // that OSN crashes. The watchdog pings the current OSN every ping period;
+  // after `miss_threshold` consecutive unanswered pings it rotates to the
+  // next OSN in the list and re-subscribes from its current chain height
+  // (the OSN backfills any blocks it already delivered past that height).
+
+  /// Arms the watchdog for `channel_id`. `osns` is the rotation list and
+  /// `current_index` the OSN this peer is currently subscribed to.
+  void EnableDeliverFailover(const std::string& channel_id,
+                             std::vector<sim::NodeId> osns,
+                             std::size_t current_index,
+                             DeliverFailoverConfig cfg = DeliverFailoverConfig());
+
+  /// Number of deliver-stream rotations performed (tests/telemetry).
+  [[nodiscard]] std::uint64_t DeliverFailovers() const {
+    return deliver_failovers_;
+  }
+  /// The OSN the watchdog currently tracks for `channel_id` (tests).
+  [[nodiscard]] sim::NodeId CurrentDeliverOsn(
+      const std::string& channel_id) const {
+    auto it = deliver_watch_.find(channel_id);
+    return it == deliver_watch_.end() ? sim::kInvalidNode
+                                      : it->second.osns[it->second.index];
+  }
 
  private:
   struct ChannelLedger {
@@ -126,6 +160,7 @@ class PeerNode {
       const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
   void HandleGossipPull(sim::NodeId from, const GossipPullMsg& m);
   void AntiEntropyTick();
+  void DeliverWatchTick(const std::string& channel_id);
   void RecordEndorseSpans(obs::Tracer& tr, sim::SimDuration cost,
                           sim::SimTime enqueued, const std::string& tx_id);
 
@@ -154,6 +189,17 @@ class PeerNode {
   // Per channel: block numbers whose deliver.wire spans were recorded
   // (touched only while tracing with a tracker attached).
   std::map<std::string, std::set<std::uint64_t>> traced_deliveries_;
+
+  // Deliver-stream watchdog state, per channel.
+  struct DeliverWatch {
+    std::vector<sim::NodeId> osns;
+    std::size_t index = 0;
+    DeliverFailoverConfig cfg;
+    bool awaiting_pong = false;
+    int missed = 0;
+  };
+  std::map<std::string, DeliverWatch> deliver_watch_;
+  std::uint64_t deliver_failovers_ = 0;
 };
 
 }  // namespace fabricsim::peer

@@ -11,6 +11,10 @@ Cpu::Cpu(Scheduler& sched, int cores, double speed_factor)
       cores_(cores < 1 ? 1 : cores),
       inv_speed_(speed_factor > 0 ? 1.0 / speed_factor : 1.0) {}
 
+void Cpu::SetSpeedFactor(double speed_factor) {
+  inv_speed_ = speed_factor > 0 ? 1.0 / speed_factor : 1.0;
+}
+
 SimDuration Cpu::ScaledCost(SimDuration cost) const {
   if (cost < 0) cost = 0;
   return static_cast<SimDuration>(static_cast<double>(cost) * inv_speed_);

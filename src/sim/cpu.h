@@ -74,6 +74,14 @@ class Cpu {
   /// (speed-factor scaled) — what Submit charges.
   [[nodiscard]] SimDuration ScaledCost(SimDuration cost) const;
 
+  /// Current speed factor (1.0 = nominal).
+  [[nodiscard]] double SpeedFactor() const { return 1.0 / inv_speed_; }
+
+  /// Changes the speed factor at runtime (transient slowdown injection).
+  /// Jobs already running keep their original duration; jobs started after
+  /// the call are scaled by the new factor.
+  void SetSpeedFactor(double speed_factor);
+
   /// Total core-busy time accrued up to the current simulated time.
   [[nodiscard]] SimDuration BusyTime() const { return BusyTimeAt(sched_.Now()); }
 

@@ -103,6 +103,12 @@ bool Network::IsCrashed(NodeId id) const {
   return nodes_.at(static_cast<std::size_t>(id)).crashed;
 }
 
+void Network::SetLossProbability(double p) {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  config_.loss_probability = p;
+}
+
 const std::string& Network::NameOf(NodeId id) const {
   return nodes_.at(static_cast<std::size_t>(id)).name;
 }

@@ -130,6 +130,10 @@ class Network {
 
   [[nodiscard]] const NetworkConfig& Config() const { return config_; }
 
+  /// Adjusts the per-message loss probability at runtime (fault windows).
+  /// Applies to messages sent after the call; in-flight messages are kept.
+  void SetLossProbability(double p);
+
   /// Current simulated time (convenience for senders stamping messages).
   [[nodiscard]] SimTime Now() const { return sched_.Now(); }
 

@@ -5,6 +5,7 @@
 
 #include "fabric/channel.h"
 #include "fabric/topology.h"
+#include "obs/trace.h"
 
 namespace fabricsim::client {
 namespace {
@@ -103,7 +104,8 @@ class FakeOrderer {
 struct ClientFixture {
   explicit ClientFixture(
       FakeEndorser::Mode endorser_mode = FakeEndorser::Mode::kEndorse,
-      FakeOrderer::Mode orderer_mode = FakeOrderer::Mode::kAck)
+      FakeOrderer::Mode orderer_mode = FakeOrderer::Mode::kAck,
+      ClientConfig config = ClientConfig{})
       : env(5) {
     msps.AddOrganization("Org1MSP");
     msps.AddOrganization("ClientOrgMSP");
@@ -117,7 +119,7 @@ struct ClientFixture {
     client = std::make_unique<Client>(
         env, *machine,
         msps.Find("ClientOrgMSP")->Enroll("app0", crypto::Role::kClient),
-        fabric::DefaultCalibration(), ClientConfig{},
+        fabric::DefaultCalibration(), config,
         fabric::MakeOrPolicy(1), nullptr, 0);
     client->SetEndorsers({endorser->Id()},
                          {crypto::Principal{"Org1MSP", crypto::Role::kPeer}});
@@ -270,6 +272,92 @@ TEST(Client, ProposalBuiltCallbackFires) {
   EXPECT_FALSE(built);  // not synchronously
   f.env.Sched().RunUntil(sim::FromMillis(100));
   EXPECT_TRUE(built);
+}
+
+TEST(ClientRetry, BroadcastTimeoutFailsOverToSurvivingOrderer) {
+  ClientConfig cfg;
+  cfg.broadcast_timeout_retries = 2;
+  ClientFixture f(FakeEndorser::Mode::kEndorse, FakeOrderer::Mode::kSilent,
+                  cfg);
+  FakeOrderer survivor(f.env, FakeOrderer::Mode::kAck);
+  f.client->SetOrderers({f.orderer->Id(), survivor.Id()}, 0);
+
+  f.SubmitOne();
+  f.env.Sched().RunUntil(sim::FromSeconds(8));
+  // First broadcast hits the silent orderer; the 3 s timeout rotates to the
+  // survivor, which acks — no rejection, one timeout failure counted.
+  EXPECT_EQ(f.orderer->Broadcasts(), 1);
+  EXPECT_EQ(survivor.Broadcasts(), 1);
+  EXPECT_EQ(f.client->Rejected(), 0u);
+  EXPECT_EQ(f.client->Failures(FailureReason::kBroadcastTimeout), 1u);
+}
+
+TEST(ClientRetry, TimeoutBudgetExhaustionRejectsWithPerReasonCount) {
+  ClientConfig cfg;
+  cfg.broadcast_timeout_retries = 2;
+  ClientFixture f(FakeEndorser::Mode::kEndorse, FakeOrderer::Mode::kSilent,
+                  cfg);
+  f.client->SetOrderers({f.orderer->Id()}, 0);  // nowhere to fail over to
+
+  f.SubmitOne();
+  f.env.Sched().RunUntil(sim::FromSeconds(20));
+  // Original + 2 retries, every attempt timing out, then a rejection.
+  EXPECT_EQ(f.orderer->Broadcasts(), 3);
+  EXPECT_EQ(f.client->Rejected(), 1u);
+  EXPECT_EQ(f.client->Failures(FailureReason::kBroadcastTimeout), 3u);
+  EXPECT_EQ(f.client->Failures(FailureReason::kBroadcastNack), 0u);
+}
+
+TEST(ClientRetry, EndorseRetryBudgetIsPerReason) {
+  ClientConfig cfg;
+  cfg.endorse_timeout = sim::FromSeconds(1);
+  cfg.endorse_retries = 1;
+  ClientFixture f(FakeEndorser::Mode::kSilent, FakeOrderer::Mode::kAck, cfg);
+
+  f.SubmitOne();
+  f.env.Sched().RunUntil(sim::FromSeconds(10));
+  // One retry against the (only) endorser, then rejection; both attempts
+  // counted under the endorse-timeout reason and in the aggregate.
+  EXPECT_EQ(f.endorser->Requests(), 2);
+  EXPECT_EQ(f.client->Rejected(), 1u);
+  EXPECT_EQ(f.client->Failures(FailureReason::kEndorseTimeout), 2u);
+  EXPECT_EQ(f.client->EndorseFailures(), 2u);
+  EXPECT_EQ(f.orderer->Broadcasts(), 0);
+}
+
+TEST(ClientRetry, CommitTimeoutResubmitsThenRejects) {
+  ClientConfig cfg;
+  cfg.commit_timeout = sim::FromSeconds(1);
+  cfg.commit_retries = 1;
+  ClientFixture f(FakeEndorser::Mode::kEndorse, FakeOrderer::Mode::kAck, cfg);
+
+  f.SubmitOne();
+  f.env.Sched().RunUntil(sim::FromSeconds(10));
+  // Acked but no commit event ever arrives: one resubmission (safe under
+  // the committer's tx-id dedup), then the budget runs out.
+  EXPECT_EQ(f.orderer->Broadcasts(), 2);
+  EXPECT_EQ(f.client->Rejected(), 1u);
+  EXPECT_EQ(f.client->Failures(FailureReason::kCommitTimeout), 2u);
+}
+
+TEST(ClientRetry, RetrySpansAreTraced) {
+  obs::Tracer tracer;
+  ClientFixture f(FakeEndorser::Mode::kEndorse,
+                  FakeOrderer::Mode::kNackOnceThenAck);
+  f.env.SetTracer(&tracer);
+
+  f.SubmitOne();
+  f.env.Sched().RunUntil(sim::FromSeconds(3));
+  f.env.SetTracer(nullptr);
+
+  int retry_spans = 0;
+  for (const auto& span : tracer.Spans()) {
+    if (span.name == "client.retry") {
+      ++retry_spans;
+      EXPECT_EQ(span.kind, obs::SpanKind::kQueue);
+    }
+  }
+  EXPECT_EQ(retry_spans, 1);  // the single nack retry, visible in traces
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// End-to-end chaos tests: declarative fault schedules against the full
+// network, with hard assertions on committed counts, the ledger-consistency
+// invariants, and determinism of the injected runs.
+#include <gtest/gtest.h>
+
+#include "fabric/experiment.h"
+
+namespace fabricsim {
+namespace {
+
+fabric::ExperimentConfig ChaosConfig(fabric::OrderingType ordering,
+                                     const std::string& faults) {
+  fabric::ExperimentConfig config;
+  config.network.topology.ordering = ordering;
+  config.network.topology.endorsing_peers = 4;
+  config.network.topology.osns = 3;
+  config.network.topology.kafka_brokers = 3;
+  config.network.topology.zookeepers = 3;
+  config.workload.rate_tps = 100.0;
+  config.workload.duration = sim::FromSeconds(25);
+  config.warmup = sim::FromSeconds(5);
+  config.drain = sim::FromSeconds(15);
+  config.faults = faults;
+  return config;
+}
+
+TEST(FaultRecovery, RaftLeaderCrashRecoversWithCleanLedger) {
+  const auto result = fabric::RunExperiment(
+      ChaosConfig(fabric::OrderingType::kRaft, "crash:leader@12s,revive@22s"));
+
+  // The fault actually fired and was undone.
+  ASSERT_EQ(result.fault_log.size(), 2u);
+
+  // Zero invariant violations: no forks, exactly-once, nothing acked lost.
+  ASSERT_TRUE(result.invariants.has_value());
+  EXPECT_TRUE(result.invariants->Ok()) << result.invariants->Summary();
+
+  // Commits recovered: finite TTR, recovered rate within 90% of pre-fault.
+  ASSERT_TRUE(result.recovery.has_value());
+  const auto& rec = *result.recovery;
+  EXPECT_FALSE(rec.stalled);
+  ASSERT_GE(rec.time_to_recover_s, 0.0);
+  EXPECT_GE(rec.recovered_tps, 0.9 * rec.pre_fault_tps);
+
+  // Hard committed-count floor: a 10 s leader outage at 100 tps must not
+  // cost more than the in-flight window around it. With failover + retries
+  // nearly everything submitted lands.
+  EXPECT_GT(result.generated, 2000u);
+  EXPECT_GE(result.client_committed_valid + result.client_rejected,
+            result.generated * 9 / 10);
+  EXPECT_GT(result.client_committed_valid, result.generated * 3 / 4);
+  EXPECT_TRUE(result.chain_audit_ok);
+}
+
+TEST(FaultRecovery, KafkaPartitionLeaderCrashRecovers) {
+  const auto result = fabric::RunExperiment(
+      ChaosConfig(fabric::OrderingType::kKafka, "crash:leader@12s,revive@22s"));
+
+  ASSERT_TRUE(result.invariants.has_value());
+  EXPECT_TRUE(result.invariants->Ok()) << result.invariants->Summary();
+
+  ASSERT_TRUE(result.recovery.has_value());
+  const auto& rec = *result.recovery;
+  EXPECT_FALSE(rec.stalled);
+  // Kafka failover rides ZooKeeper session expiry (6 s) + controller
+  // re-election, so the TTR is finite but longer than Raft's.
+  ASSERT_GE(rec.time_to_recover_s, 0.0);
+  EXPECT_GE(rec.recovered_tps, 0.9 * rec.pre_fault_tps);
+  EXPECT_GT(result.client_committed_valid, result.generated / 2);
+  EXPECT_TRUE(result.chain_audit_ok);
+}
+
+TEST(FaultRecovery, SoloHaltIsDetectedNotHung) {
+  // Solo has nowhere to fail over to: blocks cut while the OSN is down are
+  // lost, and after the revive the peers wait forever on the gap. The run
+  // must complete (not hang) and report the stall + the acked-but-lost txs.
+  //
+  // The gap only forms when the cutter TTC fires mid-crash with pending
+  // txs; at 100 tps with this seed a crash at t=15 s deterministically
+  // catches a partial batch (a crash landing in the instant right after a
+  // size-cut would recover cleanly instead — also correct, just not the
+  // path this test pins).
+  auto config =
+      ChaosConfig(fabric::OrderingType::kSolo, "crash:leader@15s,revive@25s");
+  config.workload.duration = sim::FromSeconds(30);
+  const auto result = fabric::RunExperiment(config);
+
+  ASSERT_TRUE(result.recovery.has_value());
+  const auto& rec = *result.recovery;
+  EXPECT_GT(rec.pre_fault_tps, 50.0);  // healthy before the crash
+  EXPECT_TRUE(rec.stalled);
+  EXPECT_LT(rec.time_to_recover_s, 0.0);
+
+  // The data loss is real and the checker surfaces it.
+  ASSERT_TRUE(result.invariants.has_value());
+  EXPECT_FALSE(result.invariants->Ok());
+  bool saw_acked_lost = false;
+  for (const auto& v : result.invariants->violations) {
+    saw_acked_lost = saw_acked_lost || v.invariant == "acked-lost";
+    EXPECT_NE(v.invariant, "chain-fork");
+    EXPECT_NE(v.invariant, "double-commit");
+    EXPECT_NE(v.invariant, "phantom-commit");
+  }
+  EXPECT_TRUE(saw_acked_lost);
+  // What did commit is still a consistent chain.
+  EXPECT_TRUE(result.chain_audit_ok);
+}
+
+TEST(FaultRecovery, SameSeedAndScheduleIsBitIdentical) {
+  auto run = [] {
+    auto config = ChaosConfig(fabric::OrderingType::kRaft,
+                              "crash:leader@12s,revive@22s,loss:0.02@8s-18s");
+    config.workload.duration = sim::FromSeconds(15);
+    return fabric::RunExperiment(config);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.chain_height, b.chain_height);
+  EXPECT_EQ(a.client_committed_valid, b.client_committed_valid);
+  EXPECT_EQ(a.client_rejected, b.client_rejected);
+  EXPECT_EQ(a.generated, b.generated);
+}
+
+TEST(FaultRecovery, LossWindowRestoresBaselineAndCommitsEverything) {
+  const auto result = fabric::RunExperiment(
+      ChaosConfig(fabric::OrderingType::kRaft, "loss:0.05@10s-20s"));
+  ASSERT_TRUE(result.invariants.has_value());
+  EXPECT_TRUE(result.invariants->Ok()) << result.invariants->Summary();
+  EXPECT_GT(result.messages_dropped, 0u);
+  ASSERT_TRUE(result.recovery.has_value());
+  EXPECT_FALSE(result.recovery->stalled);
+}
+
+TEST(FaultRecovery, PartitionWindowHealsAndConverges) {
+  // Split one OSN from the rest of the world for a while; the ledger must
+  // converge with no forks once healed.
+  const auto result = fabric::RunExperiment(ChaosConfig(
+      fabric::OrderingType::kRaft,
+      "partition:osn0|osn1+osn2@10s-18s"));
+  ASSERT_TRUE(result.invariants.has_value());
+  for (const auto& v : result.invariants->violations) {
+    EXPECT_NE(v.invariant, "chain-fork") << v.detail;
+    EXPECT_NE(v.invariant, "double-commit") << v.detail;
+  }
+  EXPECT_TRUE(result.chain_audit_ok);
+}
+
+}  // namespace
+}  // namespace fabricsim

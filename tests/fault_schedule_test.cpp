@@ -1,0 +1,125 @@
+#include "faults/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fabricsim::faults {
+namespace {
+
+TEST(FaultSchedule, EmptySpecYieldsEmptySchedule) {
+  const FaultSchedule s = FaultSchedule::Parse("");
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.FirstFaultAt(), 0);
+}
+
+TEST(FaultSchedule, ParsesCrashAndRevive) {
+  const FaultSchedule s = FaultSchedule::Parse("crash:osn0@5s,revive:osn0@15s");
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kCrash);
+  ASSERT_EQ(s.events[0].groups.size(), 1u);
+  ASSERT_EQ(s.events[0].groups[0].size(), 1u);
+  EXPECT_EQ(s.events[0].groups[0][0], "osn0");
+  EXPECT_EQ(s.events[0].at, sim::FromSeconds(5));
+  EXPECT_FALSE(s.events[0].until.has_value());
+  EXPECT_EQ(s.events[1].kind, FaultKind::kRevive);
+  EXPECT_EQ(s.events[1].at, sim::FromSeconds(15));
+  EXPECT_EQ(s.FirstFaultAt(), sim::FromSeconds(5));
+}
+
+TEST(FaultSchedule, BareReviveHasNoTargets) {
+  const FaultSchedule s = FaultSchedule::Parse("revive@10s");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kRevive);
+  EXPECT_TRUE(s.events[0].groups.empty() || s.events[0].groups[0].empty());
+}
+
+TEST(FaultSchedule, CrashWindowSetsUntil) {
+  const FaultSchedule s = FaultSchedule::Parse("crash:leader@5s-8s");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].at, sim::FromSeconds(5));
+  ASSERT_TRUE(s.events[0].until.has_value());
+  EXPECT_EQ(*s.events[0].until, sim::FromSeconds(8));
+}
+
+TEST(FaultSchedule, TimeUnitsSecondsMillisAndBare) {
+  const FaultSchedule s =
+      FaultSchedule::Parse("crash:a@750ms,crash:b@2.5,crash:c@3s");
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].at, sim::FromMillis(750));
+  EXPECT_EQ(s.events[1].at, sim::FromSeconds(2.5));
+  EXPECT_EQ(s.events[2].at, sim::FromSeconds(3));
+}
+
+TEST(FaultSchedule, MultiTargetCrash) {
+  const FaultSchedule s = FaultSchedule::Parse("crash:osn0|osn1@5s");
+  ASSERT_EQ(s.events.size(), 1u);
+  ASSERT_EQ(s.events[0].groups[0].size(), 2u);
+  EXPECT_EQ(s.events[0].groups[0][1], "osn1");
+}
+
+TEST(FaultSchedule, PartitionGroups) {
+  const FaultSchedule s =
+      FaultSchedule::Parse("partition:osn0+osn1|osn2@5s-15s");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kPartition);
+  ASSERT_EQ(s.events[0].groups.size(), 2u);
+  EXPECT_EQ(s.events[0].groups[0],
+            (std::vector<std::string>{"osn0", "osn1"}));
+  EXPECT_EQ(s.events[0].groups[1], (std::vector<std::string>{"osn2"}));
+  EXPECT_TRUE(s.events[0].until.has_value());
+}
+
+TEST(FaultSchedule, LossWindow) {
+  const FaultSchedule s = FaultSchedule::Parse("loss:0.05@10s-20s");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(s.events[0].value, 0.05);
+  EXPECT_EQ(s.events[0].at, sim::FromSeconds(10));
+  EXPECT_EQ(*s.events[0].until, sim::FromSeconds(20));
+}
+
+TEST(FaultSchedule, SlowCpuAndDisk) {
+  const FaultSchedule s =
+      FaultSchedule::Parse("slow:orderer-machine0:0.25@5s,"
+                           "slowdisk:peer.commit10:0.5@6s-9s");
+  ASSERT_EQ(s.events.size(), 2u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kSlowCpu);
+  EXPECT_EQ(s.events[0].groups[0][0], "orderer-machine0");
+  EXPECT_DOUBLE_EQ(s.events[0].value, 0.25);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kSlowDisk);
+  EXPECT_EQ(s.events[1].groups[0][0], "peer.commit10");
+  EXPECT_DOUBLE_EQ(s.events[1].value, 0.5);
+}
+
+TEST(FaultSchedule, DescribeMentionsEveryEvent) {
+  const FaultSchedule s =
+      FaultSchedule::Parse("crash:leader@5s,heal@9s,loss:0.1@2s");
+  const std::string text = s.Describe();
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("heal"), std::string::npos);
+  EXPECT_NE(text.find("loss"), std::string::npos);
+}
+
+TEST(FaultSchedule, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash@5s"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("frob:a@5s"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("loss:1.5@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("loss:x@5s"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@-5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@9s-5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("partition:a@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("slow:m@5s"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("slow:m:0@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("revive:a@5s-7s"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fabricsim::faults

@@ -318,6 +318,120 @@ TEST(Raft, ConflictingSuffixIsOverwritten) {
   }
 }
 
+TEST(Raft, RestartAfterCrashRejoinsWithoutLosingCommittedEntries) {
+  RaftCluster c(5);
+  c.StartAll();
+  c.Run(2.0);
+  RaftNode* leader = c.Leader();
+  ASSERT_NE(leader, nullptr);
+  const std::uint64_t term_before = leader->Term();
+
+  // Commit a prefix, then kill the leader process.
+  std::vector<proto::BlockPtr> committed;
+  for (int i = 0; i < 3; ++i) {
+    committed.push_back(MakeBlock(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(leader->Propose(committed.back(), 100));
+  }
+  c.Run(1.0);
+  ASSERT_GE(leader->CommitIndex(), 3u);
+  const std::size_t crashed_slot = c.SlotOf(leader);
+  c.env_.Net().Crash(leader->Id());
+  c.Run(3.0);
+
+  RaftNode* new_leader = c.Leader();
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader, leader);
+  // Term monotonicity: failing over always moves the term forward.
+  EXPECT_GT(new_leader->Term(), term_before);
+  committed.push_back(MakeBlock(100));
+  ASSERT_TRUE(new_leader->Propose(committed.back(), 100));
+  c.Run(1.0);
+
+  // The crashed process comes back with persistent state only (term, vote,
+  // log survive; volatile role and commit index reset).
+  c.env_.Net().Revive(c.ids_[crashed_slot]);
+  c.nodes_[crashed_slot]->RestartAfterCrash();
+  EXPECT_FALSE(c.nodes_[crashed_slot]->IsLeader());
+  EXPECT_GE(c.nodes_[crashed_slot]->Term(), term_before);
+  c.Run(3.0);
+
+  // It catches up: every committed entry, in order, nothing lost.
+  ASSERT_GE(c.nodes_[crashed_slot]->CommitIndex(), 4u);
+  ASSERT_GE(c.nodes_[crashed_slot]->LogSize(), 4u);
+  for (std::size_t i = 0; i < committed.size(); ++i) {
+    EXPECT_EQ(c.nodes_[crashed_slot]->EntryAt(i + 1)->block, committed[i]);
+  }
+  // Still exactly one leader, at a term no lower than anything seen.
+  EXPECT_EQ(c.LeaderCount(), 1);
+  EXPECT_GE(c.Leader()->Term(), new_leader->Term());
+}
+
+TEST(Raft, PartitionOfNewLeaderKeepsTermsMonotonicAndEntriesSafe) {
+  RaftCluster c(5);
+  c.StartAll();
+  c.Run(2.0);
+  RaftNode* first = c.Leader();
+  ASSERT_NE(first, nullptr);
+  const std::uint64_t term1 = first->Term();
+
+  // Commit under the first leader, then crash it -> second leader.
+  auto block1 = MakeBlock(1);
+  ASSERT_TRUE(first->Propose(block1, 100));
+  c.Run(1.0);
+  ASSERT_GE(first->CommitIndex(), 1u);
+  c.env_.Net().Crash(first->Id());
+  c.Run(3.0);
+  RaftNode* second = c.Leader();
+  ASSERT_NE(second, nullptr);
+  const std::uint64_t term2 = second->Term();
+  EXPECT_GT(term2, term1);
+
+  // Commit under the second leader, then partition IT away -> third leader
+  // among the remaining three (still a majority of five).
+  auto block2 = MakeBlock(2);
+  ASSERT_TRUE(second->Propose(block2, 100));
+  c.Run(1.0);
+  ASSERT_GE(second->CommitIndex(), 2u);
+  for (auto id : c.ids_) {
+    if (id != second->Id()) c.env_.Net().Partition(second->Id(), id);
+  }
+  c.Run(4.0);
+  // The partitioned second leader cannot learn it was deposed, so it still
+  // claims leadership of term2: the real leader is the one at a higher term.
+  RaftNode* third = nullptr;
+  for (auto& n : c.nodes_) {
+    if (n->IsLeader() && n->Term() > term2 &&
+        !c.env_.Net().IsCrashed(n->Id())) {
+      third = n.get();
+    }
+  }
+  ASSERT_NE(third, nullptr);
+  ASSERT_NE(third, second);
+  EXPECT_GT(third->Term(), term2);
+
+  // Leader Completeness through both failovers: entries committed under
+  // deposed leaders are in the current leader's log.
+  ASSERT_GE(third->LogSize(), 2u);
+  EXPECT_EQ(third->EntryAt(1)->block, block1);
+  EXPECT_EQ(third->EntryAt(2)->block, block2);
+
+  // And the third leader can still commit new entries.
+  auto block3 = MakeBlock(3);
+  ASSERT_TRUE(third->Propose(block3, 100));
+  c.Run(2.0);
+  EXPECT_GE(third->CommitIndex(), 3u);
+
+  // Heal everything: the deposed second leader steps down and converges.
+  c.env_.Net().HealAll();
+  c.env_.Net().Revive(first->Id());
+  c.nodes_[c.SlotOf(first)]->RestartAfterCrash();
+  c.Run(3.0);
+  EXPECT_EQ(c.LeaderCount(), 1);
+  EXPECT_FALSE(second->IsLeader());
+  ASSERT_GE(second->LogSize(), 3u);
+  EXPECT_EQ(second->EntryAt(3)->block, block3);
+}
+
 // Property sweep: random crash/heal schedules; applied logs must always be
 // prefix-consistent across nodes (Log Matching + State Machine Safety).
 class RaftChaos : public ::testing::TestWithParam<int> {};

@@ -364,6 +364,46 @@ TEST(Kafka, LeaderBrokerFailureElectsNewControllerAndContinues) {
   EXPECT_GE(f.sink.blocks.size(), 2u);
 }
 
+TEST(Kafka, IsrShrinksOnFollowerCrashAndReExpandsOnRevive) {
+  KafkaFixture f;
+  f.osns[0]->SubscribePeer(f.sink.peer_id);
+  f.env.Sched().RunUntil(sim::FromSeconds(2));
+
+  KafkaBroker* leader = nullptr;
+  KafkaBroker* follower = nullptr;
+  for (auto& b : f.brokers) {
+    if (b->IsPartitionLeader()) {
+      leader = b.get();
+    } else if (follower == nullptr) {
+      follower = b.get();
+    }
+  }
+  ASSERT_NE(leader, nullptr);
+  ASSERT_NE(follower, nullptr);
+  ASSERT_EQ(leader->IsrSize(), 3u);  // all three brokers in sync
+
+  // Crash a follower and keep producing: the leader stops hearing acks and
+  // shrinks the ISR to itself + the surviving follower.
+  f.env.Net().Crash(follower->NetId());
+  for (int i = 0; i < 6; ++i) {
+    f.Broadcast("a" + std::to_string(i));
+    f.env.Sched().RunUntil(f.env.Now() + sim::FromSeconds(1));
+  }
+  f.env.Sched().RunUntil(f.env.Now() + sim::FromSeconds(6));
+  EXPECT_EQ(leader->IsrSize(), 2u);
+  EXPECT_EQ(leader->CatchingUp(), 1u);
+  // Ordering never stalled on the dead replica (acks=ISR, not acks=all).
+  EXPECT_GE(f.sink.blocks.size(), 1u);
+
+  // Revive: the leader replays the missed suffix; once the follower acks
+  // the full log it re-enters the ISR (Kafka's shrink/re-expand cycle).
+  f.env.Net().Revive(follower->NetId());
+  f.env.Sched().RunUntil(f.env.Now() + sim::FromSeconds(8));
+  EXPECT_EQ(leader->IsrSize(), 3u);
+  EXPECT_EQ(leader->CatchingUp(), 0u);
+  EXPECT_EQ(follower->LogEnd(), leader->LogEnd());
+}
+
 TEST(Kafka, SingleBrokerClusterStillOrders) {
   KafkaFixture f(/*brokers=*/1, /*osns=*/1);
   f.osns[0]->SubscribePeer(f.sink.peer_id);

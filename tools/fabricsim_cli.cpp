@@ -13,6 +13,7 @@
 #include <string>
 
 #include "fabric/experiment.h"
+#include "faults/fault_schedule.h"
 #include "metrics/reporter.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -43,6 +44,7 @@ struct CliOptions {
   bool help = false;
   std::string trace_out;      // Chrome trace-event JSON path ("" = off)
   std::string telemetry_csv;  // resource time-series CSV path ("" = off)
+  std::string faults;         // declarative fault schedule ("" = none)
 };
 
 void PrintHelp() {
@@ -74,6 +76,11 @@ void PrintHelp() {
       "                               the bottleneck-attribution table\n"
       "  --telemetry-csv=<file>       write per-resource time series\n"
       "                               (time_s,resource,metric,value)\n"
+      "  --faults=<spec>              chaos schedule, e.g.\n"
+      "                               \"crash:leader@15s,revive:leader@25s\"\n"
+      "                               (see src/faults/fault_schedule.h);\n"
+      "                               enables client/peer failover, checks\n"
+      "                               ledger invariants, reports recovery\n"
       "  --help                       this text\n";
 }
 
@@ -133,6 +140,10 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
     }
     if (auto v = ArgValue(arg, "--telemetry-csv")) {
       out.telemetry_csv = *v;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--faults")) {
+      out.faults = *v;
       continue;
     }
     auto number = [&](const char* key, auto& field) -> bool {
@@ -196,6 +207,17 @@ int main(int argc, char** argv) {
   config.workload.duration = sim::FromSeconds(cli.duration_s);
   config.workload.value_size = cli.value_size;
   config.workload.key_space = cli.key_space;
+  config.faults = cli.faults;
+
+  // Validate the fault spec before the run so a typo fails fast.
+  if (!cli.faults.empty()) {
+    try {
+      (void)faults::FaultSchedule::Parse(cli.faults);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   // Open output files up front so a bad path fails before the run, not after.
   std::optional<obs::Tracer> tracer;
@@ -263,5 +285,34 @@ int main(int argc, char** argv) {
     if (!cli.csv) std::cout << "\nBottleneck attribution:\n";
     obs::PrintAttribution(*result.attribution, std::cout, cli.csv);
   }
-  return result.chain_audit_ok ? 0 : 1;
+
+  bool invariants_ok = true;
+  if (!cli.faults.empty()) {
+    std::cout << "\nFault timeline:\n";
+    for (const auto& entry : result.fault_log) {
+      std::cout << "  " << metrics::Fmt(sim::ToSeconds(entry.at), 2) << "s  "
+                << entry.what << "\n";
+    }
+    if (result.invariants) {
+      invariants_ok = result.invariants->Ok();
+      std::cout << "\nInvariants: " << result.invariants->Summary();
+    }
+    if (result.recovery) {
+      const auto& rec = *result.recovery;
+      std::cout << "\nRecovery:\n"
+                << "  pre_fault_tps    " << metrics::Fmt(rec.pre_fault_tps, 1)
+                << "\n  dip_tps          " << metrics::Fmt(rec.dip_tps, 1)
+                << "\n  recovered_tps    " << metrics::Fmt(rec.recovered_tps, 1)
+                << "\n  time_to_recover  ";
+      if (rec.stalled) {
+        std::cout << "never (permanent stall detected)";
+      } else if (rec.time_to_recover_s < 0) {
+        std::cout << "not reached in window";
+      } else {
+        std::cout << metrics::Fmt(rec.time_to_recover_s, 1) << "s";
+      }
+      std::cout << "\n";
+    }
+  }
+  return (result.chain_audit_ok && invariants_ok) ? 0 : 1;
 }
