@@ -20,6 +20,12 @@ const char* FailureReasonName(FailureReason reason) {
       return "broadcast-nack";
     case FailureReason::kCommitTimeout:
       return "commit-timeout";
+    case FailureReason::kBroadcastOverload:
+      return "broadcast-overload";
+    case FailureReason::kEndorseOverload:
+      return "endorse-overload";
+    case FailureReason::kClientShed:
+      return "client-shed";
     case FailureReason::kCount:
       break;
   }
@@ -42,7 +48,11 @@ Client::Client(sim::Environment& env, sim::Machine& machine,
           "client" + std::to_string(index),
           [this](sim::NodeId from, sim::MessagePtr msg) {
             OnMessage(from, std::move(msg));
-          })) {}
+          })) {
+  window_ = config_.flow.initial_window;
+  pace_rate_ = config_.flow.pace_tps;
+  tokens_ = config_.flow.pace_burst;
+}
 
 void Client::SetEndorsers(std::vector<sim::NodeId> ids,
                           std::vector<crypto::Principal> principals) {
@@ -134,10 +144,111 @@ void Client::Submit(proto::ChaincodeInvocation inv,
           tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kService,
                      "client.sdk_pre", tx_id, env_.Now(), env_.Now() + pre);
         }
-        env_.Sched().ScheduleAfter(pre, [this, tx_id] { SendProposals(tx_id); });
+        env_.Sched().ScheduleAfter(pre, [this, tx_id] { MaybeLaunch(tx_id); });
         if (proposal_built) proposal_built();
       });
 }
+
+// --- flow control -----------------------------------------------------------
+
+void Client::MaybeLaunch(const std::string& tx_id) {
+  if (!config_.flow.enabled) {
+    SendProposals(tx_id);
+    return;
+  }
+  if (launch_queue_.size() >= config_.flow.max_queue) {
+    // Local shed: the launch queue is full. Fail fast with a clean terminal
+    // status — the invariant checker treats silence as a violation.
+    CountFailure(FailureReason::kClientShed);
+    Reject(tx_id, /*shed=*/true);
+    return;
+  }
+  launch_queue_.push_back(tx_id);
+  PumpLaunchQueue();
+}
+
+void Client::LaunchTx(const std::string& tx_id) {
+  auto it = pending_.find(tx_id);
+  if (it == pending_.end() || it->second.done) return;
+  it->second.launched = true;
+  ++inflight_;
+  SendProposals(tx_id);
+}
+
+std::size_t Client::WindowLimit() const {
+  return static_cast<std::size_t>(window_ < 1.0 ? 1.0 : window_);
+}
+
+void Client::RefillTokens() {
+  if (config_.flow.pace_tps <= 0) return;
+  const sim::SimTime now = env_.Now();
+  const double dt = static_cast<double>(now - tokens_refilled_at_) * 1e-9;
+  tokens_refilled_at_ = now;
+  tokens_ += dt * pace_rate_;
+  if (tokens_ > config_.flow.pace_burst) tokens_ = config_.flow.pace_burst;
+}
+
+void Client::ArmPumpTimer(sim::SimDuration delay) {
+  if (pump_timer_ != 0) return;  // already armed
+  if (delay < sim::FromMillis(1)) delay = sim::FromMillis(1);
+  pump_timer_ = env_.Sched().ScheduleAfter(delay, [this] {
+    pump_timer_ = 0;
+    PumpLaunchQueue();
+  });
+}
+
+void Client::PumpLaunchQueue() {
+  if (!config_.flow.enabled) return;
+  RefillTokens();
+  while (!launch_queue_.empty()) {
+    if (inflight_ >= WindowLimit()) return;  // a Finish re-pumps
+    const sim::SimTime now = env_.Now();
+    if (now < paused_until_) {
+      ArmPumpTimer(paused_until_ - now);
+      return;
+    }
+    if (config_.flow.pace_tps > 0 && tokens_ < 1.0) {
+      const double rate =
+          pace_rate_ > 0 ? pace_rate_ : config_.flow.pace_min_tps;
+      ArmPumpTimer(
+          static_cast<sim::SimDuration>((1.0 - tokens_) / rate * 1e9) + 1);
+      return;
+    }
+    const std::string tx_id = launch_queue_.front();
+    launch_queue_.pop_front();
+    if (config_.flow.pace_tps > 0) tokens_ -= 1.0;
+    LaunchTx(tx_id);
+  }
+}
+
+void Client::OnOverloadSignal(sim::SimDuration retry_after) {
+  if (!config_.flow.enabled) return;
+  const FlowControlConfig& f = config_.flow;
+  window_ *= f.multiplicative_decrease;
+  if (window_ < f.min_window) window_ = f.min_window;
+  if (f.pace_tps > 0) {
+    pace_rate_ *= f.multiplicative_decrease;
+    if (pace_rate_ < f.pace_min_tps) pace_rate_ = f.pace_min_tps;
+  }
+  if (retry_after > 0) {
+    const sim::SimTime until = env_.Now() + retry_after;
+    if (until > paused_until_) paused_until_ = until;
+  }
+}
+
+void Client::OnAckSuccess() {
+  if (!config_.flow.enabled) return;
+  const FlowControlConfig& f = config_.flow;
+  window_ += f.additive_increase / (window_ < 1.0 ? 1.0 : window_);
+  if (window_ > f.max_window) window_ = f.max_window;
+  if (f.pace_tps > 0) {
+    pace_rate_ += f.additive_increase;
+    if (pace_rate_ > f.pace_tps) pace_rate_ = f.pace_tps;
+  }
+  PumpLaunchQueue();
+}
+
+// ----------------------------------------------------------------------------
 
 void Client::SendProposals(const std::string& tx_id) {
   auto it = pending_.find(tx_id);
@@ -199,7 +310,7 @@ void Client::SendProposals(const std::string& tx_id) {
           if (tx2.endorse_attempts <= config_.endorse_retries) {
             RetryEndorsement(tx_id);
           } else {
-            Reject(tx_id);
+            Reject(tx_id, tx2.overloaded);
           }
         }
       });
@@ -234,14 +345,15 @@ void Client::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
     const sim::SimTime enqueued = env_.Now();
     machine_.GetCpu().Submit(
         cal_.client_per_response_cpu,
-        [this, from, enqueued, response = resp->Response()] {
+        [this, from, enqueued, response = resp->Response(),
+         retry_after = resp->RetryAfter()] {
           if (auto* tr = env_.Trace()) {
             tr->RecordResourceSpan(
                 tr->PidFor(machine_.Name()), "client.response", response.tx_id,
                 enqueued, env_.Now(),
                 machine_.GetCpu().ScaledCost(cal_.client_per_response_cpu));
           }
-          OnEndorseResponse(from, response);
+          OnEndorseResponse(from, response, retry_after);
         });
     return;
   }
@@ -257,7 +369,8 @@ void Client::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
 }
 
 void Client::OnEndorseResponse(sim::NodeId from,
-                               const proto::ProposalResponse& resp) {
+                               const proto::ProposalResponse& resp,
+                               sim::SimDuration retry_after) {
   auto it = pending_.find(resp.tx_id);
   if (it == pending_.end() || it->second.done) return;
   PendingTx& tx = it->second;
@@ -269,6 +382,13 @@ void Client::OnEndorseResponse(sim::NodeId from,
   if (resp.payload.status != proto::EndorseStatus::kSuccess) {
     ++tx.failures;
     tx.failed_endorsers.insert(from);
+    if (resp.payload.status == proto::EndorseStatus::kServiceUnavailable) {
+      // The endorser shed this proposal: back the whole pipeline off, not
+      // just this transaction.
+      CountFailure(FailureReason::kEndorseOverload);
+      tx.overloaded = true;
+      OnOverloadSignal(retry_after);
+    }
   } else {
     tx.responses.push_back(resp);
   }
@@ -279,7 +399,7 @@ void Client::OnEndorseResponse(sim::NodeId from,
     if (tx.endorse_attempts <= config_.endorse_retries) {
       RetryEndorsement(resp.tx_id);
     } else {
-      Reject(resp.tx_id);
+      Reject(resp.tx_id, tx.overloaded);
     }
     return;
   }
@@ -364,7 +484,10 @@ void Client::BroadcastEnvelope(const std::string& tx_id) {
           ScheduleRetry(tx_id, Backoff(tx2.broadcast_attempts),
                         [this, tx_id] { BroadcastEnvelope(tx_id); });
         } else {
-          Reject(tx_id);  // the paper's 3 s ordering-response rejection
+          // The paper's 3 s ordering-response rejection. Under the block
+          // overflow policy an overloaded OSN drops silently, so shedding
+          // surfaces here as a timeout.
+          Reject(tx_id, tx2.overloaded);
         }
       });
 }
@@ -383,6 +506,7 @@ void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
     // still be lost when the accepting OSN dies before ordering it); the
     // committer's tx-id dedup makes resubmission safe.
     if (config_.track_outcomes) outcomes_.acked.insert(ack.TxId());
+    OnAckSuccess();
     if (config_.commit_timeout > 0) {
       if (tx.commit_timer != 0) env_.Sched().Cancel(tx.commit_timer);
       tx.commit_timer = env_.Sched().ScheduleAfter(
@@ -405,13 +529,24 @@ void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
     return;
   }
 
-  CountFailure(FailureReason::kBroadcastNack);
+  const bool overloaded =
+      ack.Status() == ordering::BroadcastStatus::kOverloaded;
+  if (overloaded) {
+    // SERVICE_UNAVAILABLE: the OSN shed the envelope at its bounded ingress.
+    CountFailure(FailureReason::kBroadcastOverload);
+    tx.overloaded = true;
+    OnOverloadSignal(ack.RetryAfter());
+  } else {
+    CountFailure(FailureReason::kBroadcastNack);
+  }
   if (tx.broadcast_attempts <= config_.broadcast_retries) {
     RotateOrderer();
-    ScheduleRetry(ack.TxId(), Backoff(tx.broadcast_attempts),
+    sim::SimDuration delay = Backoff(tx.broadcast_attempts);
+    if (overloaded && ack.RetryAfter() > delay) delay = ack.RetryAfter();
+    ScheduleRetry(ack.TxId(), delay,
                   [this, tx_id = ack.TxId()] { BroadcastEnvelope(tx_id); });
   } else {
-    Reject(ack.TxId());
+    Reject(ack.TxId(), tx.overloaded);
   }
 }
 
@@ -438,9 +573,13 @@ void Client::OnCommitEvent(const peer::CommitEventMsg& ev) {
   }
 }
 
-void Client::Reject(const std::string& tx_id) {
+void Client::Reject(const std::string& tx_id, bool shed) {
   ++rejected_;
-  if (tracker_ != nullptr) tracker_->MarkRejected(tx_id, env_.Now());
+  if (tracker_ != nullptr) {
+    tracker_->MarkRejected(tx_id, env_.Now(),
+                           shed ? metrics::RejectKind::kShed
+                                : metrics::RejectKind::kFailed);
+  }
   if (config_.track_outcomes) outcomes_.rejected.insert(tx_id);
   Finish(tx_id);
 }
@@ -452,8 +591,11 @@ void Client::Finish(const std::string& tx_id) {
   if (tx.endorse_timer != 0) env_.Sched().Cancel(tx.endorse_timer);
   if (tx.broadcast_timer != 0) env_.Sched().Cancel(tx.broadcast_timer);
   if (tx.commit_timer != 0) env_.Sched().Cancel(tx.commit_timer);
+  const bool was_launched = tx.launched;
   tx.done = true;
   pending_.erase(it);
+  if (was_launched && inflight_ > 0) --inflight_;
+  if (config_.flow.enabled) PumpLaunchQueue();
 }
 
 }  // namespace fabricsim::client

@@ -45,10 +45,37 @@ enum class FailureReason : std::size_t {
   kBroadcastTimeout,         // orderer silent past the 3 s broadcast budget
   kBroadcastNack,            // orderer rejected the broadcast
   kCommitTimeout,            // broadcast acked but no commit event arrived
+  kBroadcastOverload,        // orderer shed the broadcast (SERVICE_UNAVAILABLE)
+  kEndorseOverload,          // endorser shed the proposal (SERVICE_UNAVAILABLE)
+  kClientShed,               // local launch queue full; tx shed client-side
   kCount,
 };
 
 [[nodiscard]] const char* FailureReasonName(FailureReason reason);
+
+/// Client-side flow control: an AIMD max-inflight window plus optional
+/// token-bucket pacing, both driven by SERVICE_UNAVAILABLE nacks from
+/// overloaded endorsers and orderers (gRPC clients against Fabric use the
+/// same shape: bounded inflight RPCs + retry-after honoring).
+struct FlowControlConfig {
+  bool enabled = false;
+  /// Transactions allowed between launch and terminal status at once.
+  double initial_window = 16.0;
+  double min_window = 1.0;
+  double max_window = 512.0;
+  /// Window growth per acked broadcast (divided by the current window, so
+  /// the window grows by ~this much per window's worth of acks).
+  double additive_increase = 1.0;
+  /// Window/pace shrink factor on an overload nack.
+  double multiplicative_decrease = 0.5;
+  /// Built proposals parked behind the window; overflow is shed locally
+  /// with a clean terminal status (never silently).
+  std::size_t max_queue = 512;
+  /// Token-bucket launch rate in tx/s; 0 disables pacing.
+  double pace_tps = 0.0;
+  double pace_min_tps = 1.0;
+  double pace_burst = 16.0;
+};
 
 struct ClientConfig {
   std::string channel_id = "mychannel";
@@ -75,6 +102,8 @@ struct ClientConfig {
   /// for the ledger-consistency invariant checker. Off by default: the
   /// bookkeeping is per-tx memory that steady-state benchmarks don't need.
   bool track_outcomes = false;
+  /// Client-side flow control (off = legacy fire-at-will behaviour).
+  FlowControlConfig flow;
 };
 
 /// One client application instance on its own machine.
@@ -125,6 +154,17 @@ class Client {
   }
   [[nodiscard]] std::uint64_t Rejected() const { return rejected_; }
 
+  // Flow-control observability (tests/telemetry).
+  [[nodiscard]] std::size_t PendingCount() const { return pending_.size(); }
+  [[nodiscard]] bool IsPending(const std::string& tx_id) const {
+    return pending_.count(tx_id) != 0;
+  }
+  [[nodiscard]] double FlowWindow() const { return window_; }
+  [[nodiscard]] std::size_t LaunchQueueDepth() const {
+    return launch_queue_.size();
+  }
+  [[nodiscard]] std::size_t Inflight() const { return inflight_; }
+
   /// Failed attempts by reason (a rejected tx may contribute several).
   [[nodiscard]] std::uint64_t Failures(FailureReason reason) const {
     return failure_counts_[static_cast<std::size_t>(reason)];
@@ -171,16 +211,29 @@ class Client {
     std::shared_ptr<const proto::TransactionEnvelope> envelope;
     std::size_t envelope_bytes = 0;
     bool done = false;
+    bool launched = false;    // passed the flow-control gate
+    bool overloaded = false;  // saw a SERVICE_UNAVAILABLE on some attempt
   };
 
   void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
+  void MaybeLaunch(const std::string& tx_id);
+  void LaunchTx(const std::string& tx_id);
+  void PumpLaunchQueue();
+  void ArmPumpTimer(sim::SimDuration delay);
+  void RefillTokens();
+  /// AIMD decrease + pause on a SERVICE_UNAVAILABLE from any tier.
+  void OnOverloadSignal(sim::SimDuration retry_after);
+  /// AIMD additive increase on a successful broadcast ack.
+  void OnAckSuccess();
+  [[nodiscard]] std::size_t WindowLimit() const;
   void SendProposals(const std::string& tx_id);
-  void OnEndorseResponse(sim::NodeId from, const proto::ProposalResponse& resp);
+  void OnEndorseResponse(sim::NodeId from, const proto::ProposalResponse& resp,
+                         sim::SimDuration retry_after);
   void FinishEndorsement(const std::string& tx_id);
   void BroadcastEnvelope(const std::string& tx_id);
   void OnBroadcastAck(const ordering::BroadcastAckMsg& ack);
   void OnCommitEvent(const peer::CommitEventMsg& ev);
-  void Reject(const std::string& tx_id);
+  void Reject(const std::string& tx_id, bool shed = false);
   void Finish(const std::string& tx_id);
   void CountFailure(FailureReason reason) {
     ++failure_counts_[static_cast<std::size_t>(reason)];
@@ -221,6 +274,16 @@ class Client {
   std::array<std::uint64_t, static_cast<std::size_t>(FailureReason::kCount)>
       failure_counts_{};
   OutcomeLog outcomes_;
+
+  // Flow-control state (idle unless config_.flow.enabled).
+  double window_ = 0;             // AIMD max-inflight window
+  double pace_rate_ = 0;          // current token-bucket rate (tx/s)
+  double tokens_ = 0;             // token bucket fill
+  sim::SimTime tokens_refilled_at_ = 0;
+  sim::SimTime paused_until_ = 0;  // honoring a retry-after hint
+  std::size_t inflight_ = 0;       // launched, not yet terminal
+  std::deque<std::string> launch_queue_;  // built, waiting for the gate
+  sim::EventId pump_timer_ = 0;
 };
 
 }  // namespace fabricsim::client

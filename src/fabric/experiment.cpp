@@ -43,6 +43,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const faults::FaultSchedule schedule =
       faults::FaultSchedule::Parse(config.faults);
   if (!schedule.Empty()) net_options.recovery.enabled = true;
+  if (config.check_invariants) net_options.track_outcomes = true;
 
   FabricNetwork net(net_options);
   faults::FaultInjector injector(net, schedule);
@@ -52,6 +53,39 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   if (config.telemetry != nullptr) {
     config.telemetry->Monitor(net.Env());
     config.telemetry->AddCpu("validator disk", &net.ValidatorPeer().Disk());
+    if (net_options.overload.enabled) {
+      // Overload gauges: per-OSN ingress depth / cumulative sheds, the
+      // endorser ingress, and the validator's deferred-block backlog.
+      for (int c = 0; c < net.ChannelCount(); ++c) {
+        const auto osns = net.Osns(c);
+        for (std::size_t i = 0; i < osns.size(); ++i) {
+          const std::string name =
+              "osn" + std::to_string(i) + "/" + net.ChannelId(c);
+          ordering::OsnBase* osn = osns[i];
+          config.telemetry->AddGauge(name, "ingress_depth", [osn] {
+            return static_cast<double>(osn->IngressDepth());
+          });
+          config.telemetry->AddGauge(name, "ingress_shed", [osn] {
+            return static_cast<double>(osn->IngressShed());
+          });
+        }
+      }
+      for (std::size_t i = 0; i < net.PeerCount(); ++i) {
+        peer::PeerNode* p = &net.Peer(i);
+        if (!p->IsEndorsing()) continue;
+        const std::string name = "peer" + std::to_string(i);
+        config.telemetry->AddGauge(name, "endorse_depth", [p] {
+          return static_cast<double>(p->EndorseDepth());
+        });
+        config.telemetry->AddGauge(name, "endorse_shed", [p] {
+          return static_cast<double>(p->EndorseShed());
+        });
+      }
+      peer::PeerNode* validator = &net.ValidatorPeer();
+      config.telemetry->AddGauge("validator", "deferred_blocks", [validator] {
+        return static_cast<double>(validator->GetCommitter().DeferredBlocks());
+      });
+    }
     config.telemetry->Start(net.Env().Sched());
   }
 
@@ -82,6 +116,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     out.client_rejected += c->Rejected();
     out.endorse_failures += c->EndorseFailures();
   }
+  for (int c = 0; c < net.ChannelCount(); ++c) {
+    for (ordering::OsnBase* osn : net.Osns(c)) {
+      out.osn_shed += osn->IngressShed();
+    }
+  }
+  for (std::size_t i = 0; i < net.PeerCount(); ++i) {
+    peer::PeerNode& p = net.Peer(i);
+    if (p.IsEndorsing()) out.endorser_shed += p.EndorseShed();
+  }
+  out.committer_deferred = net.ValidatorPeer().GetCommitter().DeferredTotal();
   const auto& chain = net.ValidatorPeer().GetCommitter().Chain();
   out.chain_height = chain.Height();
   out.chain_audit_ok = chain.Audit().ok;
@@ -95,10 +139,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   if (!schedule.Empty()) {
     out.fault_log = injector.Log();
-    out.invariants = faults::CheckInvariants(net);
     out.recovery = faults::AnalyzeRecovery(
         net.ValidatorPeer().GetCommitter().CommitLog(),
         schedule.FirstFaultAt(), window_end);
+    // A permanently stalled channel turns "still pending in the client"
+    // into "waiting for a commit that can never arrive" — count those
+    // acked transactions as lost.
+    out.invariants = faults::CheckInvariants(net, out.recovery->stalled);
+  } else if (config.check_invariants) {
+    out.invariants = faults::CheckInvariants(net);
   }
   return out;
 }

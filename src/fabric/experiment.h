@@ -36,6 +36,10 @@ struct ExperimentConfig {
   /// the ledger-consistency invariants are checked automatically and a
   /// throughput dip/recovery analysis around the first fault is reported.
   std::string faults;
+  /// Check the ledger-consistency invariants even without faults (overload
+  /// runs must prove shedding never loses an acked tx). Forces per-client
+  /// outcome logging.
+  bool check_invariants = false;
 };
 
 struct ExperimentResult {
@@ -45,6 +49,10 @@ struct ExperimentResult {
   std::uint64_t client_committed_invalid = 0;
   std::uint64_t client_rejected = 0;
   std::uint64_t endorse_failures = 0;
+  /// Overload-protection accounting (0 when protection is off).
+  std::uint64_t osn_shed = 0;       // envelopes shed at OSN ingress
+  std::uint64_t endorser_shed = 0;  // proposals shed at endorser ingress
+  std::uint64_t committer_deferred = 0;  // blocks parked at the committer
   std::uint64_t chain_height = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;

@@ -43,6 +43,7 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
   BuildOrdering();
   BuildClients();
   SeedAccounts();
+  ApplyOverloadProtection();
 }
 
 std::string FabricNetwork::ChannelId(int channel) const {
@@ -284,18 +285,64 @@ void FabricNetwork::BuildClients() {
       config.endorse_retries = recovery.endorse_retries;
       config.track_outcomes = true;
     }
+    if (options_.track_outcomes) config.track_outcomes = true;
+    if (options_.overload.enabled) config.flow = options_.overload.flow;
     auto c = std::make_unique<client::Client>(
         *env_, machine, std::move(identity), options_.calibration,
         std::move(config), policy_, &tracker_, i);
     c->SetEndorsers(endorser_ids, endorser_principals);
-    if (recovery.enabled) {
+    if (recovery.enabled || options_.overload.enabled) {
       // The full endpoint list: broadcasts start at this client's usual OSN
-      // and rotate through the rest on failure.
+      // and rotate through the rest on failure or overload nacks.
       c->SetOrderers(OsnNetIds(channel), static_cast<std::size_t>(i));
     } else {
       c->SetOrderer(OsnNetId(channel, static_cast<std::size_t>(i)));
     }
     clients_.push_back(std::move(c));
+  }
+}
+
+std::vector<ordering::OsnBase*> FabricNetwork::Osns(int channel) {
+  std::vector<ordering::OsnBase*> out;
+  const auto c = static_cast<std::size_t>(channel);
+  switch (options_.topology.ordering) {
+    case OrderingType::kSolo:
+      out.push_back(solos_.at(c).get());
+      break;
+    case OrderingType::kRaft:
+      for (auto& o : raft_channels_.at(c)) out.push_back(o.get());
+      break;
+    case OrderingType::kKafka:
+      for (auto& o : kafka_channels_.at(c)) out.push_back(o.get());
+      break;
+  }
+  return out;
+}
+
+void FabricNetwork::ApplyOverloadProtection() {
+  const OverloadOptions& ov = options_.overload;
+  if (!ov.enabled) return;
+
+  sim::AdmissionConfig osn_cfg;
+  osn_cfg.enabled = true;
+  osn_cfg.policy = ov.policy;
+  osn_cfg.max_inflight = ov.osn_max_inflight;
+  osn_cfg.max_waiting = ov.osn_max_waiting;
+
+  sim::AdmissionConfig endorse_cfg;
+  endorse_cfg.enabled = true;
+  endorse_cfg.policy = ov.policy;
+  endorse_cfg.max_inflight = ov.endorser_max_inflight;
+  endorse_cfg.max_waiting = ov.endorser_max_waiting;
+
+  for (int c = 0; c < options_.channels; ++c) {
+    for (ordering::OsnBase* osn : Osns(c)) {
+      osn->SetAdmission(osn_cfg, ov.retry_after);
+    }
+  }
+  for (auto& p : peers_) {
+    if (p->IsEndorsing()) p->SetEndorseAdmission(endorse_cfg, ov.retry_after);
+    p->SetCommitterPipelineLimit(ov.committer_max_blocks);
   }
 }
 

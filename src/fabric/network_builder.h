@@ -57,6 +57,35 @@ struct RecoveryOptions {
   peer::DeliverFailoverConfig deliver;
 };
 
+/// Overload protection: bounded ingress queues with admission control at
+/// every tier plus client-side flow control. Off by default — the legacy
+/// queue-forever behaviour the paper measured. Fabric analogues: the
+/// Broadcast RPC's SERVICE_UNAVAILABLE status (orderer), the chaincode
+/// shim's 503 (endorser), and etcdraft's bounded in-flight blocks.
+struct OverloadOptions {
+  bool enabled = false;
+  /// What happens when a bounded queue overflows (reject newest, displace
+  /// oldest, or model transport backpressure by dropping silently).
+  sim::OverloadPolicy policy = sim::OverloadPolicy::kReject;
+  /// OSN broadcast ingress: envelopes in verify/order plus parked. A slot
+  /// is held until the envelope's block finishes, so this bound must exceed
+  /// capacity x block residence (~300 tps x ~1 s blocks needs > 300 slots)
+  /// or admission, not the CPU, sets the saturation knee.
+  std::size_t osn_max_inflight = 512;
+  std::size_t osn_max_waiting = 512;
+  /// Endorser ProcessProposal ingress.
+  std::size_t endorser_max_inflight = 32;
+  std::size_t endorser_max_waiting = 128;
+  /// Committer validation pipeline bound in blocks (0 = unbounded).
+  /// Delivered blocks are deferred, never shed — they are acked work.
+  std::size_t committer_max_blocks = 8;
+  /// Retry-after hint carried on SERVICE_UNAVAILABLE nacks.
+  sim::SimDuration retry_after = sim::FromMillis(200);
+  /// Client AIMD window + pacing. Note `flow.enabled` is its own switch so
+  /// server-side bounds can be studied with and without cooperative clients.
+  client::FlowControlConfig flow;
+};
+
 struct NetworkOptions {
   TopologyConfig topology;
   ChannelConfig channel;
@@ -81,6 +110,11 @@ struct NetworkOptions {
   obs::Tracer* tracer = nullptr;
   /// Failover/retry behaviour under faults (chaos experiments).
   RecoveryOptions recovery;
+  /// Bounded queues + admission control + client flow control.
+  OverloadOptions overload;
+  /// Force per-tx outcome logging on every client even without recovery
+  /// (the invariant checker needs it for pure-overload runs).
+  bool track_outcomes = false;
 };
 
 class FabricNetwork {
@@ -133,6 +167,10 @@ class FabricNetwork {
   }
   [[nodiscard]] ordering::ZooKeeperEnsemble* ZooKeeper() { return zk_.get(); }
 
+  /// Every OSN serving `channel` through the common OsnBase interface
+  /// (admission/backfill accessors for telemetry and tests).
+  [[nodiscard]] std::vector<ordering::OsnBase*> Osns(int channel = 0);
+
   [[nodiscard]] const crypto::MspRegistry& Msps() const { return msps_; }
 
  private:
@@ -140,6 +178,7 @@ class FabricNetwork {
   void BuildOrdering();
   void BuildClients();
   void SeedAccounts();
+  void ApplyOverloadProtection();
   [[nodiscard]] sim::NodeId OsnNetId(int channel, std::size_t index) const;
 
   NetworkOptions options_;

@@ -34,7 +34,8 @@ std::string InvariantReport::Summary() const {
   return os.str();
 }
 
-InvariantReport CheckInvariants(fabric::FabricNetwork& net) {
+InvariantReport CheckInvariants(fabric::FabricNetwork& net,
+                                bool pending_is_lost) {
   InvariantReport report;
   const auto& records = net.Tracker().Records();
 
@@ -121,10 +122,37 @@ InvariantReport CheckInvariants(fabric::FabricNetwork& net) {
     }
     for (const auto& tx_id : log->acked) {
       ++report.txs_checked;
-      if (log->commits.count(tx_id) == 0 && log->rejected.count(tx_id) == 0) {
+      if (log->commits.count(tx_id) != 0 || log->rejected.count(tx_id) != 0) {
+        continue;
+      }
+      if (!cl->IsPending(tx_id)) {
         Violate(report, "acked-lost",
                 tx_id + " acked by the orderer but never committed "
-                        "nor rejected");
+                        "nor rejected, and the client gave up on it");
+      } else if (pending_is_lost) {
+        // Still-pending is normally not lost: under sustained load the
+        // run's horizon always cuts through in-flight work, and the client
+        // is still awaiting the commit event (or a commit-timeout
+        // resubmit). But when the caller knows commits have permanently
+        // stalled, that wait will never be satisfied.
+        Violate(report, "acked-lost",
+                tx_id + " acked by the orderer but the channel stalled "
+                        "before it could commit; the client's retries "
+                        "cannot succeed");
+      }
+    }
+    // No silent drops: every submitted transaction must reach a terminal
+    // status — committed, explicitly rejected (including overload sheds) —
+    // or still be legitimately in flight inside the client. A shed tx that
+    // simply vanished would pass the acked-lost check (it was never acked)
+    // but fail here.
+    for (const auto& tx_id : log->submitted) {
+      ++report.txs_checked;
+      if (log->commits.count(tx_id) == 0 && log->rejected.count(tx_id) == 0 &&
+          !cl->IsPending(tx_id)) {
+        Violate(report, "silent-drop",
+                tx_id + " submitted but has no terminal status and is no "
+                        "longer pending in the client");
       }
     }
   }

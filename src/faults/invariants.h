@@ -11,6 +11,15 @@
 //   - acked-lost:     every broadcast-acked transaction either committed or
 //                     was explicitly rejected back to the client (needs
 //                     clients built with track_outcomes, i.e. recovery on).
+//                     Transactions still pending in the client are exempt —
+//                     under sustained load the run's horizon always cuts
+//                     through in-flight work — unless the caller passes
+//                     pending_is_lost=true because commits have permanently
+//                     stalled, in which case that wait will never end;
+//   - silent-drop:    every submitted transaction reached a terminal status
+//                     (committed or rejected — overload sheds included) or
+//                     is still pending inside the client. Overload
+//                     protection may refuse work, but never wordlessly.
 #pragma once
 
 #include <string>
@@ -37,7 +46,8 @@ struct InvariantReport {
   [[nodiscard]] std::string Summary() const;
 };
 
-[[nodiscard]] InvariantReport CheckInvariants(fabric::FabricNetwork& net);
+[[nodiscard]] InvariantReport CheckInvariants(fabric::FabricNetwork& net,
+                                              bool pending_is_lost = false);
 
 /// Throughput dip/recovery around a fault, from a 1 s-windowed commit log.
 /// `fault_at` is when the first fault fired; `end` bounds the analysis

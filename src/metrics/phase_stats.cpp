@@ -30,11 +30,13 @@ void TxTracker::MarkCommitted(const std::string& tx_id, sim::SimTime t,
   }
 }
 
-void TxTracker::MarkRejected(const std::string& tx_id, sim::SimTime t) {
+void TxTracker::MarkRejected(const std::string& tx_id, sim::SimTime t,
+                             RejectKind kind) {
   auto it = records_.find(tx_id);
   if (it == records_.end()) return;
   (void)t;
   it->second.rejected = true;
+  it->second.reject_kind = kind;
 }
 
 void TxTracker::RecordBlockCut(sim::SimTime t, std::size_t tx_count) {
@@ -87,7 +89,10 @@ Report TxTracker::BuildReport(sim::SimTime window_start,
     (void)tx_id;
     if (rec.submitted >= window_start && rec.submitted <= window_end) {
       ++out.submitted;
-      if (rec.rejected) ++out.rejected;
+      if (rec.rejected) {
+        ++out.rejected;
+        if (rec.reject_kind == RejectKind::kShed) ++out.shed;
+      }
     }
     if (rec.committed >= 0 &&
         rec.code != proto::ValidationCode::kValid &&
@@ -110,6 +115,11 @@ Report TxTracker::BuildReport(sim::SimTime window_start,
   out.validate = validate.Summarize(out.window_s);
   out.order_and_validate = order_validate.Summarize(out.window_s);
   out.end_to_end = e2e.Summarize(out.window_s);
+  out.goodput_tps = out.end_to_end.throughput_tps;
+  out.rejection_rate =
+      out.submitted > 0
+          ? static_cast<double>(out.rejected) / static_cast<double>(out.submitted)
+          : 0.0;
 
   // Block time: mean gap between consecutive block cuts in the window.
   sim::SimTime prev = 0;

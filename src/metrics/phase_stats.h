@@ -19,6 +19,16 @@
 
 namespace fabricsim::metrics {
 
+/// Why a transaction ended rejected. Shed = an overload-protection layer
+/// (client queue, endorser ingress, OSN ingress) refused it with a clean
+/// terminal status; failed = every other rejection (timeouts, nacks,
+/// policy). Goodput/rejection-rate reporting keys off this split.
+enum class RejectKind : std::uint8_t {
+  kNone = 0,
+  kFailed,
+  kShed,
+};
+
 /// Lifecycle timestamps of one transaction (-1 = phase not reached).
 struct TxRecord {
   sim::SimTime submitted = -1;
@@ -27,6 +37,7 @@ struct TxRecord {
   sim::SimTime committed = -1;
   proto::ValidationCode code = proto::ValidationCode::kValid;
   bool rejected = false;  // client gave up (e.g. 3 s ordering timeout)
+  RejectKind reject_kind = RejectKind::kNone;
 };
 
 /// Aggregate numbers for one phase (or end-to-end) in the window.
@@ -44,7 +55,13 @@ struct Report {
   double window_s = 0.0;
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;     // subset of rejected: overload-protection sheds
   std::uint64_t invalid = 0;  // committed but flagged invalid
+  /// Valid commits per second — end_to_end throughput restated as the
+  /// first-class goodput figure the overload bench plots.
+  double goodput_tps = 0.0;
+  /// Rejected / submitted within the window (0 when nothing submitted).
+  double rejection_rate = 0.0;
   PhaseSummary execute;
   PhaseSummary order;
   PhaseSummary validate;
@@ -63,7 +80,8 @@ class TxTracker {
   void MarkOrdered(const std::string& tx_id, sim::SimTime t);
   void MarkCommitted(const std::string& tx_id, sim::SimTime t,
                      proto::ValidationCode code);
-  void MarkRejected(const std::string& tx_id, sim::SimTime t);
+  void MarkRejected(const std::string& tx_id, sim::SimTime t,
+                    RejectKind kind = RejectKind::kFailed);
 
   /// Orderer-side block accounting.
   void RecordBlockCut(sim::SimTime t, std::size_t tx_count);

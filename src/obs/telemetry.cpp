@@ -13,6 +13,12 @@ void TelemetrySampler::AddCpu(std::string name, const sim::Cpu* cpu) {
   stations_.push_back({std::move(name), cpu});
 }
 
+void TelemetrySampler::AddGauge(std::string resource, std::string metric,
+                                std::function<double()> fn) {
+  if (!fn) return;
+  gauges_.push_back({std::move(resource), std::move(metric), std::move(fn)});
+}
+
 void TelemetrySampler::Monitor(sim::Environment& env) {
   for (std::size_t i = 0; i < env.MachineCount(); ++i) {
     sim::Machine& m = env.MachineAt(i);
@@ -56,6 +62,9 @@ void TelemetrySampler::SampleNow(sim::SimTime now) {
   if (watching_network_) {
     samples_.push_back({now, "network", "bytes_in_flight",
                         static_cast<double>(bytes_in_flight_)});
+  }
+  for (const Gauge& g : gauges_) {
+    samples_.push_back({now, g.resource, g.metric, g.fn()});
   }
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -51,6 +52,11 @@ class TelemetrySampler : public sim::NetworkObserver {
   /// Adds one CPU station under `name` (machines, but also e.g. a peer's
   /// dedicated disk station).
   void AddCpu(std::string name, const sim::Cpu* cpu);
+
+  /// Adds an arbitrary gauge sampled each tick (e.g. an admission queue's
+  /// depth or cumulative shed count). The callback must outlive the sampler.
+  void AddGauge(std::string resource, std::string metric,
+                std::function<double()> fn);
 
   /// Convenience: monitors every machine's CPU (by machine name) and the
   /// environment's network.
@@ -93,8 +99,15 @@ class TelemetrySampler : public sim::NetworkObserver {
     const sim::Cpu* cpu;
   };
 
+  struct Gauge {
+    std::string resource;
+    std::string metric;
+    std::function<double()> fn;
+  };
+
   sim::SimDuration period_;
   std::vector<Station> stations_;
+  std::vector<Gauge> gauges_;
   sim::Scheduler* sched_ = nullptr;
   sim::EventId tick_event_ = 0;
   bool running_ = false;

@@ -47,6 +47,9 @@ class BlockCutter {
 
   [[nodiscard]] std::size_t PendingCount() const { return pending_.size(); }
   [[nodiscard]] std::size_t PendingBytes() const { return pending_bytes_; }
+  /// Buffered envelopes awaiting a cut (admission bookkeeping on
+  /// leadership change needs their tx ids).
+  [[nodiscard]] const Batch& Pending() const { return pending_; }
   [[nodiscard]] const BatchConfig& Config() const { return config_; }
 
  private:

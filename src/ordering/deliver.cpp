@@ -46,10 +46,12 @@ void DeliverService::Deliver(const AssembledBlock& b) {
   for (sim::NodeId peer : subscribers_) DeliverTo(peer, b);
 }
 
-void DeliverService::DeliverTo(sim::NodeId peer, const AssembledBlock& b) {
+void DeliverService::DeliverTo(sim::NodeId peer, const AssembledBlock& b,
+                               bool ack_requested) {
   net_.Send(self_, peer,
             std::make_shared<DeliverBlockMsg>(b.block, b.wire_size,
-                                              channel_id_, net_.Now()));
+                                              channel_id_, net_.Now(),
+                                              ack_requested));
 }
 
 }  // namespace fabricsim::ordering

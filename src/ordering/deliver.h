@@ -70,7 +70,10 @@ class DeliverService {
   void Deliver(const AssembledBlock& b);
 
   /// Sends the block to one node (catch-up backfill after re-subscription).
-  void DeliverTo(sim::NodeId peer, const AssembledBlock& b);
+  /// `ack_requested` asks the peer for a DeliverAckMsg so the OSN's backfill
+  /// window can advance.
+  void DeliverTo(sim::NodeId peer, const AssembledBlock& b,
+                 bool ack_requested = false);
 
  private:
   sim::Network& net_;

@@ -76,13 +76,14 @@ void KafkaOrderer::SendFetch() {
   env_.Net().Send(NetId(), partition_leader_, fetch);
 }
 
-bool KafkaOrderer::AcceptEnvelope(const EnvelopePtr& env,
-                                  std::size_t wire_size) {
+OsnBase::AcceptResult KafkaOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                                   std::size_t wire_size,
+                                                   sim::NodeId /*origin*/) {
   KafkaRecord rec;
   rec.env = env;
   rec.env_bytes = wire_size;
   ProduceRecord(std::move(rec));
-  return true;
+  return AcceptResult::kOk;
 }
 
 void KafkaOrderer::ProduceRecord(KafkaRecord rec) {

@@ -30,7 +30,8 @@ class KafkaOrderer final : public OsnBase {
   [[nodiscard]] std::uint64_t ConsumedOffset() const { return next_offset_; }
 
  protected:
-  bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) override;
+  AcceptResult AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size,
+                              sim::NodeId origin) override;
   void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) override;
 
  private:

@@ -35,14 +35,30 @@ class BroadcastEnvelopeMsg final : public sim::Message {
   sim::SimTime sent_at_;
 };
 
-/// OSN -> client: broadcast accepted/rejected.
+/// Fate of a broadcast at the OSN, mirroring Fabric's common.Status on the
+/// Broadcast RPC: SUCCESS, a hard BAD_REQUEST-style rejection, or
+/// SERVICE_UNAVAILABLE when the ingress queue is full.
+enum class BroadcastStatus : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,
+  kOverloaded = 2,
+};
+
+/// OSN -> client: broadcast accepted/rejected/shed.
 class BroadcastAckMsg final : public sim::Message {
  public:
   BroadcastAckMsg(std::string tx_id, bool ok)
-      : tx_id_(std::move(tx_id)), ok_(ok) {}
+      : tx_id_(std::move(tx_id)),
+        status_(ok ? BroadcastStatus::kOk : BroadcastStatus::kRejected) {}
+  BroadcastAckMsg(std::string tx_id, BroadcastStatus status,
+                  sim::SimDuration retry_after = 0)
+      : tx_id_(std::move(tx_id)), status_(status), retry_after_(retry_after) {}
 
   [[nodiscard]] const std::string& TxId() const { return tx_id_; }
-  [[nodiscard]] bool Ok() const { return ok_; }
+  [[nodiscard]] bool Ok() const { return status_ == BroadcastStatus::kOk; }
+  [[nodiscard]] BroadcastStatus Status() const { return status_; }
+  /// Advisory pause before retrying, set on kOverloaded nacks.
+  [[nodiscard]] sim::SimDuration RetryAfter() const { return retry_after_; }
   [[nodiscard]] std::size_t WireSize() const override {
     return tx_id_.size() + 16;
   }
@@ -50,16 +66,21 @@ class BroadcastAckMsg final : public sim::Message {
 
  private:
   std::string tx_id_;
-  bool ok_;
+  BroadcastStatus status_;
+  sim::SimDuration retry_after_ = 0;
 };
 
 /// OSN -> OSN: a non-leader forwards an envelope to the consenter leader.
+/// With admission control on, `origin` carries the submitting client so the
+/// leader can ack (or shed) the forwarded envelope directly.
 class ForwardEnvelopeMsg final : public sim::Message {
  public:
-  ForwardEnvelopeMsg(EnvelopePtr env, std::size_t wire_size)
-      : env_(std::move(env)), wire_size_(wire_size) {}
+  ForwardEnvelopeMsg(EnvelopePtr env, std::size_t wire_size,
+                     sim::NodeId origin = sim::kInvalidNode)
+      : env_(std::move(env)), wire_size_(wire_size), origin_(origin) {}
 
   [[nodiscard]] const EnvelopePtr& Envelope() const { return env_; }
+  [[nodiscard]] sim::NodeId Origin() const { return origin_; }
   [[nodiscard]] std::size_t WireSize() const override { return wire_size_; }
   [[nodiscard]] std::string TypeName() const override {
     return "ForwardEnvelope";
@@ -68,6 +89,7 @@ class ForwardEnvelopeMsg final : public sim::Message {
  private:
   EnvelopePtr env_;
   std::size_t wire_size_;
+  sim::NodeId origin_;
 };
 
 // ------------------------------------------------------------------ deliver
@@ -77,11 +99,12 @@ class DeliverBlockMsg final : public sim::Message {
  public:
   DeliverBlockMsg(proto::BlockPtr block, std::size_t wire_size,
                   std::string channel_id = "mychannel",
-                  sim::SimTime sent_at = 0)
+                  sim::SimTime sent_at = 0, bool ack_requested = false)
       : block_(std::move(block)),
         wire_size_(wire_size),
         channel_id_(std::move(channel_id)),
-        sent_at_(sent_at) {}
+        sent_at_(sent_at),
+        ack_requested_(ack_requested) {}
 
   [[nodiscard]] const proto::BlockPtr& GetBlock() const { return block_; }
   [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
@@ -89,12 +112,34 @@ class DeliverBlockMsg final : public sim::Message {
   [[nodiscard]] std::string TypeName() const override { return "DeliverBlock"; }
   /// Send timestamp, for wire-time spans (0 when tracing is off).
   [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
+  /// Set on windowed backfill deliveries: the receiving peer must send a
+  /// DeliverAckMsg so the OSN can advance the backfill window.
+  [[nodiscard]] bool AckRequested() const { return ack_requested_; }
 
  private:
   proto::BlockPtr block_;
   std::size_t wire_size_;
   std::string channel_id_;
   sim::SimTime sent_at_;
+  bool ack_requested_;
+};
+
+/// Peer -> OSN: flow-control ack for one windowed backfill block.
+class DeliverAckMsg final : public sim::Message {
+ public:
+  DeliverAckMsg(std::string channel_id, std::uint64_t block_number)
+      : channel_id_(std::move(channel_id)), block_number_(block_number) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::uint64_t BlockNumber() const { return block_number_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 24 + channel_id_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override { return "DeliverAck"; }
+
+ private:
+  std::string channel_id_;
+  std::uint64_t block_number_;
 };
 
 /// Peer -> OSN: deliver-stream liveness probe. Peers with deliver failover

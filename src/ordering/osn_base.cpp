@@ -30,6 +30,12 @@ void OsnBase::SetGenesis(const proto::Block& genesis) {
   next_deliver_number_ = genesis_next_number_;
 }
 
+void OsnBase::SetAdmission(const sim::AdmissionConfig& config,
+                           sim::SimDuration retry_after) {
+  ingress_.Configure(config);
+  retry_after_ = retry_after;
+}
+
 void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (auto bc = std::dynamic_pointer_cast<const BroadcastEnvelopeMsg>(msg)) {
     broadcast_log_.Record(env_.Now());
@@ -38,29 +44,7 @@ void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
                  "rpc.broadcast", bc->Envelope()->tx_id, bc->SentAt(),
                  env_.Now());
     }
-    // Charge envelope unmarshal + signature/policy verification, then hand
-    // to the consenter and ack the client.
-    const sim::SimTime enqueued = env_.Now();
-    machine_.GetCpu().Submit(
-        cal_.orderer_verify_cpu,
-        [this, from, enqueued, env = bc->Envelope(), size = bc->WireSize()]() {
-          if (auto* tr = env_.Trace()) {
-            tr->RecordResourceSpan(
-                tr->PidFor(machine_.Name()), "orderer.verify", env->tx_id,
-                enqueued, env_.Now(),
-                machine_.GetCpu().ScaledCost(cal_.orderer_verify_cpu));
-          }
-          const bool ok = AcceptEnvelope(env, size);
-          if (auto* tr = env_.Trace(); tr != nullptr && ok) {
-            // Open until the tx lands in a delivered block: batching wait +
-            // consensus replication + assembly, the whole ordering pipeline.
-            tr->Begin(tr->PidFor(machine_.Name()), obs::SpanKind::kQueue,
-                      "order.consensus", env->tx_id, env_.Now());
-          }
-          env_.Net().Send(net_id_, from,
-                          std::make_shared<BroadcastAckMsg>(env->tx_id, ok));
-        },
-        /*high_priority=*/true);
+    AdmitForVerify({from, bc->Envelope(), bc->WireSize()});
     return;
   }
   if (auto ping = std::dynamic_pointer_cast<const DeliverPingMsg>(msg)) {
@@ -77,17 +61,155 @@ void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
     }
     return;
   }
+  if (auto ack = std::dynamic_pointer_cast<const DeliverAckMsg>(msg)) {
+    if (ack->ChannelId() == channel_id_) OnDeliverAck(from);
+    return;
+  }
   OnOtherMessage(from, msg);
+}
+
+void OsnBase::AdmitForVerify(PendingIngress item) {
+  if (!AdmissionEnabled()) {
+    // Legacy unbounded path: every envelope goes straight to verification.
+    StartVerify(std::move(item));
+    return;
+  }
+  auto result = ingress_.Offer(std::move(item));
+  if (result.admit) StartVerify(std::move(*result.admit));
+  if (!result.shed.empty()) ShedIngress(std::move(result.shed));
+}
+
+void OsnBase::ShedIngress(std::vector<PendingIngress> shed) {
+  const bool silent =
+      ingress_.Config().policy == sim::OverloadPolicy::kBlock;
+  for (auto& item : shed) {
+    if (auto* tr = env_.Trace()) {
+      tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kOther,
+                 "overload.shed", item.env->tx_id, env_.Now(), env_.Now());
+    }
+    // Under the block policy overflow vanishes (transport backpressure);
+    // the client's broadcast timeout surfaces the terminal status.
+    if (!silent) NackOverloaded(item.from, item.env->tx_id);
+  }
+}
+
+void OsnBase::NackOverloaded(sim::NodeId to, const std::string& tx_id) {
+  env_.Net().Send(net_id_, to,
+                  std::make_shared<BroadcastAckMsg>(
+                      tx_id, BroadcastStatus::kOverloaded, retry_after_));
+}
+
+void OsnBase::StartVerify(PendingIngress item) {
+  // Charge envelope unmarshal + signature/policy verification, then hand
+  // to the consenter and ack the submitter.
+  const sim::SimTime enqueued = env_.Now();
+  machine_.GetCpu().Submit(
+      cal_.orderer_verify_cpu,
+      [this, enqueued, item = std::move(item)]() {
+        if (auto* tr = env_.Trace()) {
+          tr->RecordResourceSpan(
+              tr->PidFor(machine_.Name()), "orderer.verify", item.env->tx_id,
+              enqueued, env_.Now(),
+              machine_.GetCpu().ScaledCost(cal_.orderer_verify_cpu));
+        }
+        const AcceptResult r =
+            AcceptEnvelope(item.env, item.wire_size, item.from);
+        switch (r) {
+          case AcceptResult::kOk:
+            if (AdmissionEnabled()) ++admitted_txs_[item.env->tx_id];
+            if (auto* tr = env_.Trace()) {
+              // Open until the tx lands in a delivered block: batching wait
+              // + consensus replication + assembly, the whole ordering
+              // pipeline.
+              tr->Begin(tr->PidFor(machine_.Name()), obs::SpanKind::kQueue,
+                        "order.consensus", item.env->tx_id, env_.Now());
+            }
+            env_.Net().Send(
+                net_id_, item.from,
+                std::make_shared<BroadcastAckMsg>(item.env->tx_id, true));
+            break;
+          case AcceptResult::kNack:
+            env_.Net().Send(
+                net_id_, item.from,
+                std::make_shared<BroadcastAckMsg>(item.env->tx_id, false));
+            if (AdmissionEnabled()) ReleaseIngressSlot();
+            break;
+          case AcceptResult::kDeferred:
+            // Another node owns the envelope now and will ack the origin;
+            // this node's pipeline is done with it.
+            if (AdmissionEnabled()) ReleaseIngressSlot();
+            break;
+        }
+      },
+      /*high_priority=*/true);
+}
+
+void OsnBase::ReleaseIngressSlot() {
+  if (auto next = ingress_.Release()) StartVerify(std::move(*next));
+}
+
+void OsnBase::ReleaseAdmittedTx(const std::string& tx_id) {
+  auto it = admitted_txs_.find(tx_id);
+  if (it == admitted_txs_.end()) return;
+  if (--it->second == 0) admitted_txs_.erase(it);
+  ReleaseIngressSlot();
+}
+
+void OsnBase::ResetAdmission() {
+  const auto config = ingress_.Config();
+  ingress_ = sim::AdmissionQueue<PendingIngress>(config);
+  admitted_txs_.clear();
 }
 
 void OsnBase::SubscribePeerFrom(sim::NodeId peer, std::uint64_t from_number) {
   deliver_.Subscribe(peer);
   // Backfill what this OSN already delivered past the peer's height; blocks
   // the OSN has not seen yet will arrive through the normal deliver path.
-  for (auto it = history_.lower_bound(from_number); it != history_.end();
-       ++it) {
-    deliver_.DeliverTo(peer, it->second);
+  // The backfill is windowed so a rejoining peer's catch-up traffic cannot
+  // monopolize the wire: at most backfill_window_ blocks in flight, each
+  // acked by the peer before the window slides.
+  BackfillState& st = backfill_[peer];
+  st.next = from_number;
+  st.inflight = 0;
+  ++st.version;
+  PumpBackfill(peer);
+}
+
+void OsnBase::PumpBackfill(sim::NodeId peer) {
+  auto it = backfill_.find(peer);
+  if (it == backfill_.end()) return;
+  BackfillState& st = it->second;
+  while (st.inflight < backfill_window_) {
+    auto h = history_.lower_bound(st.next);
+    if (h == history_.end()) break;
+    st.next = h->first + 1;
+    ++st.inflight;
+    ++st.version;
+    deliver_.DeliverTo(peer, h->second, /*ack_requested=*/true);
   }
+  if (st.inflight == 0) {
+    // Caught up with history; future blocks flow through normal delivery.
+    backfill_.erase(it);
+    return;
+  }
+  // Lost-ack guard: if nothing moves for a while, assume the outstanding
+  // window made it (legacy backfill had no retransmit either) and advance.
+  const std::uint64_t version = st.version;
+  env_.Sched().ScheduleAfter(backfill_timeout_, [this, peer, version]() {
+    auto g = backfill_.find(peer);
+    if (g == backfill_.end() || g->second.version != version) return;
+    g->second.inflight = 0;
+    ++g->second.version;
+    PumpBackfill(peer);
+  });
+}
+
+void OsnBase::OnDeliverAck(sim::NodeId peer) {
+  auto it = backfill_.find(peer);
+  if (it == backfill_.end()) return;
+  if (it->second.inflight > 0) --it->second.inflight;
+  ++it->second.version;
+  PumpBackfill(peer);
 }
 
 void OsnBase::FinishBlock(AssembledBlock b) {
@@ -104,6 +226,16 @@ void OsnBase::FinishBlock(AssembledBlock b) {
         // Close exactly where MarkOrdered stamps the phase boundary (the
         // span may have been opened on a different OSN instance).
         if (tr != nullptr) tr->End(tx.tx_id, "order.consensus", env_.Now());
+      }
+    }
+    // A delivered block is the end of the ordering pipeline: free the
+    // ingress slots of every tx this node admitted.
+    if (!admitted_txs_.empty()) {
+      for (const auto& tx : ready.block->transactions) {
+        auto slot = admitted_txs_.find(tx.tx_id);
+        if (slot == admitted_txs_.end()) continue;
+        if (--slot->second == 0) admitted_txs_.erase(slot);
+        ReleaseIngressSlot();
       }
     }
     ++delivered_blocks_;

@@ -4,11 +4,19 @@
 // Broadcast envelopes from clients (charging the envelope-verification CPU
 // cost and replying with an ack), delivers cut blocks to subscribed peers,
 // and reports block cuts / ordered transactions to the tracker.
+//
+// With admission control enabled (SetAdmission) the broadcast ingress is a
+// bounded queue: at most `max_inflight` envelopes live anywhere in the
+// verify -> cutter -> assembly -> consensus pipeline at once (a slot frees
+// when the transaction lands in a delivered block), at most `max_waiting`
+// park behind them, and overflow is shed per the configured policy with a
+// SERVICE_UNAVAILABLE-style nack carrying a retry-after hint.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/identity.h"
@@ -17,6 +25,7 @@
 #include "metrics/rate_log.h"
 #include "ordering/deliver.h"
 #include "ordering/messages.h"
+#include "sim/admission.h"
 #include "sim/machine.h"
 
 namespace fabricsim::ordering {
@@ -46,8 +55,32 @@ class OsnBase {
 
   /// Subscribes `peer` and backfills every already-delivered block from
   /// `from_number` on (Fabric's Deliver seek). Used by peers failing over
-  /// from a crashed OSN; idempotent for existing subscribers.
+  /// from a crashed OSN; idempotent for existing subscribers. The backfill
+  /// is windowed: at most `BackfillWindow()` blocks in flight per
+  /// subscriber, advanced by DeliverAckMsg, so recovery traffic cannot
+  /// monopolize the wire during failover.
   void SubscribePeerFrom(sim::NodeId peer, std::uint64_t from_number);
+
+  /// Bounds the ingress queue. `retry_after` is the pause hint attached to
+  /// overload nacks.
+  void SetAdmission(const sim::AdmissionConfig& config,
+                    sim::SimDuration retry_after);
+
+  /// Blocks in flight per backfilling subscriber (default 4).
+  void SetBackfillWindow(std::size_t window) { backfill_window_ = window; }
+  [[nodiscard]] std::size_t BackfillWindow() const { return backfill_window_; }
+
+  /// Envelopes currently admitted or waiting at the ingress queue.
+  [[nodiscard]] std::size_t IngressDepth() const { return ingress_.Depth(); }
+  [[nodiscard]] std::size_t IngressWaiting() const {
+    return ingress_.Waiting();
+  }
+  [[nodiscard]] std::uint64_t IngressShed() const {
+    return ingress_.ShedTotal();
+  }
+  [[nodiscard]] std::uint64_t IngressAdmitted() const {
+    return ingress_.AdmittedTotal();
+  }
 
   /// Anchors this OSN on the channel's genesis block: user blocks start at
   /// number 1 and chain off the genesis hash.
@@ -72,10 +105,26 @@ class OsnBase {
   }
 
  protected:
+  /// What the consenter did with a verified envelope.
+  enum class AcceptResult {
+    kOk,        // enqueued; ack the submitter, slot frees at block delivery
+    kNack,      // hard-rejected; nack the submitter, slot frees now
+    kDeferred,  // handed to another node which will ack; slot frees now
+  };
+
+  /// One envelope parked at (or admitted through) the ingress queue.
+  struct PendingIngress {
+    sim::NodeId from = sim::kInvalidNode;
+    EnvelopePtr env;
+    std::size_t wire_size = 0;
+  };
+
   /// Consensus-specific envelope path, invoked after the shared verification
-  /// CPU charge. Implementations enqueue into their consenter and return
-  /// true to ack success.
-  virtual bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) = 0;
+  /// CPU charge. `origin` is the node to be acked (the submitting client,
+  /// or with admission on, the client a follower forwarded for).
+  virtual AcceptResult AcceptEnvelope(const EnvelopePtr& env,
+                                      std::size_t wire_size,
+                                      sim::NodeId origin) = 0;
 
   /// Consensus-specific extra message handling (raft/kafka traffic).
   virtual void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) = 0;
@@ -90,6 +139,31 @@ class OsnBase {
   void AssembleAsync(Batch batch,
                      std::function<void(AssembledBlock)> done);
 
+  /// Runs `item` through the bounded ingress: admitted items get the verify
+  /// CPU charge then AcceptEnvelope; shed items get an overload nack (or
+  /// vanish under the block policy, modelling transport backpressure).
+  /// Entry point for both client broadcasts and leader-side handling of
+  /// forwarded envelopes.
+  void AdmitForVerify(PendingIngress item);
+
+  [[nodiscard]] bool AdmissionEnabled() const {
+    return ingress_.Config().enabled;
+  }
+  [[nodiscard]] sim::SimDuration AdmissionRetryAfter() const {
+    return retry_after_;
+  }
+
+  /// Sends a SERVICE_UNAVAILABLE-style nack with the retry-after hint.
+  void NackOverloaded(sim::NodeId to, const std::string& tx_id);
+
+  /// Releases the ingress slot held for an admitted tx that will never
+  /// reach a delivered block on this node (e.g. dropped on leadership
+  /// loss). No-op for txs this node did not admit.
+  void ReleaseAdmittedTx(const std::string& tx_id);
+
+  /// Clears all admission state (crash restart).
+  void ResetAdmission();
+
   sim::Environment& env_;
   sim::Machine& machine_;
   crypto::Identity identity_;
@@ -103,6 +177,20 @@ class OsnBase {
 
  private:
   void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
+  /// Charges the verify CPU cost for an admitted envelope, then dispatches
+  /// to AcceptEnvelope and acks/releases per the result.
+  void StartVerify(PendingIngress item);
+  /// Frees one ingress slot; pulls and starts the next waiting envelope.
+  void ReleaseIngressSlot();
+  void ShedIngress(std::vector<PendingIngress> shed);
+
+  struct BackfillState {
+    std::uint64_t next = 0;      // next block number to send
+    std::size_t inflight = 0;    // sent but not yet acked
+    std::uint64_t version = 0;   // bumped on every change, guards the timer
+  };
+  void PumpBackfill(sim::NodeId peer);
+  void OnDeliverAck(sim::NodeId peer);
 
   std::uint64_t next_deliver_number_ = 0;
   std::map<std::uint64_t, AssembledBlock> out_of_order_;
@@ -113,6 +201,17 @@ class OsnBase {
   metrics::RateLog broadcast_log_{"broadcast-received"};
   std::uint64_t genesis_next_number_ = 0;
   crypto::Digest genesis_hash_{};
+
+  sim::AdmissionQueue<PendingIngress> ingress_;
+  sim::SimDuration retry_after_ = 0;
+  // Occurrence counts of admitted tx ids still in the pipeline (counts, not
+  // a set: a client may legitimately resubmit the same tx id and both
+  // copies hold slots until each lands in a block).
+  std::unordered_map<std::string, int> admitted_txs_;
+
+  std::map<sim::NodeId, BackfillState> backfill_;
+  std::size_t backfill_window_ = 4;
+  sim::SimDuration backfill_timeout_ = sim::FromSeconds(2);
 };
 
 }  // namespace fabricsim::ordering

@@ -29,6 +29,8 @@ void RaftOrderer::Start() { raft_->Start(); }
 
 void RaftOrderer::RestartAfterCrash() {
   const bool was_leader = raft_->IsLeader();
+  // Ingress state is volatile: whatever was queued died with the process.
+  ResetAdmission();
   raft_->RestartAfterCrash();
   // The leadership callback does not fire inside RestartAfterCrash; drop
   // the block-cutter timer ourselves when leadership was just lost.
@@ -40,6 +42,12 @@ void RaftOrderer::OnLeadershipChange(bool is_leader) {
     if (timer_ != 0) {
       env_.Sched().Cancel(timer_);
       timer_ = 0;
+    }
+    // Envelopes parked in the cutter ride out the demotion (they get cut
+    // if leadership returns), but their ingress slots must not: release
+    // them now so the window keeps admitting for the new leader.
+    if (AdmissionEnabled()) {
+      for (const auto& env : cutter_.Pending()) ReleaseAdmittedTx(env->tx_id);
     }
     return;
   }
@@ -54,18 +62,28 @@ void RaftOrderer::OnLeadershipChange(bool is_leader) {
   }
 }
 
-bool RaftOrderer::AcceptEnvelope(const EnvelopePtr& env,
-                                 std::size_t wire_size) {
-  if (raft_ == nullptr) return false;
+OsnBase::AcceptResult RaftOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                                  std::size_t wire_size,
+                                                  sim::NodeId origin) {
+  if (raft_ == nullptr) return AcceptResult::kNack;
   if (raft_->IsLeader()) {
     LeaderEnqueue(env, wire_size);
-    return true;
+    return AcceptResult::kOk;
   }
   const auto leader = raft_->KnownLeader();
-  if (!leader) return false;  // no leader yet: client retries
+  if (!leader) return AcceptResult::kNack;  // no leader yet: client retries
+  if (AdmissionEnabled()) {
+    // Relay with the origin attached: the leader runs the envelope through
+    // its own bounded ingress and acks (or sheds) the client directly, so
+    // a follower's ack can never outlive the leader's queue space.
+    env_.Net().Send(NetId(), *leader,
+                    std::make_shared<ForwardEnvelopeMsg>(env, wire_size,
+                                                         origin));
+    return AcceptResult::kDeferred;
+  }
   env_.Net().Send(NetId(), *leader,
                   std::make_shared<ForwardEnvelopeMsg>(env, wire_size));
-  return true;
+  return AcceptResult::kOk;
 }
 
 void RaftOrderer::LeaderEnqueue(const EnvelopePtr& env,
@@ -110,6 +128,12 @@ void RaftOrderer::ProposeBatch(Batch batch) {
                   env_.Now());
       }
       raft_->Propose(built.block, built.wire_size);
+    } else if (AdmissionEnabled()) {
+      // The dropped block's txs will never reach FinishBlock here; free
+      // the ingress slots they held so the window cannot shrink for good.
+      for (const auto& tx : built.block->transactions) {
+        ReleaseAdmittedTx(tx.tx_id);
+      }
     }
   });
 }
@@ -132,6 +156,21 @@ void RaftOrderer::OnCommitted(std::uint64_t index, const RaftEntry& entry) {
 void RaftOrderer::OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (raft_ != nullptr && raft_->OnMessage(from, msg)) return;
   if (auto fwd = std::dynamic_pointer_cast<const ForwardEnvelopeMsg>(msg)) {
+    if (fwd->Origin() != sim::kInvalidNode) {
+      // Admission-controlled relay: run the forwarded envelope through
+      // this node's own bounded ingress; the origin client is acked (or
+      // overload-nacked) from here.
+      if (raft_ != nullptr && raft_->IsLeader()) {
+        AdmitForVerify({fwd->Origin(), fwd->Envelope(), fwd->WireSize()});
+      } else {
+        // Leadership moved mid-flight: nack so the client rotates rather
+        // than waiting out its broadcast timeout.
+        env_.Net().Send(NetId(), fwd->Origin(),
+                        std::make_shared<BroadcastAckMsg>(
+                            fwd->Envelope()->tx_id, false));
+      }
+      return;
+    }
     if (raft_ != nullptr && raft_->IsLeader()) {
       // Charge the same verification the leader would do for a direct
       // broadcast (Fabric re-validates forwarded envelopes).

@@ -38,7 +38,8 @@ class RaftOrderer final : public OsnBase {
   void RestartAfterCrash();
 
  protected:
-  bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) override;
+  AcceptResult AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size,
+                              sim::NodeId origin) override;
   void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) override;
 
  private:

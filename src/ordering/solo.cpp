@@ -10,8 +10,9 @@ SoloOrderer::SoloOrderer(sim::Environment& env, sim::Machine& machine,
               "orderer.solo/" + channel_id, channel_id),
       cutter_(batch) {}
 
-bool SoloOrderer::AcceptEnvelope(const EnvelopePtr& env,
-                                 std::size_t wire_size) {
+OsnBase::AcceptResult SoloOrderer::AcceptEnvelope(const EnvelopePtr& env,
+                                                  std::size_t wire_size,
+                                                  sim::NodeId /*origin*/) {
   auto result = cutter_.Ordered(env, wire_size);
   for (auto& batch : result.batches) EmitBatch(std::move(batch));
   if (result.pending) {
@@ -20,7 +21,7 @@ bool SoloOrderer::AcceptEnvelope(const EnvelopePtr& env,
     env_.Sched().Cancel(timer_);
     timer_ = 0;
   }
-  return true;
+  return AcceptResult::kOk;
 }
 
 void SoloOrderer::ArmTimerIfNeeded() {

@@ -21,7 +21,8 @@ class SoloOrderer final : public OsnBase {
   }
 
  protected:
-  bool AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size) override;
+  AcceptResult AcceptEnvelope(const EnvelopePtr& env, std::size_t wire_size,
+                              sim::NodeId origin) override;
   void OnOtherMessage(sim::NodeId from, const sim::MessagePtr& msg) override;
 
  private:

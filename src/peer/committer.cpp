@@ -53,7 +53,7 @@ proto::ValidationCode Committer::Vscc(
 void Committer::OnBlock(proto::BlockPtr block, OnCommit on_commit) {
   const std::uint64_t number = block->header.number;
   if (number < next_commit_ || pending_.count(number) != 0 ||
-      ready_.count(number) != 0) {
+      ready_.count(number) != 0 || deferred_.count(number) != 0) {
     return;  // duplicate delivery (multiple OSN subscriptions / re-delivery)
   }
 
@@ -68,6 +68,19 @@ void Committer::OnBlock(proto::BlockPtr block, OnCommit on_commit) {
     return;  // forged block: drop
   }
 
+  if (max_pipeline_blocks_ > 0 &&
+      pending_.size() + ready_.size() >= max_pipeline_blocks_) {
+    // Bounded validation pipeline: park the block until VSCC/commit drain.
+    ++deferred_total_;
+    deferred_.emplace(number,
+                      DeferredBlock{std::move(block), std::move(on_commit)});
+    return;
+  }
+  Admit(number, std::move(block), std::move(on_commit));
+}
+
+void Committer::Admit(std::uint64_t number, proto::BlockPtr block,
+                      OnCommit on_commit) {
   PendingBlock pb;
   pb.block = std::move(block);
   pb.vscc_codes.assign(pb.block->transactions.size(),
@@ -76,6 +89,19 @@ void Committer::OnBlock(proto::BlockPtr block, OnCommit on_commit) {
   pb.on_commit = std::move(on_commit);
   pending_.emplace(number, std::move(pb));
   StartVscc(number);
+}
+
+void Committer::PromoteDeferred() {
+  while (!deferred_.empty() &&
+         (max_pipeline_blocks_ == 0 ||
+          pending_.size() + ready_.size() < max_pipeline_blocks_)) {
+    auto it = deferred_.begin();
+    const std::uint64_t number = it->first;
+    DeferredBlock d = std::move(it->second);
+    deferred_.erase(it);
+    if (number < next_commit_) continue;  // superseded while parked
+    Admit(number, std::move(d.block), std::move(d.on_commit));
+  }
 }
 
 void Committer::StartVscc(std::uint64_t number) {
@@ -196,6 +222,7 @@ void Committer::SerialCommit(PendingBlock pb) {
     // chain audit in tests would catch systematic issues.
     serial_busy_ = false;
     TrySerialCommit();
+    PromoteDeferred();
     return;
   }
   ledger::MvccValidator::Commit(*pb.block, mvcc.codes, state_);
@@ -221,6 +248,7 @@ void Committer::SerialCommit(PendingBlock pb) {
     pb.on_commit(CommittedBlock{pb.block, mvcc.codes});
   }
   TrySerialCommit();
+  PromoteDeferred();
 }
 
 }  // namespace fabricsim::peer

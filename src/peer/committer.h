@@ -56,6 +56,23 @@ class Committer {
   /// or out-of-order blocks are buffered / dropped as appropriate.
   void OnBlock(proto::BlockPtr block, OnCommit on_commit);
 
+  /// Caps the validation pipeline (blocks in VSCC + awaiting serial
+  /// commit). Excess blocks are deferred and promoted as the pipeline
+  /// drains — never shed: a delivered block is acked work, so deferral is
+  /// the only policy that keeps "nothing acked is lost" intact. 0 =
+  /// unbounded (legacy behavior).
+  void SetMaxPipelineBlocks(std::size_t max_blocks) {
+    max_pipeline_blocks_ = max_blocks;
+  }
+
+  /// Blocks currently in VSCC or awaiting serial commit.
+  [[nodiscard]] std::size_t PipelineDepth() const {
+    return pending_.size() + ready_.size();
+  }
+  /// Blocks parked behind the bounded pipeline.
+  [[nodiscard]] std::size_t DeferredBlocks() const { return deferred_.size(); }
+  [[nodiscard]] std::uint64_t DeferredTotal() const { return deferred_total_; }
+
   [[nodiscard]] const ledger::Blockchain& Chain() const { return chain_; }
   [[nodiscard]] const ledger::StateDb& State() const { return state_; }
   [[nodiscard]] ledger::StateDb& MutableState() { return state_; }
@@ -85,6 +102,13 @@ class Committer {
     sim::SimTime all_vscc_done = 0;
   };
 
+  struct DeferredBlock {
+    proto::BlockPtr block;
+    OnCommit on_commit;
+  };
+
+  void Admit(std::uint64_t number, proto::BlockPtr block, OnCommit on_commit);
+  void PromoteDeferred();
   void StartVscc(std::uint64_t number);
   void OnVsccDone(std::uint64_t number);
   void TrySerialCommit();
@@ -106,6 +130,10 @@ class Committer {
   // Blocks by number: received, undergoing VSCC, awaiting serial commit.
   std::map<std::uint64_t, PendingBlock> pending_;
   std::map<std::uint64_t, PendingBlock> ready_;  // VSCC finished
+  // Parked behind the bounded pipeline, lowest number promoted first.
+  std::map<std::uint64_t, DeferredBlock> deferred_;
+  std::size_t max_pipeline_blocks_ = 0;  // 0 = unbounded
+  std::uint64_t deferred_total_ = 0;
   std::uint64_t next_commit_ = 0;
   bool serial_busy_ = false;
   std::uint64_t committed_tx_ = 0;

@@ -40,10 +40,12 @@ class EndorseRequestMsg final : public sim::Message {
 class EndorseResponseMsg final : public sim::Message {
  public:
   EndorseResponseMsg(std::shared_ptr<const proto::ProposalResponse> response,
-                     std::size_t wire_size, sim::SimTime sent_at = 0)
+                     std::size_t wire_size, sim::SimTime sent_at = 0,
+                     sim::SimDuration retry_after = 0)
       : response_(std::move(response)),
         wire_size_(wire_size),
-        sent_at_(sent_at) {}
+        sent_at_(sent_at),
+        retry_after_(retry_after) {}
 
   [[nodiscard]] const proto::ProposalResponse& Response() const {
     return *response_;
@@ -54,11 +56,15 @@ class EndorseResponseMsg final : public sim::Message {
   }
   /// Send timestamp, for wire-time spans (0 when tracing is off).
   [[nodiscard]] sim::SimTime SentAt() const { return sent_at_; }
+  /// Advisory pause before retrying; set on SERVICE_UNAVAILABLE responses
+  /// from an overloaded endorser.
+  [[nodiscard]] sim::SimDuration RetryAfter() const { return retry_after_; }
 
  private:
   std::shared_ptr<const proto::ProposalResponse> response_;
   std::size_t wire_size_;
   sim::SimTime sent_at_;
+  sim::SimDuration retry_after_;
 };
 
 /// Peer -> peer: anti-entropy pull (gossip state transfer). "Send me the

@@ -43,8 +43,9 @@ PeerNode::PeerNode(sim::Environment& env, sim::Machine& machine,
 
 void PeerNode::JoinChannel(const std::string& channel_id) {
   if (channels_.count(channel_id) != 0) return;
-  channels_.emplace(channel_id,
-                    std::make_unique<ChannelLedger>(*this, channel_id));
+  auto ledger = std::make_unique<ChannelLedger>(*this, channel_id);
+  ledger->committer->SetMaxPipelineBlocks(committer_pipeline_limit_);
+  channels_.emplace(channel_id, std::move(ledger));
 }
 
 void PeerNode::SetPolicy(const std::string& channel_id,
@@ -67,12 +68,12 @@ void PeerNode::SeedState(const std::string& channel_id, const std::string& ns,
 
 void PeerNode::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
   if (auto req = std::dynamic_pointer_cast<const EndorseRequestMsg>(msg)) {
-    if (endorsing_) HandleEndorseRequest(from, *req);
+    if (endorsing_) HandleEndorseRequest(from, req);
     return;
   }
   if (auto blk = std::dynamic_pointer_cast<const ordering::DeliverBlockMsg>(
           msg)) {
-    HandleDeliverBlock(blk);
+    HandleDeliverBlock(from, blk);
     return;
   }
   if (auto pull = std::dynamic_pointer_cast<const GossipPullMsg>(msg)) {
@@ -137,10 +138,19 @@ void PeerNode::DeliverWatchTick(const std::string& channel_id) {
 }
 
 void PeerNode::HandleDeliverBlock(
+    sim::NodeId from,
     const std::shared_ptr<const ordering::DeliverBlockMsg>& msg) {
   auto it = channels_.find(msg->ChannelId());
   if (it == channels_.end()) return;  // not joined to this channel
   const std::string channel_id = msg->ChannelId();
+
+  // Windowed backfill: tell the OSN this block arrived so it can slide the
+  // per-subscriber window forward.
+  if (msg->AckRequested()) {
+    env_.Net().Send(net_id_, from,
+                    std::make_shared<ordering::DeliverAckMsg>(
+                        channel_id, msg->GetBlock()->header.number));
+  }
 
   // Wire spans for the validate phase: one per transaction, first delivery
   // of each block only (gossip re-deliveries carry the original send stamp).
@@ -210,13 +220,26 @@ void PeerNode::AntiEntropyTick() {
                              [this] { AntiEntropyTick(); });
 }
 
-void PeerNode::HandleEndorseRequest(sim::NodeId from,
-                                    const EndorseRequestMsg& m) {
-  auto it = channels_.find(m.Proposal().proposal.channel_id);
+void PeerNode::SetEndorseAdmission(const sim::AdmissionConfig& config,
+                                   sim::SimDuration retry_after) {
+  endorse_ingress_.Configure(config);
+  endorse_retry_after_ = retry_after;
+}
+
+void PeerNode::SetCommitterPipelineLimit(std::size_t max_blocks) {
+  committer_pipeline_limit_ = max_blocks;
+  for (auto& [id, ledger] : channels_) {
+    ledger->committer->SetMaxPipelineBlocks(max_blocks);
+  }
+}
+
+void PeerNode::HandleEndorseRequest(
+    sim::NodeId from, const std::shared_ptr<const EndorseRequestMsg>& m) {
+  auto it = channels_.find(m->Proposal().proposal.channel_id);
   if (it == channels_.end()) {
     // Unknown channel: refuse immediately (negligible cost).
     auto response = std::make_shared<proto::ProposalResponse>();
-    response->tx_id = m.Proposal().proposal.tx_id;
+    response->tx_id = m->Proposal().proposal.tx_id;
     response->payload.status = proto::EndorseStatus::kBadProposal;
     const std::size_t wire = response->Serialize().size();
     env_.Net().Send(net_id_, from,
@@ -224,23 +247,56 @@ void PeerNode::HandleEndorseRequest(sim::NodeId from,
                                                          wire));
     return;
   }
-  Endorser* endorser = it->second->endorser.get();
 
   if (auto* tr = env_.Trace()) {
     tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kWire,
-               "rpc.endorse", m.Proposal().proposal.tx_id, m.SentAt(),
+               "rpc.endorse", m->Proposal().proposal.tx_id, m->SentAt(),
                env_.Now());
   }
+
+  if (!endorse_ingress_.Config().enabled) {
+    StartEndorse({from, m});
+    return;
+  }
+  auto result = endorse_ingress_.Offer({from, m});
+  if (result.admit) StartEndorse(std::move(*result.admit));
+  for (const auto& shed : result.shed) RefuseOverloaded(shed);
+}
+
+void PeerNode::RefuseOverloaded(const PendingEndorse& item) {
+  const std::string& tx_id = item.msg->Proposal().proposal.tx_id;
+  if (auto* tr = env_.Trace()) {
+    tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kOther,
+               "overload.shed", tx_id, env_.Now(), env_.Now());
+  }
+  // Under the block policy overflow vanishes (transport backpressure); the
+  // client's endorse timeout surfaces the terminal status.
+  if (endorse_ingress_.Config().policy == sim::OverloadPolicy::kBlock) return;
+  auto response = std::make_shared<proto::ProposalResponse>();
+  response->tx_id = tx_id;
+  response->payload.status = proto::EndorseStatus::kServiceUnavailable;
+  const std::size_t wire = response->Serialize().size();
+  env_.Net().Send(net_id_, item.from,
+                  std::make_shared<EndorseResponseMsg>(
+                      std::move(response), wire, env_.Now(),
+                      endorse_retry_after_));
+}
+
+void PeerNode::StartEndorse(PendingEndorse item) {
+  auto it = channels_.find(item.msg->Proposal().proposal.channel_id);
+  if (it == channels_.end()) return;
+  Endorser* endorser = it->second->endorser.get();
 
   // Endorsement is the interactive RPC path: high priority on the CPU so
   // background VSCC work does not starve it (Go peers behave similarly —
   // proposal handling is latency-sensitive, validation is batched).
-  const sim::SimDuration cost = endorser->CostOf(m.Proposal(), cal_);
-  auto proposal = std::make_shared<proto::SignedProposal>(m.Proposal());
+  const sim::SimDuration cost = endorser->CostOf(item.msg->Proposal(), cal_);
+  auto proposal =
+      std::make_shared<proto::SignedProposal>(item.msg->Proposal());
   const sim::SimTime enqueued = env_.Now();
   machine_.GetCpu().Submit(
       cost,
-      [this, from, proposal, endorser, cost, enqueued] {
+      [this, from = item.from, proposal, endorser, cost, enqueued] {
         if (auto* tr = env_.Trace()) RecordEndorseSpans(*tr, cost, enqueued,
                                                         proposal->proposal.tx_id);
         auto response = std::make_shared<proto::ProposalResponse>(
@@ -249,6 +305,11 @@ void PeerNode::HandleEndorseRequest(sim::NodeId from,
         env_.Net().Send(net_id_, from,
                         std::make_shared<EndorseResponseMsg>(
                             std::move(response), wire, env_.Now()));
+        if (endorse_ingress_.Config().enabled) {
+          if (auto next = endorse_ingress_.Release()) {
+            StartEndorse(std::move(*next));
+          }
+        }
       },
       /*high_priority=*/true);
 }

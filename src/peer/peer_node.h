@@ -17,6 +17,7 @@
 #include "peer/committer.h"
 #include "peer/endorser.h"
 #include "peer/peer_messages.h"
+#include "sim/admission.h"
 
 namespace fabricsim::obs {
 class Tracer;
@@ -119,6 +120,27 @@ class PeerNode {
   /// Mutable access for fault injection (transient disk slowdown).
   [[nodiscard]] sim::Cpu& MutableDisk() { return disk_; }
 
+  // --- overload protection -------------------------------------------------
+
+  /// Bounds the ProcessProposal ingress: at most `max_inflight` proposals
+  /// executing/waiting on the CPU plus `max_waiting` parked; overflow is
+  /// answered with SERVICE_UNAVAILABLE carrying `retry_after` (or dropped
+  /// under the block policy).
+  void SetEndorseAdmission(const sim::AdmissionConfig& config,
+                           sim::SimDuration retry_after);
+
+  /// Caps each channel committer's validation pipeline (pending + ready
+  /// blocks); excess delivered blocks are deferred, not dropped. 0 =
+  /// unbounded. Applies to current and future channels.
+  void SetCommitterPipelineLimit(std::size_t max_blocks);
+
+  [[nodiscard]] std::size_t EndorseDepth() const {
+    return endorse_ingress_.Depth();
+  }
+  [[nodiscard]] std::uint64_t EndorseShed() const {
+    return endorse_ingress_.ShedTotal();
+  }
+
   // --- deliver-stream failover --------------------------------------------
   // A peer subscribed to one OSN's deliver stream loses its block feed when
   // that OSN crashes. The watchdog pings the current OSN every ping period;
@@ -152,11 +174,21 @@ class PeerNode {
     std::unique_ptr<Endorser> endorser;
   };
 
+  /// One proposal parked at (or admitted through) the endorse ingress.
+  struct PendingEndorse {
+    sim::NodeId from = sim::kInvalidNode;
+    std::shared_ptr<const EndorseRequestMsg> msg;
+  };
+
   void OnMessage(sim::NodeId from, const sim::MessagePtr& msg);
-  void HandleEndorseRequest(sim::NodeId from, const EndorseRequestMsg& m);
+  void HandleEndorseRequest(
+      sim::NodeId from, const std::shared_ptr<const EndorseRequestMsg>& m);
+  void StartEndorse(PendingEndorse item);
+  void RefuseOverloaded(const PendingEndorse& item);
   void OnBlockCommitted(const std::string& channel_id,
                         const CommittedBlock& cb);
   void HandleDeliverBlock(
+      sim::NodeId from,
       const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
   void HandleGossipPull(sim::NodeId from, const GossipPullMsg& m);
   void AntiEntropyTick();
@@ -200,6 +232,11 @@ class PeerNode {
   };
   std::map<std::string, DeliverWatch> deliver_watch_;
   std::uint64_t deliver_failovers_ = 0;
+
+  // Bounded ProcessProposal ingress (overload protection).
+  sim::AdmissionQueue<PendingEndorse> endorse_ingress_;
+  sim::SimDuration endorse_retry_after_ = 0;
+  std::size_t committer_pipeline_limit_ = 0;
 };
 
 }  // namespace fabricsim::peer

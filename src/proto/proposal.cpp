@@ -106,6 +106,8 @@ std::string EndorseStatusName(EndorseStatus s) {
       return "CHAINCODE_ERROR";
     case EndorseStatus::kUnknownChaincode:
       return "UNKNOWN_CHAINCODE";
+    case EndorseStatus::kServiceUnavailable:
+      return "SERVICE_UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -69,6 +69,7 @@ enum class EndorseStatus : std::uint8_t {
   kDuplicateTxId = 3,    // replayed proposal
   kChaincodeError = 4,   // chaincode returned failure
   kUnknownChaincode = 5,
+  kServiceUnavailable = 6,  // endorser overloaded, retry later (shim 503)
 };
 
 std::string EndorseStatusName(EndorseStatus s);

@@ -1,0 +1,143 @@
+#ifndef FABRICSIM_SIM_ADMISSION_H_
+#define FABRICSIM_SIM_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace fabricsim::sim {
+
+/// What a bounded ingress queue does with new work once it is full.
+enum class OverloadPolicy : std::uint8_t {
+  /// Shed the newcomer immediately (load shedding with an explicit nack).
+  kReject = 0,
+  /// Queue the newcomer and shed the oldest waiting item instead.
+  kDropOldest = 1,
+  /// Queue the newcomer; overflow past the waiting bound is dropped
+  /// silently, modelling transport backpressure where the sender's own
+  /// timeout machinery surfaces the terminal status.
+  kBlock = 2,
+};
+
+inline const char* OverloadPolicyName(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kReject: return "reject";
+    case OverloadPolicy::kDropOldest: return "drop-oldest";
+    case OverloadPolicy::kBlock: return "block";
+  }
+  return "?";
+}
+
+/// Knobs for one bounded ingress queue.
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Items being actively serviced (in the pipeline) at once.
+  std::size_t max_inflight = 64;
+  /// Items parked behind the inflight set awaiting a free slot.
+  std::size_t max_waiting = 256;
+  OverloadPolicy policy = OverloadPolicy::kReject;
+};
+
+/// A bounded two-stage ingress queue: up to `max_inflight` items are
+/// admitted for service, up to `max_waiting` more wait behind them, and
+/// anything beyond that is shed according to the policy. Disabled queues
+/// admit everything (unbounded), preserving legacy behavior.
+template <typename Item>
+class AdmissionQueue {
+ public:
+  struct OfferResult {
+    /// Set when the offered item may start service right now.
+    std::optional<Item> admit;
+    /// Items the queue shed as a consequence of this offer (the offered
+    /// item itself under kReject; displaced items under kDropOldest;
+    /// silent overflow under kBlock — the caller decides whether shed
+    /// items get a nack or vanish).
+    std::vector<Item> shed;
+  };
+
+  AdmissionQueue() = default;
+  explicit AdmissionQueue(const AdmissionConfig& config) : config_(config) {}
+
+  void Configure(const AdmissionConfig& config) { config_ = config; }
+  const AdmissionConfig& Config() const { return config_; }
+
+  /// Offers one item. Either it is admitted for immediate service, parked
+  /// in the waiting room, or shed (possibly displacing older work).
+  OfferResult Offer(Item item) {
+    OfferResult out;
+    if (!config_.enabled) {
+      ++inflight_;
+      ++admitted_total_;
+      out.admit = std::move(item);
+      return out;
+    }
+    if (inflight_ < config_.max_inflight && waiting_.empty()) {
+      ++inflight_;
+      ++admitted_total_;
+      out.admit = std::move(item);
+      return out;
+    }
+    switch (config_.policy) {
+      case OverloadPolicy::kReject:
+        if (waiting_.size() < config_.max_waiting) {
+          waiting_.push_back(std::move(item));
+        } else {
+          ++shed_total_;
+          out.shed.push_back(std::move(item));
+        }
+        break;
+      case OverloadPolicy::kDropOldest:
+        waiting_.push_back(std::move(item));
+        while (waiting_.size() > config_.max_waiting) {
+          ++shed_total_;
+          out.shed.push_back(std::move(waiting_.front()));
+          waiting_.pop_front();
+        }
+        break;
+      case OverloadPolicy::kBlock:
+        if (waiting_.size() < config_.max_waiting) {
+          waiting_.push_back(std::move(item));
+        } else {
+          ++shed_total_;
+          out.shed.push_back(std::move(item));
+        }
+        break;
+    }
+    return out;
+  }
+
+  /// Frees one inflight slot. Returns the next waiting item, which the
+  /// caller must begin servicing (its slot is already accounted for).
+  std::optional<Item> Release() {
+    if (inflight_ > 0) --inflight_;
+    if (config_.enabled && !waiting_.empty() &&
+        inflight_ < config_.max_inflight) {
+      Item next = std::move(waiting_.front());
+      waiting_.pop_front();
+      ++inflight_;
+      ++admitted_total_;
+      return next;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t Inflight() const { return inflight_; }
+  std::size_t Waiting() const { return waiting_.size(); }
+  std::size_t Depth() const { return inflight_ + waiting_.size(); }
+  std::uint64_t AdmittedTotal() const { return admitted_total_; }
+  std::uint64_t ShedTotal() const { return shed_total_; }
+
+ private:
+  AdmissionConfig config_;
+  std::deque<Item> waiting_;
+  std::size_t inflight_ = 0;
+  std::uint64_t admitted_total_ = 0;
+  std::uint64_t shed_total_ = 0;
+};
+
+}  // namespace fabricsim::sim
+
+#endif  // FABRICSIM_SIM_ADMISSION_H_

@@ -86,6 +86,53 @@ TEST(BlockCutter, PreservesOrder) {
   }
 }
 
+// Pending-bytes accounting must return to zero after every cut sequence —
+// the counter feeds the queue-depth telemetry, and a drift would read as a
+// phantom standing backlog.
+
+TEST(BlockCutter, PendingBytesZeroAfterCountCut) {
+  BlockCutter cutter(SmallBatch());
+  cutter.Ordered(Env("a"), 10);
+  cutter.Ordered(Env("b"), 20);
+  cutter.Ordered(Env("c"), 30);  // count cut
+  EXPECT_EQ(cutter.PendingBytes(), 0u);
+  EXPECT_EQ(cutter.PendingCount(), 0u);
+}
+
+TEST(BlockCutter, PendingBytesZeroAfterOversizedFlush) {
+  BlockCutter cutter(SmallBatch());
+  cutter.Ordered(Env("a"), 10);
+  EXPECT_EQ(cutter.PendingBytes(), 10u);
+  auto result = cutter.Ordered(Env("big"), 5000);  // flush + isolate
+  EXPECT_EQ(result.batches.size(), 2u);
+  EXPECT_EQ(cutter.PendingBytes(), 0u);
+  EXPECT_EQ(cutter.PendingCount(), 0u);
+}
+
+TEST(BlockCutter, PendingBytesTracksSurvivorAfterByteOverflow) {
+  BlockCutter cutter(SmallBatch());  // preferred_max_bytes = 1000
+  cutter.Ordered(Env("a"), 600);
+  cutter.Ordered(Env("b"), 600);  // cuts "a"; "b" stays pending
+  EXPECT_EQ(cutter.PendingBytes(), 600u);
+  // The timeout path drains the survivor and the counter follows.
+  Batch batch = cutter.Cut();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(cutter.PendingBytes(), 0u);
+}
+
+TEST(BlockCutter, PendingBytesZeroAcrossRepeatedTimeoutCuts) {
+  BlockCutter cutter(SmallBatch());
+  for (int round = 0; round < 3; ++round) {
+    cutter.Ordered(Env("x" + std::to_string(round)), 40);
+    cutter.Ordered(Env("y" + std::to_string(round)), 50);
+    EXPECT_EQ(cutter.PendingBytes(), 90u);
+    EXPECT_EQ(cutter.Cut().size(), 2u);  // timeout-cut path
+    EXPECT_EQ(cutter.PendingBytes(), 0u);
+    EXPECT_TRUE(cutter.Cut().empty());   // idempotent on empty
+    EXPECT_EQ(cutter.PendingBytes(), 0u);
+  }
+}
+
 TEST(BlockCutter, DefaultsMatchPaper) {
   BlockCutter cutter(BatchConfig{});
   EXPECT_EQ(cutter.Config().max_message_count, 100u);  // BatchSize = 100

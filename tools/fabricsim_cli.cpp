@@ -45,6 +45,14 @@ struct CliOptions {
   std::string trace_out;      // Chrome trace-event JSON path ("" = off)
   std::string telemetry_csv;  // resource time-series CSV path ("" = off)
   std::string faults;         // declarative fault schedule ("" = none)
+  std::string overload;       // off|reject|drop-oldest|block ("" = off)
+  std::size_t osn_queue = 512;       // OSN ingress max inflight
+  std::size_t endorser_queue = 32;   // endorser ingress max inflight
+  std::size_t committer_blocks = 8;  // committer pipeline bound (0 = none)
+  double retry_after_ms = 200.0;     // SERVICE_UNAVAILABLE retry-after hint
+  double flow_window = 16.0;         // client AIMD initial window (0 = off)
+  double pace_tps = 0.0;             // client token-bucket rate (0 = off)
+  bool check_invariants = false;
 };
 
 void PrintHelp() {
@@ -81,6 +89,26 @@ void PrintHelp() {
       "                               (see src/faults/fault_schedule.h);\n"
       "                               enables client/peer failover, checks\n"
       "                               ledger invariants, reports recovery\n"
+      "  --overload=reject|drop-oldest|block\n"
+      "                               overload protection: bounded ingress\n"
+      "                               queues with the given overflow policy\n"
+      "                               plus client flow control (default off)\n"
+      "  --osn-queue=<n>              OSN ingress max inflight; slots are\n"
+      "                               held until the block finishes, so size\n"
+      "                               above capacity x block time (default\n"
+      "                               512; parked slots are 1x this)\n"
+      "  --endorser-queue=<n>         endorser ingress max inflight\n"
+      "                               (default 32; parked slots 4x)\n"
+      "  --committer-blocks=<n>       committer pipeline bound in blocks\n"
+      "                               (default 8; 0 = unbounded)\n"
+      "  --retry-after-ms=<ms>        retry-after hint on overload nacks\n"
+      "                               (default 200)\n"
+      "  --flow-window=<n>            client AIMD initial window (default\n"
+      "                               16; 0 disables client flow control)\n"
+      "  --pace-tps=<tps>             client token-bucket pacing (0 = off)\n"
+      "  --check-invariants           check ledger invariants (and the\n"
+      "                               no-silent-drop rule) even without\n"
+      "                               faults; non-zero exit on violation\n"
       "  --help                       this text\n";
 }
 
@@ -146,6 +174,19 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
       out.faults = *v;
       continue;
     }
+    if (auto v = ArgValue(arg, "--overload")) {
+      if (*v != "off" && *v != "reject" && *v != "drop-oldest" &&
+          *v != "block") {
+        error = "unknown overload policy: " + *v;
+        return false;
+      }
+      out.overload = (*v == "off") ? "" : *v;
+      continue;
+    }
+    if (arg == "--check-invariants") {
+      out.check_invariants = true;
+      continue;
+    }
     auto number = [&](const char* key, auto& field) -> bool {
       if (auto v = ArgValue(arg, key)) {
         field = static_cast<std::decay_t<decltype(field)>>(std::stod(*v));
@@ -164,7 +205,12 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
         number("--key-space", out.key_space) ||
         number("--batch-size", out.batch_size) ||
         number("--batch-timeout", out.batch_timeout_s) ||
-        number("--seed", out.seed)) {
+        number("--seed", out.seed) || number("--osn-queue", out.osn_queue) ||
+        number("--endorser-queue", out.endorser_queue) ||
+        number("--committer-blocks", out.committer_blocks) ||
+        number("--retry-after-ms", out.retry_after_ms) ||
+        number("--flow-window", out.flow_window) ||
+        number("--pace-tps", out.pace_tps)) {
       continue;
     }
     error = "unknown argument: " + arg;
@@ -208,6 +254,26 @@ int main(int argc, char** argv) {
   config.workload.value_size = cli.value_size;
   config.workload.key_space = cli.key_space;
   config.faults = cli.faults;
+  config.check_invariants = cli.check_invariants;
+
+  if (!cli.overload.empty()) {
+    fabric::OverloadOptions& ov = config.network.overload;
+    ov.enabled = true;
+    ov.policy = cli.overload == "drop-oldest" ? sim::OverloadPolicy::kDropOldest
+                : cli.overload == "block"     ? sim::OverloadPolicy::kBlock
+                                              : sim::OverloadPolicy::kReject;
+    ov.osn_max_inflight = cli.osn_queue;
+    ov.osn_max_waiting = cli.osn_queue;
+    ov.endorser_max_inflight = cli.endorser_queue;
+    ov.endorser_max_waiting = cli.endorser_queue * 4;
+    ov.committer_max_blocks = cli.committer_blocks;
+    ov.retry_after = sim::FromMillis(cli.retry_after_ms);
+    if (cli.flow_window > 0) {
+      ov.flow.enabled = true;
+      ov.flow.initial_window = cli.flow_window;
+      ov.flow.pace_tps = cli.pace_tps;
+    }
+  }
 
   // Validate the fault spec before the run so a typo fails fast.
   if (!cli.faults.empty()) {
@@ -266,6 +332,16 @@ int main(int argc, char** argv) {
   table.AddRow({"txs_per_block", metrics::Fmt(r.mean_block_size, 1)});
   table.AddRow({"invalid_txs", std::to_string(r.invalid)});
   table.AddRow({"rejected_txs", std::to_string(result.client_rejected)});
+  table.AddRow({"goodput_tps", metrics::Fmt(r.goodput_tps, 1)});
+  table.AddRow({"rejection_rate", metrics::Fmt(r.rejection_rate, 3)});
+  table.AddRow({"shed_txs", std::to_string(r.shed)});
+  if (!cli.overload.empty()) {
+    table.AddRow({"overload_policy", cli.overload});
+    table.AddRow({"osn_shed", std::to_string(result.osn_shed)});
+    table.AddRow({"endorser_shed", std::to_string(result.endorser_shed)});
+    table.AddRow(
+        {"committer_deferred", std::to_string(result.committer_deferred)});
+  }
   table.AddRow({"chain_height", std::to_string(result.chain_height)});
   table.AddRow({"chain_audit", result.chain_audit_ok ? "OK" : "FAILED"});
   table.AddRow({"generated_rate_tps", metrics::Fmt(result.generated_rate_tps, 1)});
@@ -287,6 +363,12 @@ int main(int argc, char** argv) {
   }
 
   bool invariants_ok = true;
+  if (result.invariants) {
+    invariants_ok = result.invariants->Ok();
+    if (cli.faults.empty()) {
+      std::cout << "\nInvariants: " << result.invariants->Summary();
+    }
+  }
   if (!cli.faults.empty()) {
     std::cout << "\nFault timeline:\n";
     for (const auto& entry : result.fault_log) {
@@ -294,7 +376,6 @@ int main(int argc, char** argv) {
                 << entry.what << "\n";
     }
     if (result.invariants) {
-      invariants_ok = result.invariants->Ok();
       std::cout << "\nInvariants: " << result.invariants->Summary();
     }
     if (result.recovery) {
