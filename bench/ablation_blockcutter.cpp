@@ -10,7 +10,7 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_blockcutter");
 
   std::cout << "=== Ablation: block cutter (Solo, OR, 150 tps) ===\n";
   std::cout << "--- BatchSize sweep (BatchTimeout = 1 s) ---\n";
@@ -20,8 +20,10 @@ int main(int argc, char** argv) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
     config.network.channel.batch.max_message_count = batch;
-    benchutil::Tune(config, args.quick);
-    const auto r = fabric::RunExperiment(config).report;
+    benchutil::Tune(config, args);
+    const auto r = benchutil::RunPoint(config, args,
+                                       "BatchSize" + std::to_string(batch))
+                       .report;
     size_table.AddRow({std::to_string(batch),
                        metrics::Fmt(r.mean_block_time_s, 2),
                        metrics::Fmt(r.mean_block_size, 1),
@@ -36,8 +38,10 @@ int main(int argc, char** argv) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
     config.network.channel.batch.batch_timeout = sim::FromSeconds(timeout);
-    benchutil::Tune(config, args.quick);
-    const auto r = fabric::RunExperiment(config).report;
+    benchutil::Tune(config, args);
+    const auto r = benchutil::RunPoint(config, args,
+                                       "BatchTimeout" + metrics::Fmt(timeout, 2))
+                       .report;
     timeout_table.AddRow({metrics::Fmt(timeout, 2),
                           metrics::Fmt(r.mean_block_time_s, 2),
                           metrics::Fmt(r.mean_block_size, 1),
@@ -49,5 +53,5 @@ int main(int argc, char** argv) {
                "(low block time, low latency, more blocks); BatchTimeout "
                "governs block time only while blocks do not fill "
                "(150 tps < 100/timeout), and latency tracks ~timeout/2.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

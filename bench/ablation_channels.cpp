@@ -15,7 +15,7 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_channels");
 
   std::cout << "=== Ablation: channels vs throughput (Solo, OR, saturating "
                "load, shared peers) ===\n";
@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 480);
     config.network.channels = channels;
-    benchutil::Tune(config, args.quick);
-    const auto result = fabric::RunExperiment(config);
+    benchutil::Tune(config, args);
+    const auto result = benchutil::RunPoint(
+        config, args, "saturating/ch" + std::to_string(channels));
     table.AddRow({std::to_string(channels), metrics::Fmt(480, 0),
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2)});
@@ -40,8 +41,9 @@ int main(int argc, char** argv) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 240);
     config.network.channels = channels;
-    benchutil::Tune(config, args.quick);
-    const auto result = fabric::RunExperiment(config);
+    benchutil::Tune(config, args);
+    const auto result = benchutil::RunPoint(
+        config, args, "below-knee/ch" + std::to_string(channels));
     low.AddRow({std::to_string(channels),
                 metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                 metrics::Fmt(result.report.end_to_end.mean_latency_s, 2)});
@@ -51,5 +53,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: committed throughput stays ~300 tps at "
                "saturation regardless of channel count — the validate phase "
                "is a per-peer bottleneck, not a per-channel one.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

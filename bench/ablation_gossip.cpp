@@ -10,7 +10,7 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_gossip");
 
   std::cout << "=== Ablation: gossip dissemination (Solo, OR, 250 tps, "
                "10 peers) ===\n";
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
       config.network.gossip_leaders = 4;
       label = "gossip (4 leaders)";
     }
-    benchutil::Tune(config, args.quick);
-    const auto result = fabric::RunExperiment(config);
+    benchutil::Tune(config, args);
+    const auto result = benchutil::RunPoint(config, args, label);
     table.AddRow({label,
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2),
@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
                "come from a non-leader peer) and shifts wire bytes from the "
                "orderer to the peers without changing the total much (same "
                "blocks traverse the LAN).\n";
-  return 0;
+  return benchutil::Finish(args);
 }

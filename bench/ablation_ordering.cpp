@@ -11,7 +11,7 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_ordering");
 
   std::cout << "=== Ablation: ordering service ===\n";
   std::cout << "--- (1) Kafka replication factor (5 brokers, 250 tps) ---\n";
@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
         fabric::StandardConfig(fabric::OrderingType::kKafka, 0, 250);
     config.network.topology.kafka_brokers = 5;
     config.network.topology.kafka_replication_factor = rf;
-    benchutil::Tune(config, args.quick);
-    const auto r = fabric::RunExperiment(config).report;
+    benchutil::Tune(config, args);
+    const auto r =
+        benchutil::RunPoint(config, args, "rf" + std::to_string(rf)).report;
     rf_table.AddRow({std::to_string(rf),
                      metrics::Fmt(r.end_to_end.throughput_tps, 1),
                      metrics::Fmt(r.end_to_end.mean_latency_s, 2),
@@ -41,8 +42,11 @@ int main(int argc, char** argv) {
          {fabric::OrderingType::kKafka, fabric::OrderingType::kRaft}) {
       fabric::ExperimentConfig config = fabric::StandardConfig(type, 0, 150);
       config.network.net.base_latency = sim::FromMillis(ms);
-      benchutil::Tune(config, args.quick);
-      const auto r = fabric::RunExperiment(config).report;
+      benchutil::Tune(config, args);
+      const std::string label =
+          std::string(type == fabric::OrderingType::kKafka ? "Kafka" : "Raft") +
+          "/lat" + metrics::Fmt(ms, 2) + "ms";
+      const auto r = benchutil::RunPoint(config, args, label).report;
       order_lat.push_back(r.order.mean_latency_s);
       e2e_lat.push_back(r.end_to_end.mean_latency_s);
     }
@@ -58,5 +62,5 @@ int main(int argc, char** argv) {
                "measurable at LAN latencies (the paper's Kafka finding); "
                "(2) only at tens of milliseconds of base latency do the "
                "consensus rounds become visible in the order phase.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

@@ -10,7 +10,7 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_txsize");
 
   std::cout << "=== Ablation: value size (Solo, OR) ===\n";
   metrics::Table table({"value_bytes", "offered_tps", "committed_tps",
@@ -23,11 +23,12 @@ int main(int argc, char** argv) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, rate);
     config.workload.value_size = size;
-    benchutil::Tune(config, args.quick);
+    benchutil::Tune(config, args);
     if (size >= 100 * 1024) {
       config.workload.duration = sim::FromSeconds(15);  // wall-time bound
     }
-    const auto result = fabric::RunExperiment(config);
+    const auto result = benchutil::RunPoint(
+        config, args, "value" + std::to_string(size) + "B");
     table.AddRow({std::to_string(size), metrics::Fmt(rate, 0),
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2),
@@ -41,5 +42,5 @@ int main(int argc, char** argv) {
                "volume dominates — 200 tps would exceed the 1 Gbps fabric, "
                "which is why the offered rate is lowered to keep the system "
                "in steady state.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

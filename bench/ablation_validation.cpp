@@ -13,17 +13,17 @@ using namespace fabricsim;
 
 namespace {
 
-fabric::ExperimentConfig Saturating(int and_x, bool quick) {
+fabric::ExperimentConfig Saturating(int and_x, const benchutil::Args& args) {
   fabric::ExperimentConfig config =
       fabric::StandardConfig(fabric::OrderingType::kSolo, and_x, 480);
-  benchutil::Tune(config, quick);
+  benchutil::Tune(config, args);
   return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "ablation_validation");
 
   std::cout << "=== Ablation: validate-phase design choices ===\n";
 
@@ -35,14 +35,16 @@ int main(int argc, char** argv) {
   // cores 4 at cost 4k/c, since capacity = c/k.)
   metrics::Table pool_table({"vscc_cores", "peak_tps"});
   for (int cores : {1, 2, 4, 8}) {
-    auto config = Saturating(5, args.quick);
+    auto config = Saturating(5, args);
     const double scale = 4.0 / cores;
     config.network.calibration.vscc_base_cpu = static_cast<sim::SimDuration>(
         config.network.calibration.vscc_base_cpu * scale);
     config.network.calibration.vscc_per_endorsement_cpu =
         static_cast<sim::SimDuration>(
             config.network.calibration.vscc_per_endorsement_cpu * scale);
-    const auto r = fabric::RunExperiment(config).report;
+    const auto r =
+        benchutil::RunPoint(config, args, "vscc_cores" + std::to_string(cores))
+            .report;
     pool_table.AddRow({std::to_string(cores),
                        metrics::Fmt(r.end_to_end.throughput_tps, 1)});
   }
@@ -54,10 +56,12 @@ int main(int argc, char** argv) {
   for (double ms : {1.5, 3.0, 6.0}) {
     std::vector<std::string> row{metrics::Fmt(ms, 1)};
     for (int and_x : {0, 5}) {
-      auto config = Saturating(and_x, args.quick);
+      auto config = Saturating(and_x, args);
       config.network.calibration.vscc_per_endorsement_cpu =
           sim::FromMillis(ms);
-      const auto r = fabric::RunExperiment(config).report;
+      const std::string label = "verify" + metrics::Fmt(ms, 1) + "ms/" +
+                                (and_x > 0 ? "AND5" : "OR");
+      const auto r = benchutil::RunPoint(config, args, label).report;
       row.push_back(metrics::Fmt(r.end_to_end.throughput_tps, 1));
     }
     sig_table.AddRow(std::move(row));
@@ -67,9 +71,11 @@ int main(int argc, char** argv) {
   std::cout << "--- (3) Serial ledger-write cost: peak tps under OR ---\n";
   metrics::Table disk_table({"block_write_ms_per_tx", "OR_peak_tps"});
   for (double ms : {0.5, 1.0, 2.0, 4.0}) {
-    auto config = Saturating(0, args.quick);
+    auto config = Saturating(0, args);
     config.network.calibration.block_write_per_tx_disk = sim::FromMillis(ms);
-    const auto r = fabric::RunExperiment(config).report;
+    const auto r =
+        benchutil::RunPoint(config, args, "disk" + metrics::Fmt(ms, 1) + "ms")
+            .report;
     disk_table.AddRow({metrics::Fmt(ms, 1),
                        metrics::Fmt(r.end_to_end.throughput_tps, 1)});
   }
@@ -79,5 +85,5 @@ int main(int argc, char** argv) {
                "serial floor (~300 tps); (2) AND5 is ~x5 more sensitive to "
                "verification cost than OR; (3) the OR ceiling moves inversely "
                "with the serial write cost.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

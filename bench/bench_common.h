@@ -2,17 +2,34 @@
 //
 // Each binary regenerates one table or figure of the paper. Binaries accept
 // optional flags:
-//   --quick        smaller sweeps / shorter windows (CI-friendly)
-//   --csv          emit CSV instead of aligned tables
-//   --attribution  trace every run and print the per-phase bottleneck
-//                  attribution after each measurement point
+//   --quick            smaller sweeps / shorter windows (CI-friendly)
+//   --smoke            smallest tier: the regression-gate sweep (subset of
+//                      points, short windows); implies --quick durations
+//   --csv              emit CSV instead of aligned tables
+//   --attribution      trace every run and print the per-phase bottleneck
+//                      attribution after each measurement point
+//   --json <path>      write the machine-readable result file (schema in
+//                      EXPERIMENTS.md) consumed by tools/bench_diff
+//   --reps <n>         repeat each measurement point n times (plus one
+//                      discarded warm-up rep) and report mean±stddev host
+//                      wall clock; simulated results must be identical
+//                      across reps or the run is flagged nondeterministic
+//   --no-crypto-cache  disable the host-side signature-verification cache
+//                      (simulated results must not change; see
+//                      crypto/verify_cache.h)
 #pragma once
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "bench/recorder.h"
+#include "crypto/verify_cache.h"
 #include "fabric/experiment.h"
 #include "metrics/reporter.h"
 #include "obs/attribution.h"
@@ -22,38 +39,108 @@ namespace benchutil {
 
 struct Args {
   bool quick = false;
+  bool smoke = false;
   bool csv = false;
   bool attribution = false;
+  bool crypto_cache = true;
+  int reps = 1;
+  std::string json_path;
+
+  [[nodiscard]] const char* Mode() const {
+    return smoke ? "smoke" : (quick ? "quick" : "full");
+  }
 };
 
-inline Args ParseArgs(int argc, char** argv) {
+/// The process-wide recorder; created by ParseArgs, flushed by Finish.
+inline std::unique_ptr<fabricsim::bench::Recorder>& RecorderSlot() {
+  static std::unique_ptr<fabricsim::bench::Recorder> slot;
+  return slot;
+}
+
+inline Args ParseArgs(int argc, char** argv, const std::string& bench_name) {
   Args out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") out.quick = true;
+    if (a == "--smoke") out.smoke = out.quick = true;
     if (a == "--csv") out.csv = true;
     if (a == "--attribution") out.attribution = true;
+    if (a == "--no-crypto-cache") out.crypto_cache = false;
+    if (a == "--json" && i + 1 < argc) out.json_path = argv[++i];
+    if (a == "--reps" && i + 1 < argc) {
+      out.reps = std::max(1, std::atoi(argv[++i]));
+    }
   }
+  fabricsim::crypto::VerifyCache::Instance().SetEnabled(out.crypto_cache);
+  RecorderSlot() = std::make_unique<fabricsim::bench::Recorder>(
+      bench_name, out.Mode(), out.crypto_cache, out.reps);
   return out;
 }
 
-/// Runs one measurement point. With --attribution, a fresh Tracer is
-/// attached for just this run (bounding span memory across a sweep) and the
-/// per-phase latency decomposition is printed under `label`.
+/// Runs one measurement point and records it (label must be unique within
+/// the bench; it is the join key for baseline comparison).
+///
+/// With --reps > 1 the point runs reps+1 times: the first repetition warms
+/// host-side caches and is discarded, the rest feed the mean±stddev wall
+/// clock. Repetitions must agree on the chain head — the simulation is
+/// deterministic — or the whole result file is flagged nondeterministic
+/// (which fails the regression gate).
+///
+/// With --attribution, a fresh Tracer is attached for just this run
+/// (bounding span memory across a sweep) and the per-phase latency
+/// decomposition is printed under `label`.
 inline fabricsim::fabric::ExperimentResult RunPoint(
     fabricsim::fabric::ExperimentConfig config, const Args& args,
     const std::string& label) {
+  using Clock = std::chrono::steady_clock;
   std::optional<fabricsim::obs::Tracer> tracer;
   if (args.attribution) {
     tracer.emplace();
     config.network.tracer = &*tracer;
   }
-  auto result = fabricsim::fabric::RunExperiment(config);
-  if (result.attribution) {
-    std::cout << "attribution @ " << label << ":\n";
-    fabricsim::obs::PrintAttribution(*result.attribution, std::cout, args.csv);
+
+  fabricsim::bench::HostSample host;
+  std::optional<fabricsim::fabric::ExperimentResult> result;
+  const int total_runs = args.reps > 1 ? args.reps + 1 : 1;
+  for (int rep = 0; rep < total_runs; ++rep) {
+    const auto t0 = Clock::now();
+    auto r = fabricsim::fabric::RunExperiment(config);
+    const std::chrono::duration<double> wall = Clock::now() - t0;
+    const bool warmup_rep = args.reps > 1 && rep == 0;
+    if (!warmup_rep) host.wall_s.push_back(wall.count());
+    if (result && r.chain_head_hex != result->chain_head_hex) {
+      std::fprintf(stderr,
+                   "bench: NONDETERMINISM at %s rep %d: chain head %s != %s\n",
+                   label.c_str(), rep, r.chain_head_hex.c_str(),
+                   result->chain_head_hex.c_str());
+      RecorderSlot()->MarkNondeterministic();
+    }
+    result = std::move(r);
   }
-  return result;
+  host.sched_events = result->sched_events;
+  RecorderSlot()->AddPoint(label, *result, host);
+
+  if (result->attribution) {
+    std::cout << "attribution @ " << label << ":\n";
+    fabricsim::obs::PrintAttribution(*result->attribution, std::cout,
+                                     args.csv);
+  }
+  return std::move(*result);
+}
+
+/// Writes the JSON result file if --json was given. Returns the process
+/// exit code: nonzero when the bench failed, the write failed, or any
+/// measurement point was nondeterministic.
+inline int Finish(const Args& args, bool ok = true) {
+  if (!RecorderSlot()->Deterministic()) {
+    std::cerr << "bench: determinism violation across repetitions\n";
+    ok = false;
+  }
+  if (!args.json_path.empty() &&
+      !RecorderSlot()->WriteFile(args.json_path)) {
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 inline void PrintTable(const fabricsim::metrics::Table& table,
@@ -66,17 +153,21 @@ inline void PrintTable(const fabricsim::metrics::Table& table,
 }
 
 /// The arrival-rate sweep used by Figs. 2-7 (the paper sweeps to ~450 tps).
-inline std::vector<double> RateSweep(bool quick) {
-  if (quick) return {50, 150, 250, 350};
+/// Smoke keeps one pre-knee and one at-knee point.
+inline std::vector<double> RateSweep(const Args& args) {
+  if (args.smoke) return {150, 250};
+  if (args.quick) return {50, 150, 250, 350};
   return {25, 50, 100, 150, 200, 250, 300, 350, 400, 450};
 }
 
-/// Applies the default measurement durations (shorter with --quick).
-inline void Tune(fabricsim::fabric::ExperimentConfig& config, bool quick) {
+/// Applies the default measurement durations (shorter with --quick/--smoke).
+inline void Tune(fabricsim::fabric::ExperimentConfig& config,
+                 const Args& args) {
   using fabricsim::sim::FromSeconds;
-  config.workload.duration = FromSeconds(quick ? 20 : 30);
+  config.workload.duration =
+      FromSeconds(args.smoke ? 12 : (args.quick ? 20 : 30));
   config.warmup = FromSeconds(5);
-  config.drain = FromSeconds(12);
+  config.drain = FromSeconds(args.smoke ? 10 : 12);
 }
 
 inline const char* kOrderings[] = {"Solo", "Kafka", "Raft"};

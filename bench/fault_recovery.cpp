@@ -17,7 +17,8 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const benchutil::Args args = benchutil::ParseArgs(argc, argv);
+  const benchutil::Args args =
+      benchutil::ParseArgs(argc, argv, "fault_recovery");
 
   const double rate = 150.0;
   const double crash_s = args.quick ? 15.0 : 20.0;
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(benchutil::OrderingAt(i), 0, rate);
-    benchutil::Tune(config, args.quick);
+    benchutil::Tune(config, args);
     config.workload.duration = sim::FromSeconds(args.quick ? 30 : 40);
     config.faults = spec;
 
@@ -67,5 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "fault schedule: " << spec << " @ " << rate << " tps\n";
   benchutil::PrintTable(table, args);
   std::cout << (ok ? "RECOVERY OK\n" : "RECOVERY FAILED\n");
-  return ok ? 0 : 1;
+  return benchutil::Finish(args, ok);
 }

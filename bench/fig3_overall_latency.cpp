@@ -9,20 +9,23 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "fig3_overall_latency");
 
   std::cout << "=== Fig. 3: Overall transaction latency (s) ===\n";
   metrics::Table table({"arrival_tps", "Solo/OR", "Solo/AND5", "Kafka/OR",
                         "Kafka/AND5", "Raft/OR", "Raft/AND5"});
 
-  for (double rate : benchutil::RateSweep(args.quick)) {
+  for (double rate : benchutil::RateSweep(args)) {
     std::vector<std::string> row{metrics::Fmt(rate, 0)};
     for (int o = 0; o < 3; ++o) {
       for (int and_x : {0, 5}) {
         fabric::ExperimentConfig config =
             fabric::StandardConfig(benchutil::OrderingAt(o), and_x, rate);
-        benchutil::Tune(config, args.quick);
-        const auto result = fabric::RunExperiment(config);
+        benchutil::Tune(config, args);
+        const std::string label = std::string(benchutil::kOrderings[o]) +
+                                  (and_x > 0 ? "/AND5@" : "/OR@") +
+                                  metrics::Fmt(rate, 0);
+        const auto result = benchutil::RunPoint(config, args, label);
         row.push_back(
             metrics::Fmt(result.report.end_to_end.mean_latency_s, 2));
       }
@@ -33,5 +36,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: sub-second latency below the knee "
                "(~300 tps OR / ~200 tps AND5), rising sharply past it; the "
                "AND5 columns blow up at lower arrival rates than OR.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

@@ -9,18 +9,21 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args =
+      benchutil::ParseArgs(argc, argv, "fig4_phase_throughput_or");
 
   std::cout << "=== Fig. 4: Per-phase throughput under OR (tps) ===\n";
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute", "order", "validate"});
-    for (double rate : benchutil::RateSweep(args.quick)) {
+    for (double rate : benchutil::RateSweep(args)) {
       fabric::ExperimentConfig config =
           fabric::StandardConfig(benchutil::OrderingAt(o), 0, rate);
-      benchutil::Tune(config, args.quick);
-      const auto r = fabric::RunExperiment(config).report;
+      benchutil::Tune(config, args);
+      const std::string label = std::string(benchutil::kOrderings[o]) + "@" +
+                                metrics::Fmt(rate, 0);
+      const auto r = benchutil::RunPoint(config, args, label).report;
       table.AddRow({metrics::Fmt(rate, 0),
                     metrics::Fmt(r.execute.throughput_tps, 1),
                     metrics::Fmt(r.order.throughput_tps, 1),
@@ -31,5 +34,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: execute and order track the arrival rate "
                "across the sweep; validate plateaus around 300 tps — the "
                "system bottleneck is the validate phase.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

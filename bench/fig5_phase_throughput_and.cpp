@@ -9,18 +9,21 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args =
+      benchutil::ParseArgs(argc, argv, "fig5_phase_throughput_and");
 
   std::cout << "=== Fig. 5: Per-phase throughput under AND5 (tps) ===\n";
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute", "order", "validate"});
-    for (double rate : benchutil::RateSweep(args.quick)) {
+    for (double rate : benchutil::RateSweep(args)) {
       fabric::ExperimentConfig config =
           fabric::StandardConfig(benchutil::OrderingAt(o), 5, rate);
-      benchutil::Tune(config, args.quick);
-      const auto r = fabric::RunExperiment(config).report;
+      benchutil::Tune(config, args);
+      const std::string label = std::string(benchutil::kOrderings[o]) + "@" +
+                                metrics::Fmt(rate, 0);
+      const auto r = benchutil::RunPoint(config, args, label).report;
       table.AddRow({metrics::Fmt(rate, 0),
                     metrics::Fmt(r.execute.throughput_tps, 1),
                     metrics::Fmt(r.order.throughput_tps, 1),
@@ -32,5 +35,5 @@ int main(int argc, char** argv) {
                "200-210 tps (five signature verifications per transaction); "
                "execute tracks the arrival rate further before the client "
                "ceiling binds.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

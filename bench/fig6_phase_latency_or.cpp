@@ -10,17 +10,17 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "fig6_phase_latency_or");
 
   std::cout << "=== Fig. 6: Per-phase latency under OR (s) ===\n";
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute_s", "order+validate_s"});
-    for (double rate : benchutil::RateSweep(args.quick)) {
+    for (double rate : benchutil::RateSweep(args)) {
       fabric::ExperimentConfig config =
           fabric::StandardConfig(benchutil::OrderingAt(o), 0, rate);
-      benchutil::Tune(config, args.quick);
+      benchutil::Tune(config, args);
       const std::string label = std::string(benchutil::kOrderings[o]) + " " +
                                 metrics::Fmt(rate, 0) + " tps";
       const auto r = benchutil::RunPoint(config, args, label).report;
@@ -33,5 +33,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: execute latency ~0.25-0.35 s throughout; "
                "order & validate ~0.4-0.6 s until ~300 tps, then climbing as "
                "the validate queue builds.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

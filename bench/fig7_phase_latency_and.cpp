@@ -7,17 +7,17 @@
 using namespace fabricsim;
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "fig7_phase_latency_and");
 
   std::cout << "=== Fig. 7: Per-phase latency under AND5 (s) ===\n";
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute_s", "order+validate_s"});
-    for (double rate : benchutil::RateSweep(args.quick)) {
+    for (double rate : benchutil::RateSweep(args)) {
       fabric::ExperimentConfig config =
           fabric::StandardConfig(benchutil::OrderingAt(o), 5, rate);
-      benchutil::Tune(config, args.quick);
+      benchutil::Tune(config, args);
       const std::string label = std::string(benchutil::kOrderings[o]) + " " +
                                 metrics::Fmt(rate, 0) + " tps";
       const auto r = benchutil::RunPoint(config, args, label).report;
@@ -30,5 +30,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: execute latency higher than under OR "
                "(five-peer fan-out, straggler effect); order & validate "
                "explodes past ~200 tps — earlier than OR's knee.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

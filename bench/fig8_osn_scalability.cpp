@@ -13,21 +13,22 @@ using namespace fabricsim;
 namespace {
 
 fabric::ExperimentConfig MakeConfig(fabric::OrderingType ordering, int osns,
-                                    int brokers_and_zk, bool quick) {
+                                    int brokers_and_zk,
+                                    const benchutil::Args& args) {
   fabric::ExperimentConfig config = fabric::StandardConfig(ordering, 0, 250);
   config.network.topology.osns = osns;
   config.network.topology.kafka_brokers = brokers_and_zk;
   config.network.topology.zookeepers = brokers_and_zk;
   config.network.topology.kafka_replication_factor =
       std::min(3, brokers_and_zk);
-  benchutil::Tune(config, quick);
+  benchutil::Tune(config, args);
   return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args = benchutil::ParseArgs(argc, argv, "fig8_osn_scalability");
   const std::vector<int> osn_counts =
       args.quick ? std::vector<int>{4, 12} : std::vector<int>{4, 6, 8, 10, 12};
 
@@ -38,10 +39,14 @@ int main(int argc, char** argv) {
     metrics::Table table({"#OSNs", "Kafka_tps", "Kafka_lat_s", "Raft_tps",
                           "Raft_lat_s"});
     for (int osns : osn_counts) {
-      const auto kafka = fabric::RunExperiment(MakeConfig(
-          fabric::OrderingType::kKafka, osns, cluster, args.quick));
-      const auto raft = fabric::RunExperiment(MakeConfig(
-          fabric::OrderingType::kRaft, osns, cluster, args.quick));
+      const std::string suffix = "zk" + std::to_string(cluster) + "/osn" +
+                                 std::to_string(osns);
+      const auto kafka = benchutil::RunPoint(
+          MakeConfig(fabric::OrderingType::kKafka, osns, cluster, args), args,
+          "Kafka/" + suffix);
+      const auto raft = benchutil::RunPoint(
+          MakeConfig(fabric::OrderingType::kRaft, osns, cluster, args), args,
+          "Raft/" + suffix);
       table.AddRow(
           {std::to_string(osns),
            metrics::Fmt(kafka.report.end_to_end.throughput_tps, 1),
@@ -54,5 +59,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: flat columns — ~250 tps committed and "
                "stable latency regardless of OSN count, consenter type, or "
                "broker/ZooKeeper cluster size.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

@@ -84,11 +84,9 @@ fabric::ExperimentConfig BaseConfig(fabric::OrderingType ordering, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const benchutil::Args args = benchutil::ParseArgs(argc, argv);
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") smoke = true;
-  }
+  const benchutil::Args args =
+      benchutil::ParseArgs(argc, argv, "overload_knee");
+  const bool smoke = args.smoke;
 
   const std::vector<double> mults =
       smoke ? std::vector<double>{0.5, 2.0}
@@ -246,5 +244,5 @@ int main(int argc, char** argv) {
 
   benchutil::PrintTable(table, args);
   std::cout << (ok ? "OVERLOAD KNEE OK\n" : "OVERLOAD KNEE FAILED\n");
-  return ok ? 0 : 1;
+  return benchutil::Finish(args, ok);
 }

@@ -34,7 +34,7 @@ const Cell kColumns[] = {
 
 }  // namespace
 
-double MeasurePeak(const Cell& cell, int peers, bool quick) {
+double MeasurePeak(const Cell& cell, int peers, const benchutil::Args& args) {
   fabric::ExperimentConfig config;
   config.network.topology.ordering = fabric::OrderingType::kSolo;
   config.network.topology.endorsing_peers = peers;
@@ -43,7 +43,7 @@ double MeasurePeak(const Cell& cell, int peers, bool quick) {
   config.network.topology.clients = peers;
   config.workload.kind = client::WorkloadKind::kKvWrite;
   config.workload.rate_tps = 60.0 * peers + 60.0;
-  benchutil::Tune(config, quick);
+  benchutil::Tune(config, args);
 
   if (cell.policy_or > 0) {
     config.network.channel.policy_expr =
@@ -52,12 +52,15 @@ double MeasurePeak(const Cell& cell, int peers, bool quick) {
     config.network.channel.policy_expr =
         fabric::MakeAndPolicy(std::min(cell.policy_and, peers)).ToString();
   }
-  const auto result = fabric::RunExperiment(config);
+  const auto result = benchutil::RunPoint(
+      config, args,
+      std::string(cell.label) + "/peers" + std::to_string(peers));
   return result.report.end_to_end.throughput_tps;
 }
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args =
+      benchutil::ParseArgs(argc, argv, "table2_endorser_throughput");
 
   std::cout << "=== Table II: Throughput vs. number of endorsing peers "
                "(tps) ===\n";
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
         row.push_back("-");
         continue;
       }
-      row.push_back(metrics::Fmt(MeasurePeak(cell, peers, args.quick), 0));
+      row.push_back(metrics::Fmt(MeasurePeak(cell, peers, args), 0));
     }
     table.AddRow(std::move(row));
   }
@@ -80,5 +83,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: ~50 tps per client machine up to 3 peers; "
                "OR10 saturates around 300-310 tps at 7-10 peers (validate "
                "cap); AND5 caps around 200-215 tps at 5 peers.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

@@ -31,14 +31,14 @@ const Column kColumns[] = {
 };
 
 fabric::ExperimentConfig MakeConfig(const Column& col, int peers, double rate,
-                                    bool quick) {
+                                    const benchutil::Args& args) {
   fabric::ExperimentConfig config;
   config.network.topology.ordering = fabric::OrderingType::kSolo;
   config.network.topology.endorsing_peers = peers;
   config.network.topology.clients = peers;
   config.workload.kind = client::WorkloadKind::kKvWrite;
   config.workload.rate_tps = rate;
-  benchutil::Tune(config, quick);
+  benchutil::Tune(config, args);
   if (col.policy_or > 0) {
     config.network.channel.policy_expr =
         fabric::MakeOrPolicy(std::min(col.policy_or, peers)).ToString();
@@ -52,7 +52,8 @@ fabric::ExperimentConfig MakeConfig(const Column& col, int peers, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchutil::ParseArgs(argc, argv);
+  const auto args =
+      benchutil::ParseArgs(argc, argv, "table3_endorser_latency");
 
   std::cout << "=== Table III: Latency vs. number of endorsing peers (s) "
                "===\n";
@@ -72,13 +73,15 @@ int main(int argc, char** argv) {
         ov_row.push_back("-");
         continue;
       }
+      const std::string point =
+          std::string(col.label) + "/peers" + std::to_string(peers);
       // Pass 1: find the peak.
-      auto probe = MakeConfig(col, peers, 60.0 * peers + 60.0, args.quick);
-      const double peak =
-          fabric::RunExperiment(probe).report.end_to_end.throughput_tps;
+      auto probe = MakeConfig(col, peers, 60.0 * peers + 60.0, args);
+      const double peak = benchutil::RunPoint(probe, args, point + "/probe")
+                              .report.end_to_end.throughput_tps;
       // Pass 2: measure latency near (but not past) the peak.
-      auto measure = MakeConfig(col, peers, 0.85 * peak, args.quick);
-      const auto r = fabric::RunExperiment(measure).report;
+      auto measure = MakeConfig(col, peers, 0.85 * peak, args);
+      const auto r = benchutil::RunPoint(measure, args, point).report;
       exec_row.push_back(metrics::Fmt(r.execute.mean_latency_s, 2));
       ov_row.push_back(metrics::Fmt(r.order_and_validate.mean_latency_s, 2));
     }
@@ -94,5 +97,5 @@ int main(int argc, char** argv) {
                "under AND (multi-peer fan-out); order & validate highest "
                "(~0.5-0.8 s) at 1 peer (1 s BatchTimeout dominates at 50 "
                "tps) and near the 300 tps validate cap at 7-10 peers.\n";
-  return 0;
+  return benchutil::Finish(args);
 }

@@ -1,0 +1,322 @@
+#include "bench/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fabricsim::bench {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Indent(std::string* out, int n) { out->append(n, ' '); }
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err) : text_(text), err_(err) {}
+
+  Json Run() {
+    Json v = Value();
+    SkipWs();
+    if (ok_ && pos_ != text_.size()) Fail("trailing characters");
+    return ok_ ? v : Json();
+  }
+
+ private:
+  void Fail(const char* what) {
+    if (ok_ && err_ != nullptr) {
+      *err_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    ok_ = false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return Json();
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return Json(ParseString());
+    if (c == 't') {
+      if (Literal("true")) return Json(true);
+      Fail("bad literal");
+      return Json();
+    }
+    if (c == 'f') {
+      if (Literal("false")) return Json(false);
+      Fail("bad literal");
+      return Json();
+    }
+    if (c == 'n') {
+      if (Literal("null")) return Json();
+      Fail("bad literal");
+      return Json();
+    }
+    return ParseNumber();
+  }
+
+  Json ParseObject() {
+    ++pos_;  // '{'
+    Json::Object out;
+    SkipWs();
+    if (Consume('}')) return Json(std::move(out));
+    while (ok_) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        break;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        break;
+      }
+      out[std::move(key)] = Value();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      Fail("expected ',' or '}'");
+    }
+    return ok_ ? Json(std::move(out)) : Json();
+  }
+
+  Json ParseArray() {
+    ++pos_;  // '['
+    Json::Array out;
+    SkipWs();
+    if (Consume(']')) return Json(std::move(out));
+    while (ok_) {
+      out.push_back(Value());
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      Fail("expected ',' or ']'");
+    }
+    return ok_ ? Json(std::move(out)) : Json();
+  }
+
+  std::string ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          // The writer only emits \u00xx for control bytes; decode the
+          // low byte and ignore the (always-zero) high byte.
+          if (pos_ + 4 > text_.size()) {
+            Fail("bad \\u escape");
+            return out;
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out.push_back(
+              static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return out;
+      }
+    }
+    Fail("unterminated string");
+    return out;
+  }
+
+  Json ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return Json();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("bad number");
+      return Json();
+    }
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void Json::DumpTo(std::string* out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      *out += FormatNumber(num_);
+      return;
+    case Kind::kString:
+      AppendEscaped(out, str_);
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        Indent(out, indent + 2);
+        arr_[i].DumpTo(out, indent + 2);
+        if (i + 1 < arr_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      Indent(out, indent);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      std::size_t i = 0;
+      for (const auto& [key, value] : obj_) {
+        Indent(out, indent + 2);
+        AppendEscaped(out, key);
+        *out += ": ";
+        value.DumpTo(out, indent + 2);
+        if (++i < obj_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      Indent(out, indent);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+Json Json::Parse(const std::string& text, std::string* err) {
+  return Parser(text, err).Run();
+}
+
+}  // namespace fabricsim::bench

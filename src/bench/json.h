@@ -1,0 +1,82 @@
+// Minimal JSON value type for the bench harness: enough to emit the bench
+// result schema (EXPERIMENTS.md, "Bench JSON schema") with stable formatting
+// and to parse it back in tools/bench_diff. Deliberately dependency-free —
+// the container bakes no JSON library, and the schema is small.
+//
+// Formatting is stable by construction: objects are std::map (sorted keys),
+// numbers print as integers when integral, otherwise with %.12g. Two dumps
+// of the same value are byte-identical, so baseline diffs stay reviewable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fabricsim::bench {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() = default;
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                  // NOLINT
+  Json(double d) : kind_(Kind::kNumber), num_(d) {}               // NOLINT
+  Json(int i) : kind_(Kind::kNumber), num_(i) {}                  // NOLINT
+  Json(std::uint64_t u)                                           // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}          // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}    // NOLINT
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}      // NOLINT
+
+  static Json MakeObject() { return Json(Object{}); }
+  static Json MakeArray() { return Json(Array{}); }
+
+  [[nodiscard]] Kind GetKind() const { return kind_; }
+  [[nodiscard]] bool IsNull() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool IsObject() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool IsArray() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool IsNumber() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool IsString() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool IsBool() const { return kind_ == Kind::kBool; }
+
+  [[nodiscard]] bool AsBool() const { return bool_; }
+  [[nodiscard]] double AsNumber() const { return num_; }
+  [[nodiscard]] const std::string& AsString() const { return str_; }
+  [[nodiscard]] const Object& AsObject() const { return obj_; }
+  [[nodiscard]] Object& AsObject() { return obj_; }
+  [[nodiscard]] const Array& AsArray() const { return arr_; }
+  [[nodiscard]] Array& AsArray() { return arr_; }
+
+  /// Object element access; inserts null on first use (object kind only).
+  Json& operator[](const std::string& key) { return obj_[key]; }
+  /// Lookup without insertion: null pointer when absent or not an object.
+  [[nodiscard]] const Json* Find(const std::string& key) const;
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level (so the file diffs cleanly).
+  [[nodiscard]] std::string Dump() const;
+
+  /// Parses a document. Returns a null Json and fills `err` on failure.
+  static Json Parse(const std::string& text, std::string* err = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Object obj_;
+  Array arr_;
+};
+
+/// Formats a double the way Dump does (integral values without a decimal
+/// point, otherwise %.12g). Exposed for tests.
+std::string FormatNumber(double v);
+
+}  // namespace fabricsim::bench

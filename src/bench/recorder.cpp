@@ -1,0 +1,134 @@
+#include "bench/recorder.h"
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace fabricsim::bench {
+
+namespace {
+
+Json PhaseJson(const metrics::PhaseSummary& p) {
+  Json out = Json::MakeObject();
+  out["completed"] = Json(p.completed);
+  out["throughput_tps"] = Json(p.throughput_tps);
+  out["mean_latency_s"] = Json(p.mean_latency_s);
+  out["p50_latency_s"] = Json(p.p50_latency_s);
+  out["p95_latency_s"] = Json(p.p95_latency_s);
+  out["p99_latency_s"] = Json(p.p99_latency_s);
+  return out;
+}
+
+Json SimulatedJson(const fabric::ExperimentResult& r) {
+  Json out = Json::MakeObject();
+  out["goodput_tps"] = Json(r.report.goodput_tps);
+  out["rejection_rate"] = Json(r.report.rejection_rate);
+  out["submitted"] = Json(r.report.submitted);
+  out["rejected"] = Json(r.report.rejected);
+  out["shed"] = Json(r.report.shed);
+  out["invalid"] = Json(r.report.invalid);
+  Json phases = Json::MakeObject();
+  phases["execute"] = PhaseJson(r.report.execute);
+  phases["order"] = PhaseJson(r.report.order);
+  phases["validate"] = PhaseJson(r.report.validate);
+  phases["order_and_validate"] = PhaseJson(r.report.order_and_validate);
+  phases["end_to_end"] = PhaseJson(r.report.end_to_end);
+  out["phases"] = std::move(phases);
+  out["mean_block_time_s"] = Json(r.report.mean_block_time_s);
+  out["mean_block_size"] = Json(r.report.mean_block_size);
+  out["blocks"] = Json(r.report.blocks);
+  out["chain_height"] = Json(r.chain_height);
+  out["chain_head_hex"] = Json(r.chain_head_hex);
+  out["sched_events"] = Json(r.sched_events);
+  return out;
+}
+
+}  // namespace
+
+MeanStddev Summarize(const std::vector<double>& xs) {
+  MeanStddev out;
+  if (xs.empty()) return out;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  out.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return out;
+}
+
+std::uint64_t PeakRssKb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // Linux: kilobytes
+}
+
+Recorder::Recorder(std::string bench_name, std::string mode, bool crypto_cache,
+                   int reps)
+    : bench_name_(std::move(bench_name)),
+      mode_(std::move(mode)),
+      crypto_cache_(crypto_cache),
+      reps_(reps) {}
+
+void Recorder::AddPoint(const std::string& label,
+                        const fabric::ExperimentResult& result,
+                        const HostSample& host) {
+  const MeanStddev wall = Summarize(host.wall_s);
+  Json point = Json::MakeObject();
+  point["label"] = Json(label);
+  point["simulated"] = SimulatedJson(result);
+  Json h = Json::MakeObject();
+  h["reps"] = Json(static_cast<int>(host.wall_s.size()));
+  h["wall_s_mean"] = Json(wall.mean);
+  h["wall_s_stddev"] = Json(wall.stddev);
+  h["events_per_sec"] =
+      Json(wall.mean > 0.0
+               ? static_cast<double>(host.sched_events) / wall.mean
+               : 0.0);
+  point["host"] = std::move(h);
+  points_.push_back(std::move(point));
+
+  for (const double w : host.wall_s) total_wall_s_ += w;
+  total_events_ += host.sched_events * host.wall_s.size();
+}
+
+Json Recorder::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["schema_version"] = Json(1);
+  doc["bench"] = Json(bench_name_);
+  Json config = Json::MakeObject();
+  config["mode"] = Json(mode_);
+  config["crypto_cache"] = Json(crypto_cache_);
+  config["reps"] = Json(reps_);
+  doc["config"] = std::move(config);
+  doc["deterministic"] = Json(deterministic_);
+  doc["points"] = Json(points_);
+  Json host = Json::MakeObject();
+  host["total_wall_s"] = Json(total_wall_s_);
+  host["events_per_sec"] =
+      Json(total_wall_s_ > 0.0
+               ? static_cast<double>(total_events_) / total_wall_s_
+               : 0.0);
+  host["peak_rss_kb"] = Json(PeakRssKb());
+  doc["host"] = std::move(host);
+  return doc;
+}
+
+bool Recorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << ToJson().Dump();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "bench: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fabricsim::bench

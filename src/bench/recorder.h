@@ -1,0 +1,77 @@
+// Bench result recorder: accumulates one measurement point per experiment
+// run and serializes the machine-readable result file the CI regression
+// gate consumes (see EXPERIMENTS.md, "Bench JSON schema").
+//
+// Split of responsibilities with bench_diff:
+//   - everything under a point's "simulated" object is deterministic
+//     (same seed + config ⇒ bit-equal values) and is compared exactly;
+//   - everything under "host" wobbles with the machine and is compared
+//     with a relative tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "fabric/experiment.h"
+
+namespace fabricsim::bench {
+
+/// Host-side cost of producing one measurement point. `wall_s` holds one
+/// entry per kept repetition (warm-up rep already discarded).
+struct HostSample {
+  std::vector<double> wall_s;
+  std::uint64_t sched_events = 0;  // per repetition (identical across reps)
+};
+
+/// Mean and (population) standard deviation of `xs`; {0, 0} when empty.
+struct MeanStddev {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStddev Summarize(const std::vector<double>& xs);
+
+/// Peak resident set size of this process in kilobytes (ru_maxrss).
+std::uint64_t PeakRssKb();
+
+class Recorder {
+ public:
+  /// `mode` is the sweep tier the file was produced under ("full", "quick",
+  /// "smoke"): baselines only compare against runs of the same tier.
+  Recorder(std::string bench_name, std::string mode, bool crypto_cache,
+           int reps);
+
+  /// Records one measurement point. `label` identifies the point within the
+  /// bench (config encoded, e.g. "Solo/AND5@250") and must be unique.
+  void AddPoint(const std::string& label,
+                const fabric::ExperimentResult& result,
+                const HostSample& host);
+
+  /// Set when any repetition of any point disagreed on the chain head — a
+  /// determinism violation worth failing loudly over.
+  void MarkNondeterministic() { deterministic_ = false; }
+  [[nodiscard]] bool Deterministic() const { return deterministic_; }
+
+  [[nodiscard]] std::size_t PointCount() const { return points_.size(); }
+
+  /// Full document, including the whole-process host summary (total wall
+  /// clock, peak RSS, aggregate events/sec).
+  [[nodiscard]] Json ToJson() const;
+
+  /// Dumps ToJson() to `path`. Returns false (and prints to stderr) on I/O
+  /// failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::string mode_;
+  bool crypto_cache_;
+  int reps_;
+  bool deterministic_ = true;
+  double total_wall_s_ = 0.0;
+  std::uint64_t total_events_ = 0;
+  Json::Array points_;
+};
+
+}  // namespace fabricsim::bench

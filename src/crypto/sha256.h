@@ -2,7 +2,10 @@
 //
 // Used for transaction ids, block hashes, and the Merkle data hash — the
 // same places Fabric uses SHA-256. Implemented locally because the build is
-// fully self-contained (no OpenSSL on the testbed image).
+// fully self-contained (no OpenSSL on the testbed image). On x86-64 hosts
+// with the SHA extensions, compression dispatches at startup to a SHA-NI
+// path (identical digests, ~10x the scalar throughput); everything else
+// uses the portable scalar rounds.
 #pragma once
 
 #include <array>
@@ -26,8 +29,6 @@ class Sha256 {
   Digest Finalize();
 
  private:
-  void ProcessBlock(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, 64> buffer_{};
   std::size_t buffer_len_ = 0;

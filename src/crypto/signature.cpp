@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/verify_cache.h"
+
 namespace fabricsim::crypto {
 namespace {
 
@@ -18,14 +20,6 @@ Digest Half(std::string_view tag, const Digest& binder, const Digest& d) {
   return h.Finalize();
 }
 
-Digest BinderFromPublic(const Digest& public_key) {
-  Sha256 h;
-  h.Update(proto::BytesView(
-      reinterpret_cast<const std::uint8_t*>("binder"), 6));
-  h.Update(proto::BytesView(public_key.data(), public_key.size()));
-  return h.Finalize();
-}
-
 Signature Compose(const Digest& binder, const Digest& msg_digest) {
   Signature sig;
   const Digest a = Half("sig0", binder, msg_digest);
@@ -36,6 +30,14 @@ Signature Compose(const Digest& binder, const Digest& msg_digest) {
 }
 
 }  // namespace
+
+Digest DeriveBinder(const Digest& public_key) {
+  Sha256 h;
+  h.Update(proto::BytesView(
+      reinterpret_cast<const std::uint8_t*>("binder"), 6));
+  h.Update(proto::BytesView(public_key.data(), public_key.size()));
+  return h.Finalize();
+}
 
 Signature Signature::FromBytes(proto::BytesView b) {
   Signature s;
@@ -51,6 +53,7 @@ KeyPair KeyPair::Derive(std::string_view seed) {
   h.Update(proto::BytesView(reinterpret_cast<const std::uint8_t*>("pub"), 3));
   h.Update(proto::BytesView(kp.private_key_.data(), kp.private_key_.size()));
   kp.public_key_ = h.Finalize();
+  kp.binder_ = DeriveBinder(kp.public_key_);
   return kp;
 }
 
@@ -59,7 +62,7 @@ Signature KeyPair::Sign(proto::BytesView msg) const {
 }
 
 Signature KeyPair::SignDigest(const Digest& msg_digest) const {
-  return Compose(BinderFromPublic(public_key_), msg_digest);
+  return Compose(binder_, msg_digest);
 }
 
 bool Verify(const Digest& public_key, proto::BytesView msg,
@@ -69,7 +72,16 @@ bool Verify(const Digest& public_key, proto::BytesView msg,
 
 bool VerifyDigest(const Digest& public_key, const Digest& msg_digest,
                   const Signature& sig) {
-  return Compose(BinderFromPublic(public_key), msg_digest) == sig;
+  VerifyCache& cache = VerifyCache::Instance();
+  if (!cache.Enabled()) {
+    return Compose(DeriveBinder(public_key), msg_digest) == sig;
+  }
+  if (const auto cached = cache.Lookup(public_key, msg_digest, sig)) {
+    return *cached;
+  }
+  const bool ok = Compose(cache.BinderFor(public_key), msg_digest) == sig;
+  cache.Insert(public_key, msg_digest, sig, ok);
+  return ok;
 }
 
 sim::SimDuration SignCost() { return sim::FromMicros(480); }

@@ -50,6 +50,9 @@ class KeyPair {
   KeyPair() = default;
   Digest private_key_{};
   Digest public_key_{};
+  // Keystream binder precomputed at derivation: signing pays two hashes
+  // instead of three.
+  Digest binder_{};
 };
 
 /// Verifies `sig` over `msg` under `public_key`.
@@ -57,9 +60,15 @@ bool Verify(const Digest& public_key, proto::BytesView msg,
             const Signature& sig);
 
 /// Digest-level verification; callers that verify the same bytes many times
-/// (every peer re-validates every envelope) memoize the digest.
+/// (every peer re-validates every envelope) memoize the digest. Consults
+/// the process-wide crypto::VerifyCache (see verify_cache.h) unless it is
+/// disabled; the verdict is identical either way.
 bool VerifyDigest(const Digest& public_key, const Digest& msg_digest,
                   const Signature& sig);
+
+/// Derives the keystream binder bound to a public key (the per-key
+/// component of signing and verification). Exposed for the verify cache.
+Digest DeriveBinder(const Digest& public_key);
 
 /// Nominal CPU costs on the baseline machine (i7-2600), calibrated to
 /// OpenSSL ECDSA-P256 figures of that era plus Fabric's Go-runtime and

@@ -1,0 +1,84 @@
+#include "crypto/verify_cache.h"
+
+#include <cstring>
+
+#include "crypto/signature.h"
+
+namespace fabricsim::crypto {
+
+namespace {
+
+// FNV-1a over 8-byte words: cheap relative to the SHA-256 work a hit saves,
+// and good enough dispersion for digest-derived (already uniform) bytes.
+std::size_t MixBytes(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = (h ^ w) * 0x100000001b3ull;
+  }
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+std::size_t VerifyCache::KeyHash::operator()(const Key& k) const {
+  return MixBytes(k.bytes.data(), k.bytes.size());
+}
+
+std::size_t VerifyCache::DigestHash::operator()(const Digest& d) const {
+  return MixBytes(d.data(), d.size());
+}
+
+VerifyCache& VerifyCache::Instance() {
+  static VerifyCache cache;
+  return cache;
+}
+
+void VerifyCache::SetEnabled(bool on) {
+  enabled_ = on;
+  if (!on) Clear();
+}
+
+void VerifyCache::Clear() {
+  verdicts_.clear();
+  binders_.clear();
+}
+
+VerifyCache::Key VerifyCache::MakeKey(const Digest& public_key,
+                                      const Digest& msg_digest,
+                                      const Signature& sig) {
+  Key k;
+  std::memcpy(k.bytes.data(), public_key.data(), 32);
+  std::memcpy(k.bytes.data() + 32, msg_digest.data(), 32);
+  std::memcpy(k.bytes.data() + 64, sig.bytes.data(), 64);
+  return k;
+}
+
+std::optional<bool> VerifyCache::Lookup(const Digest& public_key,
+                                        const Digest& msg_digest,
+                                        const Signature& sig) const {
+  auto it = verdicts_.find(MakeKey(public_key, msg_digest, sig));
+  if (it == verdicts_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void VerifyCache::Insert(const Digest& public_key, const Digest& msg_digest,
+                         const Signature& sig, bool verdict) {
+  if (verdicts_.size() >= kMaxEntries) verdicts_.clear();
+  verdicts_.emplace(MakeKey(public_key, msg_digest, sig), verdict);
+}
+
+const Digest& VerifyCache::BinderFor(const Digest& public_key) {
+  auto it = binders_.find(public_key);
+  if (it != binders_.end()) return it->second;
+  if (binders_.size() >= kMaxEntries) binders_.clear();
+  return binders_.emplace(public_key, DeriveBinder(public_key))
+      .first->second;
+}
+
+}  // namespace fabricsim::crypto

@@ -1,0 +1,86 @@
+// Keyed signature-verification cache, mirroring Fabric's MSP verify cache.
+//
+// Every envelope is re-verified at each endorser, OSN, and peer it touches:
+// the same (public key, message digest, signature) triple re-checked with
+// identical outcome. Real Fabric papers (Thakkar et al., arXiv:1805.11390)
+// showed an MSP cache removes that redundancy; here it removes the *host*
+// hashing cost while the simulated CPU cost is still charged at every
+// verification site — simulated results are byte-identical with the cache
+// on or off, which the determinism test proves.
+//
+// The cache is process-global (the simulation is single-threaded) and
+// bounded: when full it is cleared wholesale, a deterministic policy that
+// keeps the hot, temporally-clustered re-verifications (N endorsers on one
+// proposal, every peer on one block) while capping memory. Verdicts are
+// pure functions of the key, so stale-free by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+
+namespace fabricsim::crypto {
+
+struct Signature;
+
+class VerifyCache {
+ public:
+  /// The process-wide instance used by crypto::VerifyDigest.
+  static VerifyCache& Instance();
+
+  /// Disabling also clears (the --no-crypto-cache escape hatch).
+  void SetEnabled(bool on);
+  [[nodiscard]] bool Enabled() const { return enabled_; }
+
+  void Clear();
+
+  /// Cached verdict for (public key, message digest, signature), if any.
+  [[nodiscard]] std::optional<bool> Lookup(const Digest& public_key,
+                                           const Digest& msg_digest,
+                                           const Signature& sig) const;
+  void Insert(const Digest& public_key, const Digest& msg_digest,
+              const Signature& sig, bool verdict);
+
+  /// Keystream binder for a public key (the per-key third of every
+  /// verification); derived once per key instead of per operation.
+  [[nodiscard]] const Digest& BinderFor(const Digest& public_key);
+
+  /// Counters for the bench JSON (host-metric visibility, not simulated).
+  [[nodiscard]] std::uint64_t Hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t Misses() const { return misses_; }
+  [[nodiscard]] std::size_t Size() const { return verdicts_.size(); }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Entry cap before the wholesale clear (~20 MB of verdicts).
+  static constexpr std::size_t kMaxEntries = 1u << 17;
+
+ private:
+  // Full 128-byte key: no truncation, so a hash collision can never flip a
+  // verdict (only slow a lookup).
+  struct Key {
+    std::array<std::uint8_t, 128> bytes;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const;
+  };
+  static Key MakeKey(const Digest& public_key, const Digest& msg_digest,
+                     const Signature& sig);
+
+  bool enabled_ = true;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<Key, bool, KeyHash> verdicts_;
+  std::unordered_map<Digest, Digest, DigestHash> binders_;
+};
+
+}  // namespace fabricsim::crypto

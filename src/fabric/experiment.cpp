@@ -2,6 +2,7 @@
 
 #include <string_view>
 
+#include "crypto/sha256.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -128,6 +129,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   out.committer_deferred = net.ValidatorPeer().GetCommitter().DeferredTotal();
   const auto& chain = net.ValidatorPeer().GetCommitter().Chain();
   out.chain_height = chain.Height();
+  out.chain_head_hex = crypto::DigestHex(chain.TipHash());
+  out.sched_events = net.Env().Sched().ExecutedEvents();
   out.chain_audit_ok = chain.Audit().ok;
   out.messages_sent = net.Env().Net().MessagesSent();
   out.messages_dropped = net.Env().Net().MessagesDropped();

@@ -54,6 +54,13 @@ struct ExperimentResult {
   std::uint64_t endorser_shed = 0;  // proposals shed at endorser ingress
   std::uint64_t committer_deferred = 0;  // blocks parked at the committer
   std::uint64_t chain_height = 0;
+  /// Hex hash of the validator chain's tip block header: the determinism
+  /// fingerprint (same seed + config ⇒ same hash, with or without host-side
+  /// caches). Recorded in the bench JSON and compared exactly by bench_diff.
+  std::string chain_head_hex;
+  /// Scheduler events executed by this run — the denominator of the host
+  /// events/sec metric.
+  std::uint64_t sched_events = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;

@@ -18,8 +18,7 @@ bool Blockchain::ValidateLinkage(const proto::Block& block,
     if (reason) *reason = "previous-hash mismatch";
     return false;
   }
-  if (block.header.data_hash !=
-      proto::Block::ComputeDataHash(block.transactions)) {
+  if (block.header.data_hash != block.DataHash()) {
     if (reason) *reason = "data-hash mismatch";
     return false;
   }
@@ -44,8 +43,7 @@ ChainCheck Blockchain::Audit() const {
     if (block->header.previous_hash != prev) {
       return {false, n, "previous-hash mismatch"};
     }
-    if (block->header.data_hash !=
-        proto::Block::ComputeDataHash(block->transactions)) {
+    if (block->header.data_hash != block->DataHash()) {
       return {false, n, "data-hash mismatch"};
     }
     prev = block->header.Hash();

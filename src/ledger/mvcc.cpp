@@ -1,5 +1,6 @@
 #include "ledger/mvcc.h"
 
+#include <map>
 #include <optional>
 
 namespace fabricsim::ledger {

@@ -1,5 +1,7 @@
 #include "ledger/state_db.h"
 
+#include <algorithm>
+
 namespace fabricsim::ledger {
 
 std::string StateDb::CompositeKey(const std::string& ns,
@@ -30,24 +32,57 @@ std::optional<proto::KeyVersion> StateDb::GetVersion(
 
 void StateDb::Put(const std::string& ns, const std::string& key,
                   proto::Bytes value, proto::KeyVersion version) {
-  map_[CompositeKey(ns, key)] = VersionedValue{std::move(value), version};
+  auto [it, inserted] =
+      map_.try_emplace(CompositeKey(ns, key), std::move(value), version);
+  if (!inserted) {
+    // Overwrite: the key set is unchanged, the range index stays warm (it
+    // holds a stable pointer to this node).
+    it->second.value = std::move(value);
+    it->second.version = version;
+  } else if (!range_index_.empty()) {
+    InvalidateRange(ns);
+  }
 }
 
 void StateDb::Delete(const std::string& ns, const std::string& key) {
-  map_.erase(CompositeKey(ns, key));
+  if (map_.erase(CompositeKey(ns, key)) != 0 && !range_index_.empty()) {
+    InvalidateRange(ns);
+  }
+}
+
+void StateDb::InvalidateRange(const std::string& ns) const {
+  auto it = range_index_.find(ns);
+  if (it != range_index_.end()) it->second.valid = false;
+}
+
+const StateDb::RangeIndex& StateDb::RangeFor(const std::string& ns) const {
+  RangeIndex& idx = range_index_[ns];
+  if (idx.valid) return idx;
+  idx.keys.clear();
+  const std::string prefix = CompositeKey(ns, "");
+  for (const auto& [composite, vv] : map_) {
+    if (composite.size() >= prefix.size() &&
+        composite.compare(0, prefix.size(), prefix) == 0) {
+      idx.keys.emplace_back(composite.substr(prefix.size()), &vv);
+    }
+  }
+  std::sort(idx.keys.begin(), idx.keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  idx.valid = true;
+  return idx;
 }
 
 std::vector<std::pair<std::string, VersionedValue>> StateDb::GetRange(
     const std::string& ns, const std::string& start_key,
     const std::string& end_key) const {
   std::vector<std::pair<std::string, VersionedValue>> out;
-  const std::string prefix = CompositeKey(ns, "");
-  auto it = map_.lower_bound(CompositeKey(ns, start_key));
-  for (; it != map_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;  // next ns
-    std::string key = it->first.substr(prefix.size());
-    if (!end_key.empty() && key >= end_key) break;
-    out.emplace_back(std::move(key), it->second);
+  const RangeIndex& idx = RangeFor(ns);
+  auto it = std::lower_bound(
+      idx.keys.begin(), idx.keys.end(), start_key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  for (; it != idx.keys.end(); ++it) {
+    if (!end_key.empty() && it->first >= end_key) break;
+    out.emplace_back(it->first, *it->second);
   }
   return out;
 }

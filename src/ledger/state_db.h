@@ -4,12 +4,19 @@
 // tx index) of the transaction that last wrote it. The endorser reads
 // versions during simulation; the committer compares them during MVCC
 // validation and bumps them at commit.
+//
+// Storage is a hash map keyed by composite (ns, key): the hot path — point
+// reads in endorsement and MVCC, writes at commit — is O(1) instead of the
+// O(log n) string-compare walks a tree map costs. Ordered range scans
+// (GetStateByRange) are served by a per-namespace sorted key index built
+// lazily on first scan and invalidated only when the namespace's key *set*
+// changes (new key, delete); overwrites keep it warm.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "proto/bytes.h"
@@ -65,9 +72,19 @@ class StateDb {
                                   const std::string& key);
 
  private:
-  // Ordered by composite key; the length-prefixed namespace encoding keeps
-  // one namespace's keys contiguous and in key order (range scans).
-  std::map<std::string, VersionedValue> map_;
+  // Sorted (key, entry) pairs of one namespace. Entry pointers stay valid
+  // across rehashes (unordered_map nodes are stable) and across overwrites;
+  // any key-set change invalidates the whole namespace index.
+  struct RangeIndex {
+    std::vector<std::pair<std::string, const VersionedValue*>> keys;
+    bool valid = false;
+  };
+
+  void InvalidateRange(const std::string& ns) const;
+  const RangeIndex& RangeFor(const std::string& ns) const;
+
+  std::unordered_map<std::string, VersionedValue> map_;  // by composite key
+  mutable std::unordered_map<std::string, RangeIndex> range_index_;  // by ns
   std::uint64_t height_ = 0;
 };
 

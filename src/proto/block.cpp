@@ -69,6 +69,16 @@ crypto::Digest Block::ComputeDataHash(
   return crypto::MerkleTree(leaves).Root();
 }
 
+const crypto::Digest& Block::DataHash() const {
+  return data_hash_cache_.Get([this] { return ComputeDataHash(transactions); });
+}
+
+void Block::InvalidateCaches() const {
+  serialized_cache_.Invalidate();
+  data_hash_cache_.Invalidate();
+  for (const auto& tx : transactions) tx.InvalidateCaches();
+}
+
 Block Block::Make(std::uint64_t number, const crypto::Digest* prev_hash,
                   std::vector<TransactionEnvelope> txs) {
   Block b;

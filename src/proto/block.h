@@ -48,6 +48,13 @@ struct Block {
   [[nodiscard]] static crypto::Digest ComputeDataHash(
       const std::vector<TransactionEnvelope>& txs);
 
+  /// ComputeDataHash over this block's transactions, memoized on the
+  /// (shared, immutable) block object: every peer re-validates the same
+  /// BlockPtr at append, so the Merkle tree is hashed once per block
+  /// instead of once per peer. A deserialized block starts cold, so a
+  /// tampered wire stream is still caught on its first validation.
+  [[nodiscard]] const crypto::Digest& DataHash() const;
+
   /// Builds a block from `txs` chained onto `prev` (null for genesis).
   static Block Make(std::uint64_t number, const crypto::Digest* prev_hash,
                     std::vector<TransactionEnvelope> txs);
@@ -59,8 +66,14 @@ struct Block {
 
   [[nodiscard]] std::size_t TxCount() const { return transactions.size(); }
 
+  /// Drops the serialize/data-hash memos (and each envelope's). In-place
+  /// mutators must call this — the same contract as
+  /// TransactionEnvelope::InvalidateCaches().
+  void InvalidateCaches() const;
+
  private:
   CachedBytes serialized_cache_;
+  CachedValue<crypto::Digest> data_hash_cache_;
 };
 
 using BlockPtr = std::shared_ptr<const Block>;

@@ -5,25 +5,56 @@
 namespace fabricsim::sim {
 
 EventId Scheduler::ScheduleAt(SimTime when, Callback cb) {
-  Entry e;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Event& ev = slab_[slot];
+  ev.cb = std::move(cb);
+  ev.armed = true;
+  ++live_;
+  HeapEntry e;
   e.when = when < now_ ? now_ : when;
   e.seq = next_seq_++;
-  e.id = next_id_++;
-  e.cb = std::make_shared<Callback>(std::move(cb));
-  const EventId id = e.id;
-  queue_.push(std::move(e));
-  pending_.insert(id);
-  return id;
+  e.slot = slot;
+  e.gen = ev.gen;
+  queue_.push(e);
+  return MakeId(slot, ev.gen);
 }
 
-bool Scheduler::Cancel(EventId id) { return pending_.erase(id) != 0; }
+void Scheduler::Release(Event& ev, std::uint32_t slot) {
+  ev.cb = nullptr;  // release captured state eagerly
+  ev.armed = false;
+  ++ev.gen;
+  free_.push_back(slot);
+  --live_;
+}
 
-bool Scheduler::PopNext(Entry& out) {
+bool Scheduler::Cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slab_.size()) return false;
+  Event& ev = slab_[slot];
+  if (!ev.armed || ev.gen != gen) return false;  // already fired or recycled
+  Release(ev, slot);
+  // The heap entry stays behind as a stale (slot, gen) pair and is skipped
+  // when it surfaces; the generation bump makes it unambiguous.
+  return true;
+}
+
+bool Scheduler::PopNext(SimTime* when, Callback* cb) {
   while (!queue_.empty()) {
-    Entry top = queue_.top();
+    const HeapEntry top = queue_.top();
     queue_.pop();
-    if (pending_.erase(top.id) == 0) continue;  // was cancelled
-    out = std::move(top);
+    Event& ev = slab_[top.slot];
+    if (!ev.armed || ev.gen != top.gen) continue;  // was cancelled
+    *when = top.when;
+    *cb = std::move(ev.cb);
+    Release(ev, top.slot);
     return true;
   }
   return false;
@@ -31,12 +62,13 @@ bool Scheduler::PopNext(Entry& out) {
 
 std::uint64_t Scheduler::Run(std::uint64_t limit) {
   std::uint64_t n = 0;
-  Entry e;
-  while (n < limit && PopNext(e)) {
-    now_ = e.when;
+  SimTime when = 0;
+  Callback cb;
+  while (n < limit && PopNext(&when, &cb)) {
+    now_ = when;
     ++executed_;
     ++n;
-    (*e.cb)();
+    cb();
   }
   return n;
 }
@@ -44,30 +76,32 @@ std::uint64_t Scheduler::Run(std::uint64_t limit) {
 std::uint64_t Scheduler::RunUntil(SimTime until) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (pending_.count(top.id) == 0) {  // cancelled: drop and continue
+    const HeapEntry top = queue_.top();
+    Event& ev = slab_[top.slot];
+    if (!ev.armed || ev.gen != top.gen) {  // cancelled: drop and continue
       queue_.pop();
       continue;
     }
     if (top.when > until) break;
-    Entry e = top;
     queue_.pop();
-    pending_.erase(e.id);
-    now_ = e.when;
+    Callback cb = std::move(ev.cb);
+    Release(ev, top.slot);
+    now_ = top.when;
     ++executed_;
     ++n;
-    (*e.cb)();
+    cb();
   }
   if (now_ < until) now_ = until;
   return n;
 }
 
 bool Scheduler::Step() {
-  Entry e;
-  if (!PopNext(e)) return false;
-  now_ = e.when;
+  SimTime when = 0;
+  Callback cb;
+  if (!PopNext(&when, &cb)) return false;
+  now_ = when;
   ++executed_;
-  (*e.cb)();
+  cb();
   return true;
 }
 

@@ -4,13 +4,18 @@
 // links, CPU cores, protocol timers) enqueues callbacks at future simulated
 // times and the scheduler executes them in (time, insertion-sequence) order.
 // Ties on time break by insertion order, which keeps runs deterministic.
+//
+// Events live in a slab with a free list: each schedule reuses a recycled
+// slot instead of heap-allocating per event, and the priority queue holds
+// small POD entries (time, seq, slot, generation) instead of owning the
+// callback. Slot generations make cancelled or recycled slots unambiguous,
+// so no side lookup structure is needed on the hot path.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -18,6 +23,7 @@
 namespace fabricsim::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+/// Never zero for a live event (0 is a safe "no event" sentinel).
 using EventId = std::uint64_t;
 
 /// Discrete-event scheduler with cancellable events.
@@ -48,6 +54,7 @@ class Scheduler {
 
   /// Cancels a pending event. Returns true if the event existed and had not
   /// yet fired; cancelling a fired or unknown event is a harmless no-op.
+  /// The callback is destroyed (captures released) immediately.
   bool Cancel(EventId id);
 
   /// Runs events until the queue is empty or `limit` events have run.
@@ -63,37 +70,60 @@ class Scheduler {
   bool Step();
 
   /// Number of events currently scheduled and not yet fired or cancelled.
-  [[nodiscard]] std::size_t PendingEvents() const { return pending_.size(); }
+  [[nodiscard]] std::size_t PendingEvents() const { return live_; }
 
   /// Total number of events executed since construction.
   [[nodiscard]] std::uint64_t ExecutedEvents() const { return executed_; }
 
+  /// Pool introspection (tests): total slots ever created, and how many are
+  /// currently on the free list. Capacity grows to the high-water mark of
+  /// concurrently pending events and is then reused indefinitely.
+  [[nodiscard]] std::size_t PoolCapacity() const { return slab_.size(); }
+  [[nodiscard]] std::size_t PoolFree() const { return free_.size(); }
+
  private:
-  struct Entry {
+  // One pooled event slot. `gen` is bumped every time the slot is released
+  // (fired or cancelled), so stale heap entries and stale EventIds referring
+  // to a recycled slot can never match again.
+  struct Event {
+    Callback cb;
+    std::uint32_t gen = 1;
+    bool armed = false;  // a live (scheduled, uncancelled) event occupies it
+  };
+  // What the priority queue actually sorts: 24 bytes, trivially copyable.
+  struct HeapEntry {
     SimTime when = 0;
     std::uint64_t seq = 0;  // insertion order, breaks ties deterministically
-    EventId id = 0;
-    // Heap entries are moved around; callback stored via shared ownership so
-    // the struct stays cheaply movable and copyable for priority_queue.
-    std::shared_ptr<Callback> cb;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  bool PopNext(Entry& out);
+  static EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  // Destroys the slot's callback, bumps its generation, and returns it to
+  // the free list. `cb` must already have been moved out if it is about to
+  // be invoked.
+  void Release(Event& ev, std::uint32_t slot);
+
+  // Pops the next live event: its fire time and (moved-out) callback.
+  bool PopNext(SimTime* when, Callback* cb);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // Ids of events that are scheduled and not yet fired or cancelled.
-  // Popped entries absent from this set were cancelled and are skipped.
-  std::unordered_set<EventId> pending_;
+  std::size_t live_ = 0;
+  // deque: stable references while callbacks schedule into a growing slab.
+  std::deque<Event> slab_;
+  std::vector<std::uint32_t> free_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
 };
 
 }  // namespace fabricsim::sim

@@ -269,7 +269,7 @@ TEST(Blockchain, AuditDetectsDeepTampering) {
 
   // Tamper with the stored (shared) block 0 in place.
   b0->transactions[0].rwset.ns_rwsets[0].writes[0].key = "evil";
-  b0->transactions[0].InvalidateCaches();
+  b0->InvalidateCaches();
   const auto audit = chain.Audit();
   EXPECT_FALSE(audit.ok);
   EXPECT_EQ(audit.bad_block, 0u);

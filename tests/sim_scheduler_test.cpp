@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace fabricsim::sim {
@@ -170,6 +171,71 @@ TEST(Scheduler, RunUntilWithEmptyQueueStillAdvancesClock) {
   Scheduler s;
   s.RunUntil(500);
   EXPECT_EQ(s.Now(), 500);
+}
+
+TEST(SchedulerPool, CapacityIsHighWaterMarkNotEventCount) {
+  Scheduler s;
+  // A chain of 10k sequential events only ever has one pending at a time:
+  // the pool must recycle a single slot, not grow per event.
+  int remaining = 10000;
+  std::function<void()> next = [&] {
+    if (--remaining > 0) s.ScheduleAfter(1, next);
+  };
+  s.ScheduleAt(0, next);
+  s.Run();
+  EXPECT_EQ(s.ExecutedEvents(), 10000u);
+  EXPECT_EQ(s.PoolCapacity(), 1u);
+  EXPECT_EQ(s.PoolFree(), 1u);
+}
+
+TEST(SchedulerPool, FiredAndCancelledSlotsReturnToFreeList) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(s.ScheduleAt(i, [] {}));
+  EXPECT_EQ(s.PoolCapacity(), 64u);
+  EXPECT_EQ(s.PoolFree(), 0u);
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(s.Cancel(ids[size_t(i)]));
+  EXPECT_EQ(s.PoolFree(), 32u);
+  s.Run();
+  EXPECT_EQ(s.PoolFree(), 64u);
+  EXPECT_EQ(s.PoolCapacity(), 64u);  // reused, never grown past high water
+  for (int i = 0; i < 64; ++i) s.ScheduleAt(100 + i, [] {});
+  EXPECT_EQ(s.PoolCapacity(), 64u);
+  EXPECT_EQ(s.PoolFree(), 0u);
+}
+
+TEST(SchedulerPool, StaleIdCannotCancelRecycledSlot) {
+  Scheduler s;
+  bool second_ran = false;
+  EventId first = s.ScheduleAt(10, [] {});
+  EXPECT_TRUE(s.Cancel(first));
+  // The replacement reuses the freed slot but carries a new generation.
+  EventId second = s.ScheduleAt(20, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(s.Cancel(first));  // stale handle: harmless no-op
+  s.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SchedulerPool, LiveEventIdIsNeverZero) {
+  Scheduler s;
+  for (int i = 0; i < 100; ++i) {
+    EventId id = s.ScheduleAt(i, [] {});
+    EXPECT_NE(id, 0u);  // 0 is the "no event" sentinel
+    s.Cancel(id);
+  }
+}
+
+TEST(SchedulerPool, CancelDestroysCallbackImmediately) {
+  Scheduler s;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> observer = token;
+  EventId id = s.ScheduleAt(10, [held = std::move(token)] { (void)held; });
+  EXPECT_FALSE(observer.expired());
+  s.Cancel(id);
+  // The capture must be released on cancel, not at scheduler teardown —
+  // long-lived simulations would otherwise pin every cancelled timer's state.
+  EXPECT_TRUE(observer.expired());
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+// bench_diff: the CI regression gate over bench JSON files.
+//
+//   bench_diff <baseline.json> <current.json> [options]
+//
+//   --host-tol <frac>   host wall/events-per-sec tolerance (default 0.15)
+//   --rss-tol <frac>    peak-RSS growth tolerance (default 0.30)
+//   --ignore-host       compare simulated metrics only
+//
+// Exit codes: 0 = within tolerance, 1 = regression or structural mismatch,
+// 2 = usage or I/O error. Simulated metrics are compared exactly — any
+// drift there is a determinism break, not noise (see src/bench/diff.h).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/diff.h"
+#include "bench/json.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <current.json> "
+               "[--host-tol <frac>] [--rss-tol <frac>] [--ignore-host]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  fabricsim::bench::DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host-tol" || arg == "--rss-tol") {
+      if (i + 1 >= argc) return Usage();
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || v < 0.0) return Usage();
+      (arg == "--host-tol" ? options.host_tol : options.rss_tol) = v;
+    } else if (arg == "--ignore-host") {
+      options.check_host = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage();
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+
+  std::string err;
+  const auto baseline = fabricsim::bench::Json::Parse(baseline_text, &err);
+  if (baseline.IsNull()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", baseline_path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  const auto current = fabricsim::bench::Json::Parse(current_text, &err);
+  if (current.IsNull()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", current_path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+
+  const auto report =
+      fabricsim::bench::CompareBenchJson(baseline, current, options);
+  if (!report.Ok()) {
+    std::fprintf(stderr, "bench_diff: %zu failure(s) vs %s:\n",
+                 report.failures.size(), baseline_path.c_str());
+    for (const auto& f : report.failures) {
+      std::fprintf(stderr, "  %s\n", f.c_str());
+    }
+    return 1;
+  }
+  std::printf("bench_diff: %s matches baseline within tolerance\n",
+              current_path.c_str());
+  return 0;
+}
