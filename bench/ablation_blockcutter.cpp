@@ -13,17 +13,32 @@ int main(int argc, char** argv) {
   const auto args = benchutil::ParseArgs(argc, argv, "ablation_blockcutter");
 
   std::cout << "=== Ablation: block cutter (Solo, OR, 150 tps) ===\n";
-  std::cout << "--- BatchSize sweep (BatchTimeout = 1 s) ---\n";
-  metrics::Table size_table(
-      {"BatchSize", "block_time_s", "mean_block_txs", "e2e_latency_s"});
-  for (std::uint32_t batch : {10u, 50u, 100u, 200u}) {
+  const std::vector<std::uint32_t> batches{10u, 50u, 100u, 200u};
+  const std::vector<double> timeouts{0.25, 0.5, 1.0, 2.0};
+
+  benchutil::Sweep sweep(args);
+  for (std::uint32_t batch : batches) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
     config.network.channel.batch.max_message_count = batch;
     benchutil::Tune(config, args);
-    const auto r = benchutil::RunPoint(config, args,
-                                       "BatchSize" + std::to_string(batch))
-                       .report;
+    sweep.Add(config, "BatchSize" + std::to_string(batch));
+  }
+  for (double timeout : timeouts) {
+    fabric::ExperimentConfig config =
+        fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
+    config.network.channel.batch.batch_timeout = sim::FromSeconds(timeout);
+    benchutil::Tune(config, args);
+    sweep.Add(config, "BatchTimeout" + metrics::Fmt(timeout, 2));
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  std::cout << "--- BatchSize sweep (BatchTimeout = 1 s) ---\n";
+  metrics::Table size_table(
+      {"BatchSize", "block_time_s", "mean_block_txs", "e2e_latency_s"});
+  for (std::uint32_t batch : batches) {
+    const auto& r = results[next++].report;
     size_table.AddRow({std::to_string(batch),
                        metrics::Fmt(r.mean_block_time_s, 2),
                        metrics::Fmt(r.mean_block_size, 1),
@@ -34,14 +49,8 @@ int main(int argc, char** argv) {
   std::cout << "--- BatchTimeout sweep (BatchSize = 100) ---\n";
   metrics::Table timeout_table(
       {"BatchTimeout_s", "block_time_s", "mean_block_txs", "e2e_latency_s"});
-  for (double timeout : {0.25, 0.5, 1.0, 2.0}) {
-    fabric::ExperimentConfig config =
-        fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 150);
-    config.network.channel.batch.batch_timeout = sim::FromSeconds(timeout);
-    benchutil::Tune(config, args);
-    const auto r = benchutil::RunPoint(config, args,
-                                       "BatchTimeout" + metrics::Fmt(timeout, 2))
-                       .report;
+  for (double timeout : timeouts) {
+    const auto& r = results[next++].report;
     timeout_table.AddRow({metrics::Fmt(timeout, 2),
                           metrics::Fmt(r.mean_block_time_s, 2),
                           metrics::Fmt(r.mean_block_size, 1),

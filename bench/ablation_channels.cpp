@@ -19,15 +19,30 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Ablation: channels vs throughput (Solo, OR, saturating "
                "load, shared peers) ===\n";
-  metrics::Table table({"channels", "offered_tps", "committed_tps",
-                        "e2e_latency_s"});
-  for (int channels : {1, 2, 4}) {
+  const std::vector<int> channel_counts{1, 2, 4};
+
+  benchutil::Sweep sweep(args);
+  for (int channels : channel_counts) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 480);
     config.network.channels = channels;
     benchutil::Tune(config, args);
-    const auto result = benchutil::RunPoint(
-        config, args, "saturating/ch" + std::to_string(channels));
+    sweep.Add(config, "saturating/ch" + std::to_string(channels));
+  }
+  for (int channels : channel_counts) {
+    fabric::ExperimentConfig config =
+        fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 240);
+    config.network.channels = channels;
+    benchutil::Tune(config, args);
+    sweep.Add(config, "below-knee/ch" + std::to_string(channels));
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  metrics::Table table({"channels", "offered_tps", "committed_tps",
+                        "e2e_latency_s"});
+  for (int channels : channel_counts) {
+    const auto& result = results[next++];
     table.AddRow({std::to_string(channels), metrics::Fmt(480, 0),
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2)});
@@ -37,13 +52,8 @@ int main(int argc, char** argv) {
   std::cout << "--- Below the validate ceiling: channels split load "
                "cleanly (240 tps total) ---\n";
   metrics::Table low({"channels", "committed_tps", "e2e_latency_s"});
-  for (int channels : {1, 2, 4}) {
-    fabric::ExperimentConfig config =
-        fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 240);
-    config.network.channels = channels;
-    benchutil::Tune(config, args);
-    const auto result = benchutil::RunPoint(
-        config, args, "below-knee/ch" + std::to_string(channels));
+  for (int channels : channel_counts) {
+    const auto& result = results[next++];
     low.AddRow({std::to_string(channels),
                 metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                 metrics::Fmt(result.report.end_to_end.mean_latency_s, 2)});

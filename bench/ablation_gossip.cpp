@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
                "10 peers) ===\n";
   metrics::Table table({"mode", "committed_tps", "e2e_latency_s",
                         "validate_latency_s", "total_MB_on_wire"});
+  benchutil::Sweep sweep(args);
+  std::vector<std::string> labels;
   for (int mode = 0; mode < 3; ++mode) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 250);
@@ -30,8 +32,14 @@ int main(int argc, char** argv) {
       label = "gossip (4 leaders)";
     }
     benchutil::Tune(config, args);
-    const auto result = benchutil::RunPoint(config, args, label);
-    table.AddRow({label,
+    labels.push_back(label);
+    sweep.Add(config, std::move(label));
+  }
+  const auto results = sweep.Run();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.AddRow({labels[i],
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2),
                   metrics::Fmt(result.report.validate.mean_latency_s, 2),

@@ -14,17 +14,38 @@ int main(int argc, char** argv) {
   const auto args = benchutil::ParseArgs(argc, argv, "ablation_ordering");
 
   std::cout << "=== Ablation: ordering service ===\n";
-  std::cout << "--- (1) Kafka replication factor (5 brokers, 250 tps) ---\n";
-  metrics::Table rf_table({"replication_factor", "tps", "e2e_latency_s",
-                           "order_latency_s"});
-  for (int rf : {1, 3, 5}) {
+  const std::vector<int> factors{1, 3, 5};
+  const std::vector<double> base_ms{0.18, 2.0, 10.0, 40.0};
+
+  benchutil::Sweep sweep(args);
+  for (int rf : factors) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(fabric::OrderingType::kKafka, 0, 250);
     config.network.topology.kafka_brokers = 5;
     config.network.topology.kafka_replication_factor = rf;
     benchutil::Tune(config, args);
-    const auto r =
-        benchutil::RunPoint(config, args, "rf" + std::to_string(rf)).report;
+    sweep.Add(config, "rf" + std::to_string(rf));
+  }
+  for (double ms : base_ms) {
+    for (auto type :
+         {fabric::OrderingType::kKafka, fabric::OrderingType::kRaft}) {
+      fabric::ExperimentConfig config = fabric::StandardConfig(type, 0, 150);
+      config.network.net.base_latency = sim::FromMillis(ms);
+      benchutil::Tune(config, args);
+      sweep.Add(config, std::string(type == fabric::OrderingType::kKafka
+                                        ? "Kafka"
+                                        : "Raft") +
+                            "/lat" + metrics::Fmt(ms, 2) + "ms");
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  std::cout << "--- (1) Kafka replication factor (5 brokers, 250 tps) ---\n";
+  metrics::Table rf_table({"replication_factor", "tps", "e2e_latency_s",
+                           "order_latency_s"});
+  for (int rf : factors) {
+    const auto& r = results[next++].report;
     rf_table.AddRow({std::to_string(rf),
                      metrics::Fmt(r.end_to_end.throughput_tps, 1),
                      metrics::Fmt(r.end_to_end.mean_latency_s, 2),
@@ -35,26 +56,14 @@ int main(int argc, char** argv) {
   std::cout << "--- (2) Network base latency (Kafka vs Raft, 150 tps) ---\n";
   metrics::Table lat_table({"base_latency_ms", "Kafka_order_s", "Raft_order_s",
                             "Kafka_e2e_s", "Raft_e2e_s"});
-  for (double ms : {0.18, 2.0, 10.0, 40.0}) {
-    std::vector<std::string> row{metrics::Fmt(ms, 2)};
-    std::vector<double> order_lat, e2e_lat;
-    for (auto type :
-         {fabric::OrderingType::kKafka, fabric::OrderingType::kRaft}) {
-      fabric::ExperimentConfig config = fabric::StandardConfig(type, 0, 150);
-      config.network.net.base_latency = sim::FromMillis(ms);
-      benchutil::Tune(config, args);
-      const std::string label =
-          std::string(type == fabric::OrderingType::kKafka ? "Kafka" : "Raft") +
-          "/lat" + metrics::Fmt(ms, 2) + "ms";
-      const auto r = benchutil::RunPoint(config, args, label).report;
-      order_lat.push_back(r.order.mean_latency_s);
-      e2e_lat.push_back(r.end_to_end.mean_latency_s);
-    }
-    row.push_back(metrics::Fmt(order_lat[0], 3));
-    row.push_back(metrics::Fmt(order_lat[1], 3));
-    row.push_back(metrics::Fmt(e2e_lat[0], 2));
-    row.push_back(metrics::Fmt(e2e_lat[1], 2));
-    lat_table.AddRow(std::move(row));
+  for (double ms : base_ms) {
+    const auto& kafka = results[next++].report;
+    const auto& raft = results[next++].report;
+    lat_table.AddRow({metrics::Fmt(ms, 2),
+                      metrics::Fmt(kafka.order.mean_latency_s, 3),
+                      metrics::Fmt(raft.order.mean_latency_s, 3),
+                      metrics::Fmt(kafka.end_to_end.mean_latency_s, 2),
+                      metrics::Fmt(raft.end_to_end.mean_latency_s, 2)});
   }
   benchutil::PrintTable(lat_table, args);
 

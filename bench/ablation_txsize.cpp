@@ -15,8 +15,11 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation: value size (Solo, OR) ===\n";
   metrics::Table table({"value_bytes", "offered_tps", "committed_tps",
                         "e2e_latency_s", "MB_on_wire", "block_time_s"});
-  for (std::size_t size : {std::size_t{1}, std::size_t{1024},
-                           std::size_t{10 * 1024}, std::size_t{100 * 1024}}) {
+  const std::vector<std::size_t> sizes{std::size_t{1}, std::size_t{1024},
+                                       std::size_t{10 * 1024},
+                                       std::size_t{100 * 1024}};
+  benchutil::Sweep sweep(args);
+  for (std::size_t size : sizes) {
     // Huge values saturate the wire far below the validate ceiling; offer
     // less so the latency number is a steady-state one.
     const double rate = size >= 100 * 1024 ? 40.0 : 200.0;
@@ -27,8 +30,14 @@ int main(int argc, char** argv) {
     if (size >= 100 * 1024) {
       config.workload.duration = sim::FromSeconds(15);  // wall-time bound
     }
-    const auto result = benchutil::RunPoint(
-        config, args, "value" + std::to_string(size) + "B");
+    sweep.Add(config, "value" + std::to_string(size) + "B");
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  for (std::size_t size : sizes) {
+    const double rate = size >= 100 * 1024 ? 40.0 : 200.0;
+    const auto& result = results[next++];
     table.AddRow({std::to_string(size), metrics::Fmt(rate, 0),
                   metrics::Fmt(result.report.end_to_end.throughput_tps, 1),
                   metrics::Fmt(result.report.end_to_end.mean_latency_s, 2),

@@ -26,15 +26,16 @@ int main(int argc, char** argv) {
   const auto args = benchutil::ParseArgs(argc, argv, "ablation_validation");
 
   std::cout << "=== Ablation: validate-phase design choices ===\n";
+  const std::vector<int> core_counts{1, 2, 4, 8};
+  const std::vector<double> verify_ms{1.5, 3.0, 6.0};
+  const std::vector<double> disk_ms{0.5, 1.0, 2.0, 4.0};
 
-  std::cout << "--- (1) VSCC worker-pool width: peak tps vs committing-peer "
-               "cores (AND5) ---\n";
-  // More cores widen the parallel VSCC stage; the serial ledger write
+  benchutil::Sweep sweep(args);
+  // (1) More cores widen the parallel VSCC stage; the serial ledger write
   // eventually caps. (Modeled by substituting the validator machine's core
   // count via the per-endorsement cost equivalence: cores c at cost k =
   // cores 4 at cost 4k/c, since capacity = c/k.)
-  metrics::Table pool_table({"vscc_cores", "peak_tps"});
-  for (int cores : {1, 2, 4, 8}) {
+  for (int cores : core_counts) {
     auto config = Saturating(5, args);
     const double scale = 4.0 / cores;
     config.network.calibration.vscc_base_cpu = static_cast<sim::SimDuration>(
@@ -42,9 +43,30 @@ int main(int argc, char** argv) {
     config.network.calibration.vscc_per_endorsement_cpu =
         static_cast<sim::SimDuration>(
             config.network.calibration.vscc_per_endorsement_cpu * scale);
-    const auto r =
-        benchutil::RunPoint(config, args, "vscc_cores" + std::to_string(cores))
-            .report;
+    sweep.Add(config, "vscc_cores" + std::to_string(cores));
+  }
+  for (double ms : verify_ms) {
+    for (int and_x : {0, 5}) {
+      auto config = Saturating(and_x, args);
+      config.network.calibration.vscc_per_endorsement_cpu =
+          sim::FromMillis(ms);
+      sweep.Add(config, "verify" + metrics::Fmt(ms, 1) + "ms/" +
+                            (and_x > 0 ? "AND5" : "OR"));
+    }
+  }
+  for (double ms : disk_ms) {
+    auto config = Saturating(0, args);
+    config.network.calibration.block_write_per_tx_disk = sim::FromMillis(ms);
+    sweep.Add(config, "disk" + metrics::Fmt(ms, 1) + "ms");
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  std::cout << "--- (1) VSCC worker-pool width: peak tps vs committing-peer "
+               "cores (AND5) ---\n";
+  metrics::Table pool_table({"vscc_cores", "peak_tps"});
+  for (int cores : core_counts) {
+    const auto& r = results[next++].report;
     pool_table.AddRow({std::to_string(cores),
                        metrics::Fmt(r.end_to_end.throughput_tps, 1)});
   }
@@ -53,16 +75,12 @@ int main(int argc, char** argv) {
   std::cout << "--- (2) Signature-verification cost: peak tps, OR vs AND5 "
                "---\n";
   metrics::Table sig_table({"verify_ms_per_endorsement", "OR_tps", "AND5_tps"});
-  for (double ms : {1.5, 3.0, 6.0}) {
+  for (double ms : verify_ms) {
     std::vector<std::string> row{metrics::Fmt(ms, 1)};
     for (int and_x : {0, 5}) {
-      auto config = Saturating(and_x, args);
-      config.network.calibration.vscc_per_endorsement_cpu =
-          sim::FromMillis(ms);
-      const std::string label = "verify" + metrics::Fmt(ms, 1) + "ms/" +
-                                (and_x > 0 ? "AND5" : "OR");
-      const auto r = benchutil::RunPoint(config, args, label).report;
-      row.push_back(metrics::Fmt(r.end_to_end.throughput_tps, 1));
+      (void)and_x;
+      row.push_back(
+          metrics::Fmt(results[next++].report.end_to_end.throughput_tps, 1));
     }
     sig_table.AddRow(std::move(row));
   }
@@ -70,12 +88,8 @@ int main(int argc, char** argv) {
 
   std::cout << "--- (3) Serial ledger-write cost: peak tps under OR ---\n";
   metrics::Table disk_table({"block_write_ms_per_tx", "OR_peak_tps"});
-  for (double ms : {0.5, 1.0, 2.0, 4.0}) {
-    auto config = Saturating(0, args);
-    config.network.calibration.block_write_per_tx_disk = sim::FromMillis(ms);
-    const auto r =
-        benchutil::RunPoint(config, args, "disk" + metrics::Fmt(ms, 1) + "ms")
-            .report;
+  for (double ms : disk_ms) {
+    const auto& r = results[next++].report;
     disk_table.AddRow({metrics::Fmt(ms, 1),
                        metrics::Fmt(r.end_to_end.throughput_tps, 1)});
   }

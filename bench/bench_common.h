@@ -14,18 +14,22 @@
 //                      discarded warm-up rep) and report mean±stddev host
 //                      wall clock; simulated results must be identical
 //                      across reps or the run is flagged nondeterministic
+//   --jobs <n>         run independent sweep points on n host threads
+//                      (default: hardware concurrency; 1 = serial). The
+//                      simulated results, stdout tables, and JSON point
+//                      order are byte-identical at any job count — only
+//                      host wall clock changes
 //   --no-crypto-cache  disable the host-side signature-verification cache
 //                      (simulated results must not change; see
 //                      crypto/verify_cache.h)
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/recorder.h"
@@ -33,7 +37,8 @@
 #include "fabric/experiment.h"
 #include "metrics/reporter.h"
 #include "obs/attribution.h"
-#include "obs/trace.h"
+#include "runner/sweep_runner.h"
+#include "runner/thread_pool.h"
 
 namespace benchutil {
 
@@ -44,6 +49,7 @@ struct Args {
   bool attribution = false;
   bool crypto_cache = true;
   int reps = 1;
+  int jobs = 0;  // resolved: 0 -> hardware concurrency
   std::string json_path;
 
   [[nodiscard]] const char* Mode() const {
@@ -70,68 +76,98 @@ inline Args ParseArgs(int argc, char** argv, const std::string& bench_name) {
     if (a == "--reps" && i + 1 < argc) {
       out.reps = std::max(1, std::atoi(argv[++i]));
     }
+    if (a == "--jobs" && i + 1 < argc) {
+      out.jobs = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  if (out.jobs <= 0) {
+    out.jobs = static_cast<int>(fabricsim::runner::ThreadPool::DefaultJobs());
   }
   fabricsim::crypto::VerifyCache::Instance().SetEnabled(out.crypto_cache);
   RecorderSlot() = std::make_unique<fabricsim::bench::Recorder>(
-      bench_name, out.Mode(), out.crypto_cache, out.reps);
+      bench_name, out.Mode(), out.crypto_cache, out.reps, out.jobs);
   return out;
 }
 
-/// Runs one measurement point and records it (label must be unique within
-/// the bench; it is the join key for baseline comparison).
+/// A batch of independent measurement points, run host-parallel.
 ///
-/// With --reps > 1 the point runs reps+1 times: the first repetition warms
-/// host-side caches and is discarded, the rest feed the mean±stddev wall
-/// clock. Repetitions must agree on the chain head — the simulation is
-/// deterministic — or the whole result file is flagged nondeterministic
-/// (which fails the regression gate).
-///
-/// With --attribution, a fresh Tracer is attached for just this run
-/// (bounding span memory across a sweep) and the per-phase latency
-/// decomposition is printed under `label`.
+/// Usage is plan-then-execute: queue every point of a sweep with Add(), then
+/// Run() executes them on `--jobs` worker threads (each point a full
+/// fabric::Experiment with its own scheduler/network/RNG) and returns the
+/// results in submission order. Recording into the bench JSON, the
+/// cross-rep determinism check, and attribution printing all happen on the
+/// calling thread in submission order, so every observable output is
+/// byte-identical to a serial (`--jobs 1`) run.
+class Sweep {
+ public:
+  explicit Sweep(const Args& args) : args_(args) {}
+
+  /// Queues one measurement point (label must be unique within the bench;
+  /// it is the join key for baseline comparison).
+  void Add(fabricsim::fabric::ExperimentConfig config, std::string label) {
+    points_.push_back({std::move(config), std::move(label)});
+  }
+
+  [[nodiscard]] std::size_t Size() const { return points_.size(); }
+
+  /// Runs all queued points and returns their results in submission order.
+  /// The queue is left empty, so one Sweep can run several dependent
+  /// batches (plan, Run, plan the next batch from the results, Run, ...).
+  std::vector<fabricsim::fabric::ExperimentResult> Run() {
+    fabricsim::runner::SweepOptions options;
+    options.jobs = args_.jobs;
+    options.reps = args_.reps;
+    options.attribution = args_.attribution;
+    std::vector<fabricsim::runner::PointOutcome> outcomes =
+        fabricsim::runner::RunSweep(std::move(points_), options);
+    points_.clear();
+
+    std::vector<fabricsim::fabric::ExperimentResult> results;
+    results.reserve(outcomes.size());
+    for (fabricsim::runner::PointOutcome& outcome : outcomes) {
+      if (!outcome.deterministic) {
+        std::fprintf(stderr, "bench: NONDETERMINISM at %s %s\n",
+                     outcome.label.c_str(), outcome.mismatch.c_str());
+        RecorderSlot()->MarkNondeterministic();
+      }
+      fabricsim::bench::HostSample host;
+      host.wall_s = std::move(outcome.wall_s);
+      host.sched_events = outcome.result.sched_events;
+      RecorderSlot()->AddPoint(outcome.label, outcome.result, host);
+      if (outcome.result.attribution) {
+        std::cout << "attribution @ " << outcome.label << ":\n";
+        fabricsim::obs::PrintAttribution(*outcome.result.attribution,
+                                         std::cout, args_.csv);
+      }
+      results.push_back(std::move(outcome.result));
+    }
+    return results;
+  }
+
+ private:
+  const Args& args_;
+  std::vector<fabricsim::runner::SweepPoint> points_;
+};
+
+/// Runs one measurement point and records it — the serial path for points
+/// whose config depends on an earlier result (saturation probes). See
+/// Sweep for batching independent points across cores.
 inline fabricsim::fabric::ExperimentResult RunPoint(
     fabricsim::fabric::ExperimentConfig config, const Args& args,
     const std::string& label) {
-  using Clock = std::chrono::steady_clock;
-  std::optional<fabricsim::obs::Tracer> tracer;
-  if (args.attribution) {
-    tracer.emplace();
-    config.network.tracer = &*tracer;
-  }
-
-  fabricsim::bench::HostSample host;
-  std::optional<fabricsim::fabric::ExperimentResult> result;
-  const int total_runs = args.reps > 1 ? args.reps + 1 : 1;
-  for (int rep = 0; rep < total_runs; ++rep) {
-    const auto t0 = Clock::now();
-    auto r = fabricsim::fabric::RunExperiment(config);
-    const std::chrono::duration<double> wall = Clock::now() - t0;
-    const bool warmup_rep = args.reps > 1 && rep == 0;
-    if (!warmup_rep) host.wall_s.push_back(wall.count());
-    if (result && r.chain_head_hex != result->chain_head_hex) {
-      std::fprintf(stderr,
-                   "bench: NONDETERMINISM at %s rep %d: chain head %s != %s\n",
-                   label.c_str(), rep, r.chain_head_hex.c_str(),
-                   result->chain_head_hex.c_str());
-      RecorderSlot()->MarkNondeterministic();
-    }
-    result = std::move(r);
-  }
-  host.sched_events = result->sched_events;
-  RecorderSlot()->AddPoint(label, *result, host);
-
-  if (result->attribution) {
-    std::cout << "attribution @ " << label << ":\n";
-    fabricsim::obs::PrintAttribution(*result->attribution, std::cout,
-                                     args.csv);
-  }
-  return std::move(*result);
+  Sweep sweep(args);
+  sweep.Add(std::move(config), label);
+  return std::move(sweep.Run().front());
 }
 
 /// Writes the JSON result file if --json was given. Returns the process
 /// exit code: nonzero when the bench failed, the write failed, or any
 /// measurement point was nondeterministic.
 inline int Finish(const Args& args, bool ok = true) {
+  const auto& cache = fabricsim::crypto::VerifyCache::Instance();
+  RecorderSlot()->SetVerifyCacheSample(
+      {cache.Hits(), cache.Misses(), cache.Evictions(),
+       static_cast<std::uint64_t>(cache.Size())});
   if (!RecorderSlot()->Deterministic()) {
     std::cerr << "bench: determinism violation across repetitions\n";
     ok = false;

@@ -31,15 +31,19 @@ int main(int argc, char** argv) {
                         "ttr_s", "invariants", "stalled"});
   bool ok = true;
 
+  benchutil::Sweep sweep(args);
   for (int i = 0; i < 3; ++i) {
     fabric::ExperimentConfig config =
         fabric::StandardConfig(benchutil::OrderingAt(i), 0, rate);
     benchutil::Tune(config, args);
     config.workload.duration = sim::FromSeconds(args.quick ? 30 : 40);
     config.faults = spec;
+    sweep.Add(config, benchutil::kOrderings[i]);
+  }
+  const auto results = sweep.Run();
 
-    const auto result = benchutil::RunPoint(config, args,
-                                            benchutil::kOrderings[i]);
+  for (int i = 0; i < 3; ++i) {
+    const auto& result = results[i];
     const auto& rec = *result.recovery;
     const bool inv_ok = result.invariants->Ok();
 

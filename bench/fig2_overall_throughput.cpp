@@ -16,21 +16,30 @@ int main(int argc, char** argv) {
   metrics::Table table({"arrival_tps", "Solo/OR", "Solo/AND5", "Kafka/OR",
                         "Kafka/AND5", "Raft/OR", "Raft/AND5"});
 
-  for (double rate : benchutil::RateSweep(args)) {
-    std::vector<std::string> row{metrics::Fmt(rate, 0)};
+  const std::vector<double> rates = benchutil::RateSweep(args);
+  benchutil::Sweep sweep(args);
+  for (double rate : rates) {
     for (int o = 0; o < 3; ++o) {
       for (int and_x : {0, 5}) {
         fabric::ExperimentConfig config =
             fabric::StandardConfig(benchutil::OrderingAt(o), and_x, rate);
         benchutil::Tune(config, args);
-        const std::string label = std::string(benchutil::kOrderings[o]) +
-                                  (and_x > 0 ? "/AND5@" : "/OR@") +
-                                  metrics::Fmt(rate, 0);
-        const auto result = benchutil::RunPoint(config, args, label);
-        row.push_back(metrics::Fmt(result.report.end_to_end.throughput_tps, 1));
+        sweep.Add(config, std::string(benchutil::kOrderings[o]) +
+                              (and_x > 0 ? "/AND5@" : "/OR@") +
+                              metrics::Fmt(rate, 0));
       }
     }
-    // Reorder: the loop above produced Solo/OR, Solo/AND, Kafka/OR, ...
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  for (double rate : rates) {
+    std::vector<std::string> row{metrics::Fmt(rate, 0)};
+    // Consumes in submission order: Solo/OR, Solo/AND, Kafka/OR, ...
+    for (int cell = 0; cell < 6; ++cell) {
+      row.push_back(
+          metrics::Fmt(results[next++].report.end_to_end.throughput_tps, 1));
+    }
     table.AddRow(std::move(row));
   }
   benchutil::PrintTable(table, args);

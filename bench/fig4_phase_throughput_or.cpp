@@ -13,17 +13,26 @@ int main(int argc, char** argv) {
       benchutil::ParseArgs(argc, argv, "fig4_phase_throughput_or");
 
   std::cout << "=== Fig. 4: Per-phase throughput under OR (tps) ===\n";
+  const std::vector<double> rates = benchutil::RateSweep(args);
+  benchutil::Sweep sweep(args);
+  for (int o = 0; o < 3; ++o) {
+    for (double rate : rates) {
+      fabric::ExperimentConfig config =
+          fabric::StandardConfig(benchutil::OrderingAt(o), 0, rate);
+      benchutil::Tune(config, args);
+      sweep.Add(config, std::string(benchutil::kOrderings[o]) + "@" +
+                            metrics::Fmt(rate, 0));
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute", "order", "validate"});
-    for (double rate : benchutil::RateSweep(args)) {
-      fabric::ExperimentConfig config =
-          fabric::StandardConfig(benchutil::OrderingAt(o), 0, rate);
-      benchutil::Tune(config, args);
-      const std::string label = std::string(benchutil::kOrderings[o]) + "@" +
-                                metrics::Fmt(rate, 0);
-      const auto r = benchutil::RunPoint(config, args, label).report;
+    for (double rate : rates) {
+      const auto& r = results[next++].report;
       table.AddRow({metrics::Fmt(rate, 0),
                     metrics::Fmt(r.execute.throughput_tps, 1),
                     metrics::Fmt(r.order.throughput_tps, 1),

@@ -10,17 +10,26 @@ int main(int argc, char** argv) {
   const auto args = benchutil::ParseArgs(argc, argv, "fig7_phase_latency_and");
 
   std::cout << "=== Fig. 7: Per-phase latency under AND5 (s) ===\n";
+  const std::vector<double> rates = benchutil::RateSweep(args);
+  benchutil::Sweep sweep(args);
+  for (int o = 0; o < 3; ++o) {
+    for (double rate : rates) {
+      fabric::ExperimentConfig config =
+          fabric::StandardConfig(benchutil::OrderingAt(o), 5, rate);
+      benchutil::Tune(config, args);
+      sweep.Add(config, std::string(benchutil::kOrderings[o]) + " " +
+                            metrics::Fmt(rate, 0) + " tps");
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
   for (int o = 0; o < 3; ++o) {
     std::cout << "--- Ordering service: " << benchutil::kOrderings[o]
               << " ---\n";
     metrics::Table table({"arrival_tps", "execute_s", "order+validate_s"});
-    for (double rate : benchutil::RateSweep(args)) {
-      fabric::ExperimentConfig config =
-          fabric::StandardConfig(benchutil::OrderingAt(o), 5, rate);
-      benchutil::Tune(config, args);
-      const std::string label = std::string(benchutil::kOrderings[o]) + " " +
-                                metrics::Fmt(rate, 0) + " tps";
-      const auto r = benchutil::RunPoint(config, args, label).report;
+    for (double rate : rates) {
+      const auto& r = results[next++].report;
       table.AddRow({metrics::Fmt(rate, 0),
                     metrics::Fmt(r.execute.mean_latency_s, 2),
                     metrics::Fmt(r.order_and_validate.mean_latency_s, 2)});

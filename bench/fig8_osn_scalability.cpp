@@ -32,6 +32,20 @@ int main(int argc, char** argv) {
   const std::vector<int> osn_counts =
       args.quick ? std::vector<int>{4, 12} : std::vector<int>{4, 6, 8, 10, 12};
 
+  benchutil::Sweep sweep(args);
+  for (int cluster : {3, 7}) {
+    for (int osns : osn_counts) {
+      const std::string suffix = "zk" + std::to_string(cluster) + "/osn" +
+                                 std::to_string(osns);
+      sweep.Add(MakeConfig(fabric::OrderingType::kKafka, osns, cluster, args),
+                "Kafka/" + suffix);
+      sweep.Add(MakeConfig(fabric::OrderingType::kRaft, osns, cluster, args),
+                "Raft/" + suffix);
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
   for (int cluster : {3, 7}) {
     std::cout << "=== Fig. 8 (" << (cluster == 3 ? "a,b" : "c,d")
               << "): #ZooKeeper = #Broker = " << cluster
@@ -39,14 +53,8 @@ int main(int argc, char** argv) {
     metrics::Table table({"#OSNs", "Kafka_tps", "Kafka_lat_s", "Raft_tps",
                           "Raft_lat_s"});
     for (int osns : osn_counts) {
-      const std::string suffix = "zk" + std::to_string(cluster) + "/osn" +
-                                 std::to_string(osns);
-      const auto kafka = benchutil::RunPoint(
-          MakeConfig(fabric::OrderingType::kKafka, osns, cluster, args), args,
-          "Kafka/" + suffix);
-      const auto raft = benchutil::RunPoint(
-          MakeConfig(fabric::OrderingType::kRaft, osns, cluster, args), args,
-          "Raft/" + suffix);
+      const auto& kafka = results[next++];
+      const auto& raft = results[next++];
       table.AddRow(
           {std::to_string(osns),
            metrics::Fmt(kafka.report.end_to_end.throughput_tps, 1),

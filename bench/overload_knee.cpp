@@ -101,42 +101,86 @@ int main(int argc, char** argv) {
                         "invariants"});
   bool ok = true;
 
+  // 1. Saturation probes, one per consenter: protection on, offered load far
+  // past capacity — flow control pins the system at its service rate and
+  // goodput reads off the plateau without unbounded queue growth. The probes
+  // are independent, so they run as one parallel batch.
+  benchutil::Sweep sweep(args);
+  for (int oi = 0; oi < orderings; ++oi) {
+    const int idx = smoke ? (oi == 0 ? 0 : 2) : oi;
+    auto config = BaseConfig(benchutil::OrderingAt(idx), probe_rate, true,
+                             args.quick, smoke);
+    sweep.Add(config, std::string(benchutil::kOrderings[idx]) + " probe");
+  }
+  const auto probes = sweep.Run();
+
+  std::vector<double> sats(orderings, 0.0);
+  for (int oi = 0; oi < orderings; ++oi) {
+    const int idx = smoke ? (oi == 0 ? 0 : 2) : oi;
+    const char* name = benchutil::kOrderings[idx];
+    sats[oi] = probes[oi].report.goodput_tps;
+    std::printf("%s saturation: %.1f tps\n", name, sats[oi]);
+    if (sats[oi] <= 0.0) {
+      std::printf("%s: saturation probe produced no goodput\n", name);
+      ok = false;
+    }
+  }
+
+  // 2. The sweeps — every (mult, protection) point plus the combined
+  // overload+faults run only depend on the probed saturation, so they all
+  // go into one second batch.
+  auto combined_for = [&](fabric::OrderingType ordering) {
+    return ordering == fabric::OrderingType::kRaft ||
+           (!smoke && !args.quick && ordering == fabric::OrderingType::kKafka);
+  };
   for (int oi = 0; oi < orderings; ++oi) {
     const int idx = smoke ? (oi == 0 ? 0 : 2) : oi;
     const fabric::OrderingType ordering = benchutil::OrderingAt(idx);
     const char* name = benchutil::kOrderings[idx];
-
-    // 1. Saturation probe: protection on, offered load far past capacity —
-    // flow control pins the system at its service rate and goodput reads
-    // off the plateau without unbounded queue growth.
-    double sat = 0.0;
-    {
-      auto config = BaseConfig(ordering, probe_rate, true, args.quick, smoke);
-      const auto result = benchutil::RunPoint(
-          config, args, std::string(name) + " probe");
-      sat = result.report.goodput_tps;
-    }
-    std::printf("%s saturation: %.1f tps\n", name, sat);
-    if (sat <= 0.0) {
-      std::printf("%s: saturation probe produced no goodput\n", name);
-      ok = false;
-      continue;
-    }
-
-    // 2. The sweep.
-    std::vector<Point> points;
+    const double sat = sats[oi];
+    if (sat <= 0.0) continue;
     for (const double m : mults) {
       for (const bool protection : {false, true}) {
         auto config =
             BaseConfig(ordering, m * sat, protection, args.quick, smoke);
         // Invariant-check the protection-on 2x point: the acceptance bar is
         // zero acked-but-lost and zero phantom commits while shedding.
-        const bool check = protection && m == 2.0;
-        config.check_invariants = check;
+        config.check_invariants = protection && m == 2.0;
         char label[64];
         std::snprintf(label, sizeof(label), "%s %s %.1fx", name,
                       protection ? "on" : "off", m);
-        const auto result = benchutil::RunPoint(config, args, label);
+        sweep.Add(config, label);
+      }
+    }
+    // Combined overload + crash/revive: shedding while the consenter fails
+    // over must still keep the ledger invariants intact. Solo is skipped —
+    // its single OSN stalls on crash by design (fault_recovery covers that
+    // finding).
+    if (combined_for(ordering)) {
+      auto config = BaseConfig(ordering, 2.0 * sat, true, args.quick, smoke);
+      const double crash_s = smoke ? 8.0 : 12.0;
+      char spec[64];
+      std::snprintf(spec, sizeof(spec), "crash:leader@%.0fs,revive@%.0fs",
+                    crash_s, crash_s + (smoke ? 5.0 : 8.0));
+      config.faults = spec;
+      sweep.Add(config, std::string(name) + " overload+faults");
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
+  for (int oi = 0; oi < orderings; ++oi) {
+    const int idx = smoke ? (oi == 0 ? 0 : 2) : oi;
+    const fabric::OrderingType ordering = benchutil::OrderingAt(idx);
+    const char* name = benchutil::kOrderings[idx];
+    const double sat = sats[oi];
+    if (sat <= 0.0) continue;
+
+    std::vector<Point> points;
+    for (const double m : mults) {
+      for (const bool protection : {false, true}) {
+        const bool check = protection && m == 2.0;
+        const auto& result = results[next++];
 
         Point p;
         p.mult = m;
@@ -211,22 +255,14 @@ int main(int argc, char** argv) {
       }
     }
 
-    // 4. Combined overload + crash/revive: shedding while the consenter
-    // fails over must still keep the ledger invariants intact. Solo is
-    // skipped — its single OSN stalls on crash by design (fault_recovery
-    // covers that finding).
-    const bool combined = ordering == fabric::OrderingType::kRaft ||
-                          (!smoke && !args.quick &&
-                           ordering == fabric::OrderingType::kKafka);
-    if (combined) {
-      auto config = BaseConfig(ordering, 2.0 * sat, true, args.quick, smoke);
+    // 4. Combined overload + crash/revive (queued alongside the sweep
+    // points above).
+    if (combined_for(ordering)) {
+      const auto& result = results[next++];
       const double crash_s = smoke ? 8.0 : 12.0;
       char spec[64];
       std::snprintf(spec, sizeof(spec), "crash:leader@%.0fs,revive@%.0fs",
                     crash_s, crash_s + (smoke ? 5.0 : 8.0));
-      config.faults = spec;
-      const auto result = benchutil::RunPoint(
-          config, args, std::string(name) + " overload+faults");
       const bool inv_ok = result.invariants && result.invariants->Ok();
       std::printf("%s overload + %s: invariants %s, goodput %.1f tps\n", name,
                   spec, inv_ok ? "ok" : "VIOLATED",

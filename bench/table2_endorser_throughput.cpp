@@ -34,7 +34,8 @@ const Cell kColumns[] = {
 
 }  // namespace
 
-double MeasurePeak(const Cell& cell, int peers, const benchutil::Args& args) {
+fabric::ExperimentConfig PeakConfig(const Cell& cell, int peers,
+                                    const benchutil::Args& args) {
   fabric::ExperimentConfig config;
   config.network.topology.ordering = fabric::OrderingType::kSolo;
   config.network.topology.endorsing_peers = peers;
@@ -52,10 +53,12 @@ double MeasurePeak(const Cell& cell, int peers, const benchutil::Args& args) {
     config.network.channel.policy_expr =
         fabric::MakeAndPolicy(std::min(cell.policy_and, peers)).ToString();
   }
-  const auto result = benchutil::RunPoint(
-      config, args,
-      std::string(cell.label) + "/peers" + std::to_string(peers));
-  return result.report.end_to_end.throughput_tps;
+  return config;
+}
+
+bool CellPresent(const Cell& cell, int peers) {
+  return std::find(cell.peer_counts.begin(), cell.peer_counts.end(), peers) !=
+         cell.peer_counts.end();
 }
 
 int main(int argc, char** argv) {
@@ -64,18 +67,27 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Table II: Throughput vs. number of endorsing peers "
                "(tps) ===\n";
+  benchutil::Sweep sweep(args);
+  for (int peers : {1, 3, 5, 7, 10}) {
+    for (const Cell& cell : kColumns) {
+      if (!CellPresent(cell, peers)) continue;
+      sweep.Add(PeakConfig(cell, peers, args),
+                std::string(cell.label) + "/peers" + std::to_string(peers));
+    }
+  }
+  const auto results = sweep.Run();
+
+  std::size_t next = 0;
   metrics::Table table({"#endorsing_peers", "OR10", "OR3", "AND5", "AND3"});
   for (int peers : {1, 3, 5, 7, 10}) {
     std::vector<std::string> row{std::to_string(peers)};
     for (const Cell& cell : kColumns) {
-      const bool present =
-          std::find(cell.peer_counts.begin(), cell.peer_counts.end(), peers) !=
-          cell.peer_counts.end();
-      if (!present) {
+      if (!CellPresent(cell, peers)) {
         row.push_back("-");
         continue;
       }
-      row.push_back(metrics::Fmt(MeasurePeak(cell, peers, args), 0));
+      row.push_back(metrics::Fmt(
+          results[next++].report.end_to_end.throughput_tps, 0));
     }
     table.AddRow(std::move(row));
   }

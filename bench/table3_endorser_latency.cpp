@@ -61,27 +61,48 @@ int main(int argc, char** argv) {
       {"#endorsing_peers", "OR10", "OR3", "AND5", "AND3"});
   metrics::Table ov_table({"#endorsing_peers", "OR10", "OR3", "AND5", "AND3"});
 
+  const auto present = [](const Column& col, int peers) {
+    return std::find(col.peer_counts.begin(), col.peer_counts.end(), peers) !=
+           col.peer_counts.end();
+  };
+
+  // Pass 1: find each configuration's peak (all probes are independent).
+  benchutil::Sweep sweep(args);
+  for (int peers : {1, 3, 5, 7, 10}) {
+    for (const Column& col : kColumns) {
+      if (!present(col, peers)) continue;
+      const std::string point =
+          std::string(col.label) + "/peers" + std::to_string(peers);
+      sweep.Add(MakeConfig(col, peers, 60.0 * peers + 60.0, args),
+                point + "/probe");
+    }
+  }
+  const auto probes = sweep.Run();
+
+  // Pass 2: measure latency near (but not past) each peak.
+  std::size_t probe_next = 0;
+  for (int peers : {1, 3, 5, 7, 10}) {
+    for (const Column& col : kColumns) {
+      if (!present(col, peers)) continue;
+      const double peak =
+          probes[probe_next++].report.end_to_end.throughput_tps;
+      sweep.Add(MakeConfig(col, peers, 0.85 * peak, args),
+                std::string(col.label) + "/peers" + std::to_string(peers));
+    }
+  }
+  const auto measures = sweep.Run();
+
+  std::size_t next = 0;
   for (int peers : {1, 3, 5, 7, 10}) {
     std::vector<std::string> exec_row{std::to_string(peers)};
     std::vector<std::string> ov_row{std::to_string(peers)};
     for (const Column& col : kColumns) {
-      const bool present =
-          std::find(col.peer_counts.begin(), col.peer_counts.end(), peers) !=
-          col.peer_counts.end();
-      if (!present) {
+      if (!present(col, peers)) {
         exec_row.push_back("-");
         ov_row.push_back("-");
         continue;
       }
-      const std::string point =
-          std::string(col.label) + "/peers" + std::to_string(peers);
-      // Pass 1: find the peak.
-      auto probe = MakeConfig(col, peers, 60.0 * peers + 60.0, args);
-      const double peak = benchutil::RunPoint(probe, args, point + "/probe")
-                              .report.end_to_end.throughput_tps;
-      // Pass 2: measure latency near (but not past) the peak.
-      auto measure = MakeConfig(col, peers, 0.85 * peak, args);
-      const auto r = benchutil::RunPoint(measure, args, point).report;
+      const auto& r = measures[next++].report;
       exec_row.push_back(metrics::Fmt(r.execute.mean_latency_s, 2));
       ov_row.push_back(metrics::Fmt(r.order_and_validate.mean_latency_s, 2));
     }

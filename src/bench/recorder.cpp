@@ -66,16 +66,18 @@ std::uint64_t PeakRssKb() {
 }
 
 Recorder::Recorder(std::string bench_name, std::string mode, bool crypto_cache,
-                   int reps)
+                   int reps, int jobs)
     : bench_name_(std::move(bench_name)),
       mode_(std::move(mode)),
       crypto_cache_(crypto_cache),
-      reps_(reps) {}
+      reps_(reps),
+      jobs_(jobs) {}
 
 void Recorder::AddPoint(const std::string& label,
                         const fabric::ExperimentResult& result,
                         const HostSample& host) {
   const MeanStddev wall = Summarize(host.wall_s);
+  std::lock_guard<std::mutex> lock(mu_);
   Json point = Json::MakeObject();
   point["label"] = Json(label);
   point["simulated"] = SimulatedJson(result);
@@ -95,6 +97,7 @@ void Recorder::AddPoint(const std::string& label,
 }
 
 Json Recorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json doc = Json::MakeObject();
   doc["schema_version"] = Json(1);
   doc["bench"] = Json(bench_name_);
@@ -112,6 +115,20 @@ Json Recorder::ToJson() const {
                ? static_cast<double>(total_events_) / total_wall_s_
                : 0.0);
   host["peak_rss_kb"] = Json(PeakRssKb());
+  host["jobs"] = Json(jobs_);
+  if (cache_sample_) {
+    Json cache = Json::MakeObject();
+    cache["hits"] = Json(cache_sample_->hits);
+    cache["misses"] = Json(cache_sample_->misses);
+    cache["evictions"] = Json(cache_sample_->evictions);
+    cache["entries"] = Json(cache_sample_->entries);
+    const double total =
+        static_cast<double>(cache_sample_->hits + cache_sample_->misses);
+    cache["hit_rate"] =
+        Json(total > 0.0 ? static_cast<double>(cache_sample_->hits) / total
+                         : 0.0);
+    host["verify_cache"] = std::move(cache);
+  }
   doc["host"] = std::move(host);
   return doc;
 }

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,12 +37,29 @@ MeanStddev Summarize(const std::vector<double>& xs);
 /// Peak resident set size of this process in kilobytes (ru_maxrss).
 std::uint64_t PeakRssKb();
 
+/// Host-side signature-verification cache counters for the result file
+/// (see crypto::VerifyCache; copied here so the JSON layer does not depend
+/// on the crypto headers).
+struct VerifyCacheSample {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+/// Thread-safe: every mutating entry point locks, so misuse from sweep
+/// workers cannot corrupt the document. The sweep harness nevertheless
+/// records points from the collecting thread only, in submission order, so
+/// the JSON point array is byte-identical between serial and parallel runs.
 class Recorder {
  public:
   /// `mode` is the sweep tier the file was produced under ("full", "quick",
   /// "smoke"): baselines only compare against runs of the same tier.
+  /// `jobs` is the resolved sweep parallelism — recorded under "host"
+  /// (informational), NOT under "config", so baselines recorded at one
+  /// parallelism compare cleanly against runs at another.
   Recorder(std::string bench_name, std::string mode, bool crypto_cache,
-           int reps);
+           int reps, int jobs = 1);
 
   /// Records one measurement point. `label` identifies the point within the
   /// bench (config encoded, e.g. "Solo/AND5@250") and must be unique.
@@ -50,10 +69,27 @@ class Recorder {
 
   /// Set when any repetition of any point disagreed on the chain head — a
   /// determinism violation worth failing loudly over.
-  void MarkNondeterministic() { deterministic_ = false; }
-  [[nodiscard]] bool Deterministic() const { return deterministic_; }
+  void MarkNondeterministic() {
+    std::lock_guard<std::mutex> lock(mu_);
+    deterministic_ = false;
+  }
+  [[nodiscard]] bool Deterministic() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return deterministic_;
+  }
 
-  [[nodiscard]] std::size_t PointCount() const { return points_.size(); }
+  [[nodiscard]] std::size_t PointCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return points_.size();
+  }
+
+  /// Snapshot of the verification-cache counters, emitted under
+  /// "host.verify_cache" (host-varying: the hit/miss split depends on
+  /// worker interleaving under parallel sweeps).
+  void SetVerifyCacheSample(const VerifyCacheSample& sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_sample_ = sample;
+  }
 
   /// Full document, including the whole-process host summary (total wall
   /// clock, peak RSS, aggregate events/sec).
@@ -64,13 +100,16 @@ class Recorder {
   bool WriteFile(const std::string& path) const;
 
  private:
+  mutable std::mutex mu_;
   std::string bench_name_;
   std::string mode_;
   bool crypto_cache_;
   int reps_;
+  int jobs_;
   bool deterministic_ = true;
   double total_wall_s_ = 0.0;
   std::uint64_t total_events_ = 0;
+  std::optional<VerifyCacheSample> cache_sample_;
   Json::Array points_;
 };
 

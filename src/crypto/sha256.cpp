@@ -304,7 +304,10 @@ CompressFn PickCompress() {
 
 // Resolved once on first use (init-order safe); both paths produce
 // identical digests (the SHA vectors in crypto_sha256_test run against
-// whichever path is selected).
+// whichever path is selected). Thread-safety: a C++11 magic static — the
+// first caller runs CPUID under the compiler's init guard and every other
+// thread (parallel sweep workers included) blocks until the pointer is
+// written, so the dispatch is race-free under TSan with no atomics needed.
 CompressFn GetCompress() {
   static const CompressFn fn = PickCompress();
   return fn;

@@ -20,6 +20,10 @@ std::size_t MixBytes(const std::uint8_t* data, std::size_t n) {
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
+// Per-stripe share of the global entry cap.
+constexpr std::size_t kStripeMaxEntries =
+    VerifyCache::kMaxEntries / VerifyCache::kStripes;
+
 }  // namespace
 
 std::size_t VerifyCache::KeyHash::operator()(const Key& k) const {
@@ -36,13 +40,25 @@ VerifyCache& VerifyCache::Instance() {
 }
 
 void VerifyCache::SetEnabled(bool on) {
-  enabled_ = on;
+  enabled_.store(on, std::memory_order_relaxed);
   if (!on) Clear();
 }
 
 void VerifyCache::Clear() {
-  verdicts_.clear();
-  binders_.clear();
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.verdicts.clear();
+    stripe.binders.clear();
+  }
+}
+
+std::size_t VerifyCache::Size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.verdicts.size();
+  }
+  return total;
 }
 
 VerifyCache::Key VerifyCache::MakeKey(const Digest& public_key,
@@ -58,26 +74,40 @@ VerifyCache::Key VerifyCache::MakeKey(const Digest& public_key,
 std::optional<bool> VerifyCache::Lookup(const Digest& public_key,
                                         const Digest& msg_digest,
                                         const Signature& sig) const {
-  auto it = verdicts_.find(MakeKey(public_key, msg_digest, sig));
-  if (it == verdicts_.end()) {
-    ++misses_;
+  const Key key = MakeKey(public_key, msg_digest, sig);
+  const std::size_t hash = KeyHash{}(key);
+  Stripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.verdicts.find(key);
+  if (it == stripe.verdicts.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 void VerifyCache::Insert(const Digest& public_key, const Digest& msg_digest,
                          const Signature& sig, bool verdict) {
-  if (verdicts_.size() >= kMaxEntries) verdicts_.clear();
-  verdicts_.emplace(MakeKey(public_key, msg_digest, sig), verdict);
+  const Key key = MakeKey(public_key, msg_digest, sig);
+  const std::size_t hash = KeyHash{}(key);
+  Stripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.verdicts.size() >= kStripeMaxEntries) {
+    evictions_.fetch_add(stripe.verdicts.size(), std::memory_order_relaxed);
+    stripe.verdicts.clear();
+  }
+  stripe.verdicts.emplace(key, verdict);
 }
 
-const Digest& VerifyCache::BinderFor(const Digest& public_key) {
-  auto it = binders_.find(public_key);
-  if (it != binders_.end()) return it->second;
-  if (binders_.size() >= kMaxEntries) binders_.clear();
-  return binders_.emplace(public_key, DeriveBinder(public_key))
+Digest VerifyCache::BinderFor(const Digest& public_key) {
+  const std::size_t hash = DigestHash{}(public_key);
+  Stripe& stripe = StripeFor(hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.binders.find(public_key);
+  if (it != stripe.binders.end()) return it->second;
+  if (stripe.binders.size() >= kStripeMaxEntries) stripe.binders.clear();
+  return stripe.binders.emplace(public_key, DeriveBinder(public_key))
       .first->second;
 }
 

@@ -8,15 +8,24 @@
 // verification site — simulated results are byte-identical with the cache
 // on or off, which the determinism test proves.
 //
-// The cache is process-global (the simulation is single-threaded) and
-// bounded: when full it is cleared wholesale, a deterministic policy that
-// keeps the hot, temporally-clustered re-verifications (N endorsers on one
-// proposal, every peer on one block) while capping memory. Verdicts are
-// pure functions of the key, so stale-free by construction.
+// Thread-safety contract: the cache is process-global and shared by every
+// concurrently running experiment (the sweep runner fans independent
+// points out to host threads — see runner/sweep_runner.h). It is sharded
+// into kStripes independently locked stripes keyed by the entry hash, so
+// parallel experiments rarely contend on the same mutex. Verdicts are pure
+// functions of the key, so cross-experiment sharing can never change a
+// simulated outcome — only hit/miss counts (host-side telemetry) vary with
+// thread interleaving. Each stripe is bounded: when full it is cleared
+// wholesale, a deterministic policy that keeps the hot,
+// temporally-clustered re-verifications (N endorsers on one proposal,
+// every peer on one block) while capping memory; dropped entries are
+// counted as evictions.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -33,7 +42,9 @@ class VerifyCache {
 
   /// Disabling also clears (the --no-crypto-cache escape hatch).
   void SetEnabled(bool on);
-  [[nodiscard]] bool Enabled() const { return enabled_; }
+  [[nodiscard]] bool Enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   void Clear();
 
@@ -45,19 +56,36 @@ class VerifyCache {
               const Signature& sig, bool verdict);
 
   /// Keystream binder for a public key (the per-key third of every
-  /// verification); derived once per key instead of per operation.
-  [[nodiscard]] const Digest& BinderFor(const Digest& public_key);
+  /// verification); derived once per key instead of per operation. Returned
+  /// by value: a reference into the map could be invalidated by another
+  /// thread's wholesale stripe clear.
+  [[nodiscard]] Digest BinderFor(const Digest& public_key);
 
-  /// Counters for the bench JSON (host-metric visibility, not simulated).
-  [[nodiscard]] std::uint64_t Hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t Misses() const { return misses_; }
-  [[nodiscard]] std::size_t Size() const { return verdicts_.size(); }
+  /// Counters for the bench JSON (host-metric visibility, not simulated;
+  /// under parallel sweeps the split between hits and misses depends on
+  /// thread interleaving).
+  [[nodiscard]] std::uint64_t Hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Verdict entries dropped by stripe-full wholesale clears (and explicit
+  /// Clear() calls are not counted — only capacity evictions).
+  [[nodiscard]] std::uint64_t Evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t Size() const;
   void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
-  /// Entry cap before the wholesale clear (~20 MB of verdicts).
+  /// Independently locked stripes; power of two so the hash maps cheaply.
+  static constexpr std::size_t kStripes = 16;
+  /// Total entry cap before wholesale clears (~20 MB of verdicts), split
+  /// evenly across stripes.
   static constexpr std::size_t kMaxEntries = 1u << 17;
 
  private:
@@ -76,11 +104,20 @@ class VerifyCache {
   static Key MakeKey(const Digest& public_key, const Digest& msg_digest,
                      const Signature& sig);
 
-  bool enabled_ = true;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
-  std::unordered_map<Key, bool, KeyHash> verdicts_;
-  std::unordered_map<Digest, Digest, DigestHash> binders_;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, bool, KeyHash> verdicts;
+    std::unordered_map<Digest, Digest, DigestHash> binders;
+  };
+  [[nodiscard]] Stripe& StripeFor(std::size_t hash) const {
+    return stripes_[hash & (kStripes - 1)];
+  }
+
+  std::atomic<bool> enabled_{true};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  mutable std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace fabricsim::crypto

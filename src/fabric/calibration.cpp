@@ -2,6 +2,9 @@
 
 namespace fabricsim::fabric {
 
+// Thread-safety: magic-static init, then immutable — experiments copy the
+// table into their own config (network.calibration), so parallel sweep
+// workers only ever read this shared instance.
 const Calibration& DefaultCalibration() {
   static const Calibration kDefault{};
   return kDefault;

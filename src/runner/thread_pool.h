@@ -1,0 +1,76 @@
+// Fixed-size host thread pool for fanning independent work out to cores.
+//
+// The simulation itself stays single-threaded and deterministic; the pool
+// exists one level up, where a sweep runs many *independent* experiments
+// (each with its own scheduler, network, and RNG). Tasks run FIFO, so a
+// sweep submitted in order starts in order — only completion order varies
+// with the host.
+//
+// Contract:
+//   - Submit() returns a std::future; an exception thrown by the task is
+//     captured and rethrown from future::get() on the consuming thread.
+//   - Shutdown() (and the destructor) stops accepting new work, *drains*
+//     everything already queued, then joins — submitted work is never
+//     silently dropped.
+//   - Submit() after Shutdown() throws std::runtime_error.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fabricsim::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns the future for its result (or exception).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting work, runs everything already queued, joins all
+  /// workers. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] unsigned ThreadCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Tasks currently queued and not yet picked up by a worker.
+  [[nodiscard]] std::size_t QueuedTasks() const;
+
+  /// The default parallelism: hardware_concurrency, or 1 when the runtime
+  /// cannot tell.
+  static unsigned DefaultJobs();
+
+ private:
+  void Post(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;  // guarded by mu_
+};
+
+}  // namespace fabricsim::runner

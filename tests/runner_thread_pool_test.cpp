@@ -1,0 +1,96 @@
+// Tests for the host-side worker pool behind the parallel sweep runner:
+// future-based result/exception delivery, drain-on-shutdown semantics, and
+// submission after shutdown.
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fabricsim::runner {
+namespace {
+
+TEST(RunnerThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(RunnerThreadPool, ClampThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.ThreadCount(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(RunnerThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.Submit([] { return 3; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing task must not take the worker down with it.
+  EXPECT_EQ(good.get(), 3);
+}
+
+TEST(RunnerThreadPool, ShutdownDrainsPendingWork) {
+  std::atomic<int> done{0};
+  std::vector<std::future<int>> futures;
+  {
+    // One worker and a slow first task guarantee a backlog is still queued
+    // when Shutdown() is called; every queued task must still run.
+    ThreadPool pool(1);
+    futures.push_back(pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ++done;
+      return 0;
+    }));
+    for (int i = 1; i < 16; ++i) {
+      futures.push_back(pool.Submit([&done, i] {
+        ++done;
+        return i;
+      }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(pool.QueuedTasks(), 0u);
+  }
+  EXPECT_EQ(done.load(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(futures[i].get(), i);
+  }
+}
+
+TEST(RunnerThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] { return 1; }), std::runtime_error);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(RunnerThreadPool, DestructorJoinsWithoutShutdownCall) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 24; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+  }
+  EXPECT_EQ(done.load(), 24);
+}
+
+TEST(RunnerThreadPool, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1u);
+}
+
+}  // namespace
+}  // namespace fabricsim::runner

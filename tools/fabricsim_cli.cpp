@@ -6,17 +6,21 @@
 //   fabricsim_cli --ordering=raft --rate=250 --duration=30
 //   fabricsim_cli --ordering=kafka --policy="AND('Org1MSP.peer','Org2MSP.peer')"
 //   fabricsim_cli --workload=smallbank --peers=6 --channels=2 --csv
+//   fabricsim_cli --ordering=raft --sweep=50,150,250,350 --jobs=4
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "fabric/experiment.h"
 #include "faults/fault_schedule.h"
 #include "metrics/reporter.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "runner/sweep_runner.h"
 
 using namespace fabricsim;
 
@@ -53,6 +57,8 @@ struct CliOptions {
   double flow_window = 16.0;         // client AIMD initial window (0 = off)
   double pace_tps = 0.0;             // client token-bucket rate (0 = off)
   bool check_invariants = false;
+  std::vector<double> sweep;  // arrival rates; non-empty = sweep mode
+  int jobs = 1;               // host threads for --sweep (0 = hw concurrency)
 };
 
 void PrintHelp() {
@@ -109,6 +115,14 @@ void PrintHelp() {
       "  --check-invariants           check ledger invariants (and the\n"
       "                               no-silent-drop rule) even without\n"
       "                               faults; non-zero exit on violation\n"
+      "  --sweep=<r1,r2,...>          run the base configuration once per\n"
+      "                               arrival rate and print one summary row\n"
+      "                               per rate; non-zero exit if any run's\n"
+      "                               chain audit fails (not combinable with\n"
+      "                               --trace-out/--telemetry-csv/--faults)\n"
+      "  --jobs=<n>                   host worker threads for --sweep\n"
+      "                               (default 1; 0 = hardware concurrency);\n"
+      "                               results are identical at any setting\n"
       "  --help                       this text\n";
 }
 
@@ -187,6 +201,23 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
       out.check_invariants = true;
       continue;
     }
+    if (auto v = ArgValue(arg, "--sweep")) {
+      std::stringstream ss(*v);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        try {
+          out.sweep.push_back(std::stod(item));
+        } catch (const std::exception&) {
+          error = "bad --sweep rate: " + item;
+          return false;
+        }
+      }
+      if (out.sweep.empty()) {
+        error = "--sweep needs at least one rate";
+        return false;
+      }
+      continue;
+    }
     auto number = [&](const char* key, auto& field) -> bool {
       if (auto v = ArgValue(arg, key)) {
         field = static_cast<std::decay_t<decltype(field)>>(std::stod(*v));
@@ -210,7 +241,7 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
         number("--committer-blocks", out.committer_blocks) ||
         number("--retry-after-ms", out.retry_after_ms) ||
         number("--flow-window", out.flow_window) ||
-        number("--pace-tps", out.pace_tps)) {
+        number("--pace-tps", out.pace_tps) || number("--jobs", out.jobs)) {
       continue;
     }
     error = "unknown argument: " + arg;
@@ -283,6 +314,49 @@ int main(int argc, char** argv) {
       std::cerr << "error: bad --faults spec: " << e.what() << "\n";
       return 2;
     }
+  }
+
+  // Sweep mode: the base configuration once per arrival rate, fanned out
+  // over --jobs host threads, one summary row per rate.
+  if (!cli.sweep.empty()) {
+    if (!cli.trace_out.empty() || !cli.telemetry_csv.empty() ||
+        !cli.faults.empty()) {
+      std::cerr << "error: --sweep cannot be combined with --trace-out, "
+                   "--telemetry-csv, or --faults\n";
+      return 2;
+    }
+    std::vector<runner::SweepPoint> points;
+    for (double rate : cli.sweep) {
+      fabric::ExperimentConfig point = config;
+      point.workload.rate_tps = rate;
+      points.push_back({std::move(point), metrics::Fmt(rate, 1) + " tps"});
+    }
+    runner::SweepOptions options;
+    options.jobs = cli.jobs;
+    const auto outcomes = runner::RunSweep(std::move(points), options);
+
+    metrics::Table table({"rate_tps", "committed_tps", "goodput_tps",
+                          "e2e_latency_s", "e2e_p95_s", "block_time_s",
+                          "chain_audit"});
+    bool all_ok = true;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const auto& res = outcomes[i].result;
+      const auto& rep = res.report;
+      all_ok = all_ok && res.chain_audit_ok;
+      table.AddRow({metrics::Fmt(cli.sweep[i], 1),
+                    metrics::Fmt(rep.end_to_end.throughput_tps, 1),
+                    metrics::Fmt(rep.goodput_tps, 1),
+                    metrics::Fmt(rep.end_to_end.mean_latency_s, 3),
+                    metrics::Fmt(rep.end_to_end.p95_latency_s, 3),
+                    metrics::Fmt(rep.mean_block_time_s, 2),
+                    res.chain_audit_ok ? "OK" : "FAILED"});
+    }
+    if (cli.csv) {
+      table.PrintCsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    return all_ok ? 0 : 1;
   }
 
   // Open output files up front so a bad path fails before the run, not after.
