@@ -22,10 +22,23 @@
 //   --no-crypto-cache  disable the host-side signature-verification cache
 //                      (simulated results must not change; see
 //                      crypto/verify_cache.h)
+//   --profile          attach the host-side DES profiler to every point and
+//                      emit the top-10 handler table under each point's
+//                      "host.profile" (host-only; never gated)
+//   --streaming        streaming (bounded-memory) TxTracker accounting; the
+//                      simulated results are identical to full-record mode
+//                      by construction, so baselines still match
+//   --metrics-out <p>  attach a metrics registry to every point and write
+//                      all per-point timelines (JSON object keyed by point
+//                      label) to <p>; sampling rides observer events, so
+//                      simulated results are unchanged
+//   --metrics-period-ms <n>  registry sampling cadence (simulated ms,
+//                      default 250)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -35,6 +48,7 @@
 #include "bench/recorder.h"
 #include "crypto/verify_cache.h"
 #include "fabric/experiment.h"
+#include "metrics/registry.h"
 #include "metrics/reporter.h"
 #include "obs/attribution.h"
 #include "runner/sweep_runner.h"
@@ -48,14 +62,30 @@ struct Args {
   bool csv = false;
   bool attribution = false;
   bool crypto_cache = true;
+  bool profile = false;
+  bool streaming = false;
   int reps = 1;
   int jobs = 0;  // resolved: 0 -> hardware concurrency
+  int metrics_period_ms = 250;
   std::string json_path;
+  std::string metrics_out;
 
   [[nodiscard]] const char* Mode() const {
     return smoke ? "smoke" : (quick ? "quick" : "full");
   }
 };
+
+/// Per-point metrics registries, keyed by point label; created by
+/// Sweep::Add under --metrics-out, flushed by Finish. Each point owns its
+/// registry, so parallel sweep workers never share one.
+inline std::vector<std::pair<std::string,
+                             std::unique_ptr<fabricsim::metrics::Registry>>>&
+MetricsSlot() {
+  static std::vector<
+      std::pair<std::string, std::unique_ptr<fabricsim::metrics::Registry>>>
+      slot;
+  return slot;
+}
 
 /// The process-wide recorder; created by ParseArgs, flushed by Finish.
 inline std::unique_ptr<fabricsim::bench::Recorder>& RecorderSlot() {
@@ -72,7 +102,13 @@ inline Args ParseArgs(int argc, char** argv, const std::string& bench_name) {
     if (a == "--csv") out.csv = true;
     if (a == "--attribution") out.attribution = true;
     if (a == "--no-crypto-cache") out.crypto_cache = false;
+    if (a == "--profile") out.profile = true;
+    if (a == "--streaming") out.streaming = true;
     if (a == "--json" && i + 1 < argc) out.json_path = argv[++i];
+    if (a == "--metrics-out" && i + 1 < argc) out.metrics_out = argv[++i];
+    if (a == "--metrics-period-ms" && i + 1 < argc) {
+      out.metrics_period_ms = std::max(1, std::atoi(argv[++i]));
+    }
     if (a == "--reps" && i + 1 < argc) {
       out.reps = std::max(1, std::atoi(argv[++i]));
     }
@@ -103,8 +139,19 @@ class Sweep {
   explicit Sweep(const Args& args) : args_(args) {}
 
   /// Queues one measurement point (label must be unique within the bench;
-  /// it is the join key for baseline comparison).
+  /// it is the join key for baseline comparison). The global --profile /
+  /// --streaming / --metrics-out flags are OR-ed in, so a bench can also
+  /// set them per point (bench/soak does, to contrast the tracker modes).
   void Add(fabricsim::fabric::ExperimentConfig config, std::string label) {
+    config.profile = config.profile || args_.profile;
+    config.streaming_stats = config.streaming_stats || args_.streaming;
+    if (!args_.metrics_out.empty() && config.registry == nullptr) {
+      auto reg = std::make_unique<fabricsim::metrics::Registry>();
+      config.registry = reg.get();
+      config.metrics_period =
+          fabricsim::sim::FromMillis(args_.metrics_period_ms);
+      MetricsSlot().emplace_back(label, std::move(reg));
+    }
     points_.push_back({std::move(config), std::move(label)});
   }
 
@@ -175,6 +222,29 @@ inline int Finish(const Args& args, bool ok = true) {
   if (!args.json_path.empty() &&
       !RecorderSlot()->WriteFile(args.json_path)) {
     ok = false;
+  }
+  if (!args.metrics_out.empty()) {
+    std::ofstream os(args.metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   args.metrics_out.c_str());
+      ok = false;
+    } else {
+      os << "{";
+      bool first = true;
+      for (const auto& [label, reg] : MetricsSlot()) {
+        os << (first ? "\n" : ",\n") << '"' << label << "\": ";
+        reg->WriteJson(os);
+        first = false;
+      }
+      os << "}\n";
+      if (!os) {
+        std::fprintf(stderr, "bench: write to %s failed\n",
+                     args.metrics_out.c_str());
+        ok = false;
+      }
+    }
+    MetricsSlot().clear();
   }
   return ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -21,7 +22,7 @@ Json PhaseJson(const metrics::PhaseSummary& p) {
   return out;
 }
 
-Json SimulatedJson(const fabric::ExperimentResult& r) {
+Json SimulatedJson(const fabric::ExperimentResult& r, bool tracker_stats) {
   Json out = Json::MakeObject();
   out["goodput_tps"] = Json(r.report.goodput_tps);
   out["rejection_rate"] = Json(r.report.rejection_rate);
@@ -42,6 +43,37 @@ Json SimulatedJson(const fabric::ExperimentResult& r) {
   out["chain_height"] = Json(r.chain_height);
   out["chain_head_hex"] = Json(r.chain_head_hex);
   out["sched_events"] = Json(r.sched_events);
+  if (tracker_stats) {
+    Json tracker = Json::MakeObject();
+    tracker["streaming"] = Json(r.tracker.streaming);
+    tracker["records_hwm"] = Json(r.tracker.records_hwm);
+    tracker["retired"] = Json(r.tracker.retired);
+    tracker["late_marks"] = Json(r.tracker.late_marks);
+    out["tracker"] = std::move(tracker);
+  }
+  return out;
+}
+
+Json ProfileJson(const sim::ProfileReport& p) {
+  Json out = Json::MakeObject();
+  out["total_events"] = Json(p.total_events);
+  out["total_ns"] = Json(p.total_ns);
+  out["events_per_sec"] = Json(p.events_per_sec);
+  Json::Array top;
+  const std::size_t n = std::min<std::size_t>(p.entries.size(), 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::ProfileEntry& e = p.entries[i];
+    Json row = Json::MakeObject();
+    row["name"] = Json(e.name);
+    row["count"] = Json(e.count);
+    row["total_ns"] = Json(e.total_ns);
+    row["frac"] = Json(p.total_ns > 0
+                           ? static_cast<double>(e.total_ns) /
+                                 static_cast<double>(p.total_ns)
+                           : 0.0);
+    top.push_back(std::move(row));
+  }
+  out["top"] = Json(std::move(top));
   return out;
 }
 
@@ -80,7 +112,7 @@ void Recorder::AddPoint(const std::string& label,
   std::lock_guard<std::mutex> lock(mu_);
   Json point = Json::MakeObject();
   point["label"] = Json(label);
-  point["simulated"] = SimulatedJson(result);
+  point["simulated"] = SimulatedJson(result, emit_tracker_stats_);
   Json h = Json::MakeObject();
   h["reps"] = Json(static_cast<int>(host.wall_s.size()));
   h["wall_s_mean"] = Json(wall.mean);
@@ -89,6 +121,7 @@ void Recorder::AddPoint(const std::string& label,
       Json(wall.mean > 0.0
                ? static_cast<double>(host.sched_events) / wall.mean
                : 0.0);
+  if (result.profile) h["profile"] = ProfileJson(*result.profile);
   point["host"] = std::move(h);
   points_.push_back(std::move(point));
 

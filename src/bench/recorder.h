@@ -63,9 +63,22 @@ class Recorder {
 
   /// Records one measurement point. `label` identifies the point within the
   /// bench (config encoded, e.g. "Solo/AND5@250") and must be unique.
+  /// A profiled result additionally emits "host.profile" (events/sec plus
+  /// the top-10 handler table) — under "host" because the timings wobble
+  /// with the machine, and bench_diff only checks host keys it knows.
   void AddPoint(const std::string& label,
                 const fabric::ExperimentResult& result,
                 const HostSample& host);
+
+  /// Opt in to the deterministic tracker-occupancy block under "simulated"
+  /// ("tracker": streaming / records_hwm / retired / late_marks). Off by
+  /// default: new simulated keys fail the exact diff against baselines
+  /// recorded without them, so only benches whose baselines carry the block
+  /// (bench/soak) enable it.
+  void SetEmitTrackerStats(bool on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    emit_tracker_stats_ = on;
+  }
 
   /// Set when any repetition of any point disagreed on the chain head — a
   /// determinism violation worth failing loudly over.
@@ -110,6 +123,7 @@ class Recorder {
   double total_wall_s_ = 0.0;
   std::uint64_t total_events_ = 0;
   std::optional<VerifyCacheSample> cache_sample_;
+  bool emit_tracker_stats_ = false;
   Json::Array points_;
 };
 

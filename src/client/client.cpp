@@ -99,7 +99,7 @@ void Client::ScheduleRetry(const std::string& tx_id, sim::SimDuration delay,
     tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kQueue,
                "client.retry", tx_id, env_.Now(), env_.Now() + delay);
   }
-  env_.Sched().ScheduleAfter(delay, std::move(retry));
+  env_.Sched().ScheduleAfter(delay, std::move(retry), "client/broadcast_retry");
 }
 
 void Client::Submit(proto::ChaincodeInvocation inv,
@@ -144,7 +144,8 @@ void Client::Submit(proto::ChaincodeInvocation inv,
           tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kService,
                      "client.sdk_pre", tx_id, env_.Now(), env_.Now() + pre);
         }
-        env_.Sched().ScheduleAfter(pre, [this, tx_id] { MaybeLaunch(tx_id); });
+        env_.Sched().ScheduleAfter(pre, [this, tx_id] { MaybeLaunch(tx_id); },
+                                   "client/sdk_pre");
         if (proposal_built) proposal_built();
       });
 }
@@ -191,10 +192,13 @@ void Client::RefillTokens() {
 void Client::ArmPumpTimer(sim::SimDuration delay) {
   if (pump_timer_ != 0) return;  // already armed
   if (delay < sim::FromMillis(1)) delay = sim::FromMillis(1);
-  pump_timer_ = env_.Sched().ScheduleAfter(delay, [this] {
-    pump_timer_ = 0;
-    PumpLaunchQueue();
-  });
+  pump_timer_ = env_.Sched().ScheduleAfter(
+      delay,
+      [this] {
+        pump_timer_ = 0;
+        PumpLaunchQueue();
+      },
+      "client/flow_pump");
 }
 
 void Client::PumpLaunchQueue() {
@@ -313,7 +317,8 @@ void Client::SendProposals(const std::string& tx_id) {
             Reject(tx_id, tx2.overloaded);
           }
         }
-      });
+      },
+      "client/endorse_timeout");
 }
 
 void Client::RetryEndorsement(const std::string& tx_id) {
@@ -438,7 +443,8 @@ void Client::FinishEndorsement(const std::string& tx_id) {
       tr->Record(tr->PidFor(machine_.Name()), obs::SpanKind::kService,
                  "client.sdk_post", tx_id, env_.Now(), env_.Now() + post);
     }
-    env_.Sched().ScheduleAfter(post, [this, tx_id] { BroadcastEnvelope(tx_id); });
+    env_.Sched().ScheduleAfter(post, [this, tx_id] { BroadcastEnvelope(tx_id); },
+                               "client/sdk_post");
   });
 }
 
@@ -489,7 +495,8 @@ void Client::BroadcastEnvelope(const std::string& tx_id) {
           // surfaces here as a timeout.
           Reject(tx_id, tx2.overloaded);
         }
-      });
+      },
+      "client/broadcast_timeout");
 }
 
 void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
@@ -524,7 +531,8 @@ void Client::OnBroadcastAck(const ordering::BroadcastAckMsg& ack) {
             } else {
               Reject(tx_id);
             }
-          });
+          },
+          "client/commit_timeout");
     }
     return;
   }

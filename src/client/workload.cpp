@@ -45,11 +45,15 @@ void WorkloadController::ScheduleNext(std::size_t ci) {
   if (ideal > config_.start + config_.duration) return;  // window over
   const sim::SimTime when = ideal > env_.Now() ? ideal : env_.Now();
 
-  env_.Sched().ScheduleAt(when, [this, ci] {
-    ++generated_;
-    generated_log_.Record(env_.Now());
-    clients_[ci]->Submit(NextInvocation(ci), [this, ci] { ScheduleNext(ci); });
-  });
+  env_.Sched().ScheduleAt(
+      when,
+      [this, ci] {
+        ++generated_;
+        generated_log_.Record(env_.Now());
+        clients_[ci]->Submit(NextInvocation(ci),
+                             [this, ci] { ScheduleNext(ci); });
+      },
+      "workload/generate");
 }
 
 proto::ChaincodeInvocation WorkloadController::NextInvocation(std::size_t ci) {

@@ -3,6 +3,8 @@
 #include <string_view>
 
 #include "crypto/sha256.h"
+#include "crypto/verify_cache.h"
+#include "metrics/registry.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -35,6 +37,70 @@ std::vector<obs::ResourceUsage> CollectUsage(FabricNetwork& net,
   return usage;
 }
 
+/// Wires the standard instrument set into `reg`: queue depths and
+/// high-watermarks, cumulative sheds, scheduler backlog, verify-cache
+/// traffic, and tracker occupancy. All closures point into `net`, so the
+/// caller must DropInstruments() before the network dies.
+void WireRegistry(metrics::Registry& reg, FabricNetwork& net) {
+  sim::Scheduler* sched = &net.Env().Sched();
+  reg.AddGauge("scheduler.pending_events", [sched] {
+    return static_cast<double>(sched->PendingEvents());
+  });
+  reg.AddGauge("scheduler.executed_events", [sched] {
+    return static_cast<double>(sched->ExecutedEvents());
+  });
+  for (int c = 0; c < net.ChannelCount(); ++c) {
+    const auto osns = net.Osns(c);
+    for (std::size_t i = 0; i < osns.size(); ++i) {
+      const std::string prefix =
+          "osn" + std::to_string(i) + "." + net.ChannelId(c) + ".";
+      ordering::OsnBase* osn = osns[i];
+      reg.AddGauge(prefix + "ingress_depth", [osn] {
+        return static_cast<double>(osn->IngressDepth());
+      });
+      reg.AddGauge(prefix + "ingress_depth_hwm", [osn] {
+        return static_cast<double>(osn->IngressDepthHighWatermark());
+      });
+      reg.AddGauge(prefix + "ingress_shed", [osn] {
+        return static_cast<double>(osn->IngressShed());
+      });
+    }
+  }
+  for (std::size_t i = 0; i < net.PeerCount(); ++i) {
+    peer::PeerNode* p = &net.Peer(i);
+    if (!p->IsEndorsing()) continue;
+    const std::string prefix = "peer" + std::to_string(i) + ".";
+    reg.AddGauge(prefix + "endorse_depth", [p] {
+      return static_cast<double>(p->EndorseDepth());
+    });
+    reg.AddGauge(prefix + "endorse_depth_hwm", [p] {
+      return static_cast<double>(p->EndorseDepthHighWatermark());
+    });
+    reg.AddGauge(prefix + "endorse_shed", [p] {
+      return static_cast<double>(p->EndorseShed());
+    });
+  }
+  peer::PeerNode* validator = &net.ValidatorPeer();
+  reg.AddGauge("validator.deferred_blocks", [validator] {
+    return static_cast<double>(validator->GetCommitter().DeferredBlocks());
+  });
+  metrics::TxTracker* tracker = &net.Tracker();
+  reg.AddGauge("tracker.inflight_records", [tracker] {
+    return static_cast<double>(tracker->TxCount());
+  });
+  reg.AddGauge("tracker.retired_records", [tracker] {
+    return static_cast<double>(tracker->RetiredCount());
+  });
+  // Host-side (thread-interleaving-dependent under parallel sweeps), but the
+  // timeline is exposition-only — never compared by the regression gate.
+  reg.AddGauge("verify_cache.hits", [] {
+    return static_cast<double>(crypto::VerifyCache::Instance().Hits());
+  });
+  reg.AddGauge("verify_cache.misses", [] {
+    return static_cast<double>(crypto::VerifyCache::Instance().Misses());
+  });
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -46,10 +112,52 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   if (!schedule.Empty()) net_options.recovery.enabled = true;
   if (config.check_invariants) net_options.track_outcomes = true;
 
+  // The measurement window is fully determined by the config, which is what
+  // lets the tracker stream: fold-and-retire needs the window up front.
+  const sim::SimTime window_start = config.warmup;
+  const sim::SimTime window_end = config.warmup + config.workload.duration;
+  const sim::SimTime measure_start = window_start + sim::FromSeconds(5);
+
   FabricNetwork net(net_options);
+
+  // Streaming accounting only when nothing needs post-hoc Records():
+  // attribution walks them, the invariant checker cross-references them, and
+  // recovery's commit-timeout can reject a transaction after its commit
+  // already retired the record (the one reject-after-commit race).
+  const bool streaming = config.streaming_stats &&
+                         net_options.tracer == nullptr && schedule.Empty() &&
+                         !config.check_invariants &&
+                         !net_options.recovery.enabled;
+  if (streaming) {
+    net.Tracker().EnableStreaming(measure_start, window_end);
+    // The per-job busy-mark history is the one remaining O(jobs) allocation;
+    // its only consumer (attribution's windowed utilization) is excluded by
+    // the gate above, so drop it too and RSS stays flat at any run length.
+    for (std::size_t i = 0; i < net.Env().MachineCount(); ++i) {
+      net.Env().MachineAt(i).GetCpu().SetBoundedMarks(true);
+    }
+    net.ValidatorPeer().MutableDisk().SetBoundedMarks(true);
+  }
+
+  // Host profiler: external one wins (the CLI exports its Chrome trace);
+  // otherwise a run-local instance feeds ExperimentResult::profile.
+  sim::DesProfiler local_profiler;
+  sim::DesProfiler* profiler = config.profiler;
+  if (profiler == nullptr && config.profile) profiler = &local_profiler;
+  if (profiler != nullptr) {
+    profiler->Reset();
+    net.Env().Sched().SetProfiler(profiler);
+  }
+
   faults::FaultInjector injector(net, schedule);
   injector.Arm();
   net.Start();
+
+  if (config.registry != nullptr) {
+    config.registry->Reset();
+    WireRegistry(*config.registry, net);
+    config.registry->StartSampling(net.Env().Sched(), config.metrics_period);
+  }
 
   if (config.telemetry != nullptr) {
     config.telemetry->Monitor(net.Env());
@@ -66,6 +174,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
           config.telemetry->AddGauge(name, "ingress_depth", [osn] {
             return static_cast<double>(osn->IngressDepth());
           });
+          // High watermark alongside the instantaneous depth: a 250 ms
+          // sampling cadence misses bursts; the watermark never does.
+          config.telemetry->AddGauge(name, "ingress_depth_hwm", [osn] {
+            return static_cast<double>(osn->IngressDepthHighWatermark());
+          });
           config.telemetry->AddGauge(name, "ingress_shed", [osn] {
             return static_cast<double>(osn->IngressShed());
           });
@@ -77,6 +190,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         const std::string name = "peer" + std::to_string(i);
         config.telemetry->AddGauge(name, "endorse_depth", [p] {
           return static_cast<double>(p->EndorseDepth());
+        });
+        config.telemetry->AddGauge(name, "endorse_depth_hwm", [p] {
+          return static_cast<double>(p->EndorseDepthHighWatermark());
         });
         config.telemetry->AddGauge(name, "endorse_shed", [p] {
           return static_cast<double>(p->EndorseShed());
@@ -96,15 +212,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   client::WorkloadController controller(net.Env(), net.Clients(), wl);
   controller.Start();
 
-  const sim::SimTime window_start = config.warmup;
-  const sim::SimTime window_end = config.warmup + wl.duration;
   net.Env().Sched().RunUntil(window_end + config.drain);
   if (config.telemetry != nullptr) config.telemetry->Stop();
+  if (config.registry != nullptr) {
+    config.registry->StopSampling();
+    config.registry->SampleNow(net.Env().Sched().Now());
+  }
 
   ExperimentResult out;
-  // Measure with a short lead-in skipped so queues are in steady state.
-  const sim::SimTime measure_start =
-      window_start + sim::FromSeconds(5);
+  // The measurement window skips a 5 s lead-in (computed up top) so queues
+  // are in steady state when it opens.
   out.report = net.Tracker().BuildReport(measure_start, window_end);
   out.generated = controller.Generated();
   out.generated_rate_tps =
@@ -152,6 +269,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   } else if (config.check_invariants) {
     out.invariants = faults::CheckInvariants(net);
   }
+  out.tracker.streaming = net.Tracker().Streaming();
+  out.tracker.records_hwm = net.Tracker().RecordsHighWatermark();
+  out.tracker.retired = net.Tracker().RetiredCount();
+  out.tracker.late_marks = net.Tracker().LateMarks();
+  if (profiler != nullptr) {
+    net.Env().Sched().SetProfiler(nullptr);
+    out.profile = profiler->Report();
+  }
+  // The registry keeps its names + timeline; the closures point into `net`,
+  // which dies when this frame returns.
+  if (config.registry != nullptr) config.registry->DropInstruments();
   return out;
 }
 

@@ -14,10 +14,15 @@
 #include "faults/invariants.h"
 #include "metrics/phase_stats.h"
 #include "obs/attribution.h"
+#include "sim/profiler.h"
 
 namespace fabricsim::obs {
 class TelemetrySampler;
 }  // namespace fabricsim::obs
+
+namespace fabricsim::metrics {
+class Registry;
+}  // namespace fabricsim::metrics
 
 namespace fabricsim::fabric {
 
@@ -40,6 +45,37 @@ struct ExperimentConfig {
   /// runs must prove shedding never loses an acked tx). Forces per-client
   /// outcome logging.
   bool check_invariants = false;
+  /// Streaming (bounded-memory) TxTracker accounting: per-tx records retire
+  /// on terminal state instead of accumulating. Produces an identical report
+  /// (see metrics::TxTracker) but empties Records(), so the runner silently
+  /// falls back to full-record mode when attribution, faults, invariants, or
+  /// recovery need post-hoc records (recovery's commit-timeout can reject a
+  /// tx after its commit retired the record).
+  bool streaming_stats = false;
+  /// Optional metrics registry: the runner wires standard gauges (queue
+  /// depths and high-watermarks, sheds, scheduler backlog, verify cache,
+  /// tracker occupancy) and samples them every `metrics_period` of simulated
+  /// time on observer events — attaching it changes no simulated result.
+  /// Reset + rewired each run; not owned. The caller exports the timeline
+  /// with Registry::WriteJson/WritePrometheus afterwards.
+  metrics::Registry* registry = nullptr;
+  sim::SimDuration metrics_period = sim::FromMillis(250);
+  /// Host-side DES profiler: per-handler dispatch counts and host-ns
+  /// attribution into ExperimentResult::profile (a few percent wall-clock
+  /// overhead; simulated results unchanged).
+  bool profile = false;
+  /// Optional external profiler (e.g. the CLI's, for Chrome-trace export).
+  /// When set it is used instead of an internal one and `profile` is
+  /// implied. Not owned; Reset each run.
+  sim::DesProfiler* profiler = nullptr;
+};
+
+/// Deterministic tracker-occupancy stats for the bounded-memory proof.
+struct TrackerStats {
+  bool streaming = false;
+  std::uint64_t records_hwm = 0;  // peak concurrent TxRecords
+  std::uint64_t retired = 0;
+  std::uint64_t late_marks = 0;  // must be 0 for streaming == full
 };
 
 struct ExperimentResult {
@@ -78,6 +114,11 @@ struct ExperimentResult {
   std::vector<faults::FaultInjector::LogEntry> fault_log;
   std::optional<faults::InvariantReport> invariants;
   std::optional<faults::RecoverySummary> recovery;
+  /// Deterministic tracker-occupancy stats (always filled; `streaming` says
+  /// whether the bounded-memory path actually engaged).
+  TrackerStats tracker;
+  /// Present iff `profile` was set (host-side timing; not deterministic).
+  std::optional<sim::ProfileReport> profile;
 };
 
 /// Runs one experiment to completion (simulated time, wall-clock fast).

@@ -44,6 +44,25 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
   BuildClients();
   SeedAccounts();
   ApplyOverloadProtection();
+  ApplyRetention();
+}
+
+void FabricNetwork::ApplyRetention() {
+  const RetentionOptions& r = options_.retention;
+  if (r.ledger_blocks == 0 && r.history_per_key == 0 &&
+      r.osn_history_blocks == 0) {
+    return;
+  }
+  for (auto& p : peers_) {
+    p->SetLedgerRetention(r.ledger_blocks, r.history_per_key);
+  }
+  if (r.osn_history_blocks > 0) {
+    for (int c = 0; c < ChannelCount(); ++c) {
+      for (ordering::OsnBase* osn : Osns(c)) {
+        osn->SetHistoryBlocks(r.osn_history_blocks);
+      }
+    }
+  }
 }
 
 std::string FabricNetwork::ChannelId(int channel) const {

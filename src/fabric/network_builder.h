@@ -86,6 +86,21 @@ struct OverloadOptions {
   client::FlowControlConfig flow;
 };
 
+/// Bounded-memory retention for long soak runs. Defaults keep everything
+/// (the paper's measurement regime, and what attribution/invariants need).
+/// With bounds set, per-run memory stays O(retained state) instead of
+/// O(total transactions) — pair with ExperimentConfig::streaming_stats for
+/// flat-RSS million-transaction runs (bench/soak.cpp).
+struct RetentionOptions {
+  /// Blocks kept resident per peer ledger (0 = all). Shrinks the committer's
+  /// duplicate-tx-id detection horizon to the retained window.
+  std::uint64_t ledger_blocks = 0;
+  /// Modifications kept per key in the history index (0 = all).
+  std::size_t history_per_key = 0;
+  /// Delivered blocks kept per OSN for backfill seeks (0 = all).
+  std::size_t osn_history_blocks = 0;
+};
+
 struct NetworkOptions {
   TopologyConfig topology;
   ChannelConfig channel;
@@ -112,6 +127,8 @@ struct NetworkOptions {
   RecoveryOptions recovery;
   /// Bounded queues + admission control + client flow control.
   OverloadOptions overload;
+  /// Ledger/OSN retention bounds for long soak runs (defaults: keep all).
+  RetentionOptions retention;
   /// Force per-tx outcome logging on every client even without recovery
   /// (the invariant checker needs it for pure-overload runs).
   bool track_outcomes = false;
@@ -179,6 +196,7 @@ class FabricNetwork {
   void BuildClients();
   void SeedAccounts();
   void ApplyOverloadProtection();
+  void ApplyRetention();
   [[nodiscard]] sim::NodeId OsnNetId(int channel, std::size_t index) const;
 
   NetworkOptions options_;

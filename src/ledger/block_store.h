@@ -3,8 +3,17 @@
 // Mirrors Fabric's file-based block store: blocks are retrievable by number,
 // transactions by id, and the committer consults the tx-id index for
 // duplicate-transaction detection.
+//
+// Retention: by default every block is kept (the real block store is disk-
+// backed and effectively unbounded, but here blocks live in RSS, which makes
+// million-transaction soak runs infeasible). SetRetention(n) keeps only the
+// newest n blocks in memory — older blocks and their tx-index entries are
+// pruned, so duplicate detection's horizon shrinks to the retained window.
+// That is safe whenever client resubmission of old tx ids is bounded (every
+// non-chaos run), and the soak bench relies on it for flat memory.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,36 +39,58 @@ class BlockStore {
   void Append(proto::BlockPtr block,
               std::vector<proto::ValidationCode> codes = {});
 
-  /// Number of blocks stored (== next block number).
-  [[nodiscard]] std::uint64_t Height() const { return blocks_.size(); }
+  /// Keeps only the newest `keep_blocks` blocks in memory (0 = keep all,
+  /// the default). Takes effect on the next Append.
+  void SetRetention(std::uint64_t keep_blocks) { keep_blocks_ = keep_blocks; }
 
-  /// Block by number, or nullptr if out of range.
+  /// Number of blocks appended ever (== next block number). Pruned blocks
+  /// still count: height is chain position, not residency.
+  [[nodiscard]] std::uint64_t Height() const {
+    return first_block_num_ + blocks_.size();
+  }
+
+  /// Oldest block number still resident (0 until pruning starts).
+  [[nodiscard]] std::uint64_t FirstBlockNumber() const {
+    return first_block_num_;
+  }
+
+  /// Blocks currently resident in memory.
+  [[nodiscard]] std::size_t ResidentBlocks() const { return blocks_.size(); }
+
+  /// Block by number, or nullptr if out of range or pruned.
   [[nodiscard]] proto::BlockPtr GetBlock(std::uint64_t number) const;
 
   [[nodiscard]] proto::BlockPtr LastBlock() const;
 
   /// True if a transaction with this id has been stored (valid or not —
-  /// Fabric records invalid transactions too and rejects id reuse).
+  /// Fabric records invalid transactions too and rejects id reuse). Under
+  /// retention, only transactions in resident blocks are visible.
   [[nodiscard]] bool HasTransaction(const std::string& tx_id) const;
 
   [[nodiscard]] std::optional<TxLocation> FindTransaction(
       const std::string& tx_id) const;
 
   /// Validation codes recorded when block `number` was committed (empty for
-  /// blocks appended without codes, e.g. on the orderer side).
+  /// blocks appended without codes, e.g. on the orderer side, or pruned).
   [[nodiscard]] const std::vector<proto::ValidationCode>& CodesFor(
       std::uint64_t number) const;
 
-  /// Total transactions across all blocks.
-  [[nodiscard]] std::uint64_t TxCount() const { return tx_index_.size(); }
+  /// Total transactions appended ever (pruned blocks included).
+  [[nodiscard]] std::uint64_t TxCount() const { return total_txs_; }
 
-  /// Total serialized bytes appended (storage-size accounting).
+  /// Total serialized bytes appended ever (storage-size accounting; not
+  /// reduced by pruning — it models cumulative disk writes).
   [[nodiscard]] std::uint64_t StoredBytes() const { return stored_bytes_; }
 
  private:
-  std::vector<proto::BlockPtr> blocks_;
-  std::vector<std::vector<proto::ValidationCode>> codes_;
+  void PruneFront();
+
+  std::deque<proto::BlockPtr> blocks_;
+  std::deque<std::vector<proto::ValidationCode>> codes_;
   std::unordered_map<std::string, TxLocation> tx_index_;
+  std::uint64_t first_block_num_ = 0;
+  std::uint64_t keep_blocks_ = 0;  // 0 = unbounded
+  std::uint64_t total_txs_ = 0;
   std::uint64_t stored_bytes_ = 0;
 };
 

@@ -35,7 +35,19 @@ bool Blockchain::Append(proto::BlockPtr block,
 ChainCheck Blockchain::Audit() const {
   ChainCheck out;
   crypto::Digest prev{};
-  for (std::uint64_t n = 0; n < store_.Height(); ++n) {
+  std::uint64_t start = store_.FirstBlockNumber();
+  if (start > 0) {
+    // Pruned prefix: anchor on the oldest resident block's own header hash
+    // and verify linkage from its successor onward.
+    const auto anchor = store_.GetBlock(start);
+    if (!anchor) return out;  // fully pruned; nothing auditable
+    if (anchor->header.data_hash != anchor->DataHash()) {
+      return {false, start, "data-hash mismatch"};
+    }
+    prev = anchor->header.Hash();
+    ++start;
+  }
+  for (std::uint64_t n = start; n < store_.Height(); ++n) {
     const auto block = store_.GetBlock(n);
     if (block->header.number != n) {
       return {false, n, "block number mismatch"};

@@ -33,7 +33,9 @@ class Blockchain {
   /// Hash of the current tip's header (all-zero before genesis).
   [[nodiscard]] crypto::Digest TipHash() const;
 
-  /// Walks the whole chain re-checking every link and data hash.
+  /// Walks the resident chain re-checking every link and data hash. Under
+  /// retention the audit starts at the first block whose predecessor is
+  /// still resident (linkage of the oldest resident block has no anchor).
   [[nodiscard]] ChainCheck Audit() const;
 
   /// Validates linkage of `block` against the current tip without appending.

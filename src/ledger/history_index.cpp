@@ -21,7 +21,14 @@ void HistoryIndex::IndexBlock(const proto::Block& block,
         mod.tx_id = tx.tx_id;
         mod.is_delete = w.is_delete;
         mod.value = w.value;
-        index_[StateDb::CompositeKey(ns.ns, w.key)].push_back(std::move(mod));
+        auto& mods = index_[StateDb::CompositeKey(ns.ns, w.key)];
+        mods.push_back(std::move(mod));
+        if (per_key_cap_ > 0 && mods.size() > per_key_cap_) {
+          mods.erase(mods.begin(),
+                     mods.begin() +
+                         static_cast<std::ptrdiff_t>(mods.size() -
+                                                     per_key_cap_));
+        }
       }
     }
   }

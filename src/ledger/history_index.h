@@ -28,7 +28,13 @@ class HistoryIndex {
   void IndexBlock(const proto::Block& block,
                   const std::vector<proto::ValidationCode>& codes);
 
-  /// History of a key, oldest first. Empty if never written.
+  /// Keeps only the newest `cap` modifications per key (0 = keep all, the
+  /// default). Memory is otherwise O(total valid writes), which long soak
+  /// runs cannot afford; Fabric's history DB is disk-backed so the real
+  /// system has no such bound.
+  void SetPerKeyCap(std::size_t cap) { per_key_cap_ = cap; }
+
+  /// History of a key, oldest retained first. Empty if never written.
   [[nodiscard]] const std::vector<KeyModification>& HistoryFor(
       const std::string& ns, const std::string& key) const;
 
@@ -36,6 +42,7 @@ class HistoryIndex {
 
  private:
   std::unordered_map<std::string, std::vector<KeyModification>> index_;
+  std::size_t per_key_cap_ = 0;
   static const std::vector<KeyModification> kEmpty;
 };
 

@@ -67,16 +67,19 @@ sim::SimDuration Histogram::Percentile(double p) const {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // An empty right-hand side must be a strict no-op: folding in its zeroed
+  // min_/max_ would corrupt our extrema, and walking its empty buckets is
+  // wasted work.
+  if (!other.has_any_) return;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     buckets_[b] += other.buckets_[b];
   }
   count_ += other.count_;
   sum_ += other.sum_;
-  if (other.has_any_) {
-    if (!has_any_ || other.min_ < min_) min_ = other.min_;
-    if (!has_any_ || other.max_ > max_) max_ = other.max_;
-    has_any_ = true;
-  }
+  // An empty left-hand side adopts the other's extrema wholesale.
+  if (!has_any_ || other.min_ < min_) min_ = other.min_;
+  if (!has_any_ || other.max_ > max_) max_ = other.max_;
+  has_any_ = true;
 }
 
 void Histogram::Reset() {

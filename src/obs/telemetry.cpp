@@ -36,7 +36,10 @@ void TelemetrySampler::Start(sim::Scheduler& sched) {
   if (running_) return;
   sched_ = &sched;
   running_ = true;
-  tick_event_ = sched_->ScheduleAfter(period_, [this] { Tick(); });
+  // Observer events: sampling must not perturb ExecutedEvents(), which the
+  // bench gate compares bit-exactly.
+  tick_event_ = sched_->ScheduleObserverAfter(period_, [this] { Tick(); },
+                                              "telemetry/tick");
 }
 
 void TelemetrySampler::Stop() {
@@ -49,7 +52,8 @@ void TelemetrySampler::Stop() {
 void TelemetrySampler::Tick() {
   if (!running_) return;
   SampleNow(sched_->Now());
-  tick_event_ = sched_->ScheduleAfter(period_, [this] { Tick(); });
+  tick_event_ = sched_->ScheduleObserverAfter(period_, [this] { Tick(); },
+                                              "telemetry/tick");
 }
 
 void TelemetrySampler::SampleNow(sim::SimTime now) {
@@ -62,6 +66,12 @@ void TelemetrySampler::SampleNow(sim::SimTime now) {
   if (watching_network_) {
     samples_.push_back({now, "network", "bytes_in_flight",
                         static_cast<double>(bytes_in_flight_)});
+  }
+  if (sched_ != nullptr) {
+    // The DES event-queue depth itself: a saturation signal for the host
+    // loop, invisible to any per-resource gauge.
+    samples_.push_back({now, "scheduler", "pending_events",
+                        static_cast<double>(sched_->PendingEvents())});
   }
   for (const Gauge& g : gauges_) {
     samples_.push_back({now, g.resource, g.metric, g.fn()});

@@ -11,9 +11,13 @@
 // resources.
 //
 // Like the tracer, the sampler is opt-in: nothing in the simulation knows it
-// exists, and an unattached run pays nothing. The sampler does schedule its
-// own tick events, but ticks mutate no simulation state and every component
-// event is ordered independently of them, so results are unchanged.
+// exists, and an unattached run pays nothing. Tick events are scheduler
+// *observer* events: they mutate no simulation state and are excluded from
+// ExecutedEvents(), so an attached sampler leaves every simulated result —
+// including the event-count fingerprint the bench gate checks — unchanged.
+// Beyond CPU and network rows, each sample records the scheduler's pending
+// event-queue depth, and callers wire high-watermark gauges for the bounded
+// admission queues via AddGauge.
 #pragma once
 
 #include <cstdint>

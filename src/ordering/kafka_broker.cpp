@@ -47,7 +47,8 @@ void KafkaBroker::SendZk(ZkOp op, const std::string& path,
 
 void KafkaBroker::HeartbeatTick() {
   SendZk(ZkOp::kHeartbeat, "", "", nullptr);
-  env_.Sched().ScheduleAfter(config_.zk_heartbeat, [this] { HeartbeatTick(); });
+  env_.Sched().ScheduleAfter(config_.zk_heartbeat, [this] { HeartbeatTick(); },
+                             "kafka_broker/zk_heartbeat");
 }
 
 void KafkaBroker::TryBecomeController() {
@@ -121,7 +122,8 @@ void KafkaBroker::IsrMaintenanceTick() {
   if (shrunk) MaybeAdvanceHighWatermark();
   if (retry) ReplicateToFollowers();
   env_.Sched().ScheduleAfter(sim::FromSeconds(2),
-                             [this] { IsrMaintenanceTick(); });
+                             [this] { IsrMaintenanceTick(); },
+                             "kafka_broker/isr_tick");
 }
 
 std::vector<sim::NodeId> KafkaBroker::IsrFollowers() const {

@@ -35,7 +35,8 @@ void KafkaOrderer::WatchdogTick() {
     unacked_ = 0;
     DiscoverLeader();
   }
-  env_.Sched().ScheduleAfter(sim::FromSeconds(2), [this] { WatchdogTick(); });
+  env_.Sched().ScheduleAfter(sim::FromSeconds(2), [this] { WatchdogTick(); },
+                             "kafka_orderer/watchdog");
 }
 
 void KafkaOrderer::SendZk(ZkOp op, const std::string& path,
@@ -57,7 +58,8 @@ void KafkaOrderer::DiscoverLeader() {
            if (!resp.ok || resp.data.empty()) {
              // No controller yet; retry shortly.
              env_.Sched().ScheduleAfter(sim::FromMillis(500),
-                                        [this] { DiscoverLeader(); });
+                                        [this] { DiscoverLeader(); },
+                                        "kafka_orderer/discover_leader");
              return;
            }
            partition_leader_ =
@@ -162,7 +164,8 @@ void KafkaOrderer::ProcessRecord(const KafkaRecord& rec) {
 void KafkaOrderer::ArmTimerIfNeeded() {
   if (timer_ != 0) return;
   timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
-                                      [this] { OnTimeout(); });
+                                      [this] { OnTimeout(); },
+                                      "kafka_orderer/batch_timeout");
 }
 
 void KafkaOrderer::OnTimeout() {

@@ -195,13 +195,16 @@ void OsnBase::PumpBackfill(sim::NodeId peer) {
   // Lost-ack guard: if nothing moves for a while, assume the outstanding
   // window made it (legacy backfill had no retransmit either) and advance.
   const std::uint64_t version = st.version;
-  env_.Sched().ScheduleAfter(backfill_timeout_, [this, peer, version]() {
-    auto g = backfill_.find(peer);
-    if (g == backfill_.end() || g->second.version != version) return;
-    g->second.inflight = 0;
-    ++g->second.version;
-    PumpBackfill(peer);
-  });
+  env_.Sched().ScheduleAfter(
+      backfill_timeout_,
+      [this, peer, version]() {
+        auto g = backfill_.find(peer);
+        if (g == backfill_.end() || g->second.version != version) return;
+        g->second.inflight = 0;
+        ++g->second.version;
+        PumpBackfill(peer);
+      },
+      "osn/backfill_timeout");
 }
 
 void OsnBase::OnDeliverAck(sim::NodeId peer) {
@@ -241,6 +244,14 @@ void OsnBase::FinishBlock(AssembledBlock b) {
     ++delivered_blocks_;
     deliver_.Deliver(ready);
     history_.emplace(ready.block->header.number, ready);
+    if (history_blocks_ > 0) {
+      // Bounded backfill history: anything a subscriber might still seek
+      // beyond this window is simply gone, like a Fabric orderer whose log
+      // was snapshotted/compacted.
+      while (history_.size() > history_blocks_) {
+        history_.erase(history_.begin());
+      }
+    }
     out_of_order_.erase(it);
     ++next_deliver_number_;
   }

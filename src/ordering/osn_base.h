@@ -70,10 +70,19 @@ class OsnBase {
   void SetBackfillWindow(std::size_t window) { backfill_window_ = window; }
   [[nodiscard]] std::size_t BackfillWindow() const { return backfill_window_; }
 
+  /// Caps the retained backfill history to the newest `blocks` delivered
+  /// blocks (0 = keep all, the default). Memory is otherwise O(chain
+  /// length); long soak runs bound it and forgo deep backfill seeks.
+  void SetHistoryBlocks(std::size_t blocks) { history_blocks_ = blocks; }
+
   /// Envelopes currently admitted or waiting at the ingress queue.
   [[nodiscard]] std::size_t IngressDepth() const { return ingress_.Depth(); }
   [[nodiscard]] std::size_t IngressWaiting() const {
     return ingress_.Waiting();
+  }
+  /// Peak ingress depth ever observed (catches spikes between samples).
+  [[nodiscard]] std::size_t IngressDepthHighWatermark() const {
+    return ingress_.DepthHighWatermark();
   }
   [[nodiscard]] std::uint64_t IngressShed() const {
     return ingress_.ShedTotal();
@@ -210,6 +219,7 @@ class OsnBase {
   std::unordered_map<std::string, int> admitted_txs_;
 
   std::map<sim::NodeId, BackfillState> backfill_;
+  std::size_t history_blocks_ = 0;  // 0 = unbounded
   std::size_t backfill_window_ = 4;
   sim::SimDuration backfill_timeout_ = sim::FromSeconds(2);
 };

@@ -50,7 +50,8 @@ void RaftNode::ResetElectionTimer() {
       config_.election_timeout_min +
       static_cast<sim::SimDuration>(rng_.NextDouble() *
                                     static_cast<double>(span));
-  election_timer_ = sched_.ScheduleAfter(delay, [this] { StartElection(); });
+  election_timer_ = sched_.ScheduleAfter(delay, [this] { StartElection(); },
+                                         "raft/election_timer");
 }
 
 void RaftNode::CancelElectionTimer() {
@@ -121,7 +122,8 @@ void RaftNode::SendHeartbeats() {
     ReplicateTo(peer);
   }
   heartbeat_timer_ = sched_.ScheduleAfter(config_.heartbeat_interval,
-                                          [this] { SendHeartbeats(); });
+                                          [this] { SendHeartbeats(); },
+                                          "raft/heartbeat");
 }
 
 void RaftNode::ReplicateTo(sim::NodeId peer) {

@@ -101,7 +101,8 @@ void RaftOrderer::LeaderEnqueue(const EnvelopePtr& env,
 void RaftOrderer::ArmTimerIfNeeded() {
   if (timer_ != 0) return;
   timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
-                                      [this] { OnTimeout(); });
+                                      [this] { OnTimeout(); },
+                                      "raft_orderer/batch_timeout");
 }
 
 void RaftOrderer::OnTimeout() {

@@ -27,7 +27,8 @@ OsnBase::AcceptResult SoloOrderer::AcceptEnvelope(const EnvelopePtr& env,
 void SoloOrderer::ArmTimerIfNeeded() {
   if (timer_ != 0) return;
   timer_ = env_.Sched().ScheduleAfter(cutter_.Config().batch_timeout,
-                                      [this] { OnTimeout(); });
+                                      [this] { OnTimeout(); },
+                                      "solo/batch_timeout");
 }
 
 void SoloOrderer::OnTimeout() {

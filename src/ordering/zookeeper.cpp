@@ -23,7 +23,8 @@ bool ZooKeeperServer::IsLeader() const {
 
 void ZooKeeperServer::Start() {
   if (IsLeader()) {
-    env_.Sched().ScheduleAfter(config_.tick, [this] { SweepSessions(); });
+    env_.Sched().ScheduleAfter(config_.tick, [this] { SweepSessions(); },
+                               "zookeeper/session_sweep");
   }
 }
 
@@ -235,7 +236,8 @@ void ZooKeeperServer::SweepSessions() {
       ProposeWrite(std::move(w));
     }
   }
-  env_.Sched().ScheduleAfter(config_.tick, [this] { SweepSessions(); });
+  env_.Sched().ScheduleAfter(config_.tick, [this] { SweepSessions(); },
+                               "zookeeper/session_sweep");
 }
 
 ZooKeeperEnsemble::ZooKeeperEnsemble(sim::Environment& env,

@@ -65,6 +65,16 @@ class Committer {
     max_pipeline_blocks_ = max_blocks;
   }
 
+  /// Applies ledger retention for bounded-memory soak runs: keep only the
+  /// newest `keep_blocks` blocks resident (0 = all) and the newest
+  /// `history_per_key` modifications per key (0 = all). See
+  /// ledger::BlockStore::SetRetention for the dedup-horizon caveat.
+  void SetLedgerRetention(std::uint64_t keep_blocks,
+                          std::size_t history_per_key) {
+    chain_.MutableStore().SetRetention(keep_blocks);
+    history_.SetPerKeyCap(history_per_key);
+  }
+
   /// Blocks currently in VSCC or awaiting serial commit.
   [[nodiscard]] std::size_t PipelineDepth() const {
     return pending_.size() + ready_.size();

@@ -45,6 +45,7 @@ void PeerNode::JoinChannel(const std::string& channel_id) {
   if (channels_.count(channel_id) != 0) return;
   auto ledger = std::make_unique<ChannelLedger>(*this, channel_id);
   ledger->committer->SetMaxPipelineBlocks(committer_pipeline_limit_);
+  ledger->committer->SetLedgerRetention(retain_blocks_, history_per_key_);
   channels_.emplace(channel_id, std::move(ledger));
 }
 
@@ -107,7 +108,8 @@ void PeerNode::EnableDeliverFailover(const std::string& channel_id,
   w.cfg = cfg;
   deliver_watch_[channel_id] = std::move(w);
   env_.Sched().ScheduleAfter(cfg.ping_period,
-                             [this, channel_id] { DeliverWatchTick(channel_id); });
+                             [this, channel_id] { DeliverWatchTick(channel_id); },
+                             "peer/deliver_watch");
 }
 
 void PeerNode::DeliverWatchTick(const std::string& channel_id) {
@@ -134,7 +136,8 @@ void PeerNode::DeliverWatchTick(const std::string& channel_id) {
   env_.Net().Send(net_id_, w.osns[w.index],
                   std::make_shared<ordering::DeliverPingMsg>(channel_id));
   env_.Sched().ScheduleAfter(w.cfg.ping_period,
-                             [this, channel_id] { DeliverWatchTick(channel_id); });
+                             [this, channel_id] { DeliverWatchTick(channel_id); },
+                             "peer/deliver_watch");
 }
 
 void PeerNode::HandleDeliverBlock(
@@ -217,7 +220,8 @@ void PeerNode::AntiEntropyTick() {
     }
   }
   env_.Sched().ScheduleAfter(gossip_pull_period_,
-                             [this] { AntiEntropyTick(); });
+                             [this] { AntiEntropyTick(); },
+                             "peer/anti_entropy");
 }
 
 void PeerNode::SetEndorseAdmission(const sim::AdmissionConfig& config,
@@ -230,6 +234,15 @@ void PeerNode::SetCommitterPipelineLimit(std::size_t max_blocks) {
   committer_pipeline_limit_ = max_blocks;
   for (auto& [id, ledger] : channels_) {
     ledger->committer->SetMaxPipelineBlocks(max_blocks);
+  }
+}
+
+void PeerNode::SetLedgerRetention(std::uint64_t keep_blocks,
+                                  std::size_t history_per_key) {
+  retain_blocks_ = keep_blocks;
+  history_per_key_ = history_per_key;
+  for (auto& [id, ledger] : channels_) {
+    ledger->committer->SetLedgerRetention(keep_blocks, history_per_key);
   }
 }
 

@@ -134,8 +134,17 @@ class PeerNode {
   /// unbounded. Applies to current and future channels.
   void SetCommitterPipelineLimit(std::size_t max_blocks);
 
+  /// Ledger retention for bounded-memory runs (see Committer::
+  /// SetLedgerRetention). Applies to current and future channels.
+  void SetLedgerRetention(std::uint64_t keep_blocks,
+                          std::size_t history_per_key);
+
   [[nodiscard]] std::size_t EndorseDepth() const {
     return endorse_ingress_.Depth();
+  }
+  /// Peak endorse-ingress depth ever observed (spikes between samples).
+  [[nodiscard]] std::size_t EndorseDepthHighWatermark() const {
+    return endorse_ingress_.DepthHighWatermark();
   }
   [[nodiscard]] std::uint64_t EndorseShed() const {
     return endorse_ingress_.ShedTotal();
@@ -237,6 +246,8 @@ class PeerNode {
   sim::AdmissionQueue<PendingEndorse> endorse_ingress_;
   sim::SimDuration endorse_retry_after_ = 0;
   std::size_t committer_pipeline_limit_ = 0;
+  std::uint64_t retain_blocks_ = 0;
+  std::size_t history_per_key_ = 0;
 };
 
 }  // namespace fabricsim::peer

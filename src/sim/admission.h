@@ -71,12 +71,14 @@ class AdmissionQueue {
     if (!config_.enabled) {
       ++inflight_;
       ++admitted_total_;
+      NoteDepth();
       out.admit = std::move(item);
       return out;
     }
     if (inflight_ < config_.max_inflight && waiting_.empty()) {
       ++inflight_;
       ++admitted_total_;
+      NoteDepth();
       out.admit = std::move(item);
       return out;
     }
@@ -106,6 +108,7 @@ class AdmissionQueue {
         }
         break;
     }
+    NoteDepth();
     return out;
   }
 
@@ -127,13 +130,22 @@ class AdmissionQueue {
   std::size_t Inflight() const { return inflight_; }
   std::size_t Waiting() const { return waiting_.size(); }
   std::size_t Depth() const { return inflight_ + waiting_.size(); }
+  /// Peak Depth() ever observed — how close the queue came to its bound,
+  /// even between telemetry samples.
+  std::size_t DepthHighWatermark() const { return depth_hwm_; }
   std::uint64_t AdmittedTotal() const { return admitted_total_; }
   std::uint64_t ShedTotal() const { return shed_total_; }
 
  private:
+  void NoteDepth() {
+    const std::size_t d = Depth();
+    if (d > depth_hwm_) depth_hwm_ = d;
+  }
+
   AdmissionConfig config_;
   std::deque<Item> waiting_;
   std::size_t inflight_ = 0;
+  std::size_t depth_hwm_ = 0;
   std::uint64_t admitted_total_ = 0;
   std::uint64_t shed_total_ = 0;
 };

@@ -41,23 +41,28 @@ void Cpu::AccrueBusyTime() {
 void Cpu::StartJob(Job job) {
   AccrueBusyTime();
   ++busy_cores_;
-  if (marks_.empty() || marks_.back().t != last_change_) {
+  if (bounded_marks_) {
+    // Running totals stay exact; only the past-time history is dropped.
+  } else if (marks_.empty() || marks_.back().t != last_change_) {
     marks_.push_back({last_change_, cum_busy_, busy_cores_});
   } else {
     marks_.back().busy = busy_cores_;
   }
   if (observer_) observer_->OnJobStarted(*this, sched_.Now() - job.enqueued_at);
   const SimDuration scaled = ScaledCost(job.cost);
-  sched_.ScheduleAfter(scaled,
-                       [this, done = std::move(job.done), scaled]() mutable {
-                         OnJobDone(std::move(done), scaled);
-                       });
+  sched_.ScheduleAfter(
+      scaled,
+      [this, done = std::move(job.done), scaled]() mutable {
+        OnJobDone(std::move(done), scaled);
+      },
+      "cpu/job_done");
 }
 
 void Cpu::OnJobDone(Completion done, SimDuration service) {
   AccrueBusyTime();
   --busy_cores_;
-  if (marks_.empty() || marks_.back().t != last_change_) {
+  if (bounded_marks_) {
+  } else if (marks_.empty() || marks_.back().t != last_change_) {
     marks_.push_back({last_change_, cum_busy_, busy_cores_});
   } else {
     marks_.back().busy = busy_cores_;
@@ -81,10 +86,13 @@ void Cpu::OnJobDone(Completion done, SimDuration service) {
 SimDuration Cpu::BusyTimeAt(SimTime t) const {
   const SimTime now = sched_.Now();
   if (t > now) t = now;
-  if (t <= 0 || marks_.empty()) return 0;
+  if (t <= 0) return 0;
+  // The running-total fast path needs no history, so it must come before
+  // the empty-marks bailout — with bounded marks it is the only path.
   if (t >= last_change_) {
     return cum_busy_ + static_cast<SimDuration>(t - last_change_) * busy_cores_;
   }
+  if (marks_.empty()) return 0;
   // Last mark with mark.t <= t; marks_ is ordered by construction.
   auto it = std::upper_bound(
       marks_.begin(), marks_.end(), t,

@@ -102,6 +102,16 @@ class Cpu {
   /// Registers (or clears, with nullptr) the telemetry observer.
   void SetObserver(CpuObserver* observer) { observer_ = observer; }
 
+  /// Bounded-memory mode: stop recording the busy-core transition history
+  /// (two marks per job, forever — the one per-job allocation left once the
+  /// TxTracker streams). Running totals (BusyTime(), Utilization() to now,
+  /// BusyCores()) stay exact; only PAST-time queries (BusyTimeAt(t) /
+  /// Utilization(t0, t1) with t < now) need the history, and the sole such
+  /// caller — attribution — is mutually exclusive with streaming runs.
+  /// Already-recorded marks are kept, so past queries up to the switch-on
+  /// point remain exact.
+  void SetBoundedMarks(bool on) { bounded_marks_ = on; }
+
  private:
   struct Job {
     SimDuration cost;
@@ -133,6 +143,7 @@ class Cpu {
   // the busy-core count is constant, so BusyTimeAt interpolates exactly.
   SimDuration cum_busy_ = 0;
   SimTime last_change_ = 0;
+  bool bounded_marks_ = false;
   std::vector<BusyMark> marks_;
 };
 

@@ -68,7 +68,8 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
 
   if (observer_) observer_->OnSend(from, to, wire_bytes, deliver_at);
   sched_.ScheduleAt(
-      deliver_at, [this, from, to, wire_bytes, msg = std::move(msg)]() {
+      deliver_at,
+      [this, from, to, wire_bytes, msg = std::move(msg)]() {
         auto& receiver = nodes_.at(static_cast<std::size_t>(to));
         if (receiver.crashed) {
           ++messages_dropped_;
@@ -78,7 +79,8 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
         ++messages_delivered_;
         if (observer_) observer_->OnDeliver(from, to, wire_bytes);
         if (receiver.handler) receiver.handler(from, msg);
-      });
+      },
+      "net/deliver");
 }
 
 void Network::Partition(NodeId a, NodeId b) { partitions_.insert(PairKey(a, b)); }

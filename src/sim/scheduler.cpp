@@ -1,10 +1,25 @@
 #include "sim/scheduler.h"
 
+#include <chrono>
 #include <utility>
+
+#include "sim/profiler.h"
 
 namespace fabricsim::sim {
 
-EventId Scheduler::ScheduleAt(SimTime when, Callback cb) {
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EventId Scheduler::ScheduleImpl(SimTime when, Callback cb, const char* tag,
+                                bool observer) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -15,7 +30,9 @@ EventId Scheduler::ScheduleAt(SimTime when, Callback cb) {
   }
   Event& ev = slab_[slot];
   ev.cb = std::move(cb);
+  ev.tag = tag;
   ev.armed = true;
+  ev.observer = observer;
   ++live_;
   HeapEntry e;
   e.when = when < now_ ? now_ : when;
@@ -28,7 +45,9 @@ EventId Scheduler::ScheduleAt(SimTime when, Callback cb) {
 
 void Scheduler::Release(Event& ev, std::uint32_t slot) {
   ev.cb = nullptr;  // release captured state eagerly
+  ev.tag = nullptr;
   ev.armed = false;
+  ev.observer = false;
   ++ev.gen;
   free_.push_back(slot);
   --live_;
@@ -46,35 +65,47 @@ bool Scheduler::Cancel(EventId id) {
   return true;
 }
 
-bool Scheduler::PopNext(SimTime* when, Callback* cb) {
+bool Scheduler::PopNext(Fired* out) {
   while (!queue_.empty()) {
     const HeapEntry top = queue_.top();
     queue_.pop();
     Event& ev = slab_[top.slot];
     if (!ev.armed || ev.gen != top.gen) continue;  // was cancelled
-    *when = top.when;
-    *cb = std::move(ev.cb);
+    out->when = top.when;
+    out->cb = std::move(ev.cb);
+    out->tag = ev.tag;
+    out->observer = ev.observer;
     Release(ev, top.slot);
     return true;
   }
   return false;
 }
 
+void Scheduler::Dispatch(Fired& fired) {
+  now_ = fired.when;
+  if (!fired.observer) ++executed_;
+  if (profiler_ != nullptr) {
+    const std::uint64_t t0 = SteadyNowNs();
+    fired.cb();
+    profiler_->OnEvent(fired.tag, now_, t0, SteadyNowNs());
+  } else {
+    fired.cb();
+  }
+}
+
 std::uint64_t Scheduler::Run(std::uint64_t limit) {
   std::uint64_t n = 0;
-  SimTime when = 0;
-  Callback cb;
-  while (n < limit && PopNext(&when, &cb)) {
-    now_ = when;
-    ++executed_;
+  Fired fired;
+  while (n < limit && PopNext(&fired)) {
     ++n;
-    cb();
+    Dispatch(fired);
   }
   return n;
 }
 
 std::uint64_t Scheduler::RunUntil(SimTime until) {
   std::uint64_t n = 0;
+  Fired fired;
   while (!queue_.empty()) {
     const HeapEntry top = queue_.top();
     Event& ev = slab_[top.slot];
@@ -84,24 +115,22 @@ std::uint64_t Scheduler::RunUntil(SimTime until) {
     }
     if (top.when > until) break;
     queue_.pop();
-    Callback cb = std::move(ev.cb);
+    fired.when = top.when;
+    fired.cb = std::move(ev.cb);
+    fired.tag = ev.tag;
+    fired.observer = ev.observer;
     Release(ev, top.slot);
-    now_ = top.when;
-    ++executed_;
     ++n;
-    cb();
+    Dispatch(fired);
   }
   if (now_ < until) now_ = until;
   return n;
 }
 
 bool Scheduler::Step() {
-  SimTime when = 0;
-  Callback cb;
-  if (!PopNext(&when, &cb)) return false;
-  now_ = when;
-  ++executed_;
-  cb();
+  Fired fired;
+  if (!PopNext(&fired)) return false;
+  Dispatch(fired);
   return true;
 }
 

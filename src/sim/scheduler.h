@@ -10,6 +10,19 @@
 // small POD entries (time, seq, slot, generation) instead of owning the
 // callback. Slot generations make cancelled or recycled slots unambiguous,
 // so no side lookup structure is needed on the hot path.
+//
+// Two orthogonal extensions serve observability without disturbing results:
+//
+//  - Tags: ScheduleAt/ScheduleAfter accept an optional string-literal tag
+//    naming the handler ("net/deliver", "raft/tick", ...). Tags cost one
+//    stored pointer and feed the host-side DesProfiler's per-handler
+//    attribution when one is attached via SetProfiler (off by default).
+//
+//  - Observer events: ScheduleObserverAt/After enqueue callbacks that
+//    dispatch in the normal deterministic order but are excluded from
+//    ExecutedEvents(). Samplers (telemetry, metrics registry) use them, so
+//    attaching observability never changes the executed-event count that the
+//    bench regression gate compares bit-exactly.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +34,8 @@
 #include "sim/time.h"
 
 namespace fabricsim::sim {
+
+class DesProfiler;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
 /// Never zero for a live event (0 is a safe "no event" sentinel).
@@ -45,11 +60,29 @@ class Scheduler {
 
   /// Schedules `cb` to run at absolute simulated time `when`.
   /// Times in the past are clamped to `Now()` (the event runs next).
-  EventId ScheduleAt(SimTime when, Callback cb);
+  /// `tag` must be a string literal (or otherwise outlive the scheduler);
+  /// it names the handler in profiler output.
+  EventId ScheduleAt(SimTime when, Callback cb, const char* tag = nullptr) {
+    return ScheduleImpl(when, std::move(cb), tag, /*observer=*/false);
+  }
 
   /// Schedules `cb` to run `delay` after the current time.
-  EventId ScheduleAfter(SimDuration delay, Callback cb) {
-    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  EventId ScheduleAfter(SimDuration delay, Callback cb,
+                        const char* tag = nullptr) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb), tag);
+  }
+
+  /// Observer variants: the callback dispatches in normal (time, seq) order
+  /// but does not count toward ExecutedEvents(). For pure samplers only —
+  /// observer callbacks must not mutate simulation state.
+  EventId ScheduleObserverAt(SimTime when, Callback cb,
+                             const char* tag = nullptr) {
+    return ScheduleImpl(when, std::move(cb), tag, /*observer=*/true);
+  }
+  EventId ScheduleObserverAfter(SimDuration delay, Callback cb,
+                                const char* tag = nullptr) {
+    return ScheduleObserverAt(now_ + (delay < 0 ? 0 : delay), std::move(cb),
+                              tag);
   }
 
   /// Cancels a pending event. Returns true if the event existed and had not
@@ -58,7 +91,7 @@ class Scheduler {
   bool Cancel(EventId id);
 
   /// Runs events until the queue is empty or `limit` events have run.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (observer events included).
   std::uint64_t Run(std::uint64_t limit = UINT64_MAX);
 
   /// Runs events with time <= `until`. After returning, `Now() == until`
@@ -72,8 +105,15 @@ class Scheduler {
   /// Number of events currently scheduled and not yet fired or cancelled.
   [[nodiscard]] std::size_t PendingEvents() const { return live_; }
 
-  /// Total number of events executed since construction.
+  /// Total number of component events executed since construction. Observer
+  /// events are excluded, so this count is invariant under attached
+  /// observability and is compared bit-exactly by the bench gate.
   [[nodiscard]] std::uint64_t ExecutedEvents() const { return executed_; }
+
+  /// Attaches (or detaches, with nullptr) the host-time profiler. The
+  /// profiler must outlive its attachment. When detached — the default —
+  /// dispatch pays one predictable branch.
+  void SetProfiler(DesProfiler* profiler) { profiler_ = profiler; }
 
   /// Pool introspection (tests): total slots ever created, and how many are
   /// currently on the free list. Capacity grows to the high-water mark of
@@ -87,8 +127,10 @@ class Scheduler {
   // to a recycled slot can never match again.
   struct Event {
     Callback cb;
+    const char* tag = nullptr;
     std::uint32_t gen = 1;
     bool armed = false;  // a live (scheduled, uncancelled) event occupies it
+    bool observer = false;
   };
   // What the priority queue actually sorts: 24 bytes, trivially copyable.
   struct HeapEntry {
@@ -103,23 +145,38 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  // A popped, about-to-run event (callback already moved out of the slab).
+  struct Fired {
+    SimTime when = 0;
+    Callback cb;
+    const char* tag = nullptr;
+    bool observer = false;
+  };
 
   static EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
+
+  EventId ScheduleImpl(SimTime when, Callback cb, const char* tag,
+                       bool observer);
 
   // Destroys the slot's callback, bumps its generation, and returns it to
   // the free list. `cb` must already have been moved out if it is about to
   // be invoked.
   void Release(Event& ev, std::uint32_t slot);
 
-  // Pops the next live event: its fire time and (moved-out) callback.
-  bool PopNext(SimTime* when, Callback* cb);
+  // Pops the next live event into `out`. Returns false when idle.
+  bool PopNext(Fired* out);
+
+  // Advances the clock, bumps the executed count (component events only),
+  // and invokes the callback — through the profiler when one is attached.
+  void Dispatch(Fired& fired);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+  DesProfiler* profiler_ = nullptr;
   // deque: stable references while callbacks schedule into a growing slab.
   std::deque<Event> slab_;
   std::vector<std::uint32_t> free_;

@@ -228,6 +228,31 @@ TEST(BenchDiff, NondeterministicRunFails) {
   EXPECT_FALSE(CompareBenchJson(base, cur, DiffOptions{}).Ok());
 }
 
+TEST(BenchDiff, HostProfileSubtreeNeverGates) {
+  // `--profile` adds a host.profile subtree (top-N handler table, host-ns
+  // totals). Host metrics are compared by named key only, so profile data —
+  // present, absent, or wildly different — must never fail the gate.
+  const Json base = Doc();
+  Json cur = Doc();
+  Json profile = Json::MakeObject();
+  profile["total_events"] = 123456;
+  profile["events_per_sec_profiled"] = 1.0;  // absurd: must still not gate
+  Json entry = Json::MakeObject();
+  entry["name"] = "net/deliver";
+  entry["total_ns"] = 999999999;
+  Json entries = Json::MakeArray();
+  entries.AsArray().push_back(entry);
+  profile["top"] = entries;
+  cur["host"]["profile"] = profile;
+  Point(cur, 0)["host"]["profile"] = profile;
+  EXPECT_TRUE(CompareBenchJson(base, cur, DiffOptions{}).Ok());
+  // Symmetric: baseline recorded with --profile, current without.
+  EXPECT_TRUE(CompareBenchJson(cur, base, DiffOptions{}).Ok());
+  // And profile noise never masks a real simulated regression.
+  Point(cur, 0)["simulated"]["blocks"] = 11;
+  EXPECT_FALSE(CompareBenchJson(base, cur, DiffOptions{}).Ok());
+}
+
 TEST(BenchDiff, SimulatedKeySetChangesFail) {
   const Json base = Doc();
   Json cur = Doc();

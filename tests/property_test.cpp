@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "metrics/histogram.h"
 #include "policy/evaluator.h"
 #include "policy/parser.h"
 #include "sim/rng.h"
@@ -124,6 +125,101 @@ TEST(PolicyCrossCheck, NestedPoliciesAgainstHandComputedTruth) {
   };
   for (const auto& c : cases) {
     EXPECT_EQ(policy::Satisfied(pol, c.signers), c.expected);
+  }
+}
+
+// ------------------------------------------------------------- histogram
+
+/// Values spanning sub-bucket range through several octaves, with runs of
+/// duplicates — the shapes the latency sketches actually see.
+std::vector<sim::SimDuration> RandomDurations(sim::Rng& rng, std::size_t n) {
+  std::vector<sim::SimDuration> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int octave = static_cast<int>(rng.NextBelow(40));
+    auto v = static_cast<sim::SimDuration>(rng.NextBelow(1ULL << octave));
+    values.push_back(v);
+    if (rng.NextBelow(4) == 0) values.push_back(v);  // duplicate runs
+  }
+  return values;
+}
+
+TEST(HistogramProperty, MergeEquivalentToRecordingIntoOne) {
+  // Splitting a dataset across K histograms and merging must give exactly
+  // the state of recording everything into one — streaming mode's windowed
+  // accumulators rely on this for bit-identical reports.
+  sim::Rng rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    const auto values = RandomDurations(rng, 400);
+    const std::size_t parts = 1 + rng.NextBelow(6);
+    metrics::Histogram whole;
+    std::vector<metrics::Histogram> shards(parts);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      whole.Record(values[i]);
+      shards[rng.NextBelow(parts)].Record(values[i]);
+    }
+    metrics::Histogram merged;
+    for (const auto& shard : shards) merged.Merge(shard);
+
+    EXPECT_EQ(merged.Count(), whole.Count());
+    EXPECT_EQ(merged.Min(), whole.Min());
+    EXPECT_EQ(merged.Max(), whole.Max());
+    EXPECT_EQ(merged.Mean(), whole.Mean());  // bit-exact: same additions
+    for (const double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_EQ(merged.Percentile(p), whole.Percentile(p))
+          << "p" << p << " round " << round;
+    }
+  }
+}
+
+TEST(HistogramProperty, MergeWithEmptySidesIsIdentityInBothDirections) {
+  sim::Rng rng(77);
+  const auto values = RandomDurations(rng, 200);
+  metrics::Histogram filled;
+  for (const auto v : values) filled.Record(v);
+  const auto count = filled.Count();
+  const auto min = filled.Min();
+  const auto max = filled.Max();
+  const auto p99 = filled.Percentile(99);
+
+  // Empty RHS: strict no-op (must not fold the empty side's zeroed extrema).
+  metrics::Histogram empty;
+  filled.Merge(empty);
+  EXPECT_EQ(filled.Count(), count);
+  EXPECT_EQ(filled.Min(), min);
+  EXPECT_EQ(filled.Max(), max);
+  EXPECT_EQ(filled.Percentile(99), p99);
+
+  // Empty LHS: adopts the other wholesale, including a nonzero Min.
+  metrics::Histogram adopted;
+  adopted.Merge(filled);
+  EXPECT_EQ(adopted.Count(), count);
+  EXPECT_EQ(adopted.Min(), min);
+  EXPECT_EQ(adopted.Max(), max);
+
+  // Empty-with-empty stays empty.
+  metrics::Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.Min(), 0);
+  EXPECT_EQ(a.Max(), 0);
+}
+
+TEST(HistogramProperty, PercentileIsMonotonicInPAndBounded) {
+  sim::Rng rng(1313);
+  for (int round = 0; round < 25; ++round) {
+    metrics::Histogram hist;
+    for (const auto v : RandomDurations(rng, 300)) hist.Record(v);
+    sim::SimDuration prev = hist.Percentile(0);
+    for (double p = 0.0; p <= 100.0; p += 0.5) {
+      const sim::SimDuration q = hist.Percentile(p);
+      EXPECT_GE(q, prev) << "p=" << p << " round " << round;
+      EXPECT_GE(q, hist.Min());
+      EXPECT_LE(q, hist.Max());
+      prev = q;
+    }
+    EXPECT_EQ(hist.Percentile(0), hist.Min());
+    EXPECT_EQ(hist.Percentile(100), hist.Max());
   }
 }
 

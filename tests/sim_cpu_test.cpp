@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 namespace fabricsim::sim {
@@ -177,6 +178,41 @@ TEST(Cpu, ManyJobsAggregateTime) {
   EXPECT_EQ(done, 100);
   // 100 jobs x 10ns over 4 cores = 250ns makespan.
   EXPECT_EQ(s.Now(), 250);
+}
+
+TEST(Cpu, BoundedMarksKeepRunningTotalsExact) {
+  // Streaming runs drop the per-job busy-mark history; everything read at
+  // the current time — BusyTime(), full-window Utilization(), BusyCores() —
+  // must still match a CPU that kept the marks.
+  const auto drive = [](bool bounded) {
+    Scheduler s;
+    Cpu cpu(s, 2);
+    cpu.SetBoundedMarks(bounded);
+    for (int i = 0; i < 10; ++i) {
+      s.ScheduleAt(i * 30, [&cpu] { cpu.Submit(100, [] {}); });
+    }
+    s.Run();
+    return std::tuple{cpu.BusyTime(), cpu.Utilization(), cpu.CompletedJobs(),
+                      s.Now()};
+  };
+  EXPECT_EQ(drive(false), drive(true));
+}
+
+TEST(Cpu, BoundedMarksPreservePastQueriesUpToTheSwitch) {
+  // Marks recorded before SetBoundedMarks(true) stay; past-time queries up
+  // to the switch point remain exact, and later windows use the running
+  // totals from the switch's last_change onward.
+  Scheduler s;
+  Cpu cpu(s, 1);
+  cpu.Submit(100, [] {});
+  s.Run();
+  EXPECT_EQ(cpu.BusyTimeAt(50), 50);
+  cpu.SetBoundedMarks(true);
+  s.ScheduleAt(200, [&cpu] { cpu.Submit(100, [] {}); });
+  s.Run();
+  EXPECT_EQ(cpu.BusyTimeAt(50), 50);  // pre-switch history intact
+  EXPECT_EQ(cpu.BusyTime(), 200);     // both jobs accounted
+  EXPECT_EQ(s.Now(), 300);
 }
 
 }  // namespace

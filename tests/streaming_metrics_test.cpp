@@ -1,0 +1,251 @@
+// The streaming (bounded-memory) TxTracker contract: identical reports to
+// full-record mode — by construction, via the shared fold — with O(inflight)
+// instead of O(total) live records, across every ordering service.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fabric/experiment.h"
+#include "metrics/phase_stats.h"
+#include "sim/rng.h"
+
+namespace fabricsim {
+namespace {
+
+using fabric::ExperimentConfig;
+using fabric::ExperimentResult;
+using fabric::OrderingType;
+using fabric::RunExperiment;
+using fabric::StandardConfig;
+using metrics::RejectKind;
+using metrics::Report;
+using metrics::TxTracker;
+
+// ------------------------------------------------------ tracker unit level
+
+void ExpectSummariesEqual(const metrics::PhaseSummary& a,
+                          const metrics::PhaseSummary& b, const char* phase) {
+  EXPECT_EQ(a.completed, b.completed) << phase;
+  EXPECT_EQ(a.throughput_tps, b.throughput_tps) << phase;
+  EXPECT_EQ(a.mean_latency_s, b.mean_latency_s) << phase;
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s) << phase;
+  EXPECT_EQ(a.p95_latency_s, b.p95_latency_s) << phase;
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s) << phase;
+}
+
+// Bit-exact equality: both modes run the identical fold, so even the
+// floating-point results must match to the last bit, not just approximately.
+void ExpectReportsEqual(const Report& a, const Report& b) {
+  EXPECT_EQ(a.window_s, b.window_s);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.invalid, b.invalid);
+  EXPECT_EQ(a.goodput_tps, b.goodput_tps);
+  EXPECT_EQ(a.rejection_rate, b.rejection_rate);
+  ExpectSummariesEqual(a.execute, b.execute, "execute");
+  ExpectSummariesEqual(a.order, b.order, "order");
+  ExpectSummariesEqual(a.validate, b.validate, "validate");
+  ExpectSummariesEqual(a.order_and_validate, b.order_and_validate,
+                       "order_and_validate");
+  ExpectSummariesEqual(a.end_to_end, b.end_to_end, "end_to_end");
+  EXPECT_EQ(a.mean_block_time_s, b.mean_block_time_s);
+  EXPECT_EQ(a.mean_block_size, b.mean_block_size);
+  EXPECT_EQ(a.blocks, b.blocks);
+}
+
+TEST(StreamingTracker, RandomLifecyclesFoldIdenticallyInBothModes) {
+  // Property: feed the same pseudo-random mark stream — commits, rejects,
+  // sheds, invalid commits, phases straddling the window — to a full-record
+  // and a streaming tracker; the reports must agree bit-exactly.
+  const sim::SimTime w0 = sim::FromSeconds(10);
+  const sim::SimTime w1 = sim::FromSeconds(60);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TxTracker full;
+    TxTracker streaming;
+    streaming.EnableStreaming(w0, w1);
+    ASSERT_TRUE(streaming.Streaming());
+    ASSERT_FALSE(full.Streaming());
+
+    sim::Rng rng(seed * 7919);
+    sim::SimTime t = 0;
+    std::uint64_t undecided = 0;  // endorsed-then-rejected: never retirable
+    for (int i = 0; i < 3000; ++i) {
+      const std::string id = "tx" + std::to_string(i);
+      // Arrivals span well past both window edges.
+      t += static_cast<sim::SimDuration>(rng.NextBelow(50'000'000));
+      for (TxTracker* tr : {&full, &streaming}) tr->MarkSubmitted(id, t);
+      sim::SimTime u = t;
+      const auto step = [&] {
+        u += static_cast<sim::SimDuration>(
+            1 + rng.NextBelow(200'000'000));  // up to 0.2 s per phase
+        return u;
+      };
+      switch (rng.NextBelow(8)) {
+        case 0:  // rejected before endorsement
+          for (TxTracker* tr : {&full, &streaming}) {
+            tr->MarkRejected(id, step(), RejectKind::kFailed);
+          }
+          break;
+        case 1: {  // shed at admission
+          for (TxTracker* tr : {&full, &streaming}) {
+            tr->MarkRejected(id, step(), RejectKind::kShed);
+          }
+          break;
+        }
+        case 2: {  // endorsed, then gave up waiting on ordering
+          const sim::SimTime e = step();
+          const sim::SimTime r = step();
+          for (TxTracker* tr : {&full, &streaming}) {
+            tr->MarkEndorsed(id, e);
+            tr->MarkRejected(id, r, RejectKind::kFailed);
+          }
+          // Broadcast already happened, so ordering could still commit it:
+          // streaming must keep the record live (not a leak — the real
+          // client caps these at its in-flight window).
+          ++undecided;
+          break;
+        }
+        default: {  // the common path: full lifecycle, occasionally invalid
+          const sim::SimTime e = step();
+          const sim::SimTime o = step();
+          const sim::SimTime c = step();
+          const auto code = rng.NextBelow(10) == 0
+                                ? proto::ValidationCode::kMvccReadConflict
+                                : proto::ValidationCode::kValid;
+          for (TxTracker* tr : {&full, &streaming}) {
+            tr->MarkEndorsed(id, e);
+            tr->MarkOrdered(id, o);
+            tr->MarkCommitted(id, c, code);
+          }
+          break;
+        }
+      }
+      if (rng.NextBelow(10) == 0) {
+        const std::size_t cut = 1 + rng.NextBelow(40);
+        for (TxTracker* tr : {&full, &streaming}) tr->RecordBlockCut(u, cut);
+      }
+    }
+
+    ExpectReportsEqual(full.BuildReport(w0, w1), streaming.BuildReport(w0, w1));
+    EXPECT_EQ(streaming.LateMarks(), 0u) << "seed " << seed;
+    // Every decidable transaction retired on its terminal mark; the only
+    // survivors are the endorsed-then-rejected ones, which ordering could
+    // still commit. Full mode keeps all 3000.
+    EXPECT_EQ(full.RecordsHighWatermark(), 3000u);
+    EXPECT_EQ(streaming.TxCount(), undecided);
+    EXPECT_EQ(streaming.RetiredCount(), 3000u - undecided);
+    // Each decided record retires before the next submission, so the peak
+    // is the undecided residue plus the one in-flight transaction.
+    EXPECT_LE(streaming.RecordsHighWatermark(), undecided + 1) << seed;
+  }
+}
+
+TEST(StreamingTracker, MarkAfterRetirementCountsAsLate) {
+  // The one race streaming cannot absorb: a mark arriving after its record
+  // was folded and dropped. It must be counted (the A/B gate asserts zero),
+  // never crash, and never resurrect the record.
+  TxTracker tracker;
+  tracker.EnableStreaming(0, sim::FromSeconds(100));
+  tracker.MarkSubmitted("tx", sim::FromSeconds(1));
+  tracker.MarkEndorsed("tx", sim::FromSeconds(2));
+  tracker.MarkOrdered("tx", sim::FromSeconds(3));
+  tracker.MarkCommitted("tx", sim::FromSeconds(4), proto::ValidationCode::kValid);
+  EXPECT_EQ(tracker.RetiredCount(), 1u);
+  EXPECT_EQ(tracker.TxCount(), 0u);
+  EXPECT_EQ(tracker.LateMarks(), 0u);
+
+  tracker.MarkRejected("tx", sim::FromSeconds(5));
+  EXPECT_EQ(tracker.LateMarks(), 1u);
+  EXPECT_EQ(tracker.TxCount(), 0u);  // not resurrected
+
+  // Marks for ids never submitted are ignored in both modes, not late.
+  tracker.MarkCommitted("ghost", sim::FromSeconds(6),
+                        proto::ValidationCode::kValid);
+  EXPECT_EQ(tracker.LateMarks(), 1u);
+}
+
+TEST(StreamingTracker, FullModeKeepsRecordsAndNeverRetires) {
+  TxTracker tracker;
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = "tx" + std::to_string(i);
+    tracker.MarkSubmitted(id, sim::FromSeconds(i));
+    tracker.MarkCommitted(id, sim::FromSeconds(i + 1),
+                          proto::ValidationCode::kValid);
+  }
+  EXPECT_EQ(tracker.TxCount(), 50u);
+  EXPECT_EQ(tracker.RecordsHighWatermark(), 50u);
+  EXPECT_EQ(tracker.RetiredCount(), 0u);
+  EXPECT_NE(tracker.Find("tx0"), nullptr);
+}
+
+// -------------------------------------------------- experiment level (A/B)
+
+ExperimentConfig ShortConfig(OrderingType ordering, bool streaming) {
+  // Short but non-trivial: a few hundred transactions, several blocks.
+  ExperimentConfig config = StandardConfig(ordering, 0, 120);
+  config.warmup = sim::FromSeconds(3);
+  config.workload.duration = sim::FromSeconds(6);
+  config.drain = sim::FromSeconds(6);
+  config.streaming_stats = streaming;
+  return config;
+}
+
+class StreamingEquivalence : public ::testing::TestWithParam<OrderingType> {};
+
+TEST_P(StreamingEquivalence, StreamingRunMatchesFullRunBitExactly) {
+  const ExperimentResult full = RunExperiment(ShortConfig(GetParam(), false));
+  const ExperimentResult stream = RunExperiment(ShortConfig(GetParam(), true));
+
+  ASSERT_FALSE(full.tracker.streaming);
+  ASSERT_TRUE(stream.tracker.streaming);
+  EXPECT_EQ(stream.tracker.late_marks, 0u);
+  EXPECT_GT(stream.tracker.retired, 0u);
+
+  // Same simulation: identical chain tip, event count, and full report.
+  EXPECT_EQ(full.chain_head_hex, stream.chain_head_hex);
+  EXPECT_EQ(full.chain_height, stream.chain_height);
+  EXPECT_EQ(full.sched_events, stream.sched_events);
+  EXPECT_EQ(full.generated, stream.generated);
+  ExpectReportsEqual(full.report, stream.report);
+
+  // Full mode's high watermark is every generated transaction; streaming
+  // holds only the in-flight set.
+  EXPECT_EQ(full.tracker.records_hwm, full.generated);
+  EXPECT_LT(stream.tracker.records_hwm, full.generated / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderers, StreamingEquivalence,
+                         ::testing::Values(OrderingType::kSolo,
+                                           OrderingType::kKafka,
+                                           OrderingType::kRaft));
+
+TEST(StreamingEquivalence, RecordCountStaysAtInflightScaleOnLongerRun) {
+  // Bounded-memory witness at experiment scale: 4x the duration must not
+  // move the peak concurrent record count (it is set by rate x latency).
+  ExperimentConfig config = ShortConfig(OrderingType::kSolo, true);
+  const ExperimentResult shorter = RunExperiment(config);
+  config.workload.duration = sim::FromSeconds(24);
+  const ExperimentResult longer = RunExperiment(config);
+
+  ASSERT_TRUE(shorter.tracker.streaming);
+  ASSERT_TRUE(longer.tracker.streaming);
+  EXPECT_GT(longer.generated, 3 * shorter.generated);
+  EXPECT_LE(longer.tracker.records_hwm, 2 * shorter.tracker.records_hwm);
+  EXPECT_LT(longer.tracker.records_hwm, longer.generated / 10);
+}
+
+TEST(StreamingEquivalence, RunnerFallsBackWhenRecordsAreNeededPostHoc) {
+  // Invariant checking walks Records() after the run, so the runner must
+  // silently refuse to stream even when asked to.
+  ExperimentConfig config = ShortConfig(OrderingType::kSolo, true);
+  config.check_invariants = true;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_FALSE(result.tracker.streaming);
+  EXPECT_EQ(result.tracker.retired, 0u);
+  ASSERT_TRUE(result.invariants.has_value());
+  EXPECT_TRUE(result.invariants->Ok());
+}
+
+}  // namespace
+}  // namespace fabricsim

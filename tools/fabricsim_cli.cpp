@@ -7,6 +7,7 @@
 //   fabricsim_cli --ordering=kafka --policy="AND('Org1MSP.peer','Org2MSP.peer')"
 //   fabricsim_cli --workload=smallbank --peers=6 --channels=2 --csv
 //   fabricsim_cli --ordering=raft --sweep=50,150,250,350 --jobs=4
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -17,6 +18,7 @@
 
 #include "fabric/experiment.h"
 #include "faults/fault_schedule.h"
+#include "metrics/registry.h"
 #include "metrics/reporter.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -57,6 +59,14 @@ struct CliOptions {
   double flow_window = 16.0;         // client AIMD initial window (0 = off)
   double pace_tps = 0.0;             // client token-bucket rate (0 = off)
   bool check_invariants = false;
+  bool streaming_stats = false;  // bounded-memory tracker accounting
+  std::string metrics_out;       // metrics-timeline path ("" = off)
+  std::string metrics_format = "json";  // json|prom
+  double metrics_period_ms = 250.0;
+  bool profile = false;        // host-side DES profiler + top-N table
+  std::string profile_trace;   // Chrome trace of sampled handler spans
+  std::uint64_t retain_blocks = 0;   // ledger/OSN blocks kept (0 = all)
+  std::size_t history_per_key = 0;   // history-index cap (0 = all)
   std::vector<double> sweep;  // arrival rates; non-empty = sweep mode
   int jobs = 1;               // host threads for --sweep (0 = hw concurrency)
 };
@@ -115,6 +125,30 @@ void PrintHelp() {
       "  --check-invariants           check ledger invariants (and the\n"
       "                               no-silent-drop rule) even without\n"
       "                               faults; non-zero exit on violation\n"
+      "  --streaming-stats            bounded-memory tracker accounting:\n"
+      "                               per-tx records retire on terminal\n"
+      "                               state; identical metrics, flat RSS\n"
+      "                               (ignored when faults/trace/invariants\n"
+      "                               need post-hoc records)\n"
+      "  --retain-blocks=<n>          blocks kept per peer ledger and OSN\n"
+      "                               backfill history (0 = all); bounds\n"
+      "                               memory for long runs, shrinks the\n"
+      "                               dedup horizon to the retained window\n"
+      "  --history-per-key=<n>        history-index modifications kept per\n"
+      "                               key (0 = all)\n"
+      "  --metrics-out=<file>         write the metrics-registry timeline\n"
+      "                               (queue depths, sheds, scheduler\n"
+      "                               backlog, tracker occupancy) sampled\n"
+      "                               every --metrics-period-ms of simulated\n"
+      "                               time; simulated results are unchanged\n"
+      "  --metrics-format=json|prom   timeline format (default json;\n"
+      "                               prom = Prometheus text exposition)\n"
+      "  --metrics-period-ms=<ms>     sampling cadence (default 250)\n"
+      "  --profile                    host-side DES profiler: prints the\n"
+      "                               top-10 handler table (dispatch count,\n"
+      "                               host time) after the run\n"
+      "  --profile-trace=<file>       write sampled handler spans as Chrome\n"
+      "                               trace-event JSON (implies --profile)\n"
       "  --sweep=<r1,r2,...>          run the base configuration once per\n"
       "                               arrival rate and print one summary row\n"
       "                               per rate; non-zero exit if any run's\n"
@@ -201,6 +235,31 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
       out.check_invariants = true;
       continue;
     }
+    if (arg == "--streaming-stats") {
+      out.streaming_stats = true;
+      continue;
+    }
+    if (arg == "--profile") {
+      out.profile = true;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--profile-trace")) {
+      out.profile_trace = *v;
+      out.profile = true;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--metrics-out")) {
+      out.metrics_out = *v;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--metrics-format")) {
+      if (*v != "json" && *v != "prom") {
+        error = "unknown metrics format: " + *v;
+        return false;
+      }
+      out.metrics_format = *v;
+      continue;
+    }
     if (auto v = ArgValue(arg, "--sweep")) {
       std::stringstream ss(*v);
       std::string item;
@@ -241,7 +300,10 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
         number("--committer-blocks", out.committer_blocks) ||
         number("--retry-after-ms", out.retry_after_ms) ||
         number("--flow-window", out.flow_window) ||
-        number("--pace-tps", out.pace_tps) || number("--jobs", out.jobs)) {
+        number("--pace-tps", out.pace_tps) || number("--jobs", out.jobs) ||
+        number("--metrics-period-ms", out.metrics_period_ms) ||
+        number("--retain-blocks", out.retain_blocks) ||
+        number("--history-per-key", out.history_per_key)) {
       continue;
     }
     error = "unknown argument: " + arg;
@@ -286,6 +348,13 @@ int main(int argc, char** argv) {
   config.workload.key_space = cli.key_space;
   config.faults = cli.faults;
   config.check_invariants = cli.check_invariants;
+  config.streaming_stats = cli.streaming_stats;
+  config.profile = cli.profile;
+  config.network.retention.ledger_blocks = cli.retain_blocks;
+  config.network.retention.osn_history_blocks =
+      static_cast<std::size_t>(cli.retain_blocks);
+  config.network.retention.history_per_key = cli.history_per_key;
+  config.metrics_period = sim::FromMillis(cli.metrics_period_ms);
 
   if (!cli.overload.empty()) {
     fabric::OverloadOptions& ov = config.network.overload;
@@ -320,9 +389,11 @@ int main(int argc, char** argv) {
   // over --jobs host threads, one summary row per rate.
   if (!cli.sweep.empty()) {
     if (!cli.trace_out.empty() || !cli.telemetry_csv.empty() ||
-        !cli.faults.empty()) {
+        !cli.faults.empty() || !cli.metrics_out.empty() ||
+        !cli.profile_trace.empty()) {
       std::cerr << "error: --sweep cannot be combined with --trace-out, "
-                   "--telemetry-csv, or --faults\n";
+                   "--telemetry-csv, --faults, --metrics-out, or "
+                   "--profile-trace\n";
       return 2;
     }
     std::vector<runner::SweepPoint> points;
@@ -382,12 +453,40 @@ int main(int argc, char** argv) {
     telemetry.emplace();
     config.telemetry = &*telemetry;
   }
+  metrics::Registry registry;
+  std::ofstream metrics_os;
+  if (!cli.metrics_out.empty()) {
+    metrics_os.open(cli.metrics_out);
+    if (!metrics_os) {
+      std::cerr << "error: cannot write " << cli.metrics_out << "\n";
+      return 2;
+    }
+    config.registry = &registry;
+  }
+  sim::DesProfiler profiler;
+  std::ofstream profile_os;
+  if (!cli.profile_trace.empty()) {
+    profile_os.open(cli.profile_trace);
+    if (!profile_os) {
+      std::cerr << "error: cannot write " << cli.profile_trace << "\n";
+      return 2;
+    }
+    config.profiler = &profiler;
+  }
 
   const auto result = fabric::RunExperiment(config);
   const auto& r = result.report;
 
   if (tracer) tracer->ExportChromeTrace(trace_os);
   if (telemetry) telemetry->WriteCsv(telemetry_os);
+  if (!cli.metrics_out.empty()) {
+    if (cli.metrics_format == "prom") {
+      registry.WritePrometheus(metrics_os);
+    } else {
+      registry.WriteJson(metrics_os);
+    }
+  }
+  if (!cli.profile_trace.empty()) profiler.WriteChromeTrace(profile_os);
 
   metrics::Table table({"metric", "value"});
   table.AddRow({"ordering", fabric::OrderingTypeName(cli.ordering)});
@@ -434,6 +533,31 @@ int main(int argc, char** argv) {
   if (result.attribution) {
     if (!cli.csv) std::cout << "\nBottleneck attribution:\n";
     obs::PrintAttribution(*result.attribution, std::cout, cli.csv);
+  }
+  if (cli.profile && result.profile) {
+    const sim::ProfileReport& prof = *result.profile;
+    if (!cli.csv) {
+      std::cout << "\nHost profile (" << prof.total_events << " events, "
+                << metrics::Fmt(prof.events_per_sec / 1e6, 2) << "M events/s):\n";
+    }
+    metrics::Table ptable({"handler", "count", "host_ms", "frac"});
+    const std::size_t topn = std::min<std::size_t>(prof.entries.size(), 10);
+    for (std::size_t i = 0; i < topn; ++i) {
+      const sim::ProfileEntry& e = prof.entries[i];
+      ptable.AddRow(
+          {e.name, std::to_string(e.count),
+           metrics::Fmt(static_cast<double>(e.total_ns) / 1e6, 2),
+           metrics::Fmt(prof.total_ns > 0
+                            ? static_cast<double>(e.total_ns) /
+                                  static_cast<double>(prof.total_ns)
+                            : 0.0,
+                        3)});
+    }
+    if (cli.csv) {
+      ptable.PrintCsv(std::cout);
+    } else {
+      ptable.Print(std::cout);
+    }
   }
 
   bool invariants_ok = true;
