@@ -123,6 +123,14 @@ void Client::Submit(proto::ChaincodeInvocation inv,
   if (tracker_ != nullptr) tracker_->MarkSubmitted(p.tx_id, env_.Now());
   if (config_.track_outcomes) outcomes_.submitted.insert(p.tx_id);
 
+  // Failpoint: the tx counts as submitted but vanishes before the wire —
+  // no pending entry, no retry, no terminal status (a true silent drop).
+  if (silent_drop_every_ > 0 &&
+      ++silent_drop_counter_ % static_cast<std::uint64_t>(
+                                   silent_drop_every_) == 0) {
+    return;
+  }
+
   const std::string tx_id = p.tx_id;
   PendingTx pending;
   pending.proposal = std::move(p);

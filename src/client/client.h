@@ -193,6 +193,12 @@ class Client {
     return config_.track_outcomes ? &outcomes_ : nullptr;
   }
 
+  /// Failpoint: silently discard every `n`th submission right after it is
+  /// accounted as submitted — it never reaches the wire and the client
+  /// never retries. Exists to prove the silent-drop invariant fires; 0
+  /// (default) disables it.
+  void FailpointSilentDropEvery(int n) { silent_drop_every_ = n; }
+
  private:
   struct PendingTx {
     proto::Proposal proposal;
@@ -266,6 +272,8 @@ class Client {
   std::unordered_map<std::string, PendingTx> pending_;
   std::uint64_t next_rotation_ = 0;
   std::uint64_t nonce_counter_ = 0;
+  int silent_drop_every_ = 0;  // failpoint, see FailpointSilentDropEvery
+  std::uint64_t silent_drop_counter_ = 0;
 
   std::uint64_t submitted_ = 0;
   std::uint64_t committed_valid_ = 0;

@@ -264,8 +264,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         schedule.FirstFaultAt(), window_end);
     // A permanently stalled channel turns "still pending in the client"
     // into "waiting for a commit that can never arrive" — count those
-    // acked transactions as lost.
-    out.invariants = faults::CheckInvariants(net, out.recovery->stalled);
+    // acked transactions as lost (unless the caller opted out because a
+    // stall is an expected outcome for this schedule).
+    out.invariants = faults::CheckInvariants(
+        net, out.recovery->stalled && config.stall_pending_is_lost);
   } else if (config.check_invariants) {
     out.invariants = faults::CheckInvariants(net);
   }

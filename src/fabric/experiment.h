@@ -45,6 +45,12 @@ struct ExperimentConfig {
   /// runs must prove shedding never loses an acked tx). Forces per-client
   /// outcome logging.
   bool check_invariants = false;
+  /// When a faulted run permanently stalls, count acked-but-uncommitted
+  /// transactions as lost (the acked-lost invariant) — their commit can
+  /// never arrive. The chaos fuzzer turns this off because a stall on an
+  /// unaudited schedule is a legitimate outcome, not a lost-ack bug; it
+  /// classifies stalls separately against its own recoverability audit.
+  bool stall_pending_is_lost = true;
   /// Streaming (bounded-memory) TxTracker accounting: per-tx records retire
   /// on terminal state instead of accumulating. Produces an identical report
   /// (see metrics::TxTracker) but empties Records(), so the runner silently

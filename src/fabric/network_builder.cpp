@@ -45,6 +45,20 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
   SeedAccounts();
   ApplyOverloadProtection();
   ApplyRetention();
+  ApplyFailpoints();
+}
+
+void FabricNetwork::ApplyFailpoints() {
+  const FailpointOptions& fp = options_.failpoints;
+  if (!fp.Any()) return;
+  if (fp.disable_committer_dedup) {
+    for (auto& p : peers_) p->SetCommitterDedupDisabled(true);
+  }
+  if (fp.client_silent_drop_every > 0) {
+    for (auto& c : clients_) {
+      c->FailpointSilentDropEvery(fp.client_silent_drop_every);
+    }
+  }
 }
 
 void FabricNetwork::ApplyRetention() {
@@ -406,8 +420,10 @@ void FabricNetwork::Start() {
   }
 
   // Deliver-stream failover: each subscribed peer watches its OSN and
-  // re-subscribes to an alternate when it dies. Needs >1 OSN to rotate to.
-  if (options_.recovery.enabled && OsnCount() > 1) {
+  // re-subscribes to an alternate when it dies (with one OSN the rotation
+  // re-subscribes to the same node, which still repairs deliver gaps and
+  // catches the peer up after the OSN revives).
+  if (options_.recovery.enabled && OsnCount() >= 1) {
     const std::size_t subscribers =
         options_.gossip
             ? std::min<std::size_t>(

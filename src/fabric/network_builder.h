@@ -51,9 +51,12 @@ struct RecoveryOptions {
   int commit_retries = 2;
   /// Client: retry endorsement against the surviving endorsers.
   int endorse_retries = 1;
-  /// Peer: deliver-stream watchdog tuning. Only armed when the channel has
-  /// more than one OSN — a single-OSN channel (Solo) has nowhere to fail
-  /// over to, so its deliver stream stays down until the OSN revives.
+  /// Peer: deliver-stream watchdog tuning. The watchdog re-subscribes to an
+  /// alternate OSN when the stream dies, and re-subscribes in place to
+  /// backfill a dropped block when the stream is alive but gapped. On a
+  /// single-OSN channel (Solo) there is nowhere to rotate to, but the
+  /// in-place re-subscribe still repairs gaps and catches the peer up once
+  /// the OSN revives.
   peer::DeliverFailoverConfig deliver;
 };
 
@@ -101,6 +104,22 @@ struct RetentionOptions {
   std::size_t osn_history_blocks = 0;
 };
 
+/// Deliberate-bug injection for chaos-fuzzer demos and oracle self-tests.
+/// Each failpoint disables one safety mechanism so the matching invariant
+/// can be shown to fire. All off by default; never enable in real runs.
+struct FailpointOptions {
+  /// Skip committer duplicate-tx-id screening: a commit-timeout
+  /// resubmission then commits twice (double-commit invariant).
+  bool disable_committer_dedup = false;
+  /// Every nth client submission vanishes before the wire with no terminal
+  /// status (silent-drop invariant). 0 = off.
+  int client_silent_drop_every = 0;
+
+  [[nodiscard]] bool Any() const {
+    return disable_committer_dedup || client_silent_drop_every > 0;
+  }
+};
+
 struct NetworkOptions {
   TopologyConfig topology;
   ChannelConfig channel;
@@ -132,6 +151,8 @@ struct NetworkOptions {
   /// Force per-tx outcome logging on every client even without recovery
   /// (the invariant checker needs it for pure-overload runs).
   bool track_outcomes = false;
+  /// Deliberate-bug injection (chaos-fuzzer demos / oracle self-tests).
+  FailpointOptions failpoints;
 };
 
 class FabricNetwork {
@@ -197,6 +218,7 @@ class FabricNetwork {
   void SeedAccounts();
   void ApplyOverloadProtection();
   void ApplyRetention();
+  void ApplyFailpoints();
   [[nodiscard]] sim::NodeId OsnNetId(int channel, std::size_t index) const;
 
   NetworkOptions options_;

@@ -39,12 +39,17 @@ void FaultInjector::Fire(const FaultEvent& ev) {
       for (const auto& name : ev.groups.at(0)) {
         for (sim::NodeId id : ResolveNodes(name)) ids.push_back(id);
       }
-      for (sim::NodeId id : ids) CrashNode(id);
+      // Revive only the nodes this event actually took down, not a
+      // re-resolved alias: the leader at crash time stays the target even
+      // after a re-election, and a window overlapping another crash never
+      // revives a node the other window still holds down.
+      std::vector<sim::NodeId> fresh;
+      for (sim::NodeId id : ids) {
+        if (CrashNode(id)) fresh.push_back(id);
+      }
       if (ev.until) {
-        // Revive the nodes actually crashed, not a re-resolved alias: the
-        // leader at crash time stays the target even after a re-election.
-        env.Sched().ScheduleAt(*ev.until, [this, ids] {
-          for (sim::NodeId id : ids) ReviveNode(id);
+        env.Sched().ScheduleAt(*ev.until, [this, fresh] {
+          for (sim::NodeId id : fresh) ReviveNode(id);
         });
       }
       return;
@@ -105,22 +110,9 @@ void FaultInjector::Fire(const FaultEvent& ev) {
       net.HealAll();
       Note("heal all partitions");
       return;
-    case FaultKind::kLoss: {
-      const double base = net.Config().loss_probability;
-      net.SetLossProbability(ev.value);
-      std::ostringstream os;
-      os << "loss probability -> " << ev.value;
-      Note(os.str());
-      if (ev.until) {
-        env.Sched().ScheduleAt(*ev.until, [this, base] {
-          net_.Env().Net().SetLossProbability(base);
-          std::ostringstream o2;
-          o2 << "loss probability restored to " << base;
-          Note(o2.str());
-        });
-      }
+    case FaultKind::kLoss:
+      ApplyLoss(ev.value, ev.until);
       return;
-    }
     case FaultKind::kSlowCpu: {
       const std::string& name = ev.groups.at(0).at(0);
       sim::Cpu* cpu = nullptr;
@@ -133,17 +125,7 @@ void FaultInjector::Fire(const FaultEvent& ev) {
       if (cpu == nullptr) {
         throw std::invalid_argument("unknown machine for slow fault: " + name);
       }
-      const double base = cpu->SpeedFactor();
-      cpu->SetSpeedFactor(base * ev.value);
-      std::ostringstream os;
-      os << "cpu " << name << " speed x" << ev.value;
-      Note(os.str());
-      if (ev.until) {
-        env.Sched().ScheduleAt(*ev.until, [this, cpu, base, name] {
-          cpu->SetSpeedFactor(base);
-          Note("cpu " + name + " speed restored");
-        });
-      }
+      ScaleSpeed(cpu, "cpu " + name, ev.value, ev.until);
       return;
     }
     case FaultKind::kSlowDisk: {
@@ -159,31 +141,109 @@ void FaultInjector::Fire(const FaultEvent& ev) {
       if (disk == nullptr) {
         throw std::invalid_argument("unknown peer for slowdisk fault: " + name);
       }
-      const double base = disk->SpeedFactor();
-      disk->SetSpeedFactor(base * ev.value);
-      std::ostringstream os;
-      os << "disk " << name << " speed x" << ev.value;
-      Note(os.str());
-      if (ev.until) {
-        env.Sched().ScheduleAt(*ev.until, [this, disk, base, name] {
-          disk->SetSpeedFactor(base);
-          Note("disk " + name + " speed restored");
-        });
-      }
+      ScaleSpeed(disk, "disk " + name, ev.value, ev.until);
       return;
     }
   }
 }
 
-void FaultInjector::CrashNode(sim::NodeId id) {
-  net_.Env().Net().Crash(id);
+void FaultInjector::ApplyLoss(double value, std::optional<sim::SimTime> until) {
+  sim::Network& net = net_.Env().Net();
+  if (!loss_.init) {
+    loss_.baseline = net.Config().loss_probability;
+    loss_.init = true;
+  }
+  std::ostringstream os;
+  os << "loss probability -> " << value;
+  if (!until) {
+    // A bare loss event rewrites the baseline; it takes effect immediately
+    // unless a window is currently holding its own value.
+    loss_.baseline = value;
+    if (loss_.active.empty()) {
+      net.SetLossProbability(value);
+    } else {
+      os << " (baseline; window active)";
+    }
+    Note(os.str());
+    return;
+  }
+  const int token = next_window_token_++;
+  loss_.active.emplace_back(token, value);
+  net.SetLossProbability(value);
+  Note(os.str());
+  net_.Env().Sched().ScheduleAt(*until, [this, token] {
+    auto& active = loss_.active;
+    for (auto it = active.begin(); it != active.end(); ++it) {
+      if (it->first == token) {
+        active.erase(it);
+        break;
+      }
+    }
+    const double v = active.empty() ? loss_.baseline : active.back().second;
+    net_.Env().Net().SetLossProbability(v);
+    std::ostringstream o2;
+    o2 << "loss probability restored to " << v;
+    Note(o2.str());
+  });
+}
+
+void FaultInjector::RecomputeSpeed(sim::Cpu* res) {
+  const SpeedState& st = speeds_[res];
+  double f = st.baseline;
+  for (const auto& [token, factor] : st.active) f *= factor;
+  res->SetSpeedFactor(f);
+}
+
+void FaultInjector::ScaleSpeed(sim::Cpu* res, const std::string& what,
+                               double factor,
+                               std::optional<sim::SimTime> until) {
+  auto [it, inserted] = speeds_.try_emplace(res);
+  if (inserted) it->second.baseline = res->SpeedFactor();
+  std::ostringstream os;
+  os << what << " speed x" << factor;
+  if (!until) {
+    // Permanent slowdowns fold into the baseline so later windows still
+    // unwind to the slowed state, not the original speed.
+    it->second.baseline *= factor;
+    RecomputeSpeed(res);
+    Note(os.str());
+    return;
+  }
+  const int token = next_window_token_++;
+  it->second.active.emplace_back(token, factor);
+  RecomputeSpeed(res);
+  Note(os.str());
+  net_.Env().Sched().ScheduleAt(*until, [this, res, what, token] {
+    auto& active = speeds_[res].active;
+    for (auto ai = active.begin(); ai != active.end(); ++ai) {
+      if (ai->first == token) {
+        active.erase(ai);
+        break;
+      }
+    }
+    RecomputeSpeed(res);
+    Note(what + " speed restored");
+  });
+}
+
+bool FaultInjector::CrashNode(sim::NodeId id) {
+  sim::Network& net = net_.Env().Net();
+  if (net.IsCrashed(id)) {
+    Note("crash " + net.NameOf(id) + " (already down)");
+    return false;
+  }
+  net.Crash(id);
   crashed_.insert(id);
-  Note("crash " + net_.Env().Net().NameOf(id));
+  Note("crash " + net.NameOf(id));
+  return true;
 }
 
 void FaultInjector::ReviveNode(sim::NodeId id) {
   sim::Network& net = net_.Env().Net();
-  if (!net.IsCrashed(id)) return;
+  if (!net.IsCrashed(id)) {
+    Note("revive " + net.NameOf(id) + " (already up)");
+    return;
+  }
   net.Revive(id);
   crashed_.erase(id);
   // A revived Raft OSN restarts its consenter process: volatile Raft state

@@ -8,8 +8,11 @@
 // timestamped log for reports and the invariant checker.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/network_builder.h"
@@ -41,8 +44,16 @@ class FaultInjector {
 
  private:
   void Fire(const FaultEvent& ev);
-  void CrashNode(sim::NodeId id);
+  /// Crashes `id` if it is up; returns false (and only logs) when the node
+  /// is already down, so overlapping crash windows never double-crash and a
+  /// window's undo only revives nodes that window itself took down.
+  bool CrashNode(sim::NodeId id);
   void ReviveNode(sim::NodeId id);
+  /// Applies a loss/slow fault with stacked-window semantics (see .cpp).
+  void ApplyLoss(double value, std::optional<sim::SimTime> until);
+  void ScaleSpeed(sim::Cpu* res, const std::string& what, double factor,
+                  std::optional<sim::SimTime> until);
+  void RecomputeSpeed(sim::Cpu* res);
   /// Resolves one target name to endpoint ids (aliases may fan out across
   /// channels). Throws std::invalid_argument for unknown names.
   [[nodiscard]] std::vector<sim::NodeId> ResolveNodes(const std::string& name);
@@ -55,6 +66,23 @@ class FaultInjector {
   FaultSchedule schedule_;
   std::vector<LogEntry> log_;
   std::set<sim::NodeId> crashed_;
+
+  /// Open loss windows as (token, value); the live probability is the most
+  /// recently opened window's value, or `baseline` once all windows close.
+  struct LossState {
+    bool init = false;
+    double baseline = 0.0;
+    std::vector<std::pair<int, double>> active;
+  };
+  LossState loss_;
+  /// Per-resource speed state: open windows multiply onto the baseline, so
+  /// overlapping slow/slowdisk windows compound and unwind exactly.
+  struct SpeedState {
+    double baseline = 1.0;
+    std::vector<std::pair<int, double>> active;
+  };
+  std::map<sim::Cpu*, SpeedState> speeds_;
+  int next_window_token_ = 0;
 };
 
 }  // namespace fabricsim::faults

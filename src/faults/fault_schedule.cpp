@@ -1,5 +1,8 @@
 #include "faults/fault_schedule.h"
 
+#include <charconv>
+#include <cmath>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,6 +33,9 @@ double ParseNumber(const std::string& s, const std::string& token) {
     std::size_t used = 0;
     const double v = std::stod(s, &used);
     if (used != s.size()) Bad(token, "trailing characters in number \"" + s + "\"");
+    // stod accepts "inf"/"nan" without throwing; a non-finite value would
+    // turn into UB at the integer casts downstream.
+    if (!std::isfinite(v)) Bad(token, "number not finite: \"" + s + "\"");
     return v;
   } catch (const std::invalid_argument&) {
     Bad(token, "not a number: \"" + s + "\"");
@@ -49,13 +55,47 @@ sim::SimTime ParseTime(std::string s, const std::string& token) {
   }
   const double v = ParseNumber(s, token);
   if (v < 0) Bad(token, "negative time");
-  return static_cast<sim::SimTime>(v * scale);
+  const double ns = v * scale;
+  // Cap the horizon below 2^53 ns so the double -> integer conversion is
+  // exact and defined (a cast of an out-of-range double is UB).
+  if (ns > kMaxScheduleSeconds * static_cast<double>(sim::kSecond)) {
+    Bad(token, "time too large (max " +
+                   std::to_string(static_cast<long long>(kMaxScheduleSeconds)) +
+                   "s)");
+  }
+  return static_cast<sim::SimTime>(std::llround(ns));
 }
 
 std::string FormatTime(sim::SimTime t) {
   std::ostringstream os;
   os << sim::ToSeconds(t) << "s";
   return os.str();
+}
+
+/// Shortest round-trip decimal for a value (std::to_chars shortest form).
+std::string FormatNumber(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+/// Spec-grammar time: whole seconds as "<n>s", whole milliseconds as
+/// "<n>ms", anything finer as fractional seconds (shortest round-trip).
+std::string SpecTime(sim::SimTime t) {
+  if (t % sim::kSecond == 0) return std::to_string(t / sim::kSecond) + "s";
+  if (t % sim::kMillisecond == 0) {
+    return std::to_string(t / sim::kMillisecond) + "ms";
+  }
+  return FormatNumber(sim::ToSeconds(t)) + "s";
+}
+
+std::string JoinGroup(const std::vector<std::string>& names, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out.push_back(sep);
+    out += names[i];
+  }
+  return out;
 }
 
 }  // namespace
@@ -111,6 +151,44 @@ std::string FaultSchedule::Describe() const {
   return os.str();
 }
 
+std::string FaultSchedule::ToSpec() const {
+  std::string out;
+  for (const auto& ev : events) {
+    if (!out.empty()) out.push_back(',');
+    out += FaultKindName(ev.kind);
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        out += ":" + JoinGroup(ev.groups.at(0), '|');
+        break;
+      case FaultKind::kRevive:
+        if (!ev.groups.empty() && !ev.groups[0].empty()) {
+          out += ":" + JoinGroup(ev.groups[0], '|');
+        }
+        break;
+      case FaultKind::kPartition: {
+        out += ":";
+        for (std::size_t g = 0; g < ev.groups.size(); ++g) {
+          if (g != 0) out.push_back('|');
+          out += JoinGroup(ev.groups[g], '+');
+        }
+        break;
+      }
+      case FaultKind::kHeal:
+        break;
+      case FaultKind::kLoss:
+        out += ":" + FormatNumber(ev.value);
+        break;
+      case FaultKind::kSlowCpu:
+      case FaultKind::kSlowDisk:
+        out += ":" + ev.groups.at(0).at(0) + ":" + FormatNumber(ev.value);
+        break;
+    }
+    out += "@" + SpecTime(ev.at);
+    if (ev.until) out += "-" + SpecTime(*ev.until);
+  }
+  return out;
+}
+
 FaultSchedule FaultSchedule::Parse(const std::string& spec) {
   FaultSchedule schedule;
   if (spec.empty()) return schedule;
@@ -153,13 +231,23 @@ FaultSchedule FaultSchedule::Parse(const std::string& spec) {
       ev.kind = FaultKind::kPartition;
       const auto groups = Split(args, '|');
       if (groups.size() < 2) Bad(token, "partition needs at least two groups");
+      std::set<std::string> seen_targets;
       for (const auto& g : groups) {
         if (g.empty()) Bad(token, "empty partition group");
         ev.groups.push_back(Split(g, '+'));
+        // A target in two groups would partition a node from itself; the
+        // injector's pairwise cut would sever same-group traffic too.
+        for (const auto& name : ev.groups.back()) {
+          if (!name.empty() && !seen_targets.insert(name).second) {
+            Bad(token, "target \"" + name +
+                           "\" appears in more than one partition group");
+          }
+        }
       }
     } else if (kind == "heal") {
       ev.kind = FaultKind::kHeal;
       if (ev.until) Bad(token, "heal cannot be a window");
+      if (!args.empty()) Bad(token, "heal takes no arguments");
     } else if (kind == "loss") {
       ev.kind = FaultKind::kLoss;
       ev.value = ParseNumber(args, token);
@@ -172,14 +260,21 @@ FaultSchedule FaultSchedule::Parse(const std::string& spec) {
       if (sep == std::string::npos) Bad(token, kind + " needs <target>:<factor>");
       ev.groups.push_back({args.substr(0, sep)});
       ev.value = ParseNumber(args.substr(sep + 1), token);
-      if (ev.value <= 0.0) Bad(token, "speed factor must be positive");
+      if (ev.value <= 0.0 || ev.value > kMaxSpeedFactor) {
+        Bad(token, "speed factor must be in (0, " +
+                       std::to_string(static_cast<int>(kMaxSpeedFactor)) + "]");
+      }
     } else {
       Bad(token, "unknown fault kind \"" + kind + "\"");
     }
 
     for (const auto& group : ev.groups) {
+      std::set<std::string> unique;
       for (const auto& name : group) {
         if (name.empty()) Bad(token, "empty target name");
+        if (!unique.insert(name).second) {
+          Bad(token, "duplicate target \"" + name + "\"");
+        }
       }
     }
     schedule.events.push_back(std::move(ev));

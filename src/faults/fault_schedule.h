@@ -54,16 +54,29 @@ struct FaultEvent {
   sim::SimTime at = 0;
   /// Windowed events automatically undo themselves at this time.
   std::optional<sim::SimTime> until;
+
+  bool operator==(const FaultEvent&) const = default;
 };
+
+/// Hard validity bounds the parser enforces. Out-of-range inputs (adversarial
+/// or fuzzed) must fail with a clear message, never overflow or UB.
+inline constexpr double kMaxScheduleSeconds = 1e6;   // ~11 simulated days; 1e15 ns < 2^53 so the double->int64 ns conversion stays exact
+inline constexpr double kMaxSpeedFactor = 100.0;     // 100x speedup ceiling
 
 struct FaultSchedule {
   std::vector<FaultEvent> events;
+
+  bool operator==(const FaultSchedule&) const = default;
 
   [[nodiscard]] bool Empty() const { return events.empty(); }
   /// Earliest event time; 0 for an empty schedule.
   [[nodiscard]] sim::SimTime FirstFaultAt() const;
   /// Human-readable one-line-per-event rendering.
   [[nodiscard]] std::string Describe() const;
+  /// Canonical spec-grammar rendering: Parse(ToSpec()) == *this for any
+  /// parsed schedule. The fuzzer builds schedules structurally and renders
+  /// them through this to guarantee every generated case is parseable.
+  [[nodiscard]] std::string ToSpec() const;
 
   /// Parses a spec string. Throws std::invalid_argument naming the bad
   /// token on malformed input; an empty spec yields an empty schedule.

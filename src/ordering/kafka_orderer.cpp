@@ -34,6 +34,14 @@ void KafkaOrderer::WatchdogTick() {
     fetch_in_flight_ = false;
     unacked_ = 0;
     DiscoverLeader();
+  } else if (fetch_in_flight_ && partition_leader_ != sim::kInvalidNode &&
+             env_.Now() - fetch_sent_at_ > kSilenceLimit) {
+    // The fetch (or its response) was lost on the wire while produce acks
+    // kept the broker "in contact" — found by the chaos fuzzer as a
+    // permanent consume stall under 5% loss. The broker's long poll is
+    // gone, so nothing will resend it: re-fetch from the same offset
+    // (duplicate records are screened by the committers' tx-id dedup).
+    SendFetch();
   }
   env_.Sched().ScheduleAfter(sim::FromSeconds(2), [this] { WatchdogTick(); },
                              "kafka_orderer/watchdog");
@@ -75,6 +83,7 @@ void KafkaOrderer::SendFetch() {
   auto fetch = std::make_shared<KafkaFetchMsg>();
   fetch->offset = next_offset_;
   fetch_in_flight_ = true;
+  fetch_sent_at_ = env_.Now();
   env_.Net().Send(NetId(), partition_leader_, fetch);
 }
 

@@ -53,6 +53,10 @@ class KafkaOrderer final : public OsnBase {
   std::uint64_t next_offset_ = 0;
   bool fetch_in_flight_ = false;
   sim::SimTime last_broker_contact_ = 0;
+  /// When the outstanding fetch was sent. Produce acks keep refreshing
+  /// last_broker_contact_, so a lost fetch needs its own age check or it
+  /// wedges the consume loop forever behind a live produce path.
+  sim::SimTime fetch_sent_at_ = 0;
   sim::EventId timer_ = 0;
 
   // Records produced but not yet acked; re-sent on leader change.

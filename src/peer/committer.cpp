@@ -198,16 +198,19 @@ void Committer::TrySerialCommit() {
 
 void Committer::SerialCommit(PendingBlock pb) {
   // Duplicate tx-id screening (Fabric flags later duplicates invalid).
+  // The failpoint skips it so chaos tests can observe double commits.
   std::vector<proto::ValidationCode> codes = pb.vscc_codes;
-  std::unordered_map<std::string, std::size_t> seen;
-  for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
-    const auto& id = pb.block->transactions[i].tx_id;
-    if (chain_.Store().HasTransaction(id) || seen.count(id) != 0) {
-      if (codes[i] == proto::ValidationCode::kValid) {
-        codes[i] = proto::ValidationCode::kDuplicateTxId;
+  if (!dedup_disabled_) {
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
+      const auto& id = pb.block->transactions[i].tx_id;
+      if (chain_.Store().HasTransaction(id) || seen.count(id) != 0) {
+        if (codes[i] == proto::ValidationCode::kValid) {
+          codes[i] = proto::ValidationCode::kDuplicateTxId;
+        }
       }
+      seen.emplace(id, i);
     }
-    seen.emplace(id, i);
   }
 
   // MVCC with the VSCC verdicts folded in.

@@ -65,6 +65,11 @@ class Committer {
     max_pipeline_blocks_ = max_blocks;
   }
 
+  /// Failpoint: skip duplicate tx-id screening in SerialCommit. Exists only
+  /// so chaos campaigns can prove the double-commit invariant fires (a
+  /// client resubmission then commits twice). Never set in production runs.
+  void SetDedupDisabled(bool disabled) { dedup_disabled_ = disabled; }
+
   /// Applies ledger retention for bounded-memory soak runs: keep only the
   /// newest `keep_blocks` blocks resident (0 = all) and the newest
   /// `history_per_key` modifications per key (0 = all). See
@@ -83,7 +88,28 @@ class Committer {
   [[nodiscard]] std::size_t DeferredBlocks() const { return deferred_.size(); }
   [[nodiscard]] std::uint64_t DeferredTotal() const { return deferred_total_; }
 
+  /// True when a later block is buffered anywhere in the pipeline but the
+  /// next block to commit never arrived: the deliver stream dropped it, and
+  /// nothing in the normal path will resend it. The deliver watchdog uses
+  /// this to re-subscribe and have the OSN backfill the hole.
+  [[nodiscard]] bool AwaitingGapBlock() const {
+    if (pending_.count(next_commit_) != 0 ||
+        ready_.count(next_commit_) != 0 ||
+        deferred_.count(next_commit_) != 0) {
+      return false;  // the next block is in flight, just not committed yet
+    }
+    auto has_later = [&](const auto& m) {
+      return !m.empty() && m.rbegin()->first > next_commit_;
+    };
+    return has_later(pending_) || has_later(ready_) || has_later(deferred_);
+  }
+  /// Block number SerialCommit is waiting for.
+  [[nodiscard]] std::uint64_t NextCommit() const { return next_commit_; }
+
   [[nodiscard]] const ledger::Blockchain& Chain() const { return chain_; }
+  /// Mutable chain access for oracle self-tests (crafting forks and phantom
+  /// commits). Production code only mutates the chain via SerialCommit.
+  [[nodiscard]] ledger::Blockchain& MutableChainForTest() { return chain_; }
   [[nodiscard]] const ledger::StateDb& State() const { return state_; }
   [[nodiscard]] ledger::StateDb& MutableState() { return state_; }
   [[nodiscard]] const ledger::HistoryIndex& History() const { return history_; }
@@ -143,6 +169,7 @@ class Committer {
   // Parked behind the bounded pipeline, lowest number promoted first.
   std::map<std::uint64_t, DeferredBlock> deferred_;
   std::size_t max_pipeline_blocks_ = 0;  // 0 = unbounded
+  bool dedup_disabled_ = false;          // failpoint, see SetDedupDisabled
   std::uint64_t deferred_total_ = 0;
   std::uint64_t next_commit_ = 0;
   bool serial_busy_ = false;

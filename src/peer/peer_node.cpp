@@ -45,6 +45,7 @@ void PeerNode::JoinChannel(const std::string& channel_id) {
   if (channels_.count(channel_id) != 0) return;
   auto ledger = std::make_unique<ChannelLedger>(*this, channel_id);
   ledger->committer->SetMaxPipelineBlocks(committer_pipeline_limit_);
+  ledger->committer->SetDedupDisabled(committer_dedup_disabled_);
   ledger->committer->SetLedgerRetention(retain_blocks_, history_per_key_);
   channels_.emplace(channel_id, std::move(ledger));
 }
@@ -132,6 +133,27 @@ void PeerNode::DeliverWatchTick(const std::string& channel_id) {
                           channel_id, height));
     }
   }
+  // Gap repair: message loss can drop a single block while the stream stays
+  // alive (pings keep flowing), leaving SerialCommit waiting forever on a
+  // block nobody will resend. If the same gap survives a full ping period,
+  // re-subscribe at the current chain height — the OSN backfills the hole
+  // and the committer drops the duplicates that follow.
+  const Committer& committer = *channels_.at(channel_id)->committer;
+  if (committer.AwaitingGapBlock()) {
+    const std::uint64_t stuck_on = committer.NextCommit();
+    if (w.gap_next == stuck_on) {
+      ++deliver_gap_repairs_;
+      env_.Net().Send(net_id_, w.osns[w.index],
+                      std::make_shared<ordering::SubscribeRequestMsg>(
+                          channel_id, committer.Chain().Height()));
+      w.gap_next = 0;  // restart detection; repair needs a round trip
+    } else {
+      w.gap_next = stuck_on;
+    }
+  } else {
+    w.gap_next = 0;
+  }
+
   w.awaiting_pong = true;
   env_.Net().Send(net_id_, w.osns[w.index],
                   std::make_shared<ordering::DeliverPingMsg>(channel_id));
@@ -234,6 +256,13 @@ void PeerNode::SetCommitterPipelineLimit(std::size_t max_blocks) {
   committer_pipeline_limit_ = max_blocks;
   for (auto& [id, ledger] : channels_) {
     ledger->committer->SetMaxPipelineBlocks(max_blocks);
+  }
+}
+
+void PeerNode::SetCommitterDedupDisabled(bool disabled) {
+  committer_dedup_disabled_ = disabled;
+  for (auto& [id, ledger] : channels_) {
+    ledger->committer->SetDedupDisabled(disabled);
   }
 }
 

@@ -134,6 +134,11 @@ class PeerNode {
   /// unbounded. Applies to current and future channels.
   void SetCommitterPipelineLimit(std::size_t max_blocks);
 
+  /// Failpoint: disable every channel committer's duplicate tx-id
+  /// screening (see Committer::SetDedupDisabled). Applies to current and
+  /// future channels.
+  void SetCommitterDedupDisabled(bool disabled);
+
   /// Ledger retention for bounded-memory runs (see Committer::
   /// SetLedgerRetention). Applies to current and future channels.
   void SetLedgerRetention(std::uint64_t keep_blocks,
@@ -167,6 +172,9 @@ class PeerNode {
   /// Number of deliver-stream rotations performed (tests/telemetry).
   [[nodiscard]] std::uint64_t DeliverFailovers() const {
     return deliver_failovers_;
+  }
+  [[nodiscard]] std::uint64_t DeliverGapRepairs() const {
+    return deliver_gap_repairs_;
   }
   /// The OSN the watchdog currently tracks for `channel_id` (tests).
   [[nodiscard]] sim::NodeId CurrentDeliverOsn(
@@ -238,14 +246,20 @@ class PeerNode {
     DeliverFailoverConfig cfg;
     bool awaiting_pong = false;
     int missed = 0;
+    /// Gap repair: block number the committer was stuck on last tick
+    /// (0 = no gap). A gap that survives a full ping period triggers a
+    /// re-subscribe so the OSN backfills the dropped block.
+    std::uint64_t gap_next = 0;
   };
   std::map<std::string, DeliverWatch> deliver_watch_;
   std::uint64_t deliver_failovers_ = 0;
+  std::uint64_t deliver_gap_repairs_ = 0;
 
   // Bounded ProcessProposal ingress (overload protection).
   sim::AdmissionQueue<PendingEndorse> endorse_ingress_;
   sim::SimDuration endorse_retry_after_ = 0;
   std::size_t committer_pipeline_limit_ = 0;
+  bool committer_dedup_disabled_ = false;
   std::uint64_t retain_blocks_ = 0;
   std::size_t history_per_key_ = 0;
 };

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+
+#include "sim/rng.h"
 
 namespace fabricsim::faults {
 namespace {
@@ -119,6 +122,149 @@ TEST(FaultSchedule, RejectsMalformedSpecs) {
                std::invalid_argument);
   EXPECT_THROW((void)FaultSchedule::Parse("revive:a@5s-7s"),
                std::invalid_argument);
+}
+
+TEST(FaultSchedule, RejectsAdversarialNumbersAndTimes) {
+  // Non-finite values: stod parses "inf"/"nan" without throwing, and the
+  // naive integer cast downstream would be UB.
+  EXPECT_THROW((void)FaultSchedule::Parse("loss:inf@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("loss:nan@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("slow:m:inf@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@inf"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@nan"),
+               std::invalid_argument);
+  // Times past the horizon cap (the double -> ns cast must stay exact).
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@1e300"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@99999999999s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@1e400"),
+               std::invalid_argument);
+  // Speed factors above the ceiling.
+  EXPECT_THROW((void)FaultSchedule::Parse("slow:m:1000@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("slowdisk:p:-2@5s"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, RejectsSelfPartitionAndDuplicateTargets) {
+  // The same target in two partition groups would partition a node from
+  // itself.
+  EXPECT_THROW((void)FaultSchedule::Parse("partition:osn0|osn0@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("partition:osn0+osn1|osn1@5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("partition:a+a|b@5s"),
+               std::invalid_argument);
+  // Duplicate crash targets.
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:osn0|osn0@5s"),
+               std::invalid_argument);
+  // heal takes no arguments.
+  EXPECT_THROW((void)FaultSchedule::Parse("heal:osn0@5s"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, RejectsZeroLengthWindow) {
+  EXPECT_THROW((void)FaultSchedule::Parse("crash:a@5s-5s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("loss:0.1@5s-4.9s"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, ToSpecRoundTripsEveryKind) {
+  const std::string specs[] = {
+      "crash:osn0@5s",
+      "crash:osn0|osn1@5s-8s",
+      "revive@10s",
+      "revive:osn0@10s",
+      "partition:osn0+osn1|osn2@5s-15s",
+      "heal@9s",
+      "loss:0.05@10s-20s",
+      "loss:0.333@750ms",
+      "slow:orderer-machine0:0.25@5s",
+      "slowdisk:peer.commit0:0.5@6s-9s",
+      "crash:leader@2.5,revive@3500ms,loss:0.1@4s-6s",
+      "crash:a@1.234567s",
+  };
+  for (const std::string& spec : specs) {
+    const FaultSchedule parsed = FaultSchedule::Parse(spec);
+    const std::string rendered = parsed.ToSpec();
+    const FaultSchedule reparsed = FaultSchedule::Parse(rendered);
+    EXPECT_EQ(parsed, reparsed) << spec << " -> " << rendered;
+  }
+}
+
+// Random byte strings must either parse or throw std::invalid_argument —
+// never crash, hang, or trip UB (the ASan/UBSan CI rows give this test its
+// teeth). Two populations: unrestricted bytes, and strings biased toward
+// the grammar alphabet so the parser's deeper branches get exercised.
+TEST(FaultSchedule, ParserFuzzRandomBytesErrorCleanly) {
+  sim::Rng rng(0xFA7A11ED);
+  const std::string alphabet =
+      "crashrevivepartitionheallossslowdisk0123456789.@:|+-,sme ";
+  std::uint64_t parsed_ok = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::size_t len = rng.NextBelow(48);
+    std::string spec;
+    spec.reserve(len);
+    const bool biased = iter % 2 == 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (biased) {
+        spec.push_back(alphabet[rng.NextBelow(alphabet.size())]);
+      } else {
+        spec.push_back(static_cast<char>(rng.NextBelow(256)));
+      }
+    }
+    try {
+      const FaultSchedule s = FaultSchedule::Parse(spec);
+      ++parsed_ok;
+      // Whatever parses must round-trip through the canonical renderer.
+      EXPECT_EQ(FaultSchedule::Parse(s.ToSpec()), s) << spec;
+    } catch (const std::invalid_argument&) {
+      // Expected for malformed input.
+    }
+  }
+  // Sanity: the vast majority of random strings must be rejected.
+  EXPECT_LT(parsed_ok, 400u);
+}
+
+// Mutating valid specs probes the boundary between accept and reject.
+TEST(FaultSchedule, ParserFuzzMutatedValidSpecs) {
+  sim::Rng rng(0x5EED5EED);
+  const std::string seeds[] = {
+      "crash:leader@15s,revive@25s",
+      "partition:osn0+osn1|osn2@5s-15s,heal@20s",
+      "loss:0.05@10s-20s,slow:orderer-machine0:0.25@5s-9s",
+      "slowdisk:peer.commit0:0.5@6s-9s,crash:osn1@7s-8s",
+  };
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string spec = seeds[rng.NextBelow(std::size(seeds))];
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.NextBelow(spec.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          spec[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          spec.erase(pos, 1);
+          break;
+        default:
+          spec.insert(pos, 1, static_cast<char>(rng.NextBelow(256)));
+          break;
+      }
+      if (spec.empty()) break;
+    }
+    try {
+      (void)FaultSchedule::Parse(spec);
+    } catch (const std::invalid_argument&) {
+      // Expected for most mutants.
+    }
+  }
 }
 
 }  // namespace

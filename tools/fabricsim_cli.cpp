@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/json.h"
 #include "fabric/experiment.h"
 #include "faults/fault_schedule.h"
+#include "faults/invariants.h"
 #include "metrics/registry.h"
 #include "metrics/reporter.h"
 #include "obs/telemetry.h"
@@ -59,6 +61,8 @@ struct CliOptions {
   double flow_window = 16.0;         // client AIMD initial window (0 = off)
   double pace_tps = 0.0;             // client token-bucket rate (0 = off)
   bool check_invariants = false;
+  std::string invariants_out;  // invariant-report JSON path ("" = off)
+  fabric::FailpointOptions failpoints;  // deliberate bugs for chaos demos
   bool streaming_stats = false;  // bounded-memory tracker accounting
   std::string metrics_out;       // metrics-timeline path ("" = off)
   std::string metrics_format = "json";  // json|prom
@@ -125,6 +129,16 @@ void PrintHelp() {
       "  --check-invariants           check ledger invariants (and the\n"
       "                               no-silent-drop rule) even without\n"
       "                               faults; non-zero exit on violation\n"
+      "  --invariants-out=<file>      write the invariant report as JSON\n"
+      "                               (ok, check counts, violations, chain\n"
+      "                               audit, stall flag); implies\n"
+      "                               --check-invariants\n"
+      "  --failpoint=<bug>            inject a deliberate bug so chaos-fuzz\n"
+      "                               repros replay exactly:\n"
+      "                               no-committer-dedup (committers skip\n"
+      "                               tx-id screening) or silent-drop:<n>\n"
+      "                               (clients drop every nth submission\n"
+      "                               without a terminal status)\n"
       "  --streaming-stats            bounded-memory tracker accounting:\n"
       "                               per-tx records retire on terminal\n"
       "                               state; identical metrics, flat RSS\n"
@@ -233,6 +247,31 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
     }
     if (arg == "--check-invariants") {
       out.check_invariants = true;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--invariants-out")) {
+      out.invariants_out = *v;
+      out.check_invariants = true;
+      continue;
+    }
+    if (auto v = ArgValue(arg, "--failpoint")) {
+      if (*v == "no-committer-dedup") {
+        out.failpoints.disable_committer_dedup = true;
+      } else if (v->rfind("silent-drop:", 0) == 0) {
+        try {
+          out.failpoints.client_silent_drop_every =
+              std::stoi(v->substr(12));
+        } catch (const std::exception&) {
+          out.failpoints.client_silent_drop_every = 0;
+        }
+        if (out.failpoints.client_silent_drop_every <= 0) {
+          error = "bad --failpoint silent-drop count: " + *v;
+          return false;
+        }
+      } else {
+        error = "unknown failpoint: " + *v;
+        return false;
+      }
       continue;
     }
     if (arg == "--streaming-stats") {
@@ -348,6 +387,7 @@ int main(int argc, char** argv) {
   config.workload.key_space = cli.key_space;
   config.faults = cli.faults;
   config.check_invariants = cli.check_invariants;
+  config.network.failpoints = cli.failpoints;
   config.streaming_stats = cli.streaming_stats;
   config.profile = cli.profile;
   config.network.retention.ledger_blocks = cli.retain_blocks;
@@ -566,6 +606,32 @@ int main(int argc, char** argv) {
     if (cli.faults.empty()) {
       std::cout << "\nInvariants: " << result.invariants->Summary();
     }
+  }
+  if (!cli.invariants_out.empty()) {
+    bench::Json root = bench::Json::MakeObject();
+    root["ok"] = result.chain_audit_ok && invariants_ok;
+    root["chain_audit_ok"] = result.chain_audit_ok;
+    bench::Json violations = bench::Json::MakeArray();
+    if (result.invariants) {
+      const faults::InvariantReport& report = *result.invariants;
+      root["chains_audited"] = std::uint64_t{report.chains_audited};
+      root["blocks_compared"] = std::uint64_t{report.blocks_compared};
+      root["txs_checked"] = std::uint64_t{report.txs_checked};
+      for (const faults::InvariantViolation& v : report.violations) {
+        bench::Json entry = bench::Json::MakeObject();
+        entry["invariant"] = v.invariant;
+        entry["detail"] = v.detail;
+        violations.AsArray().push_back(std::move(entry));
+      }
+    }
+    root["violations"] = std::move(violations);
+    if (result.recovery) root["stalled"] = result.recovery->stalled;
+    std::ofstream os(cli.invariants_out);
+    if (!os) {
+      std::cerr << "error: cannot write " << cli.invariants_out << "\n";
+      return 2;
+    }
+    os << root.Dump();
   }
   if (!cli.faults.empty()) {
     std::cout << "\nFault timeline:\n";
