@@ -26,6 +26,8 @@ const char* FailureReasonName(FailureReason reason) {
       return "endorse-overload";
     case FailureReason::kClientShed:
       return "client-shed";
+    case FailureReason::kBadEndorsement:
+      return "bad-endorsement";
     case FailureReason::kCount:
       break;
   }
@@ -402,6 +404,15 @@ void Client::OnEndorseResponse(sim::NodeId from,
       tx.overloaded = true;
       OnOverloadSignal(retry_after);
     }
+  } else if (!EndorsementVerifies(resp)) {
+    // The SDK checks each endorsement signature before assembling the
+    // envelope; a forged/corrupted one is treated as a failed endorser and
+    // retried against the survivors instead of being broadcast (where VSCC
+    // would invalidate the whole transaction anyway). Host-side check on
+    // memoized bytes: honest runs verify every time and stay byte-identical.
+    ++tx.failures;
+    tx.failed_endorsers.insert(from);
+    CountFailure(FailureReason::kBadEndorsement);
   } else {
     tx.responses.push_back(resp);
   }
@@ -417,6 +428,14 @@ void Client::OnEndorseResponse(sim::NodeId from,
     return;
   }
   FinishEndorsement(resp.tx_id);
+}
+
+bool Client::EndorsementVerifies(const proto::ProposalResponse& resp) {
+  const auto cert =
+      crypto::Certificate::Deserialize(resp.endorsement.endorser_cert);
+  if (!cert) return false;
+  return crypto::Verify(cert->subject_public_key, resp.payload.Serialize(),
+                        resp.endorsement.signature);
 }
 
 void Client::FinishEndorsement(const std::string& tx_id) {

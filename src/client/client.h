@@ -48,6 +48,7 @@ enum class FailureReason : std::size_t {
   kBroadcastOverload,        // orderer shed the broadcast (SERVICE_UNAVAILABLE)
   kEndorseOverload,          // endorser shed the proposal (SERVICE_UNAVAILABLE)
   kClientShed,               // local launch queue full; tx shed client-side
+  kBadEndorsement,           // endorsement signature failed verification
   kCount,
 };
 
@@ -175,7 +176,8 @@ class Client {
     return Failures(FailureReason::kPolicyUnsatisfiable) +
            Failures(FailureReason::kEndorseTimeout) +
            Failures(FailureReason::kEndorseRefused) +
-           Failures(FailureReason::kRwsetMismatch);
+           Failures(FailureReason::kRwsetMismatch) +
+           Failures(FailureReason::kBadEndorsement);
   }
 
   /// Outcome sets for the invariant checker; only populated with
@@ -235,6 +237,11 @@ class Client {
   void SendProposals(const std::string& tx_id);
   void OnEndorseResponse(sim::NodeId from, const proto::ProposalResponse& resp,
                          sim::SimDuration retry_after);
+  /// SDK-side endorsement check: the signature must verify over the payload
+  /// under the public key of the certificate the response carries
+  /// (trust-root validation of that certificate is VSCC's job at commit).
+  [[nodiscard]] static bool EndorsementVerifies(
+      const proto::ProposalResponse& resp);
   void FinishEndorsement(const std::string& tx_id);
   void BroadcastEnvelope(const std::string& tx_id);
   void OnBroadcastAck(const ordering::BroadcastAckMsg& ack);

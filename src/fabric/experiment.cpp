@@ -84,6 +84,16 @@ void WireRegistry(metrics::Registry& reg, FabricNetwork& net) {
   reg.AddGauge("validator.deferred_blocks", [validator] {
     return static_cast<double>(validator->GetCommitter().DeferredBlocks());
   });
+  // Byzantine-defense counters (flat zero on honest runs).
+  reg.AddGauge("validator.rejected_blocks", [validator] {
+    return static_cast<double>(validator->GetCommitter().RejectedBlocks());
+  });
+  reg.AddGauge("validator.duplicate_tx_rejects", [validator] {
+    return static_cast<double>(validator->GetCommitter().DuplicateTxRejects());
+  });
+  reg.AddGauge("validator.byz_quarantines", [validator] {
+    return static_cast<double>(validator->ByzantineQuarantines());
+  });
   metrics::TxTracker* tracker = &net.Tracker();
   reg.AddGauge("tracker.inflight_records", [tracker] {
     return static_cast<double>(tracker->TxCount());
@@ -110,6 +120,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const faults::FaultSchedule schedule =
       faults::FaultSchedule::Parse(config.faults);
   if (!schedule.Empty()) net_options.recovery.enabled = true;
+  // A Byzantine schedule arms the cross-OSN attestation defense; honest
+  // schedules leave it off so their event streams stay byte-identical.
+  if (schedule.HasByzantine()) net_options.byzantine_defense = true;
   if (config.check_invariants) net_options.track_outcomes = true;
 
   // The measurement window is fully determined by the config, which is what
@@ -233,6 +246,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     out.client_committed_invalid += c->CommittedInvalid();
     out.client_rejected += c->Rejected();
     out.endorse_failures += c->EndorseFailures();
+    out.bad_endorsements += c->Failures(client::FailureReason::kBadEndorsement);
   }
   for (int c = 0; c < net.ChannelCount(); ++c) {
     for (ordering::OsnBase* osn : net.Osns(c)) {
@@ -242,6 +256,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   for (std::size_t i = 0; i < net.PeerCount(); ++i) {
     peer::PeerNode& p = net.Peer(i);
     if (p.IsEndorsing()) out.endorser_shed += p.EndorseShed();
+    out.byz_quarantines += p.ByzantineQuarantines();
+    for (int c = 0; c < net.ChannelCount(); ++c) {
+      const std::string channel = net.ChannelId(c);
+      if (!p.HasChannel(channel)) continue;
+      const peer::Committer& committer = p.GetCommitter(channel);
+      out.rejected_blocks += committer.RejectedBlocks();
+      out.duplicate_tx_rejects += committer.DuplicateTxRejects();
+    }
   }
   out.committer_deferred = net.ValidatorPeer().GetCommitter().DeferredTotal();
   const auto& chain = net.ValidatorPeer().GetCommitter().Chain();
@@ -267,7 +289,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     // acked transactions as lost (unless the caller opted out because a
     // stall is an expected outcome for this schedule).
     out.invariants = faults::CheckInvariants(
-        net, out.recovery->stalled && config.stall_pending_is_lost);
+        net, out.recovery->stalled && config.stall_pending_is_lost,
+        schedule.HasByzantine());
   } else if (config.check_invariants) {
     out.invariants = faults::CheckInvariants(net);
   }

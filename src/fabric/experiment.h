@@ -95,6 +95,12 @@ struct ExperimentResult {
   std::uint64_t osn_shed = 0;       // envelopes shed at OSN ingress
   std::uint64_t endorser_shed = 0;  // proposals shed at endorser ingress
   std::uint64_t committer_deferred = 0;  // blocks parked at the committer
+  /// Byzantine-defense accounting, summed over all peers/channels. All zero
+  /// on honest runs (the unexplained-reject invariant enforces it).
+  std::uint64_t rejected_blocks = 0;      // committer structural rejects
+  std::uint64_t duplicate_tx_rejects = 0; // replays flagged kDuplicateTxId
+  std::uint64_t byz_quarantines = 0;      // deliverers dropped on mismatch
+  std::uint64_t bad_endorsements = 0;     // client-side forged-sig rejects
   std::uint64_t chain_height = 0;
   /// Hex hash of the validator chain's tip block header: the determinism
   /// fingerprint (same seed + config ⇒ same hash, with or without host-side

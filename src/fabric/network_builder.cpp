@@ -59,6 +59,18 @@ void FabricNetwork::ApplyFailpoints() {
       c->FailpointSilentDropEvery(fp.client_silent_drop_every);
     }
   }
+  if (fp.disable_byzantine_defense) {
+    // Attestation is suppressed at Start(); also drop the committer's
+    // commit-time data-hash re-check so a tampered block reaches the
+    // ledger and the no-forged-commit invariant can be shown to fire.
+    for (auto& p : peers_) {
+      for (int c = 0; c < options_.channels; ++c) {
+        if (p->HasChannel(ChannelId(c))) {
+          p->GetCommitter(ChannelId(c)).SetDataHashCheckDisabled(true);
+        }
+      }
+    }
+  }
 }
 
 void FabricNetwork::ApplyRetention() {
@@ -435,6 +447,13 @@ void FabricNetwork::Start() {
       for (std::size_t i = 0; i < subscribers; ++i) {
         peers_[i]->EnableDeliverFailover(ChannelId(c), osns, i % osns.size(),
                                          options_.recovery.deliver);
+        // Cross-OSN attestation rides on the watchdog's OSN list; it only
+        // arms on channels with a second OSN to ask (PeerNode enforces
+        // that), and the failpoint keeps it off for oracle self-tests.
+        if (options_.byzantine_defense &&
+            !options_.failpoints.disable_byzantine_defense) {
+          peers_[i]->EnableByzantineDefense(ChannelId(c));
+        }
       }
     }
   }

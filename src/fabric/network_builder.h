@@ -114,9 +114,15 @@ struct FailpointOptions {
   /// Every nth client submission vanishes before the wire with no terminal
   /// status (silent-drop invariant). 0 = off.
   int client_silent_drop_every = 0;
+  /// Disable the Byzantine defenses — no cross-OSN attestation and no
+  /// commit-time data-hash re-check — so planted attacks reach the ledger
+  /// and the no-forged-commit / no-surviving-fork invariants can be shown
+  /// to fire.
+  bool disable_byzantine_defense = false;
 
   [[nodiscard]] bool Any() const {
-    return disable_committer_dedup || client_silent_drop_every > 0;
+    return disable_committer_dedup || client_silent_drop_every > 0 ||
+           disable_byzantine_defense;
   }
 };
 
@@ -151,6 +157,12 @@ struct NetworkOptions {
   /// Force per-tx outcome logging on every client even without recovery
   /// (the invariant checker needs it for pure-overload runs).
   bool track_outcomes = false;
+  /// Arm the cross-OSN attestation defense on every subscribing peer
+  /// (channels with >= 2 OSNs only; requires recovery.enabled for the
+  /// deliver watchdog the quarantine path rides on). RunExperiment turns
+  /// this on automatically when the fault schedule contains a Byzantine
+  /// kind, so honest runs pay nothing and stay byte-identical.
+  bool byzantine_defense = false;
   /// Deliberate-bug injection (chaos-fuzzer demos / oracle self-tests).
   FailpointOptions failpoints;
 };

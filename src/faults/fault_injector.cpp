@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ordering/block_cutter.h"
+#include "ordering/messages.h"
+
 namespace fabricsim::faults {
 
 namespace {
@@ -144,7 +147,128 @@ void FaultInjector::Fire(const FaultEvent& ev) {
       ScaleSpeed(disk, "disk " + name, ev.value, ev.until);
       return;
     }
+    case FaultKind::kEquivocate:
+    case FaultKind::kTamperBlock:
+    case FaultKind::kBogusBackfill: {
+      std::vector<ordering::OsnBase*> osns;
+      for (const auto& name : ev.groups.at(0)) {
+        for (auto* o : ResolveOsns(name)) osns.push_back(o);
+      }
+      const std::string what = FaultKindName(ev.kind);
+      for (auto* o : osns) SetOsnAttack(o, ev.kind, true);
+      Note(what + " armed on " + std::to_string(osns.size()) + " OSN(s)");
+      // The grammar requires a window for these kinds (Parse rejects
+      // open-ended Byzantine attacks), so ev.until is always set.
+      env.Sched().ScheduleAt(*ev.until, [this, osns, kind = ev.kind, what] {
+        for (auto* o : osns) SetOsnAttack(o, kind, false);
+        Note(what + " disarmed");
+      });
+      return;
+    }
+    case FaultKind::kForgeEndorsement: {
+      std::vector<peer::PeerNode*> peers;
+      for (const auto& name : ev.groups.at(0)) {
+        for (auto* p : ResolvePeers(name)) peers.push_back(p);
+      }
+      for (auto* p : peers) p->SetForgeEndorsements(true);
+      Note("forge-endorsement armed on " + std::to_string(peers.size()) +
+           " peer(s)");
+      env.Sched().ScheduleAt(*ev.until, [this, peers] {
+        for (auto* p : peers) p->SetForgeEndorsements(false);
+        Note("forge-endorsement disarmed");
+      });
+      return;
+    }
+    case FaultKind::kReplayTx:
+      FireReplayTx(ev);
+      return;
   }
+}
+
+void FaultInjector::SetOsnAttack(ordering::OsnBase* osn, FaultKind kind,
+                                 bool on) {
+  switch (kind) {
+    case FaultKind::kEquivocate:
+      osn->SetEquivocate(on);
+      break;
+    case FaultKind::kTamperBlock:
+      osn->SetTamperDeliver(on);
+      break;
+    case FaultKind::kBogusBackfill:
+      osn->SetBogusBackfill(on);
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::FireReplayTx(const FaultEvent& ev) {
+  sim::Environment& env = net_.Env();
+  // A network adversary replaying captured broadcasts: take the newest
+  // committed transactions from the validator's chain and re-submit them to
+  // the ordering service verbatim. The envelopes are well-signed (they
+  // committed once), so they order again — the committer's duplicate tx-id
+  // screen must flag the second commit attempt.
+  const auto count = static_cast<std::size_t>(ev.value);
+  const auto& store = net_.ValidatorPeer().GetCommitter().Chain().Store();
+  std::vector<ordering::EnvelopePtr> victims;
+  for (std::uint64_t n = store.Height(); victims.size() < count && n-- > 1;) {
+    const proto::BlockPtr b = store.GetBlock(n);
+    if (b == nullptr) break;  // outside the retained window
+    for (auto it = b->transactions.rbegin();
+         it != b->transactions.rend() && victims.size() < count; ++it) {
+      victims.push_back(std::make_shared<proto::TransactionEnvelope>(*it));
+    }
+  }
+  if (victims.empty()) {
+    Note("replay-tx: nothing committed yet to replay");
+    return;
+  }
+  const auto osns = net_.OsnNetIds(0);
+  if (osns.empty()) {
+    Note("replay-tx: no ordering nodes");
+    return;
+  }
+  // Spoofed sender: the adversary injects from an existing endpoint (the
+  // validator) so the ack it triggers lands somewhere that ignores it.
+  const sim::NodeId attacker = net_.ValidatorPeer().NetId();
+  for (const auto& e : victims) {
+    env.Net().Send(attacker, osns.front(),
+                   std::make_shared<ordering::BroadcastEnvelopeMsg>(
+                       e, e->WireSize()));
+  }
+  Note("replay-tx: re-broadcast " + std::to_string(victims.size()) +
+       " committed tx");
+}
+
+std::vector<ordering::OsnBase*> FaultInjector::ResolveOsns(
+    const std::string& name) {
+  std::vector<ordering::OsnBase*> out;
+  for (sim::NodeId id : ResolveNodes(name)) {
+    for (int c = 0; c < net_.ChannelCount(); ++c) {
+      for (ordering::OsnBase* osn : net_.Osns(c)) {
+        if (osn->NetId() == id) out.push_back(osn);
+      }
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("fault target is not an OSN: " + name);
+  }
+  return out;
+}
+
+std::vector<peer::PeerNode*> FaultInjector::ResolvePeers(
+    const std::string& name) {
+  std::vector<peer::PeerNode*> out;
+  for (sim::NodeId id : ResolveNodes(name)) {
+    for (std::size_t i = 0; i < net_.PeerCount(); ++i) {
+      if (net_.Peer(i).NetId() == id) out.push_back(&net_.Peer(i));
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("fault target is not a peer: " + name);
+  }
+  return out;
 }
 
 void FaultInjector::ApplyLoss(double value, std::optional<sim::SimTime> until) {

@@ -57,6 +57,17 @@ class FaultInjector {
   /// Resolves one target name to endpoint ids (aliases may fan out across
   /// channels). Throws std::invalid_argument for unknown names.
   [[nodiscard]] std::vector<sim::NodeId> ResolveNodes(const std::string& name);
+  /// Resolves a name to the OSN instances behind it (one per channel for
+  /// aliases). Throws when the name is not an ordering node (e.g. `leader`
+  /// under Kafka resolves to a broker, which cannot equivocate on deliver).
+  [[nodiscard]] std::vector<ordering::OsnBase*> ResolveOsns(
+      const std::string& name);
+  /// Resolves a name to peer nodes (for endorser-side attacks).
+  [[nodiscard]] std::vector<peer::PeerNode*> ResolvePeers(
+      const std::string& name);
+  /// Arms/disarms one OSN's wire attack for a windowed Byzantine kind.
+  static void SetOsnAttack(ordering::OsnBase* osn, FaultKind kind, bool on);
+  void FireReplayTx(const FaultEvent& ev);
   /// The channel-0 ordering leader right now (Raft leader OSN, Kafka
   /// partition-leader broker, or the Solo node).
   [[nodiscard]] sim::NodeId ResolveLeader();

@@ -116,8 +116,38 @@ const char* FaultKindName(FaultKind kind) {
       return "slow";
     case FaultKind::kSlowDisk:
       return "slowdisk";
+    case FaultKind::kEquivocate:
+      return "equivocate";
+    case FaultKind::kTamperBlock:
+      return "tamper-block";
+    case FaultKind::kBogusBackfill:
+      return "bogus-backfill";
+    case FaultKind::kForgeEndorsement:
+      return "forge-endorsement";
+    case FaultKind::kReplayTx:
+      return "replay-tx";
   }
   return "unknown";
+}
+
+bool IsByzantine(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEquivocate:
+    case FaultKind::kTamperBlock:
+    case FaultKind::kBogusBackfill:
+    case FaultKind::kForgeEndorsement:
+    case FaultKind::kReplayTx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FaultSchedule::HasByzantine() const {
+  for (const auto& ev : events) {
+    if (IsByzantine(ev.kind)) return true;
+  }
+  return false;
 }
 
 sim::SimTime FaultSchedule::FirstFaultAt() const {
@@ -139,6 +169,9 @@ std::string FaultSchedule::Describe() const {
     if (ev.kind == FaultKind::kLoss || ev.kind == FaultKind::kSlowCpu ||
         ev.kind == FaultKind::kSlowDisk) {
       os << " x" << ev.value;
+    }
+    if (ev.kind == FaultKind::kReplayTx) {
+      os << " x" << static_cast<int>(ev.value);
     }
     for (std::size_t g = 0; g < ev.groups.size(); ++g) {
       os << (g == 0 ? " " : " | ");
@@ -181,6 +214,17 @@ std::string FaultSchedule::ToSpec() const {
       case FaultKind::kSlowCpu:
       case FaultKind::kSlowDisk:
         out += ":" + ev.groups.at(0).at(0) + ":" + FormatNumber(ev.value);
+        break;
+      case FaultKind::kEquivocate:
+      case FaultKind::kTamperBlock:
+      case FaultKind::kBogusBackfill:
+      case FaultKind::kForgeEndorsement:
+        out += ":" + JoinGroup(ev.groups.at(0), '|');
+        break;
+      case FaultKind::kReplayTx:
+        if (ev.value != 1.0) {
+          out += ":" + std::to_string(static_cast<int>(ev.value));
+        }
         break;
     }
     out += "@" + SpecTime(ev.at);
@@ -263,6 +307,30 @@ FaultSchedule FaultSchedule::Parse(const std::string& spec) {
       if (ev.value <= 0.0 || ev.value > kMaxSpeedFactor) {
         Bad(token, "speed factor must be in (0, " +
                        std::to_string(static_cast<int>(kMaxSpeedFactor)) + "]");
+      }
+    } else if (kind == "equivocate" || kind == "tamper-block" ||
+               kind == "bogus-backfill" || kind == "forge-endorsement") {
+      if (kind == "equivocate") {
+        ev.kind = FaultKind::kEquivocate;
+      } else if (kind == "tamper-block") {
+        ev.kind = FaultKind::kTamperBlock;
+      } else if (kind == "bogus-backfill") {
+        ev.kind = FaultKind::kBogusBackfill;
+      } else {
+        ev.kind = FaultKind::kForgeEndorsement;
+      }
+      if (args.empty()) Bad(token, kind + " needs a target");
+      // Windowed only: an attack with no end would make every schedule
+      // unrecoverable by construction.
+      if (!ev.until) Bad(token, kind + " needs a window (@T-T')");
+      ev.groups.push_back(Split(args, '|'));
+    } else if (kind == "replay-tx") {
+      ev.kind = FaultKind::kReplayTx;
+      if (ev.until) Bad(token, "replay-tx cannot be a window");
+      ev.value = args.empty() ? 1.0 : ParseNumber(args, token);
+      if (ev.value < 1.0 || ev.value > 1000.0 ||
+          ev.value != std::floor(ev.value)) {
+        Bad(token, "replay count must be an integer in [1,1000]");
       }
     } else {
       Bad(token, "unknown fault kind \"" + kind + "\"");

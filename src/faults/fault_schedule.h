@@ -16,6 +16,21 @@
 //                                   slower: 0.25 = 4x slowdown)
 //   slowdisk:<peer>:<f>@T[-T']      scale a peer's ledger-disk speed by f
 //
+// Byzantine kinds (adversarial components rather than benign failures; all
+// windowed attacks undo themselves at T'):
+//
+//   equivocate:<osn>@T-T'           the OSN delivers divergent block streams
+//                                   to different peer subsets (re-signed, so
+//                                   only cross-OSN attestation catches it)
+//   tamper-block:<osn>@T-T'         the OSN corrupts tx payloads on the wire
+//                                   without recomputing the data hash
+//   bogus-backfill:<osn>@T-T'       the OSN serves corrupted history to
+//                                   backfill/catch-up subscriptions
+//   forge-endorsement:<peer>@T-T'   the endorsing peer signs proposal
+//                                   responses with an invalid signature
+//   replay-tx[:<n>]@T               re-broadcast n (default 1) already
+//                                   committed transactions to the orderer
+//
 // Times are fractional seconds by default (`5s`, `2.5`, `750ms`), measured
 // in absolute simulation time (warm-up included). Targets are resolved by
 // the FaultInjector when the event fires, so aliases like `leader` hit
@@ -40,9 +55,20 @@ enum class FaultKind : std::uint8_t {
   kLoss,
   kSlowCpu,
   kSlowDisk,
+  // Byzantine kinds: a component is adversarial, not merely failed.
+  kEquivocate,
+  kTamperBlock,
+  kBogusBackfill,
+  kForgeEndorsement,
+  kReplayTx,
 };
 
 [[nodiscard]] const char* FaultKindName(FaultKind kind);
+
+/// True for kinds that model adversarial behaviour (the injector arms attack
+/// hooks for these; the experiment runner enables the Byzantine defenses and
+/// the invariant oracle expects — and attributes — commit-path rejects).
+[[nodiscard]] bool IsByzantine(FaultKind kind);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
@@ -69,6 +95,8 @@ struct FaultSchedule {
   bool operator==(const FaultSchedule&) const = default;
 
   [[nodiscard]] bool Empty() const { return events.empty(); }
+  /// True if any event is a Byzantine kind (see IsByzantine).
+  [[nodiscard]] bool HasByzantine() const;
   /// Earliest event time; 0 for an empty schedule.
   [[nodiscard]] sim::SimTime FirstFaultAt() const;
   /// Human-readable one-line-per-event rendering.

@@ -258,12 +258,16 @@ bool ScheduleLooksRecoverable(const ChaosCase& chaos_case,
     if (ev.kind == FaultKind::kRevive || ev.kind == FaultKind::kHeal) {
       return false;
     }
-    if (!ev.until) return false;
+    // replay-tx is the one point-shaped fault that needs no undo window:
+    // the committer's tx-id dedup absorbs the replays instantly.
+    if (!ev.until && ev.kind != FaultKind::kReplayTx) return false;
     // The fault must start after the system is warm and end early enough
     // that recovery (Raft ~2 s re-election, commit-timeout resubmits up to
     // ~8 s) completes inside the measurement window.
     if (sim::ToSeconds(ev.at) < kWarmupSeconds + 5.0) return false;
-    if (sim::ToSeconds(*ev.until) > window_end - 10.0) return false;
+    if (ev.until && sim::ToSeconds(*ev.until) > window_end - 10.0) {
+      return false;
+    }
 
     switch (ev.kind) {
       case FaultKind::kCrash: {
@@ -306,6 +310,23 @@ bool ScheduleLooksRecoverable(const ChaosCase& chaos_case,
           return false;
         }
         break;
+      case FaultKind::kEquivocate:
+        // The forged variant is internally consistent (valid signature,
+        // matching data hash); only the cross-OSN attestation catches it,
+        // and that needs a second OSN to ask.
+        if (solo) return false;
+        break;
+      case FaultKind::kTamperBlock:
+      case FaultKind::kBogusBackfill:
+        // Caught by the committer's always-on data-hash re-check; the gap
+        // repair then refetches the honest copy once the window closes.
+        break;
+      case FaultKind::kForgeEndorsement:
+        // Clients verify endorsement signatures and retry the survivors;
+        // post-window the targeted endorser signs honestly again.
+        break;
+      case FaultKind::kReplayTx:
+        break;
       case FaultKind::kRevive:
       case FaultKind::kHeal:
         return false;
@@ -325,7 +346,12 @@ ChaosCase ChaosFuzzer::GenerateCase(int index) const {
 
   ChaosCase c;
   const double pick = rng.NextDouble();
-  c.ordering = pick < 0.20 ? "solo" : pick < 0.45 ? "kafka" : "raft";
+  // Byzantine cases never use Solo: the OSN-level attacks need a second OSN
+  // for the attestation defense to cross-check against.
+  c.ordering = options_.byzantine ? (pick < 0.45 ? "kafka" : "raft")
+               : pick < 0.20      ? "solo"
+               : pick < 0.45      ? "kafka"
+                                  : "raft";
   c.peers = static_cast<int>(rng.NextInRange(2, 5));
   if (rng.NextBool(0.25)) {
     c.clients = static_cast<int>(rng.NextInRange(1, c.peers));
@@ -346,8 +372,10 @@ ChaosCase ChaosFuzzer::GenerateCase(int index) const {
 
   // Wild cases explore harsher faults (bare crashes, validator outages,
   // heavy loss) where a stall is a legitimate outcome; tame cases stay
-  // within what ScheduleLooksRecoverable can audit.
-  const bool wild = rng.NextBool(0.4);
+  // within what ScheduleLooksRecoverable can audit. Byzantine campaigns
+  // stay tame throughout: every case must be audited recoverable so a
+  // defense that wedges the channel is reported, not excused.
+  const bool wild = !options_.byzantine && rng.NextBool(0.4);
   c.duration_s =
       static_cast<double>(rng.NextInRange(wild ? 28 : 40, wild ? 44 : 60)) *
       0.5;  // tame 20-30 s, wild 14-22 s
@@ -424,7 +452,14 @@ ChaosCase ChaosFuzzer::GenerateCase(int index) const {
   };
 
   FaultSchedule schedule;
-  const int n_events = 1 + static_cast<int>(rng.NextBelow(3));
+  // Byzantine mode: the attack itself is the main event (appended below);
+  // at most one benign resource fault rides along, and the base mix drops
+  // the message-destroying kinds (crash, partition, loss) — losing the
+  // honest attesters or their replies mid-attack can legitimately defeat a
+  // quorum defense, which the oracle cannot tell apart from a defense bug.
+  const int n_events = options_.byzantine
+                           ? static_cast<int>(rng.NextBelow(2))
+                           : 1 + static_cast<int>(rng.NextBelow(3));
   for (int e = 0; e < n_events; ++e) {
     FaultEvent ev;
     // Windows may overlap (no per-event spacing) — overlap is exactly the
@@ -438,7 +473,9 @@ ChaosCase ChaosFuzzer::GenerateCase(int index) const {
     const bool windowed = !wild || rng.NextBool(0.7);
     if (windowed) ev.until = sim::FromSeconds(start + len);
 
-    switch (rng.NextBelow(10)) {
+    const std::uint64_t roll =
+        options_.byzantine ? 7 + rng.NextBelow(3) : rng.NextBelow(10);
+    switch (roll) {
       case 0:
       case 1:
       case 2:  // 30% crash
@@ -488,6 +525,46 @@ ChaosCase ChaosFuzzer::GenerateCase(int index) const {
         ev.groups.push_back({disk_target()});
         ev.value = 0.05 * static_cast<double>(rng.NextInRange(
                               wild ? 1 : 8, 18));
+        break;
+    }
+    schedule.events.push_back(std::move(ev));
+  }
+
+  if (options_.byzantine) {
+    // Exactly one attack per case, placed so ScheduleLooksRecoverable's
+    // bounds hold (starts warm, ends >= 10 s before the window closes):
+    // every byzantine case is audited recoverable, so a stall is a bug.
+    FaultEvent ev;
+    const double latest_end = window_end - 10.0;
+    const double start = grid_time(kWarmupSeconds + 6.0, latest_end - 2.0);
+    const double len = grid_time(2.0, std::max(2.0, latest_end - start));
+    ev.at = sim::FromSeconds(start);
+    switch (rng.NextBelow(5)) {
+      case 0:
+        ev.kind = FaultKind::kEquivocate;
+        ev.until = sim::FromSeconds(start + len);
+        ev.groups.push_back({osn()});
+        break;
+      case 1:
+        ev.kind = FaultKind::kTamperBlock;
+        ev.until = sim::FromSeconds(start + len);
+        ev.groups.push_back({osn()});
+        break;
+      case 2:
+        ev.kind = FaultKind::kBogusBackfill;
+        ev.until = sim::FromSeconds(start + len);
+        ev.groups.push_back({osn()});
+        break;
+      case 3:
+        ev.kind = FaultKind::kForgeEndorsement;
+        ev.until = sim::FromSeconds(start + len);
+        ev.groups.push_back({endorser()});
+        break;
+      default:
+        // Point event: re-broadcast 1-5 committed envelopes. The dedup
+        // flags them kDuplicateTxId; no undo window needed.
+        ev.kind = FaultKind::kReplayTx;
+        ev.value = static_cast<double>(rng.NextInRange(1, 5));
         break;
     }
     schedule.events.push_back(std::move(ev));

@@ -111,6 +111,16 @@ struct FuzzerOptions {
   /// Oracle-run budget per shrink (the shrinker stops when it runs out).
   int max_shrink_runs = 200;
   bool shrink = true;
+  /// Byzantine campaign (--byzantine): every case additionally schedules one
+  /// malicious-actor fault (equivocate, tamper-block, bogus-backfill,
+  /// forge-endorsement, or replay-tx). OSN-level attacks need a second OSN
+  /// for the attestation defense to ask, so byzantine cases never use Solo;
+  /// and the base fault mix drops message-destroying kinds (crash,
+  /// partition, loss) — losing the honest attesters mid-attack can
+  /// legitimately defeat a quorum defense, which the oracle cannot tell
+  /// apart from a defense bug. That interplay is drilled deterministically
+  /// in bench/fault_recovery instead.
+  bool byzantine = false;
   /// Deliberate-bug injection applied to every case (demo campaigns).
   fabric::FailpointOptions failpoints;
 };

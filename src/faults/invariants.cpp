@@ -35,7 +35,8 @@ std::string InvariantReport::Summary() const {
 }
 
 InvariantReport CheckInvariants(fabric::FabricNetwork& net,
-                                bool pending_is_lost) {
+                                bool pending_is_lost,
+                                bool byzantine_expected) {
   InvariantReport report;
   const auto& records = net.Tracker().Records();
 
@@ -53,6 +54,22 @@ InvariantReport CheckInvariants(fabric::FabricNetwork& net,
     for (std::size_t i = 0; i < committers.size(); ++i) {
       const ledger::Blockchain& chain = committers[i]->Chain();
       ++report.chains_audited;
+      // No forged commits, checked before the structural audit so a
+      // tampered commit classifies under its own name: a tampered payload
+      // keeps the honest (signed) header, so header comparisons pass; the
+      // Merkle re-check is what exposes it. (The audit below also notices
+      // — the ledger re-checks data hashes — but "chain-audit" would not
+      // say which defense the attack beat.)
+      for (std::uint64_t n = 1; n < chain.Height(); ++n) {
+        const proto::BlockPtr block = chain.Store().GetBlock(n);
+        if (block == nullptr) continue;  // pruned under retention
+        if (!(block->DataHash() == block->header.data_hash)) {
+          Violate(report, "no-forged-commit",
+                  names[i] + "/" + channel + " committed block " +
+                      std::to_string(n) +
+                      " whose payload does not hash to its signed header");
+        }
+      }
       const ledger::ChainCheck check = chain.Audit();
       if (!check.ok) {
         std::ostringstream os;
@@ -84,6 +101,16 @@ InvariantReport CheckInvariants(fabric::FabricNetwork& net,
                     names[i] + "/" + channel + " committed unsubmitted tx " +
                         tx.tx_id);
           }
+          // No forged commits: re-run VSCC against the committed bytes. A
+          // tampered payload or forged endorsement that reached the ledger
+          // as kValid fails its signature/policy re-check here. Memoized
+          // envelope verdicts make the honest re-check nearly free.
+          if (valid && committers[i]->Vscc(tx) !=
+                           proto::ValidationCode::kValid) {
+            Violate(report, "no-forged-commit",
+                    names[i] + "/" + channel + " committed " + tx.tx_id +
+                        " as valid but it fails VSCC re-verification");
+          }
         }
       }
     }
@@ -103,6 +130,74 @@ InvariantReport CheckInvariants(fabric::FabricNetwork& net,
           Violate(report, "chain-fork", os.str());
           break;
         }
+      }
+    }
+
+    // No surviving fork: every committed block must also match the block
+    // the ordering service's canonical histories hold at that number
+    // (majority across the OSNs that still retain it, so one lagging OSN
+    // cannot veto). Catches a channel-wide fork pairwise peer comparison
+    // cannot see — e.g. every subscriber accepted the same forged variant.
+    const auto osns = net.Osns(c);
+    if (osns.size() >= 2) {
+      for (std::size_t i = 0; i < committers.size(); ++i) {
+        const auto& chain = committers[i]->Chain();
+        bool reported = false;
+        for (std::uint64_t n = 1; n < chain.Height() && !reported; ++n) {
+          std::vector<crypto::Digest> hashes;
+          for (const auto* osn : osns) {
+            if (auto h = osn->HistoryHeaderHash(n)) hashes.push_back(*h);
+          }
+          if (hashes.empty()) continue;  // outside every retained history
+          std::size_t best = 0;
+          for (std::size_t a = 0; a < hashes.size(); ++a) {
+            std::size_t votes = 0;
+            for (const auto& h : hashes) {
+              if (h == hashes[a]) ++votes;
+            }
+            if (votes > best) {
+              best = votes;
+              std::swap(hashes[0], hashes[a]);
+            }
+          }
+          if (best * 2 <= hashes.size()) continue;  // no majority
+          ++report.blocks_compared;
+          if (!(chain.Store().GetBlock(n)->header.Hash() == hashes[0])) {
+            std::ostringstream os;
+            os << names[i] << "/" << channel << " block " << n
+               << " diverges from the ordering service's canonical chain";
+            Violate(report, "no-surviving-fork", os.str());
+            reported = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Unexplained rejects: the Byzantine defenses must be silent on runs that
+  // scheduled no Byzantine fault. A nonzero reject/quarantine counter on an
+  // honest run means the commit path discarded real work.
+  if (!byzantine_expected) {
+    for (std::size_t i = 0; i < net.PeerCount(); ++i) {
+      peer::PeerNode& p = net.Peer(i);
+      const std::string name = net.Env().Net().NameOf(p.NetId());
+      std::uint64_t rejected = 0;
+      for (int c = 0; c < net.ChannelCount(); ++c) {
+        const std::string channel = net.ChannelId(c);
+        if (p.HasChannel(channel)) {
+          rejected += p.GetCommitter(channel).RejectedBlocks();
+        }
+      }
+      if (rejected > 0) {
+        Violate(report, "unexplained-reject",
+                name + " rejected " + std::to_string(rejected) +
+                    " block(s) with no Byzantine fault scheduled");
+      }
+      if (p.ByzantineQuarantines() > 0) {
+        Violate(report, "unexplained-reject",
+                name + " quarantined a deliverer " +
+                    std::to_string(p.ByzantineQuarantines()) +
+                    " time(s) with no Byzantine fault scheduled");
       }
     }
   }

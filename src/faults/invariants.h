@@ -20,6 +20,20 @@
 //                     (committed or rejected — overload sheds included) or
 //                     is still pending inside the client. Overload
 //                     protection may refuse work, but never wordlessly.
+//   - no-forged-commit: every transaction committed as valid still passes
+//                     VSCC when re-run against the committed bytes — a
+//                     tampered payload or forged endorsement that slipped
+//                     into the ledger fails here (memoized verdicts make
+//                     the honest re-check nearly free);
+//   - no-surviving-fork: every committed block matches the block the
+//                     ordering service's canonical histories hold at that
+//                     number (majority across OSNs), catching a channel-wide
+//                     fork that pairwise peer comparison cannot see;
+//   - unexplained-reject: the committers' block-reject counters and the
+//                     peers' attestation quarantines are zero unless the
+//                     run scheduled a Byzantine fault (pass
+//                     byzantine_expected=true) — rejects must always be
+//                     attributable, never background noise.
 #pragma once
 
 #include <string>
@@ -47,7 +61,8 @@ struct InvariantReport {
 };
 
 [[nodiscard]] InvariantReport CheckInvariants(fabric::FabricNetwork& net,
-                                              bool pending_is_lost = false);
+                                              bool pending_is_lost = false,
+                                              bool byzantine_expected = false);
 
 /// Throughput dip/recovery around a fault, from a 1 s-windowed commit log.
 /// `fault_at` is when the first fault fired; `end` bounds the analysis

@@ -42,8 +42,17 @@ class Blockchain {
   [[nodiscard]] bool ValidateLinkage(const proto::Block& block,
                                      std::string* reason = nullptr) const;
 
+  /// Failpoint: skip ValidateLinkage's data-hash arm (number and
+  /// previous-hash stay enforced) so tamper-block drills can land a forged
+  /// payload on the ledger and show the no-forged-commit invariant fire.
+  /// Audit() is unaffected. Never set in production runs.
+  void SetDataHashCheckDisabled(bool disabled) {
+    data_hash_check_disabled_ = disabled;
+  }
+
  private:
   BlockStore store_;
+  bool data_hash_check_disabled_ = false;  // failpoint
 };
 
 }  // namespace fabricsim::ledger

@@ -198,6 +198,58 @@ class SubscribeRequestMsg final : public sim::Message {
   std::uint64_t from_number_;
 };
 
+/// Peer -> OSN: "what block hash did you deliver at this number?" Sent by
+/// peers with Byzantine defense enabled to cross-check every delivered block
+/// against a *different* OSN before releasing it to the committer — an
+/// equivocating OSN cannot answer for the honest copy it never produced.
+class BlockAttestRequestMsg final : public sim::Message {
+ public:
+  BlockAttestRequestMsg(std::string channel_id, std::uint64_t block_number)
+      : channel_id_(std::move(channel_id)), block_number_(block_number) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::uint64_t BlockNumber() const { return block_number_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 32 + channel_id_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "BlockAttestRequest";
+  }
+
+ private:
+  std::string channel_id_;
+  std::uint64_t block_number_;
+};
+
+/// OSN -> peer: the header hash this OSN holds for the requested block
+/// number (`known == false` when the block is not yet in its history).
+class BlockAttestReplyMsg final : public sim::Message {
+ public:
+  BlockAttestReplyMsg(std::string channel_id, std::uint64_t block_number,
+                      bool known, crypto::Digest hash)
+      : channel_id_(std::move(channel_id)),
+        block_number_(block_number),
+        known_(known),
+        hash_(hash) {}
+
+  [[nodiscard]] const std::string& ChannelId() const { return channel_id_; }
+  [[nodiscard]] std::uint64_t BlockNumber() const { return block_number_; }
+  [[nodiscard]] bool Known() const { return known_; }
+  [[nodiscard]] const crypto::Digest& HeaderHash() const { return hash_; }
+  [[nodiscard]] std::size_t WireSize() const override {
+    return 40 + channel_id_.size() + hash_.size();
+  }
+  [[nodiscard]] std::string TypeName() const override {
+    return "BlockAttestReply";
+  }
+
+ private:
+  std::string channel_id_;
+  std::uint64_t block_number_;
+  bool known_;
+  crypto::Digest hash_;
+};
+
 // --------------------------------------------------------------------- raft
 
 /// One replicated log entry: the Raft orderer replicates whole blocks.

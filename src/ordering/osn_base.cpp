@@ -65,7 +65,27 @@ void OsnBase::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
     if (ack->ChannelId() == channel_id_) OnDeliverAck(from);
     return;
   }
+  if (auto att =
+          std::dynamic_pointer_cast<const BlockAttestRequestMsg>(msg)) {
+    if (att->ChannelId() == channel_id_) {
+      // Answer from the canonical history. Like the deliver ping, this is a
+      // metadata lookup, not an application request: no CPU charge.
+      const auto hash = HistoryHeaderHash(att->BlockNumber());
+      env_.Net().Send(net_id_, from,
+                      std::make_shared<BlockAttestReplyMsg>(
+                          channel_id_, att->BlockNumber(), hash.has_value(),
+                          hash.value_or(crypto::Digest{})));
+    }
+    return;
+  }
   OnOtherMessage(from, msg);
+}
+
+std::optional<crypto::Digest> OsnBase::HistoryHeaderHash(
+    std::uint64_t number) const {
+  const auto it = history_.find(number);
+  if (it == history_.end()) return std::nullopt;
+  return it->second.block->header.Hash();
 }
 
 void OsnBase::AdmitForVerify(PendingIngress item) {
@@ -185,7 +205,16 @@ void OsnBase::PumpBackfill(sim::NodeId peer) {
     st.next = h->first + 1;
     ++st.inflight;
     ++st.version;
-    deliver_.DeliverTo(peer, h->second, /*ack_requested=*/true);
+    if (byz_bogus_backfill_) {
+      // Malicious deliver history: the catch-up stream serves corrupted
+      // copies while the attack window is open. The committer's data-hash
+      // check rejects them; once the window closes, the next repair
+      // subscription backfills the honest copies still held here.
+      deliver_.DeliverTo(peer, TamperedCopy(h->second),
+                         /*ack_requested=*/true);
+    } else {
+      deliver_.DeliverTo(peer, h->second, /*ack_requested=*/true);
+    }
   }
   if (st.inflight == 0) {
     // Caught up with history; future blocks flow through normal delivery.
@@ -242,7 +271,11 @@ void OsnBase::FinishBlock(AssembledBlock b) {
       }
     }
     ++delivered_blocks_;
-    deliver_.Deliver(ready);
+    if (byz_tamper_ || byz_equivocate_) {
+      DeliverByzantine(ready);
+    } else {
+      deliver_.Deliver(ready);
+    }
     history_.emplace(ready.block->header.number, ready);
     if (history_blocks_ > 0) {
       // Bounded backfill history: anything a subscriber might still seek
@@ -255,6 +288,57 @@ void OsnBase::FinishBlock(AssembledBlock b) {
     out_of_order_.erase(it);
     ++next_deliver_number_;
   }
+}
+
+void OsnBase::DeliverByzantine(const AssembledBlock& ready) {
+  if (byz_tamper_) {
+    // Same corrupt copy to everyone: payload mutated, header (and thus the
+    // orderer signature) left intact, so only the data-hash re-check at the
+    // committer can notice.
+    deliver_.Deliver(TamperedCopy(ready));
+    return;
+  }
+  // Equivocation: the odd-indexed subscribers get a divergent, re-signed
+  // variant; the rest get the canonical block. With a single subscriber the
+  // lie goes to it — the divergence is then only visible across OSNs.
+  const AssembledBlock forged = ForgedVariant(ready);
+  const auto& subs = deliver_.Subscribers();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const bool lie = subs.size() == 1 || (i % 2 == 1);
+    deliver_.DeliverTo(subs[i], lie ? forged : ready);
+  }
+}
+
+AssembledBlock OsnBase::TamperedCopy(const AssembledBlock& b) const {
+  auto copy = std::make_shared<proto::Block>(*b.block);
+  if (!copy->transactions.empty()) {
+    copy->transactions.front().chaincode_result.push_back(0xA5);
+    copy->transactions.front().InvalidateCaches();
+  }
+  copy->InvalidateCaches();
+  AssembledBlock out = b;
+  out.block = std::move(copy);
+  return out;
+}
+
+AssembledBlock OsnBase::ForgedVariant(const AssembledBlock& b) const {
+  // Rebuild the block with one transaction's payload mutated, recompute the
+  // data hash, and re-sign the header: structurally indistinguishable from
+  // an honest block signed by this (trusted) orderer identity.
+  std::vector<proto::TransactionEnvelope> txs = b.block->transactions;
+  if (!txs.empty()) {
+    txs.front().chaincode_result.push_back(0x5A);
+    txs.front().InvalidateCaches();
+  }
+  auto forged = std::make_shared<proto::Block>(
+      proto::Block::Make(b.block->header.number,
+                         &b.block->header.previous_hash, std::move(txs)));
+  forged->metadata.orderer_cert = identity_.Cert().Serialize();
+  forged->metadata.orderer_signature =
+      identity_.Sign(forged->header.Serialize());
+  AssembledBlock out = b;
+  out.block = std::move(forged);
+  return out;
 }
 
 void OsnBase::AssembleAsync(Batch batch,

@@ -107,6 +107,31 @@ class OsnBase {
     return delivered_blocks_;
   }
 
+  // --- Byzantine attack hooks (armed/disarmed by the FaultInjector) -------
+  //
+  // The attacks act on the *wire*: the OSN's internal history stays the
+  // canonical chain (a deliberate simplification — attestation replies and
+  // backfills after the window always serve the honest copy, which is what
+  // lets the defense re-fetch a clean block after rejecting a corrupt one).
+
+  /// Deliver a divergent, re-signed block variant to a subset of this OSN's
+  /// subscribers. Structurally valid — only cross-OSN attestation or the
+  /// next block's linkage check can catch it.
+  void SetEquivocate(bool on) { byz_equivocate_ = on; }
+  /// Corrupt a transaction payload in delivered blocks without recomputing
+  /// the header's data hash — caught by the committer's data-hash check.
+  void SetTamperDeliver(bool on) { byz_tamper_ = on; }
+  /// Serve corrupted copies on backfill/catch-up subscriptions.
+  void SetBogusBackfill(bool on) { byz_bogus_backfill_ = on; }
+  [[nodiscard]] bool ByzantineActive() const {
+    return byz_equivocate_ || byz_tamper_ || byz_bogus_backfill_;
+  }
+
+  /// Header hash of the block this OSN holds at `number`, for attestation
+  /// and the fork invariant; nullopt outside the retained history.
+  [[nodiscard]] std::optional<crypto::Digest> HistoryHeaderHash(
+      std::uint64_t number) const;
+
   /// Per-second log of broadcasts received (the paper's rate double-check
   /// on the load actually reaching the ordering service).
   [[nodiscard]] const metrics::RateLog& BroadcastLog() const {
@@ -201,6 +226,13 @@ class OsnBase {
   void PumpBackfill(sim::NodeId peer);
   void OnDeliverAck(sim::NodeId peer);
 
+  /// Deliver path when an equivocate/tamper attack window is active.
+  void DeliverByzantine(const AssembledBlock& ready);
+  /// Copy with one tx payload corrupted and the (now stale) header kept.
+  [[nodiscard]] AssembledBlock TamperedCopy(const AssembledBlock& b) const;
+  /// Divergent variant rebuilt and re-signed by this OSN's identity.
+  [[nodiscard]] AssembledBlock ForgedVariant(const AssembledBlock& b) const;
+
   std::uint64_t next_deliver_number_ = 0;
   std::map<std::uint64_t, AssembledBlock> out_of_order_;
   // Every block delivered so far, by number, so late (re)subscribers can be
@@ -222,6 +254,10 @@ class OsnBase {
   std::size_t history_blocks_ = 0;  // 0 = unbounded
   std::size_t backfill_window_ = 4;
   sim::SimDuration backfill_timeout_ = sim::FromSeconds(2);
+
+  bool byz_equivocate_ = false;
+  bool byz_tamper_ = false;
+  bool byz_bogus_backfill_ = false;
 };
 
 }  // namespace fabricsim::ordering

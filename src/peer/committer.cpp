@@ -58,14 +58,27 @@ void Committer::OnBlock(proto::BlockPtr block, OnCommit on_commit) {
   }
 
   // Structural checks: hash-chain linkage is re-validated at append time;
-  // the orderer signature is checked here.
+  // the orderer signature and the header's data hash are checked here. A
+  // rejected block never enters the pipeline, so next_commit_ stays
+  // unsatisfied and the deliver watchdog's gap repair re-fetches an honest
+  // copy from the ordering service's canonical history.
   const crypto::Certificate* orderer_cert =
       msps_.CachedCertificate(block->metadata.orderer_cert);
   if (orderer_cert == nullptr ||
       !crypto::Verify(orderer_cert->subject_public_key,
                       block->header.Serialize(),
                       block->metadata.orderer_signature)) {
-    return;  // forged block: drop
+    ++rejected_orderer_sig_;
+    return;
+  }
+  // Data-hash re-verification: a payload tampered in flight keeps the
+  // signed header but no longer hashes to header.data_hash. The Merkle root
+  // is memoized on the shared block, so the honest path pays one host-side
+  // hash per block and zero simulated CPU — results stay byte-identical.
+  if (!data_hash_check_disabled_ &&
+      block->DataHash() != block->header.data_hash) {
+    ++rejected_data_hash_;
+    return;
   }
 
   if (max_pipeline_blocks_ > 0 &&
@@ -207,6 +220,7 @@ void Committer::SerialCommit(PendingBlock pb) {
       if (chain_.Store().HasTransaction(id) || seen.count(id) != 0) {
         if (codes[i] == proto::ValidationCode::kValid) {
           codes[i] = proto::ValidationCode::kDuplicateTxId;
+          ++duplicate_tx_rejects_;
         }
       }
       seen.emplace(id, i);
@@ -221,8 +235,12 @@ void Committer::SerialCommit(PendingBlock pb) {
   // (equivalent to Fabric filling the block metadata before the write,
   // without deep-copying the block on every peer).
   if (!chain_.Append(pb.block, mvcc.codes)) {
-    // Linkage failure — an orderer bug or a tampered stream. Drop; the
-    // chain audit in tests would catch systematic issues.
+    // Linkage failure — an orderer bug or a tampered stream that slipped
+    // the structural checks. Counted (never silently discarded: the
+    // invariant oracle flags any unexplained reject) and left uncommitted,
+    // so next_commit_ stays put and the deliver watchdog's gap repair
+    // re-fetches the honest copy.
+    ++rejected_linkage_;
     serial_busy_ = false;
     TrySerialCommit();
     PromoteDeferred();

@@ -70,6 +70,18 @@ class Committer {
   /// client resubmission then commits twice). Never set in production runs.
   void SetDedupDisabled(bool disabled) { dedup_disabled_ = disabled; }
 
+  /// Failpoint: skip the commit-time data-hash re-verification so planted
+  /// tamper-block drills can show the no-forged-commit invariant fire.
+  /// Never set in production runs.
+  void SetDataHashCheckDisabled(bool disabled) {
+    data_hash_check_disabled_ = disabled;
+    // The ledger's append-time linkage check re-verifies the data hash
+    // independently (defense in depth); the drill must lower both gates or
+    // the tampered block still bounces — as a linkage reject — before the
+    // invariant can see it.
+    chain_.SetDataHashCheckDisabled(disabled);
+  }
+
   /// Applies ledger retention for bounded-memory soak runs: keep only the
   /// newest `keep_blocks` blocks resident (0 = all) and the newest
   /// `history_per_key` modifications per key (0 = all). See
@@ -105,6 +117,28 @@ class Committer {
   }
   /// Block number SerialCommit is waiting for.
   [[nodiscard]] std::uint64_t NextCommit() const { return next_commit_; }
+
+  /// Blocks rejected before/at commit, by cause. All zero on an honest run
+  /// — the invariant oracle flags nonzero counts without a scheduled
+  /// Byzantine fault as a violation (unexplained-reject) instead of letting
+  /// the commit path discard blocks silently.
+  [[nodiscard]] std::uint64_t RejectedOrdererSig() const {
+    return rejected_orderer_sig_;
+  }
+  [[nodiscard]] std::uint64_t RejectedDataHash() const {
+    return rejected_data_hash_;
+  }
+  [[nodiscard]] std::uint64_t RejectedLinkage() const {
+    return rejected_linkage_;
+  }
+  [[nodiscard]] std::uint64_t RejectedBlocks() const {
+    return rejected_orderer_sig_ + rejected_data_hash_ + rejected_linkage_;
+  }
+  /// Transactions flagged kDuplicateTxId by the dedup screen (replay
+  /// rejection attribution; benign resubmissions also land here).
+  [[nodiscard]] std::uint64_t DuplicateTxRejects() const {
+    return duplicate_tx_rejects_;
+  }
 
   [[nodiscard]] const ledger::Blockchain& Chain() const { return chain_; }
   /// Mutable chain access for oracle self-tests (crafting forks and phantom
@@ -170,7 +204,12 @@ class Committer {
   std::map<std::uint64_t, DeferredBlock> deferred_;
   std::size_t max_pipeline_blocks_ = 0;  // 0 = unbounded
   bool dedup_disabled_ = false;          // failpoint, see SetDedupDisabled
+  bool data_hash_check_disabled_ = false;  // failpoint
   std::uint64_t deferred_total_ = 0;
+  std::uint64_t rejected_orderer_sig_ = 0;
+  std::uint64_t rejected_data_hash_ = 0;
+  std::uint64_t rejected_linkage_ = 0;
+  std::uint64_t duplicate_tx_rejects_ = 0;
   std::uint64_t next_commit_ = 0;
   bool serial_busy_ = false;
   std::uint64_t committed_tx_ = 0;

@@ -79,6 +79,11 @@ proto::ProposalResponse Endorser::Process(
   out.payload.status = proto::EndorseStatus::kSuccess;
   out.endorsement.endorser_cert = identity_.Cert().Serialize();
   out.endorsement.signature = identity_.Sign(out.payload.Serialize());
+  if (forge_signatures_) {
+    // Forge-endorsement attack: flip a byte so the signature no longer
+    // verifies over the payload it claims to endorse.
+    out.endorsement.signature.bytes[0] ^= 0xFF;
+  }
   ++endorsed_;
   return out;
 }

@@ -37,6 +37,13 @@ class Endorser {
   [[nodiscard]] std::uint64_t Endorsed() const { return endorsed_; }
   [[nodiscard]] std::uint64_t Refused() const { return refused_; }
 
+  /// Attack hook (forge-endorsement fault): corrupt the ESCC signature on
+  /// every endorsement produced while set. The endorsement is otherwise
+  /// well-formed — exactly what a compromised endorser key would emit — so
+  /// it exercises the client-side verification and VSCC rejection paths.
+  void SetForgeSignatures(bool on) { forge_signatures_ = on; }
+  [[nodiscard]] bool ForgingSignatures() const { return forge_signatures_; }
+
  private:
   [[nodiscard]] proto::ProposalResponse Refuse(const std::string& tx_id,
                                                proto::EndorseStatus status) const;
@@ -49,6 +56,7 @@ class Endorser {
   std::string channel_id_;
   mutable std::uint64_t endorsed_ = 0;
   mutable std::uint64_t refused_ = 0;
+  bool forge_signatures_ = false;
 };
 
 }  // namespace fabricsim::peer

@@ -47,6 +47,7 @@ void PeerNode::JoinChannel(const std::string& channel_id) {
   ledger->committer->SetMaxPipelineBlocks(committer_pipeline_limit_);
   ledger->committer->SetDedupDisabled(committer_dedup_disabled_);
   ledger->committer->SetLedgerRetention(retain_blocks_, history_per_key_);
+  ledger->endorser->SetForgeSignatures(forge_endorsements_);
   channels_.emplace(channel_id, std::move(ledger));
 }
 
@@ -94,6 +95,12 @@ void PeerNode::OnMessage(sim::NodeId from, const sim::MessagePtr& msg) {
       it->second.awaiting_pong = false;
       it->second.missed = 0;
     }
+    return;
+  }
+  if (auto att =
+          std::dynamic_pointer_cast<const ordering::BlockAttestReplyMsg>(
+              msg)) {
+    OnAttestReply(from, *att);
     return;
   }
 }
@@ -190,6 +197,36 @@ void PeerNode::HandleDeliverBlock(
     }
   }
 
+  // Cross-OSN attestation: hold a first-seen block from the watched deliver
+  // stream until a second OSN vouches for its header hash. Only deliveries
+  // from the watchdog's OSN set are attested — gossip re-deliveries carry a
+  // block some peer already accepted, and the committer's structural checks
+  // plus the fork invariant re-screen those.
+  if (byz_defense_.count(channel_id) != 0) {
+    auto wit = deliver_watch_.find(channel_id);
+    if (wit != deliver_watch_.end() && wit->second.osns.size() >= 2 &&
+        std::find(wit->second.osns.begin(), wit->second.osns.end(), from) !=
+            wit->second.osns.end()) {
+      const std::uint64_t number = msg->GetBlock()->header.number;
+      if (number >= it->second->committer->NextCommit()) {
+        if (attest_pending_.count({channel_id, number}) != 0) {
+          return;  // a copy of this block is already held for attestation
+        }
+        StartAttestation(channel_id, from, msg);
+        return;
+      }
+    }
+  }
+
+  ReleaseDeliveredBlock(channel_id, msg);
+}
+
+void PeerNode::ReleaseDeliveredBlock(
+    const std::string& channel_id,
+    const std::shared_ptr<const ordering::DeliverBlockMsg>& msg) {
+  auto it = channels_.find(channel_id);
+  if (it == channels_.end()) return;
+
   // Gossip push: forward each block onward exactly once, whether it came
   // from the orderer or from another peer (the message object — and hence
   // the block — is shared, so forwarding costs only wire time).
@@ -207,6 +244,156 @@ void PeerNode::HandleDeliverBlock(
       msg->GetBlock(), [this, channel_id](const CommittedBlock& cb) {
         OnBlockCommitted(channel_id, cb);
       });
+}
+
+void PeerNode::EnableByzantineDefense(const std::string& channel_id) {
+  auto wit = deliver_watch_.find(channel_id);
+  if (wit == deliver_watch_.end() || wit->second.osns.size() < 2) return;
+  byz_defense_.insert(channel_id);
+}
+
+void PeerNode::SetForgeEndorsements(bool on) {
+  forge_endorsements_ = on;
+  for (auto& [id, ledger] : channels_) {
+    ledger->endorser->SetForgeSignatures(on);
+  }
+}
+
+void PeerNode::StartAttestation(
+    const std::string& channel_id, sim::NodeId deliverer,
+    const std::shared_ptr<const ordering::DeliverBlockMsg>& msg) {
+  const std::uint64_t number = msg->GetBlock()->header.number;
+  PendingAttest pa;
+  pa.msg = msg;
+  pa.deliverer = deliverer;
+  attest_pending_[{channel_id, number}] = std::move(pa);
+  SendAttestRequest(channel_id, number);
+}
+
+void PeerNode::SendAttestRequest(const std::string& channel_id,
+                                 std::uint64_t number) {
+  auto pit = attest_pending_.find({channel_id, number});
+  if (pit == attest_pending_.end()) return;
+  PendingAttest& pa = pit->second;
+  const DeliverWatch& w = deliver_watch_.at(channel_id);
+  // Ask every OSN except the deliverer, round-robin across attempts.
+  std::vector<sim::NodeId> others;
+  for (sim::NodeId id : w.osns) {
+    if (id != pa.deliverer) others.push_back(id);
+  }
+  if (others.empty()) {
+    auto msg = pa.msg;
+    attest_pending_.erase(pit);
+    ++attest_fail_open_;
+    ReleaseDeliveredBlock(channel_id, msg);
+    return;
+  }
+  pa.attester = others[static_cast<std::size_t>(pa.attempts) % others.size()];
+  pa.version = ++attest_version_;
+  env_.Net().Send(net_id_, pa.attester,
+                  std::make_shared<ordering::BlockAttestRequestMsg>(
+                      channel_id, number));
+  env_.Sched().ScheduleAfter(
+      attest_timeout_,
+      [this, channel_id, number, version = pa.version] {
+        OnAttestTimeout(channel_id, number, version);
+      },
+      "peer/attest_timeout");
+}
+
+void PeerNode::OnAttestReply(sim::NodeId from,
+                             const ordering::BlockAttestReplyMsg& m) {
+  auto pit = attest_pending_.find({m.ChannelId(), m.BlockNumber()});
+  if (pit == attest_pending_.end() || from != pit->second.attester) return;
+  PendingAttest& pa = pit->second;
+  if (!m.Known()) {
+    // The attester is lagging: in Raft a follower applies the entry a beat
+    // after the leader delivers, so "unknown" usually means "not yet", not
+    // "never". Re-ask after a full timeout period — an immediate retry
+    // burns the whole attempt budget in microseconds and fails open right
+    // past the defense while every honest attester is still catching up.
+    pa.version = ++attest_version_;  // cancel the in-flight timeout
+    env_.Sched().ScheduleAfter(
+        attest_timeout_,
+        [this, channel_id = m.ChannelId(), number = m.BlockNumber(),
+         version = pa.version] {
+          auto it2 = attest_pending_.find({channel_id, number});
+          if (it2 == attest_pending_.end() || it2->second.version != version) {
+            return;
+          }
+          RetryAttestation(channel_id, number);
+        },
+        "peer/attest_lag_retry");
+    return;
+  }
+  if (m.HeaderHash() == pa.msg->GetBlock()->header.Hash()) {
+    ++attest_passed_;
+    auto msg = pa.msg;
+    const std::string channel_id = m.ChannelId();
+    attest_pending_.erase(pit);
+    ReleaseDeliveredBlock(channel_id, msg);
+    return;
+  }
+  // Divergence: deliverer and attester cannot both be honest. Trust the
+  // attester — it answers from its canonical history, which even an OSN
+  // currently attacking the wire keeps honest — drop the held block and
+  // quarantine the deliverer. The re-subscribe backfills the true block.
+  ++byz_quarantines_;
+  const sim::NodeId deliverer = pa.deliverer;
+  const std::string channel_id = m.ChannelId();
+  attest_pending_.erase(pit);
+  QuarantineDeliverer(channel_id, deliverer);
+}
+
+void PeerNode::OnAttestTimeout(const std::string& channel_id,
+                               std::uint64_t number, std::uint64_t version) {
+  auto pit = attest_pending_.find({channel_id, number});
+  if (pit == attest_pending_.end() || pit->second.version != version) return;
+  RetryAttestation(channel_id, number);
+}
+
+void PeerNode::RetryAttestation(const std::string& channel_id,
+                                std::uint64_t number) {
+  auto pit = attest_pending_.find({channel_id, number});
+  if (pit == attest_pending_.end()) return;
+  PendingAttest& pa = pit->second;
+  ++pa.attempts;
+  const DeliverWatch& w = deliver_watch_.at(channel_id);
+  if (pa.attempts >= static_cast<int>(2 * w.osns.size())) {
+    // Fail open: nobody reachable can vouch (e.g. every other OSN crashed).
+    // The committer's orderer-signature, data-hash and linkage checks still
+    // stand between this block and the ledger.
+    ++attest_fail_open_;
+    auto msg = pa.msg;
+    attest_pending_.erase(pit);
+    ReleaseDeliveredBlock(channel_id, msg);
+    return;
+  }
+  SendAttestRequest(channel_id, number);
+}
+
+void PeerNode::QuarantineDeliverer(const std::string& channel_id,
+                                   sim::NodeId deliverer) {
+  auto wit = deliver_watch_.find(channel_id);
+  if (wit == deliver_watch_.end()) return;
+  DeliverWatch& w = wit->second;
+  if (w.osns[w.index] == deliverer) {
+    // Rotate to the next OSN that is not the quarantined one and count it
+    // as a failover — the same recovery machinery a crashed OSN triggers.
+    for (std::size_t step = 1; step <= w.osns.size(); ++step) {
+      const std::size_t cand = (w.index + step) % w.osns.size();
+      if (w.osns[cand] != deliverer) {
+        w.index = cand;
+        break;
+      }
+    }
+    w.missed = 0;
+    ++deliver_failovers_;
+  }
+  env_.Net().Send(net_id_, w.osns[w.index],
+                  std::make_shared<ordering::SubscribeRequestMsg>(
+                      channel_id,
+                      channels_.at(channel_id)->committer->Chain().Height()));
 }
 
 void PeerNode::HandleGossipPull(sim::NodeId from, const GossipPullMsg& m) {

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "peer/committer.h"
 #include "peer/endorser.h"
@@ -25,6 +26,7 @@ class Tracer;
 
 namespace fabricsim::ordering {
 class DeliverBlockMsg;
+class BlockAttestReplyMsg;
 }  // namespace fabricsim::ordering
 
 namespace fabricsim::peer {
@@ -184,6 +186,43 @@ class PeerNode {
                                       : it->second.osns[it->second.index];
   }
 
+  // --- Byzantine defense: cross-OSN attestation ---------------------------
+  // Before handing a freshly delivered block to the committer, ask a
+  // *different* OSN for the header hash it holds at that number. A match
+  // releases the block; a mismatch means the deliverer equivocated — the
+  // held block is dropped, the deliver watchdog rotates off the lying OSN
+  // (quarantine) and re-subscribes so an honest OSN backfills the truth.
+  // An attester that does not know the block yet (lagging) is retried on a
+  // rotating schedule; after 2*|osns| failed attempts the block falls
+  // through to the committer's structural checks (fail-open: with every
+  // other OSN crashed, wedging the channel would be worse than trusting
+  // the linkage/data-hash/signature checks alone). Attestation replies are
+  // served from each OSN's canonical history, so even a currently-lying
+  // OSN attests honestly — the attack in this model is on the wire, not on
+  // the stored chain (see OsnBase's Byzantine hooks).
+
+  /// Arms attestation for `channel_id`. Requires an armed deliver-stream
+  /// watchdog with at least two OSNs; no-op otherwise.
+  void EnableByzantineDefense(const std::string& channel_id);
+
+  /// Attack passthrough: every channel endorser signs endorsements with a
+  /// corrupted signature (see Endorser::SetForgeSignatures). Applies to
+  /// current and future channels.
+  void SetForgeEndorsements(bool on);
+
+  /// Blocks dropped on an attestation mismatch, deliverer quarantined.
+  [[nodiscard]] std::uint64_t ByzantineQuarantines() const {
+    return byz_quarantines_;
+  }
+  /// Attestations that matched and released the held block (telemetry).
+  [[nodiscard]] std::uint64_t AttestationsPassed() const {
+    return attest_passed_;
+  }
+  /// Blocks released unattested after exhausting every attester.
+  [[nodiscard]] std::uint64_t AttestationFailOpens() const {
+    return attest_fail_open_;
+  }
+
  private:
   struct ChannelLedger {
     explicit ChannelLedger(PeerNode& peer, const std::string& channel_id);
@@ -207,6 +246,22 @@ class PeerNode {
   void HandleDeliverBlock(
       sim::NodeId from,
       const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
+  /// Gossip-forwards `msg` and hands its block to the channel committer —
+  /// the tail of delivery, run directly or after attestation clears.
+  void ReleaseDeliveredBlock(
+      const std::string& channel_id,
+      const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
+  void StartAttestation(
+      const std::string& channel_id, sim::NodeId deliverer,
+      const std::shared_ptr<const ordering::DeliverBlockMsg>& msg);
+  void SendAttestRequest(const std::string& channel_id, std::uint64_t number);
+  void OnAttestReply(sim::NodeId from,
+                     const ordering::BlockAttestReplyMsg& m);
+  void OnAttestTimeout(const std::string& channel_id, std::uint64_t number,
+                       std::uint64_t version);
+  void RetryAttestation(const std::string& channel_id, std::uint64_t number);
+  void QuarantineDeliverer(const std::string& channel_id,
+                           sim::NodeId deliverer);
   void HandleGossipPull(sim::NodeId from, const GossipPullMsg& m);
   void AntiEntropyTick();
   void DeliverWatchTick(const std::string& channel_id);
@@ -254,6 +309,25 @@ class PeerNode {
   std::map<std::string, DeliverWatch> deliver_watch_;
   std::uint64_t deliver_failovers_ = 0;
   std::uint64_t deliver_gap_repairs_ = 0;
+
+  // Byzantine defense state.
+  struct PendingAttest {
+    std::shared_ptr<const ordering::DeliverBlockMsg> msg;
+    sim::NodeId deliverer = sim::kInvalidNode;
+    sim::NodeId attester = sim::kInvalidNode;
+    int attempts = 0;
+    std::uint64_t version = 0;  // bumped per request; guards the timer
+  };
+  // (channel, block number) -> held block awaiting attestation.
+  std::map<std::pair<std::string, std::uint64_t>, PendingAttest>
+      attest_pending_;
+  std::set<std::string> byz_defense_;  // channels with attestation armed
+  sim::SimDuration attest_timeout_ = sim::FromMillis(300);
+  std::uint64_t attest_version_ = 0;
+  std::uint64_t attest_passed_ = 0;
+  std::uint64_t attest_fail_open_ = 0;
+  std::uint64_t byz_quarantines_ = 0;
+  bool forge_endorsements_ = false;
 
   // Bounded ProcessProposal ingress (overload protection).
   sim::AdmissionQueue<PendingEndorse> endorse_ingress_;

@@ -125,7 +125,21 @@ class Parser {
     return args;
   }
 
+  // Recursion ceiling: policy strings come from config files and (in chaos
+  // campaigns) fuzzers, and the recursive-descent parser otherwise converts
+  // a deep `AND(AND(AND(...` nesting bomb into a stack overflow. Real
+  // policies nest a handful of levels.
+  static constexpr int kMaxDepth = 64;
+
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  };
+
   std::unique_ptr<Node> ParseExpr() {
+    ++depth_;
+    DepthGuard guard{depth_};
+    if (depth_ > kMaxDepth) Throw("policy nested too deeply");
     SkipWs();
     if (pos_ >= text_.size()) Throw("unexpected end of policy expression");
     if (text_[pos_] == '\'') return ParsePrincipal();
@@ -160,6 +174,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

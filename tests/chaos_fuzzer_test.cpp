@@ -56,6 +56,68 @@ TEST(ChaosFuzzerGenerate, CasesAreValidAndCanonical) {
   }
 }
 
+TEST(ChaosFuzzerGenerate, ByzantineCasesScheduleExactlyOneAttack) {
+  FuzzerOptions options = SmallCampaign(99, 0);
+  options.byzantine = true;
+  const ChaosFuzzer fuzzer(options);
+  int attack_kinds_seen[5] = {};
+  for (int i = 0; i < 200; ++i) {
+    const ChaosCase c = fuzzer.GenerateCase(i);
+    const FaultSchedule schedule = FaultSchedule::Parse(c.faults);
+    EXPECT_EQ(schedule.ToSpec(), c.faults) << "case " << i;
+    // OSN-level attacks need a second OSN for attestation to ask.
+    EXPECT_NE(c.ordering, "solo") << "case " << i;
+    // Exactly one Byzantine event; the rest of the mix is restricted to
+    // non-message-destroying benign kinds so a defeated defense is always a
+    // bug, never a lost-attester artifact.
+    int byz = 0;
+    for (const FaultEvent& ev : schedule.events) {
+      if (IsByzantine(ev.kind)) {
+        ++byz;
+        switch (ev.kind) {
+          case FaultKind::kEquivocate: ++attack_kinds_seen[0]; break;
+          case FaultKind::kTamperBlock: ++attack_kinds_seen[1]; break;
+          case FaultKind::kBogusBackfill: ++attack_kinds_seen[2]; break;
+          case FaultKind::kForgeEndorsement: ++attack_kinds_seen[3]; break;
+          default: ++attack_kinds_seen[4]; break;
+        }
+      } else {
+        EXPECT_TRUE(ev.kind == FaultKind::kSlowCpu ||
+                    ev.kind == FaultKind::kSlowDisk)
+            << "case " << i << ": benign kind "
+            << FaultKindName(ev.kind);
+      }
+    }
+    EXPECT_EQ(byz, 1) << "case " << i << ": " << c.faults;
+    // Placement keeps every byzantine case audited recoverable, so the
+    // oracle treats any stall as a failure.
+    EXPECT_TRUE(c.expect_recovery) << "case " << i << ": " << c.faults;
+    // And the case round-trips through the CLI flags like any other.
+    ChaosCase expected = c;
+    expected.expect_recovery = false;
+    EXPECT_EQ(ChaosCase::FromArgs(c.ToArgs()), expected) << "case " << i;
+  }
+  // 200 cases must exercise every attack kind.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_GT(attack_kinds_seen[k], 0) << "attack kind " << k << " never drawn";
+  }
+}
+
+TEST(ChaosCampaign, ByzantineJobsSettingDoesNotChangeTheResult) {
+  FuzzerOptions options = SmallCampaign(20260808, 4);
+  options.byzantine = true;
+  options.shrink = false;
+  const CampaignResult serial = ChaosFuzzer(options).RunCampaign();
+  options.jobs = 4;
+  const CampaignResult parallel = ChaosFuzzer(options).RunCampaign();
+  EXPECT_EQ(serial.cases_run, parallel.cases_run);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].index, parallel.failures[i].index);
+    EXPECT_EQ(serial.failures[i].original, parallel.failures[i].original);
+  }
+}
+
 TEST(ChaosFuzzerGenerate, SameSeedSameIndexIsDeterministic) {
   const ChaosFuzzer a(SmallCampaign(42, 0));
   const ChaosFuzzer b(SmallCampaign(42, 0));

@@ -1,0 +1,118 @@
+// Cache-poisoning negative tests for the signature verify cache.
+//
+// The cache memoizes (public key, message digest, signature) -> verdict.
+// The security property under test: a forged signature can never produce —
+// or hit — a cached "valid" verdict, because the key binds the full triple
+// with no truncation. An attacker who controls signature bytes (the only
+// attacker-controlled component a verifier feeds the cache) must not be
+// able to alias an honest entry.
+#include "crypto/verify_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "proto/bytes.h"
+
+namespace fabricsim::crypto {
+namespace {
+
+// The cache is process-global; isolate each test from its neighbours.
+class VerifyCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VerifyCache::Instance().SetEnabled(true);
+    VerifyCache::Instance().Clear();
+    VerifyCache::Instance().ResetStats();
+  }
+  void TearDown() override {
+    VerifyCache::Instance().SetEnabled(true);
+    VerifyCache::Instance().Clear();
+  }
+};
+
+TEST_F(VerifyCacheTest, ForgedSignatureIsNeverCachedAsValid) {
+  const KeyPair kp = KeyPair::Derive("honest-signer");
+  const proto::Bytes msg = proto::ToBytes("transfer 10 from a to b");
+  const Digest digest = Hash(msg);
+  const Signature honest = kp.SignDigest(digest);
+
+  ASSERT_TRUE(VerifyDigest(kp.PublicKey(), digest, honest));
+
+  // Flip one byte: every position must yield a false verdict, and the
+  // verdict the cache retains for that forged triple must also be false.
+  VerifyCache& cache = VerifyCache::Instance();
+  for (std::size_t i = 0; i < 8; ++i) {
+    Signature forged = honest;
+    forged.bytes[i * 8] ^= 0x01;
+    EXPECT_FALSE(VerifyDigest(kp.PublicKey(), digest, forged)) << i;
+    const auto cached = cache.Lookup(kp.PublicKey(), digest, forged);
+    ASSERT_TRUE(cached.has_value()) << i;
+    EXPECT_FALSE(*cached) << i;
+    // Re-verification through the cached path agrees.
+    EXPECT_FALSE(VerifyDigest(kp.PublicKey(), digest, forged)) << i;
+  }
+}
+
+TEST_F(VerifyCacheTest, KeyBindsTheFullTriple) {
+  const KeyPair kp = KeyPair::Derive("honest-signer");
+  const KeyPair other = KeyPair::Derive("someone-else");
+  const Digest digest = Hash(proto::ToBytes("payload-a"));
+  const Digest other_digest = Hash(proto::ToBytes("payload-b"));
+  const Signature honest = kp.SignDigest(digest);
+  Signature forged = honest;
+  forged.bytes[0] ^= 0xFF;
+
+  // Seed the cache with exactly one valid verdict.
+  ASSERT_TRUE(VerifyDigest(kp.PublicKey(), digest, honest));
+  VerifyCache& cache = VerifyCache::Instance();
+  ASSERT_EQ(cache.Size(), 1u);
+
+  // Varying any component of the triple must MISS — never alias onto the
+  // cached "valid" entry.
+  EXPECT_FALSE(cache.Lookup(kp.PublicKey(), digest, forged).has_value());
+  EXPECT_FALSE(cache.Lookup(kp.PublicKey(), other_digest, honest).has_value());
+  EXPECT_FALSE(cache.Lookup(other.PublicKey(), digest, honest).has_value());
+
+  // And full verification of each variant is an honest false.
+  EXPECT_FALSE(VerifyDigest(kp.PublicKey(), digest, forged));
+  EXPECT_FALSE(VerifyDigest(kp.PublicKey(), other_digest, honest));
+  EXPECT_FALSE(VerifyDigest(other.PublicKey(), digest, honest));
+}
+
+TEST_F(VerifyCacheTest, VerdictsMatchTheUncachedPathExactly) {
+  // The cache must be a pure memo: with it disabled, every verdict —
+  // honest and forged — is identical. (The determinism suite proves the
+  // simulated results are unchanged; this pins the verdicts themselves.)
+  const KeyPair kp = KeyPair::Derive("honest-signer");
+  const Digest digest = Hash(proto::ToBytes("payload"));
+  const Signature honest = kp.SignDigest(digest);
+  Signature forged = honest;
+  forged.bytes[63] ^= 0x80;
+
+  const bool honest_cached = VerifyDigest(kp.PublicKey(), digest, honest);
+  const bool forged_cached = VerifyDigest(kp.PublicKey(), digest, forged);
+
+  VerifyCache::Instance().SetEnabled(false);
+  EXPECT_EQ(VerifyDigest(kp.PublicKey(), digest, honest), honest_cached);
+  EXPECT_EQ(VerifyDigest(kp.PublicKey(), digest, forged), forged_cached);
+  EXPECT_TRUE(honest_cached);
+  EXPECT_FALSE(forged_cached);
+}
+
+TEST_F(VerifyCacheTest, WholesaleClearRecomputesHonestly) {
+  // Stripe-full eviction clears verdicts wholesale; a forged triple
+  // re-verified after a clear must still come back false (the clear can
+  // drop entries, never flip them).
+  const KeyPair kp = KeyPair::Derive("honest-signer");
+  const Digest digest = Hash(proto::ToBytes("payload"));
+  Signature forged = kp.SignDigest(digest);
+  forged.bytes[17] ^= 0x10;
+
+  EXPECT_FALSE(VerifyDigest(kp.PublicKey(), digest, forged));
+  VerifyCache::Instance().Clear();
+  EXPECT_FALSE(VerifyDigest(kp.PublicKey(), digest, forged));
+}
+
+}  // namespace
+}  // namespace fabricsim::crypto

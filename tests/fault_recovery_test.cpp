@@ -71,17 +71,17 @@ TEST(FaultRecovery, KafkaPartitionLeaderCrashRecovers) {
 }
 
 TEST(FaultRecovery, SoloHaltIsDetectedNotHung) {
-  // Solo has nowhere to fail over to: blocks cut while the OSN is down are
-  // lost, and after the revive the peers wait forever on the gap. The run
-  // must complete (not hang) and report the stall + the acked-but-lost txs.
+  // Solo has nowhere to fail over to: with the single OSN down for good
+  // (bare crash, no revive) commits halt permanently. The run must complete
+  // (not hang), report the stall, and leave a consistent chain — clients
+  // give their acked-but-uncommitted txs an explicit rejection when their
+  // commit-timeout retries run out, so nothing is silently lost.
   //
-  // The gap only forms when the cutter TTC fires mid-crash with pending
-  // txs; at 100 tps with this seed a crash at t=15 s deterministically
-  // catches a partial batch (a crash landing in the instant right after a
-  // size-cut would recover cleanly instead — also correct, just not the
-  // path this test pins).
-  auto config =
-      ChaosConfig(fabric::OrderingType::kSolo, "crash:leader@15s,revive@25s");
+  // (A crash:leader@t,revive@t' pair on Solo recovers: the deliver
+  // watchdog's gap repair re-subscribes after the revive and the OSN
+  // backfills from its history — that path is covered by the recovery
+  // benches. This test pins the no-failover permanent-outage detection.)
+  auto config = ChaosConfig(fabric::OrderingType::kSolo, "crash:leader@15s");
   config.workload.duration = sim::FromSeconds(30);
   const auto result = fabric::RunExperiment(config);
 
@@ -91,18 +91,10 @@ TEST(FaultRecovery, SoloHaltIsDetectedNotHung) {
   EXPECT_TRUE(rec.stalled);
   EXPECT_LT(rec.time_to_recover_s, 0.0);
 
-  // The data loss is real and the checker surfaces it.
+  // Whatever committed is a consistent, fork-free chain, and every acked
+  // tx reached a terminal status (committed or explicitly rejected).
   ASSERT_TRUE(result.invariants.has_value());
-  EXPECT_FALSE(result.invariants->Ok());
-  bool saw_acked_lost = false;
-  for (const auto& v : result.invariants->violations) {
-    saw_acked_lost = saw_acked_lost || v.invariant == "acked-lost";
-    EXPECT_NE(v.invariant, "chain-fork");
-    EXPECT_NE(v.invariant, "double-commit");
-    EXPECT_NE(v.invariant, "phantom-commit");
-  }
-  EXPECT_TRUE(saw_acked_lost);
-  // What did commit is still a consistent chain.
+  EXPECT_TRUE(result.invariants->Ok()) << result.invariants->Summary();
   EXPECT_TRUE(result.chain_audit_ok);
 }
 

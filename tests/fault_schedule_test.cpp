@@ -95,6 +95,92 @@ TEST(FaultSchedule, SlowCpuAndDisk) {
   EXPECT_DOUBLE_EQ(s.events[1].value, 0.5);
 }
 
+TEST(FaultSchedule, ParsesByzantineKinds) {
+  const FaultSchedule s = FaultSchedule::Parse(
+      "equivocate:osn0@10s-15s,tamper-block:osn1@12s-14s,"
+      "bogus-backfill:osn2@13s-16s,forge-endorsement:peer.endorse0@11s-12s,"
+      "replay-tx:5@20s");
+  ASSERT_EQ(s.events.size(), 5u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kEquivocate);
+  EXPECT_EQ(s.events[0].groups[0][0], "osn0");
+  EXPECT_EQ(*s.events[0].until, sim::FromSeconds(15));
+  EXPECT_EQ(s.events[1].kind, FaultKind::kTamperBlock);
+  EXPECT_EQ(s.events[2].kind, FaultKind::kBogusBackfill);
+  EXPECT_EQ(s.events[3].kind, FaultKind::kForgeEndorsement);
+  EXPECT_EQ(s.events[3].groups[0][0], "peer.endorse0");
+  EXPECT_EQ(s.events[4].kind, FaultKind::kReplayTx);
+  EXPECT_DOUBLE_EQ(s.events[4].value, 5.0);
+  EXPECT_FALSE(s.events[4].until.has_value());
+  EXPECT_TRUE(s.HasByzantine());
+}
+
+TEST(FaultSchedule, ReplayTxCountDefaultsToOne) {
+  const FaultSchedule s = FaultSchedule::Parse("replay-tx@20s");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.events[0].value, 1.0);
+}
+
+TEST(FaultSchedule, ByzantineAttacksRequireAWindow) {
+  // An attack with no end would make every schedule unrecoverable by
+  // construction, so the windowed kinds insist on @T-T' ...
+  EXPECT_THROW((void)FaultSchedule::Parse("equivocate:osn0@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("tamper-block:osn0@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("bogus-backfill:osn0@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("forge-endorsement:p0@10s"),
+               std::invalid_argument);
+  // ... while replay-tx is a point event (dedup absorbs it instantly).
+  EXPECT_THROW((void)FaultSchedule::Parse("replay-tx:2@10s-12s"),
+               std::invalid_argument);
+  // Targets are mandatory for the targeted kinds.
+  EXPECT_THROW((void)FaultSchedule::Parse("equivocate@10s-12s"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, ReplayTxCountBounds) {
+  EXPECT_THROW((void)FaultSchedule::Parse("replay-tx:0@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("replay-tx:1001@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("replay-tx:2.5@10s"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultSchedule::Parse("replay-tx:-3@10s"),
+               std::invalid_argument);
+  const FaultSchedule s = FaultSchedule::Parse("replay-tx:1000@10s");
+  EXPECT_DOUBLE_EQ(s.events[0].value, 1000.0);
+}
+
+TEST(FaultSchedule, HasByzantineIsFalseForBenignSchedules) {
+  EXPECT_FALSE(FaultSchedule::Parse("").HasByzantine());
+  EXPECT_FALSE(FaultSchedule::Parse("crash:leader@5s,revive@15s,"
+                                    "loss:0.05@10s-20s")
+                   .HasByzantine());
+  EXPECT_TRUE(IsByzantine(FaultKind::kEquivocate));
+  EXPECT_TRUE(IsByzantine(FaultKind::kReplayTx));
+  EXPECT_FALSE(IsByzantine(FaultKind::kCrash));
+  EXPECT_FALSE(IsByzantine(FaultKind::kSlowDisk));
+}
+
+TEST(FaultSchedule, ToSpecRoundTripsByzantineKinds) {
+  const std::string specs[] = {
+      "equivocate:osn0@10s-15s",
+      "tamper-block:osn0|osn1@12s-14s",
+      "bogus-backfill:osn2@13s-16s",
+      "forge-endorsement:peer.endorse0@11s-12s",
+      "replay-tx@20s",
+      "replay-tx:5@20s",
+      "equivocate:osn0@10s-15s,replay-tx:3@18s,crash:osn1@20s-22s",
+  };
+  for (const std::string& spec : specs) {
+    const FaultSchedule parsed = FaultSchedule::Parse(spec);
+    const std::string rendered = parsed.ToSpec();
+    EXPECT_EQ(rendered, spec) << "not canonical: " << spec;
+    EXPECT_EQ(FaultSchedule::Parse(rendered), parsed) << spec;
+  }
+}
+
 TEST(FaultSchedule, DescribeMentionsEveryEvent) {
   const FaultSchedule s =
       FaultSchedule::Parse("crash:leader@5s,heal@9s,loss:0.1@2s");

@@ -49,8 +49,13 @@ void PrintHelp() {
       "  --no-shrink         report original failing cases unminimized\n"
       "  --no-determinism    skip the repeat-run fingerprint check (2x\n"
       "                      faster, misses nondeterminism bugs)\n"
+      "  --byzantine         every case schedules one Byzantine attack\n"
+      "                      (equivocate, tamper-block, bogus-backfill,\n"
+      "                      forge-endorsement, replay-tx) against the\n"
+      "                      armed defenses; any violation is a bug\n"
       "  --inject-bug=<b>    deliberate bug for demo campaigns:\n"
-      "                      no-committer-dedup | silent-drop\n"
+      "                      no-committer-dedup | silent-drop |\n"
+      "                      no-byzantine-defense\n"
       "  --help              this text\n";
 }
 
@@ -80,11 +85,17 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
       out.corpus_dir = *v;
       continue;
     }
+    if (arg == "--byzantine") {
+      out.fuzzer.byzantine = true;
+      continue;
+    }
     if (auto v = ArgValue(arg, "--inject-bug")) {
       if (*v == "no-committer-dedup") {
         out.fuzzer.failpoints.disable_committer_dedup = true;
       } else if (*v == "silent-drop") {
         out.fuzzer.failpoints.client_silent_drop_every = 97;
+      } else if (*v == "no-byzantine-defense") {
+        out.fuzzer.failpoints.disable_byzantine_defense = true;
       } else {
         error = "unknown --inject-bug: " + *v;
         return false;
@@ -179,7 +190,8 @@ int main(int argc, char** argv) {
 
   const faults::ChaosFuzzer fuzzer(cli.fuzzer);
   std::cout << "chaos_fuzz campaign seed=" << cli.fuzzer.campaign_seed
-            << " runs=" << cli.fuzzer.runs << "\n";
+            << " runs=" << cli.fuzzer.runs
+            << (cli.fuzzer.byzantine ? " byzantine" : "") << "\n";
 
   const auto started = std::chrono::steady_clock::now();
   const faults::CampaignResult result = fuzzer.RunCampaign();

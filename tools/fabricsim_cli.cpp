@@ -106,9 +106,14 @@ void PrintHelp() {
       "                               (time_s,resource,metric,value)\n"
       "  --faults=<spec>              chaos schedule, e.g.\n"
       "                               \"crash:leader@15s,revive:leader@25s\"\n"
+      "                               or \"tamper-block:osn0@20s-25s\"\n"
       "                               (see src/faults/fault_schedule.h);\n"
       "                               enables client/peer failover, checks\n"
-      "                               ledger invariants, reports recovery\n"
+      "                               ledger invariants, reports recovery;\n"
+      "                               Byzantine kinds (equivocate,\n"
+      "                               tamper-block, bogus-backfill,\n"
+      "                               forge-endorsement, replay-tx) also\n"
+      "                               arm the peer-side defenses\n"
       "  --overload=reject|drop-oldest|block\n"
       "                               overload protection: bounded ingress\n"
       "                               queues with the given overflow policy\n"
@@ -136,9 +141,13 @@ void PrintHelp() {
       "  --failpoint=<bug>            inject a deliberate bug so chaos-fuzz\n"
       "                               repros replay exactly:\n"
       "                               no-committer-dedup (committers skip\n"
-      "                               tx-id screening) or silent-drop:<n>\n"
+      "                               tx-id screening), silent-drop:<n>\n"
       "                               (clients drop every nth submission\n"
-      "                               without a terminal status)\n"
+      "                               without a terminal status), or\n"
+      "                               no-byzantine-defense (attestation and\n"
+      "                               the commit-time data-hash re-check\n"
+      "                               stay off, so planted attacks reach\n"
+      "                               the ledger and the invariants fire)\n"
       "  --streaming-stats            bounded-memory tracker accounting:\n"
       "                               per-tx records retire on terminal\n"
       "                               state; identical metrics, flat RSS\n"
@@ -268,6 +277,8 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
           error = "bad --failpoint silent-drop count: " + *v;
           return false;
         }
+      } else if (*v == "no-byzantine-defense") {
+        out.failpoints.disable_byzantine_defense = true;
       } else {
         error = "unknown failpoint: " + *v;
         return false;
@@ -554,6 +565,18 @@ int main(int argc, char** argv) {
     table.AddRow({"endorser_shed", std::to_string(result.endorser_shed)});
     table.AddRow(
         {"committer_deferred", std::to_string(result.committer_deferred)});
+  }
+  if (result.rejected_blocks + result.duplicate_tx_rejects +
+          result.byz_quarantines + result.bad_endorsements >
+      0) {
+    // Byzantine-defense accounting; all-zero (and hidden) on honest runs.
+    table.AddRow({"rejected_blocks", std::to_string(result.rejected_blocks)});
+    table.AddRow({"duplicate_tx_rejects",
+                  std::to_string(result.duplicate_tx_rejects)});
+    table.AddRow(
+        {"byz_quarantines", std::to_string(result.byz_quarantines)});
+    table.AddRow(
+        {"bad_endorsements", std::to_string(result.bad_endorsements)});
   }
   table.AddRow({"chain_height", std::to_string(result.chain_height)});
   table.AddRow({"chain_audit", result.chain_audit_ok ? "OK" : "FAILED"});
