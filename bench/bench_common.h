@@ -19,9 +19,13 @@
 //                      simulated results, stdout tables, and JSON point
 //                      order are byte-identical at any job count — only
 //                      host wall clock changes
-//   --no-crypto-cache  disable the host-side signature-verification cache
+//   --no-crypto-cache  single escape hatch for every crypto cache: disables
+//                      the host-side signature-verification cache
 //                      (simulated results must not change; see
-//                      crypto/verify_cache.h)
+//                      crypto/verify_cache.h) AND the --opt-msp-cache
+//                      identity cache (every lookup then verifies in full
+//                      at the uncached simulated cost; see
+//                      crypto/msp_cache.h)
 //   --profile          attach the host-side DES profiler to every point and
 //                      emit the top-10 handler table under each point's
 //                      "host.profile" (host-only; never gated)
@@ -46,6 +50,7 @@
 #include <vector>
 
 #include "bench/recorder.h"
+#include "crypto/msp_cache.h"
 #include "crypto/verify_cache.h"
 #include "fabric/experiment.h"
 #include "metrics/registry.h"
@@ -215,6 +220,12 @@ inline int Finish(const Args& args, bool ok = true) {
   RecorderSlot()->SetVerifyCacheSample(
       {cache.Hits(), cache.Misses(), cache.Evictions(),
        static_cast<std::uint64_t>(cache.Size())});
+  // MSP identity-cache aggregates (nonzero only when a point armed
+  // --opt-msp-cache; the recorder omits the block otherwise).
+  RecorderSlot()->SetMspCacheSample(
+      {fabricsim::crypto::MspIdentityCache::GlobalHits(),
+       fabricsim::crypto::MspIdentityCache::GlobalMisses(),
+       fabricsim::crypto::MspIdentityCache::GlobalEvictions(), 0});
   if (!RecorderSlot()->Deterministic()) {
     std::cerr << "bench: determinism violation across repetitions\n";
     ok = false;

@@ -1,0 +1,286 @@
+// Optimization-testbed ablation: the Thakkar et al. (arXiv:1805.11390)
+// validate-phase fixes as toggleable knobs, measured by where they move the
+// saturation knee and where the bottleneck goes afterwards.
+//
+// The paper's §V diagnosis is that Fabric saturates in the validation
+// phase: serial VSCC re-verifies every certificate from scratch and the
+// ledger writes every transaction's state individually. This bench arms
+// each published fix in isolation and together, on the overload grid of
+// bench/overload_knee, and reports the knee shift plus the protected-2x
+// p99 per configuration:
+//   baseline       all knobs off (must stay byte-identical to the
+//                  pre-optimization simulated results)
+//   msp-cache      MSP identity-verification cache (repeat cert chains
+//                  skip full validation)
+//   vscc-workers   dedicated VSCC validation workers (validation stops
+//                  competing with the rest of the peer for cores)
+//   bulk-commit    one batched state-db write per block
+//   shortcircuit   endorsement verification stops at policy satisfaction
+//   all-on         every knob together
+//
+// For each configuration it
+//   1. probes the saturation knee (protection on, offered >> capacity);
+//   2. re-runs at 2x the probed knee with attribution tracing and reports
+//      p99 plus the per-phase queue decomposition — the bottleneck
+//      migration (validate -> order on the smoke tier, a >=2x validate
+//      queue drain everywhere) is an acceptance criterion, not just
+//      exposition;
+//   3. checks the ablation contract: bulk-commit and all-on move the knee
+//      measurably past baseline; shortcircuit alone does NOT move it on
+//      honest runs (clients already send minimal endorsement sets — the
+//      knob only pays off against over-endorsed or adversarial traffic,
+//      a finding EXPERIMENTS.md documents).
+//
+//   ./build/bench/optimizations [--quick] [--smoke] [--csv]
+//
+// --smoke is the CI tier: Solo + OR policy, short windows. The full sweep
+// adds the AND5 policy, where the msp-cache knob (5 certificates per tx
+// instead of 1) carries the shift.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace fabricsim;
+
+namespace {
+
+struct Knob {
+  const char* name;
+  fabric::OptimizationOptions opt;
+};
+
+std::vector<Knob> Knobs() {
+  fabric::OptimizationOptions msp;
+  msp.msp_cache = true;
+  fabric::OptimizationOptions workers;
+  workers.vscc_workers = 4;
+  fabric::OptimizationOptions bulk;
+  bulk.bulk_commit = true;
+  fabric::OptimizationOptions sc;
+  sc.policy_shortcircuit = true;
+  fabric::OptimizationOptions all;
+  all.msp_cache = true;
+  all.vscc_workers = 4;
+  all.bulk_commit = true;
+  all.policy_shortcircuit = true;
+  return {{"baseline", {}},  {"msp-cache", msp}, {"vscc-workers", workers},
+          {"bulk-commit", bulk}, {"shortcircuit", sc}, {"all-on", all}};
+}
+
+// Knee-shift floors (measured: all-on 2.1x smoke / 4.0x full on OR, 2.4x
+// on AND5; bulk-commit ~1.9x on OR; AND5 msp-cache 1.5x. Floors leave
+// calibration headroom). bulk-commit's floor applies under OR only: it
+// fixes the serial-disk bottleneck, which is what binds under OR — under
+// AND5 the 5-signature VSCC CPU dominates and bulk is expected to be a
+// near-no-op (measured 1.02x), so there it is only held to "no harm".
+constexpr double kAllOnShiftFloor = 1.25;
+constexpr double kBulkShiftFloor = 1.15;
+constexpr double kAndMspShiftFloor = 1.2;
+constexpr double kNoHarmFloor = 0.95;
+// Shortcircuit on honest traffic verifies the same minimal endorsement set
+// the baseline does, so its simulated knee must not move (deterministic
+// simulation: the band only absorbs float noise).
+constexpr double kNoShiftBand = 0.01;
+// Protection-on p99 ceiling at 2x offered load (same contract as
+// bench/overload_knee: bounded queues cap the tail). AND5's per-tx service
+// time is ~3x OR's, so the same bounded backlog drains proportionally
+// slower — its ceiling scales accordingly.
+constexpr double kBoundedP99sOr = 6.0;
+constexpr double kBoundedP99sAnd = 10.0;
+// all-on must drain the validate queue by at least this factor at 2x; the
+// measured reductions are 10-18x.
+constexpr double kValidateDrainFactor = 2.0;
+
+fabric::ExperimentConfig BaseConfig(int and_x, double rate,
+                                    const fabric::OptimizationOptions& opt,
+                                    bool quick, bool smoke) {
+  fabric::ExperimentConfig config =
+      fabric::StandardConfig(fabric::OrderingType::kSolo, and_x, rate);
+  // Enough client machines that the offered rate, not the per-client event
+  // loop (~50 tps each), sets the load.
+  config.network.topology.clients = smoke ? 12 : 24;
+  config.network.optimizations = opt;
+  config.warmup = sim::FromSeconds(5);
+  config.workload.duration = sim::FromSeconds(smoke ? 12 : (quick ? 20 : 30));
+  config.drain = sim::FromSeconds(smoke ? 10 : (quick ? 12 : 15));
+  // Overload protection pins the run at its service rate, so the probe's
+  // goodput plateau reads the knee without unbounded queue growth.
+  fabric::OverloadOptions& ov = config.network.overload;
+  ov.enabled = true;
+  ov.policy = sim::OverloadPolicy::kReject;
+  ov.flow.enabled = true;
+  ov.flow.max_queue = 32;
+  return config;
+}
+
+const char* DominantQueuePhase(const obs::AttributionReport& a) {
+  const double e = a.execute.queue_ms;
+  const double o = a.order.queue_ms;
+  const double v = a.validate.queue_ms;
+  if (v >= e && v >= o) return "validate";
+  if (o >= e) return "order";
+  return "execute";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Args args =
+      benchutil::ParseArgs(argc, argv, "optimizations");
+  const bool smoke = args.smoke;
+
+  // The 2x re-runs carry attribution tracing unconditionally: the
+  // bottleneck-migration check below needs the queue decomposition.
+  benchutil::Args attr_args = args;
+  attr_args.attribution = true;
+
+  const std::vector<int> policies =
+      (smoke || args.quick) ? std::vector<int>{0} : std::vector<int>{0, 5};
+  const double probe_rate = smoke ? 900.0 : 1500.0;
+  const std::vector<Knob> knobs = Knobs();
+
+  metrics::Table table({"policy", "config", "knee_tps", "shift", "p99_2x_s",
+                        "queue_bound", "validate_q_ms"});
+  bool ok = true;
+
+  for (const int and_x : policies) {
+    const std::string policy = and_x == 0 ? "OR" : "AND5";
+
+    // 1. Saturation probes: one per knob configuration, all independent,
+    // so they run as one parallel batch.
+    benchutil::Sweep sweep(args);
+    for (const Knob& k : knobs) {
+      sweep.Add(BaseConfig(and_x, probe_rate, k.opt, args.quick, smoke),
+                policy + " " + k.name + " probe");
+    }
+    const auto probes = sweep.Run();
+
+    std::vector<double> knees(knobs.size(), 0.0);
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+      knees[i] = probes[i].report.goodput_tps;
+      std::printf("%s %s knee: %.1f tps\n", policy.c_str(), knobs[i].name,
+                  knees[i]);
+      if (knees[i] <= 0.0) {
+        std::printf("%s %s: saturation probe produced no goodput\n",
+                    policy.c_str(), knobs[i].name);
+        ok = false;
+      }
+    }
+
+    // 2. 2x-knee re-runs with attribution: p99 under protection plus the
+    // per-phase queue decomposition.
+    benchutil::Sweep attr_sweep(attr_args);
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+      attr_sweep.Add(
+          BaseConfig(and_x, 2.0 * knees[i], knobs[i].opt, args.quick, smoke),
+          policy + " " + knobs[i].name + " 2x");
+    }
+    const auto at2x = attr_sweep.Run();
+
+    const double base_knee = knees[0];
+    double base_validate_q = 0.0;
+    for (std::size_t i = 0; i < knobs.size(); ++i) {
+      const auto& r = at2x[i];
+      const double shift = base_knee > 0.0 ? knees[i] / base_knee : 0.0;
+      const char* bound =
+          r.attribution ? DominantQueuePhase(*r.attribution) : "?";
+      const double vq = r.attribution ? r.attribution->validate.queue_ms : 0.0;
+      const double p99 = r.report.end_to_end.p99_latency_s;
+      if (i == 0) base_validate_q = vq;
+      table.AddRow({policy, knobs[i].name, metrics::Fmt(knees[i], 1),
+                    metrics::Fmt(shift, 2), metrics::Fmt(p99, 3), bound,
+                    metrics::Fmt(vq, 1)});
+      const double p99_cap = and_x == 0 ? kBoundedP99sOr : kBoundedP99sAnd;
+      if (p99 > p99_cap) {
+        std::printf("%s %s: protected p99 unbounded at 2x: %.3fs\n",
+                    policy.c_str(), knobs[i].name, p99);
+        ok = false;
+      }
+    }
+
+    // 3. The ablation contract.
+    auto knee_of = [&](const char* name) -> double {
+      for (std::size_t i = 0; i < knobs.size(); ++i) {
+        if (std::string(knobs[i].name) == name) return knees[i];
+      }
+      return 0.0;
+    };
+    if (knee_of("all-on") < kAllOnShiftFloor * base_knee) {
+      std::printf("%s: all-on knee did not shift: %.1f < %.2f x %.1f tps\n",
+                  policy.c_str(), knee_of("all-on"), kAllOnShiftFloor,
+                  base_knee);
+      ok = false;
+    }
+    const double bulk_floor = and_x == 0 ? kBulkShiftFloor : kNoHarmFloor;
+    if (knee_of("bulk-commit") < bulk_floor * base_knee) {
+      std::printf("%s: bulk-commit knee did not shift: %.1f < %.2f x "
+                  "%.1f tps\n",
+                  policy.c_str(), knee_of("bulk-commit"), bulk_floor,
+                  base_knee);
+      ok = false;
+    }
+    if (and_x > 0 &&
+        knee_of("msp-cache") < kAndMspShiftFloor * base_knee) {
+      // Under AND5 each tx carries 5 endorsement certificates, so the MSP
+      // cache is the knob that carries the shift (measured 1.46x).
+      std::printf("%s: msp-cache knee did not shift: %.1f < %.2f x "
+                  "%.1f tps\n",
+                  policy.c_str(), knee_of("msp-cache"), kAndMspShiftFloor,
+                  base_knee);
+      ok = false;
+    }
+    const double sc_dev = base_knee > 0.0
+                              ? std::abs(knee_of("shortcircuit") - base_knee) /
+                                    base_knee
+                              : 1.0;
+    if (sc_dev > kNoShiftBand) {
+      std::printf("%s: shortcircuit moved the knee on honest traffic "
+                  "(%.1f vs %.1f tps) — it should be a no-op when clients "
+                  "send minimal endorsement sets\n",
+                  policy.c_str(), knee_of("shortcircuit"), base_knee);
+      ok = false;
+    }
+    // Bottleneck migration: at 2x the baseline queues in validate; all-on
+    // must drain that queue. The strict phase handoff (dominant queue
+    // becomes "order") is asserted on the smoke tier, where calibration
+    // pins it; at the full tier's higher knees the 2x rejection shedding
+    // leaves every phase queue small, and which tiny residual "dominates"
+    // is not a stable signal — there the contract is the drain factor
+    // (measured reductions are 10-18x against a 2x floor).
+    const auto& base2x = at2x[0];
+    const auto& all2x = at2x.back();
+    if (base2x.attribution && all2x.attribution) {
+      if (std::string(DominantQueuePhase(*base2x.attribution)) !=
+          "validate") {
+        std::printf("%s: baseline 2x is not validate-queue-bound "
+                    "(calibration drift?)\n",
+                    policy.c_str());
+        ok = false;
+      }
+      const double all_vq = all2x.attribution->validate.queue_ms;
+      if (all_vq * kValidateDrainFactor >= base_validate_q) {
+        std::printf("%s: all-on did not drain the validate queue "
+                    "(%.1f ms vs baseline %.1f ms)\n",
+                    policy.c_str(), all_vq, base_validate_q);
+        ok = false;
+      }
+      if (smoke && std::string(DominantQueuePhase(*all2x.attribution)) ==
+                       "validate") {
+        std::printf("%s: all-on did not migrate the bottleneck off "
+                    "validate (queue %.1f ms vs baseline %.1f ms)\n",
+                    policy.c_str(), all_vq, base_validate_q);
+        ok = false;
+      }
+    } else {
+      std::printf("%s: missing attribution on the 2x points\n",
+                  policy.c_str());
+      ok = false;
+    }
+  }
+
+  benchutil::PrintTable(table, args);
+  std::cout << (ok ? "OPTIMIZATIONS OK\n" : "OPTIMIZATIONS FAILED\n");
+  return benchutil::Finish(args, ok);
+}

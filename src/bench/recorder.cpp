@@ -162,6 +162,19 @@ Json Recorder::ToJson() const {
                          : 0.0);
     host["verify_cache"] = std::move(cache);
   }
+  if (msp_sample_ && (msp_sample_->hits + msp_sample_->misses +
+                      msp_sample_->evictions) > 0) {
+    Json cache = Json::MakeObject();
+    cache["hits"] = Json(msp_sample_->hits);
+    cache["misses"] = Json(msp_sample_->misses);
+    cache["evictions"] = Json(msp_sample_->evictions);
+    const double total =
+        static_cast<double>(msp_sample_->hits + msp_sample_->misses);
+    cache["hit_rate"] =
+        Json(total > 0.0 ? static_cast<double>(msp_sample_->hits) / total
+                         : 0.0);
+    host["msp_cache"] = std::move(cache);
+  }
   doc["host"] = std::move(host);
   return doc;
 }

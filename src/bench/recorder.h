@@ -104,6 +104,15 @@ class Recorder {
     cache_sample_ = sample;
   }
 
+  /// Snapshot of the MSP identity-cache aggregates (crypto::
+  /// MspIdentityCache globals), emitted under "host.msp_cache" beside the
+  /// verify-cache block — but only when any counter is nonzero, so benches
+  /// that never arm --opt-msp-cache keep their existing document shape.
+  void SetMspCacheSample(const VerifyCacheSample& sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    msp_sample_ = sample;
+  }
+
   /// Full document, including the whole-process host summary (total wall
   /// clock, peak RSS, aggregate events/sec).
   [[nodiscard]] Json ToJson() const;
@@ -123,6 +132,7 @@ class Recorder {
   double total_wall_s_ = 0.0;
   std::uint64_t total_events_ = 0;
   std::optional<VerifyCacheSample> cache_sample_;
+  std::optional<VerifyCacheSample> msp_sample_;
   bool emit_tracker_stats_ = false;
   Json::Array points_;
 };

@@ -50,12 +50,18 @@ bool MspRegistry::ValidateCertificate(const Certificate& cert) const {
 const Certificate* MspRegistry::CachedCertificate(
     proto::BytesView cert_bytes) const {
   std::string key = proto::ToString(cert_bytes);
-  auto it = cert_cache_.find(key);
-  if (it == cert_cache_.end()) {
-    std::optional<Certificate> parsed = Certificate::Deserialize(cert_bytes);
-    if (parsed && !ValidateCertificate(*parsed)) parsed.reset();
-    it = cert_cache_.emplace(std::move(key), std::move(parsed)).first;
+  {
+    std::lock_guard<std::mutex> lock(cert_cache_mu_);
+    auto it = cert_cache_.find(key);
+    if (it != cert_cache_.end()) return it->second ? &*it->second : nullptr;
   }
+  // Verify outside the lock (pool threads may race to the same identity;
+  // the verdict is pure, and emplace keeps whichever lands first). Map
+  // nodes are stable and never erased, so the returned pointer stays valid.
+  std::optional<Certificate> parsed = Certificate::Deserialize(cert_bytes);
+  if (parsed && !ValidateCertificate(*parsed)) parsed.reset();
+  std::lock_guard<std::mutex> lock(cert_cache_mu_);
+  auto it = cert_cache_.emplace(std::move(key), std::move(parsed)).first;
   return it->second ? &*it->second : nullptr;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -59,17 +60,22 @@ class MspRegistry {
   /// Deserializes and fully validates a serialized certificate, memoizing
   /// the result by its bytes — Fabric's MSP deserialized-identity cache.
   /// Returns nullptr for unknown/invalid certificates (also memoized).
+  /// Thread-safe: the committer's host-side VSCC precompute verifies a
+  /// block's envelopes on pool threads against this shared registry
+  /// (entries are node-stable, so returned pointers survive later inserts).
   [[nodiscard]] const Certificate* CachedCertificate(
       proto::BytesView cert_bytes) const;
 
   [[nodiscard]] std::size_t OrganizationCount() const { return cas_.size(); }
   [[nodiscard]] std::size_t IdentityCacheSize() const {
+    std::lock_guard<std::mutex> lock(cert_cache_mu_);
     return cert_cache_.size();
   }
 
  private:
   std::unordered_map<std::string, std::unique_ptr<CertificateAuthority>> cas_;
   // Identity cache: serialized cert bytes -> validated cert (or nullopt).
+  mutable std::mutex cert_cache_mu_;
   mutable std::unordered_map<std::string, std::optional<Certificate>>
       cert_cache_;
 };

@@ -46,6 +46,13 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
   ApplyOverloadProtection();
   ApplyRetention();
   ApplyFailpoints();
+  ApplyOptimizations();
+}
+
+void FabricNetwork::ApplyOptimizations() {
+  const OptimizationOptions& opt = options_.optimizations;
+  if (!opt.Any()) return;  // knobs-off never touches a committer
+  for (auto& p : peers_) p->SetOptimizations(opt);
 }
 
 void FabricNetwork::ApplyFailpoints() {

@@ -24,6 +24,7 @@
 #include "client/client.h"
 #include "fabric/calibration.h"
 #include "fabric/channel.h"
+#include "fabric/optimizations.h"
 #include "fabric/topology.h"
 #include "ordering/kafka_orderer.h"
 #include "ordering/raft_orderer.h"
@@ -165,6 +166,9 @@ struct NetworkOptions {
   bool byzantine_defense = false;
   /// Deliberate-bug injection (chaos-fuzzer demos / oracle self-tests).
   FailpointOptions failpoints;
+  /// Thakkar-style validate-phase optimization knobs (fabric/
+  /// optimizations.h). All off by default — the paper's unoptimized peer.
+  OptimizationOptions optimizations;
 };
 
 class FabricNetwork {
@@ -231,6 +235,7 @@ class FabricNetwork {
   void ApplyOverloadProtection();
   void ApplyRetention();
   void ApplyFailpoints();
+  void ApplyOptimizations();
   [[nodiscard]] sim::NodeId OsnNetId(int channel, std::size_t index) const;
 
   NetworkOptions options_;

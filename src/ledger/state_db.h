@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "proto/bytes.h"
@@ -51,6 +52,15 @@ class StateDb {
   /// Applies all writes of one transaction's rwset at `version`.
   void ApplyRwSet(const proto::TxReadWriteSet& rwset,
                   proto::KeyVersion version);
+
+  /// Bulk commit (Thakkar et al.): applies a whole block's worth of
+  /// transaction writes as one batched ledger write — what a LevelDB
+  /// WriteBatch per block does for real Fabric. The end state is identical
+  /// to calling ApplyRwSet per entry in order; only the modeled disk cost
+  /// differs (see Calibration::bulk_*).
+  void ApplyBatch(
+      const std::vector<std::pair<const proto::TxReadWriteSet*,
+                                  proto::KeyVersion>>& batch);
 
   /// Ordered range scan within a namespace: keys in [start_key, end_key)
   /// (an empty end_key means "to the end of the namespace"), with values

@@ -1,8 +1,27 @@
 #include "peer/committer.h"
 
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "crypto/signature.h"
 #include "obs/trace.h"
+#include "runner/thread_pool.h"
 
 namespace fabricsim::peer {
+namespace {
+
+// Shared host-side pool for the --opt-vscc-workers signer precompute. One
+// process-wide pool (not per committer): sweeps build many networks, and a
+// handful of shared threads is plenty for a pure memo-warming workload.
+runner::ThreadPool& PrecomputePool() {
+  static runner::ThreadPool pool(
+      std::min(4u, std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace
 
 Committer::Committer(sim::Environment& env, sim::Machine& machine,
                      sim::Cpu& ledger_disk, const crypto::MspRegistry& msps,
@@ -18,6 +37,130 @@ Committer::Committer(sim::Environment& env, sim::Machine& machine,
 void Committer::SetPolicy(const std::string& chaincode_id,
                           policy::EndorsementPolicy policy) {
   policies_.insert_or_assign(chaincode_id, std::move(policy));
+}
+
+void Committer::SetOptimizations(const fabric::OptimizationOptions& opts) {
+  opts_ = opts;
+  msp_cache_ = opts.msp_cache
+                   ? std::make_unique<crypto::MspIdentityCache>(msps_)
+                   : nullptr;
+  if (opts.vscc_workers > 0) {
+    // Dedicated validation workers at the peer machine's clock speed. The
+    // station is created once and lives as long as the committer, so its
+    // utilization history is available to telemetry.
+    vscc_cpu_ = std::make_unique<sim::Cpu>(env_.Sched(), opts.vscc_workers,
+                                           machine_.GetCpu().SpeedFactor());
+  } else {
+    vscc_cpu_.reset();
+  }
+}
+
+void Committer::PrecomputeSigners(const proto::Block& block) {
+  // Warm each envelope's signer memo in parallel. Join before returning:
+  // the DES thread owns everything again afterwards, so the simulated
+  // timeline is independent of host scheduling. Skipped in short-circuit
+  // mode, where VSCC deliberately avoids the all-or-nothing memo.
+  if (block.transactions.size() < 2) return;
+  std::vector<std::future<void>> done;
+  done.reserve(block.transactions.size());
+  for (const auto& tx : block.transactions) {
+    done.push_back(PrecomputePool().Submit([this, &tx] {
+      (void)tx.VerifiedSigners(msps_);
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+Committer::VsccPlan Committer::PlanVscc(const proto::TransactionEnvelope& tx) {
+  VsccPlan plan;
+
+  // Creator identity: full deserialize + chain walk on a miss, map hit on a
+  // cache hit (the cached-vs-full split of the VSCC base cost).
+  const crypto::Certificate* creator = nullptr;
+  bool creator_hit = false;
+  if (msp_cache_ != nullptr) {
+    const auto r = msp_cache_->Lookup(tx.creator_cert);
+    creator = r.cert;
+    creator_hit = r.hit;
+  } else {
+    creator = msps_.CachedCertificate(tx.creator_cert);
+  }
+  plan.cost = creator_hit ? cal_.vscc_cached_base_cpu : cal_.vscc_base_cpu;
+
+  // Per-endorsement identity lookups (cost charged only for endorsements
+  // whose signature is actually verified; principal extraction beyond that
+  // is folded into the base cost — see fabric/optimizations.h).
+  const std::size_t n = tx.endorsements.size();
+  std::vector<const crypto::Certificate*> certs(n, nullptr);
+  std::vector<bool> hits(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (msp_cache_ != nullptr) {
+      const auto r = msp_cache_->Lookup(tx.endorsements[i].endorser_cert);
+      certs[i] = r.cert;
+      hits[i] = r.hit;
+    } else {
+      certs[i] = msps_.CachedCertificate(tx.endorsements[i].endorser_cert);
+    }
+  }
+  const auto endorse_cost = [&](std::size_t i) {
+    return hits[i] ? cal_.vscc_cached_per_endorsement_cpu
+                   : cal_.vscc_per_endorsement_cpu;
+  };
+
+  if (!opts_.policy_shortcircuit) {
+    // msp_cache-only plan: the verdict is the ordinary full VSCC (computed
+    // here rather than at job completion); only the cost changes with the
+    // cache hits.
+    for (std::size_t i = 0; i < n; ++i) plan.cost += endorse_cost(i);
+    plan.code = Vscc(tx);
+    return plan;
+  }
+
+  // Short-circuit plan: check the client signature, find the smallest
+  // endorsement prefix that can satisfy the policy, and verify only that
+  // prefix. Honest divergence from the full path (mirroring Fabric's own
+  // short-circuit evaluator): an invalid endorsement *after* the satisfying
+  // prefix is never examined, and an unsatisfiable endorsement set reports
+  // kEndorsementPolicyFailure without looking at its signatures.
+  if (creator == nullptr ||
+      !crypto::VerifyDigest(creator->subject_public_key, tx.SignedBodyDigest(),
+                            tx.client_signature)) {
+    plan.code = proto::ValidationCode::kBadSignature;
+    return plan;
+  }
+  const auto pit = policies_.find(tx.chaincode_id);
+  if (pit == policies_.end()) {
+    plan.code = proto::ValidationCode::kInvalidOtherReason;
+    return plan;
+  }
+  // Unverified principals: a certificate the registry rejects yields a
+  // principal that can match nothing, so a forged identity can never help
+  // satisfy the policy.
+  std::vector<crypto::Principal> principals;
+  principals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    principals.push_back(certs[i] != nullptr
+                             ? crypto::Principal{certs[i]->msp_id,
+                                                 certs[i]->role}
+                             : crypto::Principal{"", crypto::Role::kClient});
+  }
+  const auto prefix = policy::SatisfiedPrefix(pit->second, principals);
+  if (!prefix) {
+    plan.code = proto::ValidationCode::kEndorsementPolicyFailure;
+    return plan;
+  }
+  const crypto::Digest& endorsed = tx.EndorsedPayloadDigest();
+  for (std::size_t i = 0; i < *prefix; ++i) {
+    plan.cost += endorse_cost(i);  // the failing check is still paid for
+    if (certs[i] == nullptr ||
+        !crypto::VerifyDigest(certs[i]->subject_public_key, endorsed,
+                              tx.endorsements[i].signature)) {
+      plan.code = proto::ValidationCode::kBadSignature;
+      return plan;
+    }
+  }
+  plan.code = proto::ValidationCode::kValid;
+  return plan;
 }
 
 void Committer::InstallGenesis(proto::BlockPtr genesis) {
@@ -130,24 +273,42 @@ void Committer::StartVscc(std::uint64_t number) {
   const bool tracing = env_.Trace() != nullptr && tracker_ != nullptr;
   if (tracing) pb.vscc_done_at.assign(pb.block->transactions.size(), 0);
 
-  // Fan one VSCC job per transaction onto the peer CPU (worker pool).
+  // Host-side half of --opt-vscc-workers: warm the signer memos in
+  // parallel before any simulated job is planned or submitted.
+  if (vscc_cpu_ != nullptr && !opts_.policy_shortcircuit) {
+    PrecomputeSigners(*pb.block);
+  }
+
+  // Fan one VSCC job per transaction onto the validation station — the
+  // peer CPU, or the dedicated worker pool under --opt-vscc-workers. When
+  // a cost-affecting knob is on, the verdict and cost are planned here, in
+  // submission order (cache hits and short-circuit savings depend on it);
+  // knobs-off keeps the original formula and completion-time verdict.
+  const bool planned = opts_.msp_cache || opts_.policy_shortcircuit;
   const sim::SimTime enqueued = env_.Now();
   for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {
     const auto& tx = pb.block->transactions[i];
-    const sim::SimDuration cost =
-        cal_.vscc_base_cpu +
-        static_cast<sim::SimDuration>(tx.endorsements.size()) *
-            cal_.vscc_per_endorsement_cpu;
-    machine_.GetCpu().Submit(cost, [this, number, i, cost, enqueued] {
+    sim::SimDuration cost;
+    std::optional<proto::ValidationCode> verdict;
+    if (planned) {
+      const VsccPlan plan = PlanVscc(tx);
+      cost = plan.cost;
+      verdict = plan.code;
+    } else {
+      cost = cal_.vscc_base_cpu +
+             static_cast<sim::SimDuration>(tx.endorsements.size()) *
+                 cal_.vscc_per_endorsement_cpu;
+    }
+    VsccCpuRef().Submit(cost, [this, number, i, cost, enqueued, verdict] {
       auto pit = pending_.find(number);
       if (pit == pending_.end()) return;
       PendingBlock& blk = pit->second;
-      blk.vscc_codes[i] = Vscc(blk.block->transactions[i]);
+      blk.vscc_codes[i] =
+          verdict ? *verdict : Vscc(blk.block->transactions[i]);
       if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
         tr->RecordResourceSpan(tr->PidFor(machine_.Name()), "vscc",
                                blk.block->transactions[i].tx_id, enqueued,
-                               env_.Now(),
-                               machine_.GetCpu().ScaledCost(cost));
+                               env_.Now(), VsccCpuRef().ScaledCost(cost));
         if (i < blk.vscc_done_at.size()) blk.vscc_done_at[i] = env_.Now();
       }
       if (--blk.vscc_remaining == 0) OnVsccDone(number);
@@ -188,11 +349,17 @@ void Committer::TrySerialCommit() {
   ready_.erase(it);
 
   const auto tx_count = pb.block->transactions.size();
+  // Bulk commit replaces the three per-tx write costs with one batched
+  // ledger write per block: a larger fixed cost, a small residual per tx.
   const sim::SimDuration cost =
-      cal_.block_write_base_disk +
-      static_cast<sim::SimDuration>(tx_count) *
-          (cal_.mvcc_per_tx_disk + cal_.state_write_per_tx_disk +
-           cal_.block_write_per_tx_disk);
+      opts_.bulk_commit
+          ? cal_.bulk_block_write_base_disk +
+                static_cast<sim::SimDuration>(tx_count) *
+                    cal_.bulk_write_per_tx_disk
+          : cal_.block_write_base_disk +
+                static_cast<sim::SimDuration>(tx_count) *
+                    (cal_.mvcc_per_tx_disk + cal_.state_write_per_tx_disk +
+                     cal_.block_write_per_tx_disk);
   disk_.Submit(cost, [this, cost, pb = std::move(pb)]() mutable {
     if (auto* tr = env_.Trace(); tr != nullptr && tracker_ != nullptr) {
       // One commit span per transaction: queue half covers waiting for the
@@ -246,7 +413,11 @@ void Committer::SerialCommit(PendingBlock pb) {
     PromoteDeferred();
     return;
   }
-  ledger::MvccValidator::Commit(*pb.block, mvcc.codes, state_);
+  if (opts_.bulk_commit) {
+    ledger::MvccValidator::CommitBulk(*pb.block, mvcc.codes, state_);
+  } else {
+    ledger::MvccValidator::Commit(*pb.block, mvcc.codes, state_);
+  }
   history_.IndexBlock(*pb.block, mvcc.codes);
 
   for (std::size_t i = 0; i < pb.block->transactions.size(); ++i) {

@@ -12,10 +12,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "crypto/ca.h"
+#include "crypto/msp_cache.h"
 #include "fabric/calibration.h"
+#include "fabric/optimizations.h"
 #include "ledger/blockchain.h"
 #include "ledger/history_index.h"
 #include "ledger/mvcc.h"
@@ -80,6 +84,25 @@ class Committer {
     // the tampered block still bounces — as a linkage reject — before the
     // invariant can see it.
     chain_.SetDataHashCheckDisabled(disabled);
+  }
+
+  /// Arms the Thakkar-style validate-phase optimizations (see
+  /// fabric/optimizations.h). With every knob off — the default — the
+  /// commit pipeline is byte-identical to the unoptimized committer: the
+  /// VSCC cost formula, the serial disk cost, and the CPU the jobs run on
+  /// are untouched. Call before the first block arrives.
+  void SetOptimizations(const fabric::OptimizationOptions& opts);
+  [[nodiscard]] const fabric::OptimizationOptions& Optimizations() const {
+    return opts_;
+  }
+  /// The MSP identity cache, when --opt-msp-cache armed one (else nullptr).
+  [[nodiscard]] const crypto::MspIdentityCache* MspCache() const {
+    return msp_cache_.get();
+  }
+  /// The dedicated VSCC worker station, when --opt-vscc-workers armed one
+  /// (else nullptr: VSCC shares the peer CPU).
+  [[nodiscard]] const sim::Cpu* VsccWorkerCpu() const {
+    return vscc_cpu_.get();
   }
 
   /// Applies ledger retention for bounded-memory soak runs: keep only the
@@ -177,6 +200,26 @@ class Committer {
     OnCommit on_commit;
   };
 
+  /// Submit-time VSCC plan used when a cost-affecting knob (msp_cache /
+  /// policy_shortcircuit) is on: the verdict and the knob-dependent cost
+  /// are computed in deterministic submission order (MSP-cache hits and
+  /// short-circuit savings depend on it). With both knobs off the plan is
+  /// never built and the verdict is computed at job completion, exactly as
+  /// before.
+  struct VsccPlan {
+    proto::ValidationCode code = proto::ValidationCode::kValid;
+    sim::SimDuration cost = 0;
+  };
+  [[nodiscard]] VsccPlan PlanVscc(const proto::TransactionEnvelope& tx);
+  [[nodiscard]] sim::Cpu& VsccCpuRef() {
+    return vscc_cpu_ ? *vscc_cpu_ : machine_.GetCpu();
+  }
+  /// Host-side half of --opt-vscc-workers: warms each envelope's signer
+  /// memo in parallel on the shared precompute pool, joined before any
+  /// simulated job is submitted (pure memo fill; simulated results are
+  /// unchanged by construction).
+  void PrecomputeSigners(const proto::Block& block);
+
   void Admit(std::uint64_t number, proto::BlockPtr block, OnCommit on_commit);
   void PromoteDeferred();
   void StartVscc(std::uint64_t number);
@@ -192,6 +235,11 @@ class Committer {
   metrics::TxTracker* tracker_;
 
   std::unordered_map<std::string, policy::EndorsementPolicy> policies_;
+
+  // Validate-phase optimization knobs (all off by default).
+  fabric::OptimizationOptions opts_;
+  std::unique_ptr<crypto::MspIdentityCache> msp_cache_;
+  std::unique_ptr<sim::Cpu> vscc_cpu_;  // dedicated VSCC workers
 
   ledger::Blockchain chain_;
   ledger::StateDb state_;

@@ -47,6 +47,9 @@ void PeerNode::JoinChannel(const std::string& channel_id) {
   ledger->committer->SetMaxPipelineBlocks(committer_pipeline_limit_);
   ledger->committer->SetDedupDisabled(committer_dedup_disabled_);
   ledger->committer->SetLedgerRetention(retain_blocks_, history_per_key_);
+  if (optimizations_.Any()) {
+    ledger->committer->SetOptimizations(optimizations_);
+  }
   ledger->endorser->SetForgeSignatures(forge_endorsements_);
   channels_.emplace(channel_id, std::move(ledger));
 }
@@ -459,6 +462,13 @@ void PeerNode::SetLedgerRetention(std::uint64_t keep_blocks,
   history_per_key_ = history_per_key;
   for (auto& [id, ledger] : channels_) {
     ledger->committer->SetLedgerRetention(keep_blocks, history_per_key);
+  }
+}
+
+void PeerNode::SetOptimizations(const fabric::OptimizationOptions& opts) {
+  optimizations_ = opts;
+  for (auto& [id, ledger] : channels_) {
+    ledger->committer->SetOptimizations(opts);
   }
 }
 

@@ -146,6 +146,11 @@ class PeerNode {
   void SetLedgerRetention(std::uint64_t keep_blocks,
                           std::size_t history_per_key);
 
+  /// Arms the validate-phase optimization knobs on every channel committer
+  /// (see Committer::SetOptimizations). Applies to current and future
+  /// channels.
+  void SetOptimizations(const fabric::OptimizationOptions& opts);
+
   [[nodiscard]] std::size_t EndorseDepth() const {
     return endorse_ingress_.Depth();
   }
@@ -336,6 +341,7 @@ class PeerNode {
   bool committer_dedup_disabled_ = false;
   std::uint64_t retain_blocks_ = 0;
   std::size_t history_per_key_ = 0;
+  fabric::OptimizationOptions optimizations_;  // all off by default
 };
 
 }  // namespace fabricsim::peer

@@ -87,6 +87,24 @@ bool Satisfied(const EndorsementPolicy& policy,
   return sat.Solve({&policy.Root()}, used, nullptr);
 }
 
+std::optional<std::size_t> SatisfiedPrefix(
+    const EndorsementPolicy& policy,
+    const std::vector<crypto::Principal>& signers) {
+  if (!Satisfied(policy, signers)) return std::nullopt;
+  // Policies are small; grow the prefix from the cheapest possible
+  // satisfying size. Satisfied() is exact, so the first k that passes is
+  // the minimal one.
+  const auto min_k =
+      static_cast<std::size_t>(std::max(policy.MinEndorsements(), 1));
+  for (std::size_t k = min_k; k < signers.size(); ++k) {
+    const std::vector<crypto::Principal> prefix(signers.begin(),
+                                                signers.begin() +
+                                                    static_cast<std::ptrdiff_t>(k));
+    if (Satisfied(policy, prefix)) return k;
+  }
+  return signers.size();
+}
+
 std::optional<std::vector<std::size_t>> PlanEndorsers(
     const EndorsementPolicy& policy,
     const std::vector<crypto::Principal>& candidates, std::size_t rotation) {

@@ -22,6 +22,17 @@ namespace fabricsim::policy {
 bool Satisfied(const EndorsementPolicy& policy,
                const std::vector<crypto::Principal>& signers);
 
+/// Short-circuit support for VSCC (Thakkar-style validate-phase fix): the
+/// smallest k such that the first k of `signers` satisfy `policy`, or
+/// nullopt if even the full set cannot. Satisfaction is monotone in the
+/// signer set — adding signers never unsatisfies — so checking only the
+/// returned prefix yields the same verdict as checking everyone: a
+/// committer may stop verifying endorsement signatures after k good ones
+/// (satisfiable) or skip them all on nullopt (unsatisfiable).
+std::optional<std::size_t> SatisfiedPrefix(
+    const EndorsementPolicy& policy,
+    const std::vector<crypto::Principal>& signers);
+
 /// Chooses indices into `candidates` (each usable once) whose principals can
 /// satisfy `policy`. Returns std::nullopt if impossible. Equivalent choices
 /// are rotated by `rotation` for load balancing. Indices are sorted, unique.

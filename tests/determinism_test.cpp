@@ -84,6 +84,51 @@ TEST_P(DeterminismTest, VerifyCacheDoesNotChangeSimulatedResults) {
   EXPECT_EQ(cached, uncached);
 }
 
+ExperimentConfig AllKnobsConfig(OrderingType ordering) {
+  ExperimentConfig config = ShortConfig(ordering);
+  config.network.optimizations.msp_cache = true;
+  config.network.optimizations.vscc_workers = 4;
+  config.network.optimizations.bulk_commit = true;
+  config.network.optimizations.policy_shortcircuit = true;
+  return config;
+}
+
+TEST_P(DeterminismTest, AllOptimizationKnobsRepeatRunsAreBitIdentical) {
+  // The --opt-* knobs deliberately change simulated service times, so they
+  // are held to the same contract as the base simulation: repeat runs are
+  // bit-identical (the MSP cache's hit/miss sequence is deterministic
+  // because lookups happen only on the DES thread in block/tx order).
+  const ExperimentConfig config = AllKnobsConfig(GetParam());
+  const Fingerprint first = RunOnce(config);
+  const Fingerprint second = RunOnce(config);
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(DeterminismTest, StreamingTrackerMatchesFullWithAllKnobs) {
+  // Streaming (bounded-memory) vs full-record TxTracker accounting is a
+  // host-side choice: with every optimization knob armed, the simulated
+  // results must still be bit-equal between the two modes.
+  ExperimentConfig config = AllKnobsConfig(GetParam());
+  config.streaming_stats = false;
+  const Fingerprint full = RunOnce(config);
+  config.streaming_stats = true;
+  const Fingerprint streaming = RunOnce(config);
+  EXPECT_EQ(full, streaming);
+}
+
+TEST_P(DeterminismTest, EscapeHatchRunsAreDeterministicWithAllKnobs) {
+  // --no-crypto-cache disables the MSP identity cache too, which CHANGES
+  // the simulated costs (every lookup pays the uncached price) — that is
+  // the knob contract, not a bug. What must still hold: the escape-hatch
+  // runs are bit-identical to each other.
+  const ExperimentConfig config = AllKnobsConfig(GetParam());
+  auto& cache = crypto::VerifyCache::Instance();
+  cache.SetEnabled(false);
+  const Fingerprint first = RunOnce(config);
+  const Fingerprint second = RunOnce(config);
+  EXPECT_EQ(first, second);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllOrderings, DeterminismTest,
                          ::testing::Values(OrderingType::kSolo,
                                            OrderingType::kKafka,

@@ -18,6 +18,7 @@
 
 #include "bench/json.h"
 #include "fabric/experiment.h"
+#include "fabric/optimizations.h"
 #include "faults/fault_schedule.h"
 #include "faults/invariants.h"
 #include "metrics/registry.h"
@@ -73,6 +74,7 @@ struct CliOptions {
   std::size_t history_per_key = 0;   // history-index cap (0 = all)
   std::vector<double> sweep;  // arrival rates; non-empty = sweep mode
   int jobs = 1;               // host threads for --sweep (0 = hw concurrency)
+  fabric::OptimizationOptions optimizations;  // Thakkar-style validate fixes
 };
 
 void PrintHelp() {
@@ -180,6 +182,19 @@ void PrintHelp() {
       "  --jobs=<n>                   host worker threads for --sweep\n"
       "                               (default 1; 0 = hardware concurrency);\n"
       "                               results are identical at any setting\n"
+      "  --opt-msp-cache              MSP identity-verification cache on the\n"
+      "                               committers: repeat cert chains skip the\n"
+      "                               full validation cost (Thakkar et al.,\n"
+      "                               arXiv:1805.11390); changes simulated\n"
+      "                               VSCC service times\n"
+      "  --opt-vscc-workers=<n>       dedicated VSCC validation workers per\n"
+      "                               committer; txs within a block validate\n"
+      "                               concurrently, commit order unchanged\n"
+      "                               (0 = off, share the peer cores)\n"
+      "  --opt-bulk-commit            batch all of a block's state-db writes\n"
+      "                               into one ledger write\n"
+      "  --opt-policy-shortcircuit    stop verifying endorsements once the\n"
+      "                               endorsement policy is satisfied\n"
       "  --help                       this text\n";
 }
 
@@ -289,6 +304,18 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
       out.streaming_stats = true;
       continue;
     }
+    if (arg == "--opt-msp-cache") {
+      out.optimizations.msp_cache = true;
+      continue;
+    }
+    if (arg == "--opt-bulk-commit") {
+      out.optimizations.bulk_commit = true;
+      continue;
+    }
+    if (arg == "--opt-policy-shortcircuit") {
+      out.optimizations.policy_shortcircuit = true;
+      continue;
+    }
     if (arg == "--profile") {
       out.profile = true;
       continue;
@@ -353,7 +380,8 @@ bool Parse(int argc, char** argv, CliOptions& out, std::string& error) {
         number("--pace-tps", out.pace_tps) || number("--jobs", out.jobs) ||
         number("--metrics-period-ms", out.metrics_period_ms) ||
         number("--retain-blocks", out.retain_blocks) ||
-        number("--history-per-key", out.history_per_key)) {
+        number("--history-per-key", out.history_per_key) ||
+        number("--opt-vscc-workers", out.optimizations.vscc_workers)) {
       continue;
     }
     error = "unknown argument: " + arg;
@@ -405,6 +433,7 @@ int main(int argc, char** argv) {
   config.network.retention.osn_history_blocks =
       static_cast<std::size_t>(cli.retain_blocks);
   config.network.retention.history_per_key = cli.history_per_key;
+  config.network.optimizations = cli.optimizations;
   config.metrics_period = sim::FromMillis(cli.metrics_period_ms);
 
   if (!cli.overload.empty()) {
