@@ -1,0 +1,162 @@
+// Conservative-PDES speedup bench: host events/s and speedup at 1/2/4
+// DES threads on two topologies — the paper's fig2 full-size network
+// (10 endorsing peers + validator + 3 OSNs + 10 clients, Solo at the
+// ~250 tps knee) and a 32-peer network (more lanes, finer-grained work per
+// lane).
+//
+// Three contracts, in decreasing strictness:
+//   1. Identity (always enforced): the chain head and executed-event count
+//      must be byte-identical across every thread count, or the bench exits
+//      nonzero. This is the tentpole determinism proof at bench scale.
+//   2. Determinism across reps (always enforced, via the recorder).
+//   3. Speedup (enforced only in --full mode on hosts with >= 4 cores):
+//      events/s at 4 threads must be >= 2x the serial rate on the fig2
+//      point. CI smoke containers often have 1-2 cores, where conservative
+//      PDES can only add barrier overhead — the JSON records nproc so the
+//      trajectory stays interpretable.
+//
+// Points are always timed one at a time (--jobs is recorded but not used to
+// overlap points): overlapping full experiments would pollute every wall
+// clock this bench exists to measure.
+#include <chrono>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace fabricsim;
+
+namespace {
+
+struct Timing {
+  fabric::ExperimentResult result;
+  std::vector<double> wall_s;  // per kept rep
+  double EventsPerSec() const {
+    const bench::MeanStddev m = bench::Summarize(wall_s);
+    return m.mean > 0.0
+               ? static_cast<double>(result.sched_events) / m.mean
+               : 0.0;
+  }
+};
+
+Timing TimePoint(fabric::ExperimentConfig config, int threads, int reps,
+                 const std::string& label) {
+  config.des_threads = threads;
+  Timing out;
+  // One discarded warm-up rep (page-cache, allocator, signature caches),
+  // then `reps` kept ones — same protocol as the sweep harness.
+  const int total = reps + (reps > 1 ? 1 : 0);
+  for (int r = 0; r < total; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fabric::ExperimentResult res = fabric::RunExperiment(config);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    const bool keep = (total == reps) || r > 0;
+    if (keep) {
+      if (!out.wall_s.empty() &&
+          res.chain_head_hex != out.result.chain_head_hex) {
+        std::fprintf(stderr, "pdes_speedup: NONDETERMINISM at %s rep %d\n",
+                     label.c_str(), r);
+        benchutil::RecorderSlot()->MarkNondeterministic();
+      }
+      out.wall_s.push_back(dt.count());
+      out.result = std::move(res);
+    }
+  }
+  bench::HostSample host;
+  host.wall_s = out.wall_s;
+  host.sched_events = out.result.sched_events;
+  benchutil::RecorderSlot()->AddPoint(label, out.result, host);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::ParseArgs(argc, argv, "pdes_speedup");
+  const int nproc = static_cast<int>(std::thread::hardware_concurrency());
+  benchutil::RecorderSlot()->SetNproc(nproc);
+
+  std::cout << "=== Conservative-PDES speedup (nproc=" << nproc << ") ===\n";
+
+  // fig2 full-size: the paper's standard 10-peer network at the OR knee.
+  fabric::ExperimentConfig fig2 =
+      fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 250);
+  benchutil::Tune(fig2, args);
+
+  // 32 endorsing peers: twice the lanes, the same aggregate arrival rate —
+  // the scaling direction conservative PDES exists for.
+  fabric::ExperimentConfig wide =
+      fabric::StandardConfig(fabric::OrderingType::kSolo, 0, 250);
+  wide.network.topology.endorsing_peers = 32;
+  benchutil::Tune(wide, args);
+  if (args.smoke) {
+    // Keep the smoke tier fast: the wide topology at a shorter window.
+    wide.workload.duration = sim::FromSeconds(8);
+  }
+
+  const std::vector<std::pair<const char*, fabric::ExperimentConfig>> topos =
+      {{"fig2", fig2}, {"32peer", wide}};
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  metrics::Table table({"topology", "des_threads", "events", "wall_s",
+                        "events_per_sec", "speedup", "windows",
+                        "serial_instants"});
+  bool ok = true;
+  double fig2_speedup_at4 = 0.0;
+
+  for (const auto& [name, config] : topos) {
+    double serial_eps = 0.0;
+    std::string serial_head;
+    std::uint64_t serial_events = 0;
+    for (int threads : thread_counts) {
+      const std::string label =
+          std::string(name) + "/t" + std::to_string(threads);
+      const Timing t = TimePoint(config, threads, args.reps, label);
+      const double eps = t.EventsPerSec();
+      if (threads == 1) {
+        serial_eps = eps;
+        serial_head = t.result.chain_head_hex;
+        serial_events = t.result.sched_events;
+      } else {
+        // Contract 1: byte-identical simulated output at every thread count.
+        if (t.result.chain_head_hex != serial_head ||
+            t.result.sched_events != serial_events) {
+          std::fprintf(stderr,
+                       "pdes_speedup: IDENTITY VIOLATION at %s "
+                       "(chain %s vs %s, events %llu vs %llu)\n",
+                       label.c_str(), t.result.chain_head_hex.c_str(),
+                       serial_head.c_str(),
+                       static_cast<unsigned long long>(t.result.sched_events),
+                       static_cast<unsigned long long>(serial_events));
+          ok = false;
+        }
+      }
+      const double speedup = serial_eps > 0.0 ? eps / serial_eps : 0.0;
+      if (std::string(name) == "fig2" && threads == 4) {
+        fig2_speedup_at4 = speedup;
+      }
+      table.AddRow({name, std::to_string(threads),
+                    std::to_string(t.result.sched_events),
+                    metrics::Fmt(bench::Summarize(t.wall_s).mean, 3),
+                    metrics::Fmt(eps, 0), metrics::Fmt(speedup, 2),
+                    std::to_string(t.result.pdes_windows),
+                    std::to_string(t.result.pdes_serial_instants)});
+    }
+  }
+  benchutil::PrintTable(table, args);
+
+  // One-line summary for the nightly job summary.
+  std::cout << "\npdes_speedup: fig2 4-thread speedup "
+            << metrics::Fmt(fig2_speedup_at4, 2) << "x on " << nproc
+            << " core(s), mode=" << args.Mode() << "\n";
+
+  // Contract 3: the >= 2x target, only where it is physically meaningful.
+  if (!args.quick && nproc >= 4 && fig2_speedup_at4 < 2.0) {
+    std::fprintf(stderr,
+                 "pdes_speedup: fig2 speedup %.2fx at 4 threads is below "
+                 "the 2x target on a %d-core host\n",
+                 fig2_speedup_at4, nproc);
+    ok = false;
+  }
+  return benchutil::Finish(args, ok);
+}

@@ -139,6 +139,10 @@ class Client {
 
   [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
 
+  /// The machine this client runs on (its scheduler lane anchors the
+  /// open-loop arrival timers under the PDES engine).
+  [[nodiscard]] sim::Machine& Host() { return machine_; }
+
   /// Submits one chaincode invocation (asynchronously; returns at once).
   /// `proposal_built` (optional) runs when the event loop finishes building
   /// and signing the proposal — i.e. when the loop is free for the next

@@ -10,12 +10,19 @@ WorkloadController::WorkloadController(sim::Environment& env,
     : env_(env),
       clients_(std::move(clients)),
       config_(config),
-      rng_(env.ForkRng()),
       seq_(clients_.size(), 0),
-      next_ideal_(clients_.size(), 0) {}
+      next_ideal_(clients_.size(), 0) {
+  sim::Rng base = env.ForkRng();
+  rngs_.reserve(clients_.size());
+  for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    rngs_.push_back(base.Fork());
+  }
+}
 
 void WorkloadController::Start() {
   for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+    // Anchor each arrival loop to its client's machine lane.
+    sim::Scheduler::LaneScope scope(env_.Sched(), clients_[ci]->Host().Lane());
     ScheduleNext(ci);
   }
 }
@@ -28,7 +35,7 @@ void WorkloadController::ScheduleNext(std::size_t ci) {
 
   sim::SimDuration gap;
   if (config_.arrivals == ArrivalProcess::kPoisson) {
-    gap = sim::FromSeconds(rng_.NextExponential(mean_gap_s));
+    gap = sim::FromSeconds(rngs_[ci].NextExponential(mean_gap_s));
   } else {
     gap = sim::FromSeconds(mean_gap_s);
   }
@@ -48,8 +55,11 @@ void WorkloadController::ScheduleNext(std::size_t ci) {
   env_.Sched().ScheduleAt(
       when,
       [this, ci] {
-        ++generated_;
-        generated_log_.Record(env_.Now());
+        generated_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(log_mu_);
+          generated_log_.Record(env_.Now());
+        }
         clients_[ci]->Submit(NextInvocation(ci),
                              [this, ci] { ScheduleNext(ci); });
       },
@@ -71,7 +81,7 @@ proto::ChaincodeInvocation WorkloadController::NextInvocation(std::size_t ci) {
     case WorkloadKind::kKvReadWrite: {
       inv.chaincode_id = "kvwrite";
       inv.function = "readwrite";
-      const std::uint64_t k = rng_.NextBelow(config_.key_space);
+      const std::uint64_t k = rngs_[ci].NextBelow(config_.key_space);
       inv.args.push_back(proto::ToBytes("shared" + std::to_string(k)));
       inv.args.push_back(proto::Bytes(config_.value_size, 'x'));
       return inv;
@@ -79,8 +89,8 @@ proto::ChaincodeInvocation WorkloadController::NextInvocation(std::size_t ci) {
     case WorkloadKind::kTokenTransfer: {
       inv.chaincode_id = "token";
       inv.function = "transfer";
-      const std::uint64_t a = rng_.NextBelow(config_.key_space);
-      std::uint64_t b = rng_.NextBelow(config_.key_space);
+      const std::uint64_t a = rngs_[ci].NextBelow(config_.key_space);
+      std::uint64_t b = rngs_[ci].NextBelow(config_.key_space);
       if (b == a) b = (b + 1) % config_.key_space;
       inv.args.push_back(proto::ToBytes("acct" + std::to_string(a)));
       inv.args.push_back(proto::ToBytes("acct" + std::to_string(b)));
@@ -89,9 +99,9 @@ proto::ChaincodeInvocation WorkloadController::NextInvocation(std::size_t ci) {
     }
     case WorkloadKind::kSmallBank: {
       inv.chaincode_id = "smallbank";
-      const std::uint64_t op = rng_.NextBelow(5);
+      const std::uint64_t op = rngs_[ci].NextBelow(5);
       const std::string cust =
-          "acct" + std::to_string(rng_.NextBelow(config_.key_space));
+          "acct" + std::to_string(rngs_[ci].NextBelow(config_.key_space));
       switch (op) {
         case 0:
           inv.function = "transact_savings";
@@ -103,7 +113,7 @@ proto::ChaincodeInvocation WorkloadController::NextInvocation(std::size_t ci) {
           break;
         case 2: {
           inv.function = "send_payment";
-          std::uint64_t b = rng_.NextBelow(config_.key_space);
+          std::uint64_t b = rngs_[ci].NextBelow(config_.key_space);
           const std::string other = "acct" + std::to_string(b);
           inv.args = {proto::ToBytes(cust), proto::ToBytes(other),
                       proto::ToBytes("1")};

@@ -12,6 +12,9 @@ FabricNetwork::FabricNetwork(NetworkOptions options)
                             options_.topology.endorsing_peers)) {
   if (options_.channels < 1) options_.channels = 1;
   env_->SetTracer(options_.tracer);
+  // Marks issued from inside parallel windows are deferred and applied in
+  // deterministic key order at the window barrier (no-op while serial).
+  tracker_.BindScheduler(&env_->Sched());
 
   chaincodes_->Install(std::make_shared<chaincode::KvWriteChaincode>());
   chaincodes_->Install(std::make_shared<chaincode::TokenChaincode>());
@@ -125,6 +128,9 @@ void FabricNetwork::BuildPeers() {
     const auto* ca = msps_.Find(PeerOrgMsp(i + 1));
     auto identity = ca->Enroll("peer0." + PeerOrgMsp(i + 1),
                                crypto::Role::kPeer);
+    // Construct under the machine's lane so the peer's network endpoint
+    // (and any setup timers) land on its logical process.
+    sim::Scheduler::LaneScope scope(env_->Sched(), machine.Lane());
     peers_.push_back(std::make_unique<peer::PeerNode>(
         *env_, machine, std::move(identity), msps_, chaincodes_,
         options_.calibration, ChannelId(0),
@@ -139,6 +145,7 @@ void FabricNetwork::BuildPeers() {
         ca->Enroll("validator" + std::to_string(i), crypto::Role::kPeer);
     // The first committing peer is the measurement point.
     metrics::TxTracker* tracker = (i == 0) ? &tracker_ : nullptr;
+    sim::Scheduler::LaneScope scope(env_->Sched(), machine.Lane());
     peers_.push_back(std::make_unique<peer::PeerNode>(
         *env_, machine, std::move(identity), msps_, chaincodes_,
         options_.calibration, ChannelId(0), tracker,
@@ -161,11 +168,19 @@ void FabricNetwork::BuildOrdering() {
         "orderer-machine" + std::to_string(i), ProfileForOrderer()));
   }
   if (topo.ordering == OrderingType::kKafka) {
+    // The ZooKeeper ensemble forms one logical process: the replicas
+    // exchange quorum traffic constantly, so co-locating them on one lane
+    // keeps that chatter intra-lane (zero mailbox traffic) without
+    // affecting the simulated outcome.
     std::vector<sim::Machine*> zk_machines;
     for (int i = 0; i < topo.zookeepers; ++i) {
       zk_machines.push_back(&env_->AddMachine(
-          "zk-machine" + std::to_string(i), ProfileForZooKeeper()));
+          "zk-machine" + std::to_string(i), ProfileForZooKeeper(),
+          i == 0 ? -1 : zk_machines[0]->Lane()));
     }
+    sim::Scheduler::LaneScope zk_scope(
+        env_->Sched(), zk_machines.empty() ? sim::Scheduler::kGlobalLane
+                                           : zk_machines[0]->Lane());
     zk_ = std::make_unique<ordering::ZooKeeperEnsemble>(
         *env_, options_.calibration, ordering::ZkConfig{}, zk_machines);
     for (int i = 0; i < topo.kafka_brokers; ++i) {
@@ -180,6 +195,8 @@ void FabricNetwork::BuildOrdering() {
 
     switch (topo.ordering) {
       case OrderingType::kSolo: {
+        sim::Scheduler::LaneScope scope(env_->Sched(),
+                                        orderer_machines_[0]->Lane());
         solos_.push_back(std::make_unique<ordering::SoloOrderer>(
             *env_, *orderer_machines_[0],
             orderer_ca->Enroll("orderer0." + channel_id,
@@ -192,6 +209,9 @@ void FabricNetwork::BuildOrdering() {
       case OrderingType::kRaft: {
         std::vector<std::unique_ptr<ordering::RaftOrderer>> group;
         for (int i = 0; i < topo.EffectiveOsns(); ++i) {
+          sim::Scheduler::LaneScope scope(
+              env_->Sched(),
+              orderer_machines_[static_cast<std::size_t>(i)]->Lane());
           group.push_back(std::make_unique<ordering::RaftOrderer>(
               *env_, *orderer_machines_[static_cast<std::size_t>(i)],
               orderer_ca->Enroll(
@@ -213,6 +233,9 @@ void FabricNetwork::BuildOrdering() {
         kcfg.replication_factor = topo.kafka_replication_factor;
         std::vector<std::unique_ptr<ordering::KafkaBroker>> brokers;
         for (int i = 0; i < topo.kafka_brokers; ++i) {
+          sim::Scheduler::LaneScope scope(
+              env_->Sched(),
+              broker_machines_[static_cast<std::size_t>(i)]->Lane());
           brokers.push_back(std::make_unique<ordering::KafkaBroker>(
               *env_, *broker_machines_[static_cast<std::size_t>(i)],
               options_.calibration, kcfg, i, zk_->NetIds(), channel_id));
@@ -224,6 +247,9 @@ void FabricNetwork::BuildOrdering() {
 
         std::vector<std::unique_ptr<ordering::KafkaOrderer>> osns;
         for (int i = 0; i < topo.EffectiveOsns(); ++i) {
+          sim::Scheduler::LaneScope scope(
+              env_->Sched(),
+              orderer_machines_[static_cast<std::size_t>(i)]->Lane());
           osns.push_back(std::make_unique<ordering::KafkaOrderer>(
               *env_, *orderer_machines_[static_cast<std::size_t>(i)],
               orderer_ca->Enroll(
@@ -323,6 +349,7 @@ void FabricNetwork::BuildClients() {
   for (int i = 0; i < n; ++i) {
     auto& machine = env_->AddMachine("client-machine" + std::to_string(i),
                                      ProfileForClient());
+    sim::Scheduler::LaneScope scope(env_->Sched(), machine.Lane());
     auto identity =
         ca->Enroll("app" + std::to_string(i), crypto::Role::kClient);
     const int channel = i % options_.channels;
@@ -418,23 +445,43 @@ void FabricNetwork::SeedAccounts() {
 }
 
 void FabricNetwork::Start() {
-  if (zk_ != nullptr) zk_->Start();
+  // Every Start() below schedules that component's initial timers; the
+  // LaneScope pins them (and everything they transitively spawn) to the
+  // owning machine's logical process.
+  sim::Scheduler& sched = env_->Sched();
+  if (zk_ != nullptr) {
+    sim::Scheduler::LaneScope scope(sched, zk_->Server(0).Host().Lane());
+    zk_->Start();
+  }
   for (auto& channel : broker_channels_) {
-    for (auto& b : channel) b->Start();
+    for (auto& b : channel) {
+      sim::Scheduler::LaneScope scope(sched, b->Host().Lane());
+      b->Start();
+    }
   }
   for (auto& channel : kafka_channels_) {
-    for (auto& o : channel) o->Start();
+    for (auto& o : channel) {
+      sim::Scheduler::LaneScope scope(sched, o->Host().Lane());
+      o->Start();
+    }
   }
   for (auto& channel : raft_channels_) {
-    for (auto& o : channel) o->Start();
+    for (auto& o : channel) {
+      sim::Scheduler::LaneScope scope(sched, o->Host().Lane());
+      o->Start();
+    }
   }
 
   if (options_.gossip) {
-    for (auto& p : peers_) p->StartGossip();
+    for (auto& p : peers_) {
+      sim::Scheduler::LaneScope scope(sched, p->Host().Lane());
+      p->StartGossip();
+    }
   }
 
   // Clients listen for commit events on the validating peer.
   for (auto& c : clients_) {
+    sim::Scheduler::LaneScope scope(sched, c->Host().Lane());
     c->SetEventSource(ValidatorPeer().NetId());
   }
 
@@ -452,6 +499,7 @@ void FabricNetwork::Start() {
     for (int c = 0; c < options_.channels; ++c) {
       const std::vector<sim::NodeId> osns = OsnNetIds(c);
       for (std::size_t i = 0; i < subscribers; ++i) {
+        sim::Scheduler::LaneScope scope(sched, peers_[i]->Host().Lane());
         peers_[i]->EnableDeliverFailover(ChannelId(c), osns, i % osns.size(),
                                          options_.recovery.deliver);
         // Cross-OSN attestation rides on the watchdog's OSN list; it only

@@ -65,7 +65,7 @@ void TelemetrySampler::SampleNow(sim::SimTime now) {
   }
   if (watching_network_) {
     samples_.push_back({now, "network", "bytes_in_flight",
-                        static_cast<double>(bytes_in_flight_)});
+                        static_cast<double>(BytesInFlight())});
   }
   if (sched_ != nullptr) {
     // The DES event-queue depth itself: a saturation signal for the host
@@ -78,22 +78,33 @@ void TelemetrySampler::SampleNow(sim::SimTime now) {
   }
 }
 
+namespace {
+
+// Clamped atomic decrement: never underflows even when the sampler was
+// attached with messages already in flight.
+void SubClamped(std::atomic<std::uint64_t>& v, std::uint64_t n) {
+  std::uint64_t cur = v.load(std::memory_order_relaxed);
+  while (!v.compare_exchange_weak(cur, cur - (n < cur ? n : cur),
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void TelemetrySampler::OnSend(sim::NodeId /*from*/, sim::NodeId /*to*/,
                               std::size_t wire_bytes,
                               sim::SimTime /*deliver_at*/) {
-  bytes_in_flight_ += wire_bytes;
+  bytes_in_flight_.fetch_add(wire_bytes, std::memory_order_relaxed);
 }
 
 void TelemetrySampler::OnDeliver(sim::NodeId /*from*/, sim::NodeId /*to*/,
                                  std::size_t wire_bytes) {
-  bytes_in_flight_ -= wire_bytes < bytes_in_flight_ ? wire_bytes
-                                                    : bytes_in_flight_;
+  SubClamped(bytes_in_flight_, wire_bytes);
 }
 
 void TelemetrySampler::OnDrop(sim::NodeId /*from*/, sim::NodeId /*to*/,
                               std::size_t wire_bytes) {
-  bytes_in_flight_ -= wire_bytes < bytes_in_flight_ ? wire_bytes
-                                                    : bytes_in_flight_;
+  SubClamped(bytes_in_flight_, wire_bytes);
 }
 
 void TelemetrySampler::WriteCsv(std::ostream& os) const {

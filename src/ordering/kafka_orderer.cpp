@@ -38,9 +38,11 @@ void KafkaOrderer::WatchdogTick() {
              env_.Now() - fetch_sent_at_ > kSilenceLimit) {
     // The fetch (or its response) was lost on the wire while produce acks
     // kept the broker "in contact" — found by the chaos fuzzer as a
-    // permanent consume stall under 5% loss. The broker's long poll is
-    // gone, so nothing will resend it: re-fetch from the same offset
-    // (duplicate records are screened by the committers' tx-id dedup).
+    // permanent consume stall under 5% loss. Re-fetch from the same
+    // offset. If the original long poll was merely parked (quiet
+    // partition, nothing lost), the broker may end up answering both
+    // fetches; the offset guard in the fetch-response handler makes the
+    // duplicate delivery a no-op.
     SendFetch();
   }
   env_.Sched().ScheduleAfter(sim::FromSeconds(2), [this] { WatchdogTick(); },
@@ -145,8 +147,21 @@ void KafkaOrderer::OnOtherMessage(sim::NodeId /*from*/,
   if (auto fr = std::dynamic_pointer_cast<const KafkaFetchResponseMsg>(msg)) {
     last_broker_contact_ = env_.Now();
     fetch_in_flight_ = false;
-    for (const auto& rec : fr->records) ProcessRecord(rec);
-    next_offset_ = fr->next_offset;
+    // Consume strictly by partition offset. The watchdog's re-fetch can
+    // leave two fetches for the same offset at the broker (the original
+    // long-poll parked with no data plus the retry); if records commit in
+    // that window the broker answers both, and blindly consuming the
+    // second copy would feed the cutter duplicate records — shifting this
+    // OSN's block boundaries off the other OSNs' and forking its
+    // subscribed peers (found by the chaos fuzzer as a chain-fork under a
+    // loss window). Committer tx-id dedup cannot help here: the fork is in
+    // the block stream itself, so consumption must be idempotent.
+    for (const auto& rec : fr->records) {
+      if (rec.offset < next_offset_) continue;  // stale duplicate delivery
+      ProcessRecord(rec);
+      next_offset_ = rec.offset + 1;
+    }
+    if (fr->next_offset > next_offset_) next_offset_ = fr->next_offset;
     SendFetch();
     return;
   }

@@ -46,6 +46,10 @@ class OsnBase {
   OsnBase& operator=(const OsnBase&) = delete;
 
   [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+
+  /// The machine hosting this node (its scheduler lane owns all the
+  /// node's timers and deliveries under the PDES engine).
+  [[nodiscard]] sim::Machine& Host() { return machine_; }
   [[nodiscard]] const crypto::Identity& GetIdentity() const {
     return identity_;
   }

@@ -42,6 +42,7 @@ class ZooKeeperServer {
   void Start();
 
   [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+  [[nodiscard]] sim::Machine& Host() { return machine_; }
   [[nodiscard]] bool IsLeader() const;
   [[nodiscard]] std::size_t ZnodeCount() const { return znodes_.size(); }
 

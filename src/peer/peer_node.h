@@ -54,6 +54,10 @@ class PeerNode {
   void JoinChannel(const std::string& channel_id);
 
   [[nodiscard]] sim::NodeId NetId() const { return net_id_; }
+
+  /// The machine hosting this node (its scheduler lane owns all the
+  /// node's timers and deliveries under the PDES engine).
+  [[nodiscard]] sim::Machine& Host() { return machine_; }
   [[nodiscard]] bool IsEndorsing() const { return endorsing_; }
   [[nodiscard]] const crypto::Identity& GetIdentity() const {
     return identity_;

@@ -60,29 +60,41 @@ const crypto::Digest& TransactionEnvelope::EndorsedPayloadDigest() const {
 
 const std::optional<std::vector<crypto::Principal>>&
 TransactionEnvelope::VerifiedSigners(const crypto::MspRegistry& msps) const {
-  if (signers_.registry == &msps) return signers_.value;
-  signers_.registry = &msps;
-  signers_.value.reset();
+  if (signers_.registry.load(std::memory_order_acquire) == &msps) {
+    return signers_.value;
+  }
 
+  // Verify OUTSIDE any lock: the digest getters take CachedValue stripes of
+  // their own, and racing verifications of the same immutable envelope
+  // against the same registry reach the same verdict, so first-writer-wins
+  // below is sound.
+  std::optional<std::vector<crypto::Principal>> fresh;  // nullopt: bad sig
   const crypto::Certificate* client_cert = msps.CachedCertificate(creator_cert);
-  if (client_cert == nullptr ||
-      !crypto::VerifyDigest(client_cert->subject_public_key,
-                            SignedBodyDigest(), client_signature)) {
-    return signers_.value;  // nullopt: bad client signature
-  }
-  std::vector<crypto::Principal> signers;
-  signers.reserve(endorsements.size());
-  const crypto::Digest& endorsed = EndorsedPayloadDigest();
-  for (const auto& e : endorsements) {
-    const crypto::Certificate* cert = msps.CachedCertificate(e.endorser_cert);
-    if (cert == nullptr ||
-        !crypto::VerifyDigest(cert->subject_public_key, endorsed,
-                              e.signature)) {
-      return signers_.value;  // nullopt: bad endorsement
+  if (client_cert != nullptr &&
+      crypto::VerifyDigest(client_cert->subject_public_key, SignedBodyDigest(),
+                           client_signature)) {
+    std::vector<crypto::Principal> signers;
+    signers.reserve(endorsements.size());
+    const crypto::Digest& endorsed = EndorsedPayloadDigest();
+    bool all_ok = true;
+    for (const auto& e : endorsements) {
+      const crypto::Certificate* cert = msps.CachedCertificate(e.endorser_cert);
+      if (cert == nullptr ||
+          !crypto::VerifyDigest(cert->subject_public_key, endorsed,
+                                e.signature)) {
+        all_ok = false;  // nullopt: bad endorsement
+        break;
+      }
+      signers.push_back(crypto::Principal{cert->msp_id, cert->role});
     }
-    signers.push_back(crypto::Principal{cert->msp_id, cert->role});
+    if (all_ok) fresh = std::move(signers);
   }
-  signers_.value = std::move(signers);
+
+  std::lock_guard<std::mutex> lock(detail::CacheStripe(&signers_));
+  if (signers_.registry.load(std::memory_order_relaxed) != &msps) {
+    signers_.value = std::move(fresh);
+    signers_.registry.store(&msps, std::memory_order_release);
+  }
   return signers_.value;
 }
 
@@ -92,8 +104,7 @@ void TransactionEnvelope::InvalidateCaches() const {
   endorsed_payload_cache_.Invalidate();
   signed_body_digest_.Invalidate();
   endorsed_payload_digest_.Invalidate();
-  signers_.registry = nullptr;
-  signers_.value.reset();
+  signers_.Reset();
 }
 
 std::optional<TransactionEnvelope> TransactionEnvelope::Deserialize(

@@ -7,6 +7,7 @@
 // and what committing peers validate.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,22 +86,29 @@ struct TransactionEnvelope {
   CachedValue<crypto::Digest> endorsed_payload_digest_;
 
   // Signer-verification memo with the same copy-resets semantics as
-  // CachedValue (a mutated copy must re-verify honestly).
+  // CachedValue (a mutated copy must re-verify honestly). The registry
+  // pointer doubles as the atomic ready flag — it is set (release) only
+  // after `value` is installed, so concurrent lanes validating the same
+  // shared envelope are safe; negative results (nullopt value with the
+  // registry set) stay cached. Like CachedValue, resets are reserved for
+  // single-threaded phases.
   struct SignerCache {
     SignerCache() = default;
     SignerCache(const SignerCache&) noexcept {}
     SignerCache& operator=(const SignerCache&) noexcept {
-      registry = nullptr;
-      value.reset();
+      Reset();
       return *this;
     }
     SignerCache(SignerCache&&) noexcept {}
     SignerCache& operator=(SignerCache&&) noexcept {
-      registry = nullptr;
-      value.reset();
+      Reset();
       return *this;
     }
-    mutable const void* registry = nullptr;
+    void Reset() const {
+      registry.store(nullptr, std::memory_order_relaxed);
+      value.reset();
+    }
+    mutable std::atomic<const void*> registry{nullptr};
     mutable std::optional<std::vector<crypto::Principal>> value;
   };
   SignerCache signers_;

@@ -19,9 +19,13 @@ Environment::Environment(std::uint64_t seed, NetworkConfig net_config)
   net_ = std::make_unique<Network>(sched_, rng_.Fork(), net_config);
 }
 
-Machine& Environment::AddMachine(std::string name, MachineProfile profile) {
-  machines_.push_back(
-      std::make_unique<Machine>(sched_, std::move(name), std::move(profile)));
+Machine& Environment::AddMachine(std::string name, MachineProfile profile,
+                                 int share_lane_with) {
+  const int lane = (share_lane_with >= 0 && share_lane_with < sched_.LaneCount())
+                       ? share_lane_with
+                       : sched_.AddLane();
+  machines_.push_back(std::make_unique<Machine>(sched_, std::move(name),
+                                                std::move(profile), lane));
   return *machines_.back();
 }
 

@@ -37,22 +37,29 @@ MachineProfile I7_2600();
 MachineProfile I7_920();
 
 /// One simulated host: a CPU plus identity. Roles (peer, orderer, client,
-/// broker) are processes that submit work to the machine's CPU.
+/// broker) are processes that submit work to the machine's CPU. Each machine
+/// is one scheduler lane (logical process) for the conservative-PDES engine;
+/// components belonging to the machine are constructed and started under a
+/// `Scheduler::LaneScope` for its lane so their events execute there.
 class Machine {
  public:
-  Machine(Scheduler& sched, std::string name, MachineProfile profile)
+  Machine(Scheduler& sched, std::string name, MachineProfile profile,
+          int lane = Scheduler::kGlobalLane)
       : name_(std::move(name)),
         profile_(std::move(profile)),
+        lane_(lane),
         cpu_(sched, profile_.cores, profile_.speed_factor) {}
 
   [[nodiscard]] const std::string& Name() const { return name_; }
   [[nodiscard]] const MachineProfile& Profile() const { return profile_; }
+  [[nodiscard]] int Lane() const { return lane_; }
   [[nodiscard]] Cpu& GetCpu() { return cpu_; }
   [[nodiscard]] const Cpu& GetCpu() const { return cpu_; }
 
  private:
   std::string name_;
   MachineProfile profile_;
+  int lane_;
   Cpu cpu_;
 };
 
@@ -71,8 +78,12 @@ class Environment {
   [[nodiscard]] const Network& Net() const { return *net_; }
   [[nodiscard]] Rng& GlobalRng() { return rng_; }
 
-  /// Creates a machine owned by the environment.
-  Machine& AddMachine(std::string name, MachineProfile profile);
+  /// Creates a machine owned by the environment on a fresh scheduler lane.
+  /// Pass an existing machine's lane as `share_lane_with` to co-locate (the
+  /// ZooKeeper ensemble object spans its three hosts, so those machines form
+  /// one logical process).
+  Machine& AddMachine(std::string name, MachineProfile profile,
+                      int share_lane_with = -1);
 
   [[nodiscard]] std::size_t MachineCount() const { return machines_.size(); }
   [[nodiscard]] Machine& MachineAt(std::size_t i) { return *machines_.at(i); }

@@ -6,15 +6,41 @@
 
 namespace fabricsim::sim {
 
+namespace {
+
+// SplitMix64 finalizer over (base, from, to): a well-mixed per-directed-pair
+// seed that never collides streams of distinct links in practice.
+std::uint64_t MixLinkSeed(std::uint64_t base, NodeId from, NodeId to) {
+  std::uint64_t x =
+      base ^
+      ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+       static_cast<std::uint32_t>(to));
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Network::Network(Scheduler& sched, Rng rng, NetworkConfig config)
-    : sched_(sched), rng_(rng), config_(config) {}
+    : sched_(sched), rng_(rng), link_seed_base_(rng_.Next()), config_(config) {}
 
 NodeId Network::Register(std::string name, Handler handler) {
   Endpoint ep;
   ep.name = std::move(name);
   ep.handler = std::move(handler);
+  ep.lane = sched_.CurrentLane();
   nodes_.push_back(std::move(ep));
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Rng& Network::LinkRng(Endpoint& src, NodeId from, NodeId to) {
+  const auto index = static_cast<std::size_t>(to);
+  if (index >= src.link_rng.size()) src.link_rng.resize(index + 1);
+  std::optional<Rng>& slot = src.link_rng[index];
+  if (!slot.has_value()) slot.emplace(MixLinkSeed(link_seed_base_, from, to));
+  return *slot;
 }
 
 void Network::SetHandler(NodeId id, Handler handler) {
@@ -30,14 +56,15 @@ std::uint64_t Network::PairKey(NodeId a, NodeId b) {
 void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   auto& src = nodes_.at(static_cast<std::size_t>(from));
   auto& dst = nodes_.at(static_cast<std::size_t>(to));
-  ++messages_sent_;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t wire_bytes =
       msg->WireSize() + config_.per_message_overhead_bytes;
-  bytes_sent_ += wire_bytes;
+  bytes_sent_.fetch_add(wire_bytes, std::memory_order_relaxed);
 
   if (src.crashed || dst.crashed || IsPartitioned(from, to) ||
-      (from != to && rng_.NextBool(config_.loss_probability))) {
-    ++messages_dropped_;
+      (from != to &&
+       LinkRng(src, from, to).NextBool(config_.loss_probability))) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -52,35 +79,52 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
     const SimTime start =
         src.nic_free_at > sched_.Now() ? src.nic_free_at : sched_.Now();
     src.nic_free_at = start + serialize;
-    double jitter = 1.0 + config_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+    double jitter = 1.0 + config_.jitter_fraction *
+                              (2.0 * LinkRng(src, from, to).NextDouble() - 1.0);
     if (jitter < 0.0) jitter = 0.0;
     const auto latency = static_cast<SimDuration>(
         static_cast<double>(config_.base_latency) * jitter);
     deliver_at = src.nic_free_at + latency;
     // TCP semantics: a directed connection never reorders.
-    const std::uint64_t conn =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-        static_cast<std::uint32_t>(to);
-    SimTime& last = last_delivery_[conn];
+    const auto dst_index = static_cast<std::size_t>(to);
+    if (dst_index >= src.last_to.size()) src.last_to.resize(dst_index + 1, 0);
+    SimTime& last = src.last_to[dst_index];
     if (deliver_at <= last) deliver_at = last + 1;
     last = deliver_at;
   }
 
   if (observer_) observer_->OnSend(from, to, wire_bytes, deliver_at);
-  sched_.ScheduleAt(
-      deliver_at,
+  // Delivery executes in the receiver's lane, ordered by the sender's key:
+  // under the PDES engine a cross-lane delivery rides the mailbox and the
+  // lookahead floor guarantees it lands beyond the current window.
+  sched_.ScheduleAtLane(
+      dst.lane, deliver_at,
       [this, from, to, wire_bytes, msg = std::move(msg)]() {
         auto& receiver = nodes_.at(static_cast<std::size_t>(to));
         if (receiver.crashed) {
-          ++messages_dropped_;
+          messages_dropped_.fetch_add(1, std::memory_order_relaxed);
           if (observer_) observer_->OnDrop(from, to, wire_bytes);
           return;
         }
-        ++messages_delivered_;
+        messages_delivered_.fetch_add(1, std::memory_order_relaxed);
         if (observer_) observer_->OnDeliver(from, to, wire_bytes);
         if (receiver.handler) receiver.handler(from, msg);
       },
       "net/deliver");
+}
+
+SimDuration Network::LookaheadFloor() const {
+  const auto serialize_min = static_cast<SimDuration>(
+      static_cast<double>(config_.per_message_overhead_bytes) * 8.0 * 1e9 /
+      config_.bandwidth_bps);
+  double jf = config_.jitter_fraction;
+  if (jf < 0.0) jf = 0.0;
+  if (jf > 1.0) jf = 1.0;
+  const auto latency_min = static_cast<SimDuration>(
+      static_cast<double>(config_.base_latency) * (1.0 - jf));
+  // Both terms truncate the same monotone formulas the send path uses, so
+  // serialize >= serialize_min and latency >= latency_min hold exactly.
+  return serialize_min + latency_min;
 }
 
 void Network::Partition(NodeId a, NodeId b) { partitions_.insert(PairKey(a, b)); }

@@ -68,6 +68,12 @@ class DesProfiler {
 
   [[nodiscard]] ProfileReport Report() const;
 
+  /// Folds another profiler's measurements into this one — the PDES engine
+  /// gives each worker thread a private profiler and merges them into the
+  /// attached one at the end of the run. Timeline points are re-sorted by
+  /// host time; spans are appended up to the cap.
+  void Merge(const DesProfiler& other);
+
   void Reset();
 
   /// Chrome trace-event JSON ("X" complete events, host microseconds) of the

@@ -1,0 +1,263 @@
+// Conservative-PDES engine tests.
+//
+// PdesSchedulerTest exercises the scheduler's lane machinery directly: the
+// lane-keyed total order, cross-lane mailboxes, deferred shared ops, serial
+// instants, and the engine's bookkeeping — each asserted by running the same
+// synthetic workload serially and in parallel and demanding identical
+// traces. PdesIdentityTest runs the full Fabric experiment at several thread
+// counts and demands byte-identical simulated output (the bench gate's
+// fingerprint).
+//
+// Suite names deliberately start with "Pdes": the CI ThreadSanitizer row
+// filters on -R 'Runner|Determinism|VsccWorkers|Pdes'.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fabric/experiment.h"
+#include "sim/scheduler.h"
+
+namespace fabricsim {
+namespace {
+
+using sim::Scheduler;
+using sim::SimTime;
+
+// One deterministic synthetic workload over `lanes` lanes: per-lane tickers
+// that append to their own trace, periodic cross-lane sends (at >= lookahead
+// so the conservative engine is in-contract), DeferShared appends to a
+// shared log, and a lane-0 control ticker that forces serial instants.
+struct Harness {
+  static constexpr SimTime kHorizon = 100'000;
+  static constexpr SimTime kLookahead = 100;
+
+  Scheduler sched;
+  std::vector<int> lanes;
+  // Per-lane trace: only that lane's events append, so recording is safe
+  // under the parallel engine.
+  std::vector<std::vector<std::pair<SimTime, int>>> traces;
+  // Shared log: appended only through DeferShared.
+  std::vector<std::pair<SimTime, int>> shared;
+
+  explicit Harness(int n_lanes) : traces(static_cast<std::size_t>(n_lanes) + 1) {
+    for (int i = 0; i < n_lanes; ++i) lanes.push_back(sched.AddLane());
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      Scheduler::LaneScope scope(sched, lanes[li]);
+      const SimTime phase = static_cast<SimTime>(7 * (li + 1));
+      sched.ScheduleAt(phase, [this, li] { Tick(li, 0); }, "pdes/tick");
+    }
+    // Control-lane ticker: global-lane events force serial instants.
+    sched.ScheduleAt(5'000, [this] { ControlTick(); }, "pdes/control");
+  }
+
+  void Tick(std::size_t li, int n) {
+    const SimTime now = sched.Now();
+    traces[li + 1].emplace_back(now, n);
+    if (n % 5 == 2) {
+      // Cross-lane send, one lane over, due beyond the lookahead window.
+      const std::size_t to = (li + 1) % lanes.size();
+      sched.ScheduleAtLane(
+          lanes[to], now + kLookahead + 31,
+          [this, to, n] {
+            traces[to + 1].emplace_back(sched.Now(), 1000 + n);
+          },
+          "pdes/xlane");
+    }
+    if (n % 7 == 3) {
+      const int marker = static_cast<int>(li) * 10'000 + n;
+      sched.DeferShared(
+          [this, now, marker] { shared.emplace_back(now, marker); });
+    }
+    if (now < kHorizon) {
+      sched.ScheduleAfter(41 + static_cast<SimTime>(li), [this, li, n] {
+        Tick(li, n + 1);
+      }, "pdes/tick");
+    }
+  }
+
+  void ControlTick() {
+    traces[0].emplace_back(sched.Now(), -1);
+    if (sched.Now() < kHorizon) {
+      sched.ScheduleAfter(5'000, [this] { ControlTick(); }, "pdes/control");
+    }
+  }
+};
+
+struct HarnessResult {
+  std::vector<std::vector<std::pair<SimTime, int>>> traces;
+  std::vector<std::pair<SimTime, int>> shared;
+  std::uint64_t executed = 0;
+  SimTime end = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t instants = 0;
+};
+
+HarnessResult RunHarness(int n_lanes, int threads) {
+  Harness h(n_lanes);
+  if (threads > 1) h.sched.SetParallel(threads, Harness::kLookahead);
+  h.sched.RunUntil(Harness::kHorizon + 10'000);
+  return {std::move(h.traces), std::move(h.shared),
+          h.sched.ExecutedEvents(), h.sched.Now(),
+          h.sched.WindowsRun(),    h.sched.SerialInstants()};
+}
+
+TEST(PdesSchedulerTest, ParallelTracesMatchSerial) {
+  const HarnessResult serial = RunHarness(4, 1);
+  EXPECT_EQ(serial.windows, 0u);
+  for (int threads : {2, 3, 4}) {
+    const HarnessResult par = RunHarness(4, threads);
+    EXPECT_GT(par.windows, 0u) << threads;
+    EXPECT_EQ(par.traces, serial.traces) << threads;
+    EXPECT_EQ(par.executed, serial.executed) << threads;
+    EXPECT_EQ(par.end, serial.end) << threads;
+  }
+}
+
+TEST(PdesSchedulerTest, DeferredSharedOpsApplyInSerialKeyOrder) {
+  const HarnessResult serial = RunHarness(4, 1);
+  ASSERT_FALSE(serial.shared.empty());
+  for (int threads : {2, 4}) {
+    const HarnessResult par = RunHarness(4, threads);
+    EXPECT_EQ(par.shared, serial.shared) << threads;
+  }
+}
+
+TEST(PdesSchedulerTest, ControlLaneEventsTakeSerialInstants) {
+  const HarnessResult par = RunHarness(4, 4);
+  // The 5 ms control ticker fired ~20 times over the horizon; every firing
+  // must have been a serial instant, not a window.
+  EXPECT_GE(par.instants, 20u);
+  EXPECT_EQ(par.traces[0].size(), 20u);
+}
+
+TEST(PdesSchedulerTest, MoreThreadsThanLanesIsSafe) {
+  const HarnessResult serial = RunHarness(2, 1);
+  const HarnessResult par = RunHarness(2, 8);
+  EXPECT_EQ(par.traces, serial.traces);
+  EXPECT_EQ(par.executed, serial.executed);
+}
+
+TEST(PdesSchedulerTest, SingleLaneFallsBackToSerial) {
+  // With no machine lanes the parallel engine has nothing to partition;
+  // RunUntil must take the serial path (windows stay zero).
+  Scheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(10, [&] { ++fired; });
+  sched.SetParallel(4, 100);
+  sched.RunUntil(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.WindowsRun(), 0u);
+}
+
+TEST(PdesSchedulerTest, CancelAcrossEngineTransitions) {
+  Scheduler sched;
+  const int lane = sched.AddLane();
+  sched.AddLane();  // second lane so the parallel engine engages
+  int fired = 0;
+  sim::EventId id = 0;
+  {
+    Scheduler::LaneScope scope(sched, lane);
+    id = sched.ScheduleAt(50'000, [&] { ++fired; });
+    sched.ScheduleAt(10, [&] { ++fired; });
+  }
+  sched.SetParallel(2, 100);
+  sched.RunUntil(1'000);  // parallel run leaves the far event pending
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.Cancel(id));  // cancellable again after the barrier
+  sched.RunUntil(100'000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.PendingEvents(), 0u);
+}
+
+TEST(PdesSchedulerTest, LaneLocalClocksAdvanceInsideWindows) {
+  // Two lanes, no cross traffic: each lane's callback must see its own
+  // event time as Now() even while windows batch many events.
+  Scheduler sched;
+  const int a = sched.AddLane();
+  const int b = sched.AddLane();
+  std::vector<SimTime> seen_a, seen_b;
+  {
+    Scheduler::LaneScope scope(sched, a);
+    for (SimTime t = 1; t <= 1000; t += 7) {
+      sched.ScheduleAt(t, [&sched, &seen_a] { seen_a.push_back(sched.Now()); });
+    }
+  }
+  {
+    Scheduler::LaneScope scope(sched, b);
+    for (SimTime t = 3; t <= 1000; t += 11) {
+      sched.ScheduleAt(t, [&sched, &seen_b] { seen_b.push_back(sched.Now()); });
+    }
+  }
+  sched.SetParallel(2, 50);
+  sched.RunUntil(2000);
+  SimTime prev = -1;
+  for (SimTime t : seen_a) { EXPECT_GT(t, prev); prev = t; }
+  EXPECT_EQ(seen_a.size(), (1000 - 1) / 7 + 1);
+  EXPECT_EQ(seen_b.size(), (1000 - 3) / 11 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Full-experiment identity: the tentpole contract.
+// ---------------------------------------------------------------------------
+
+struct Fingerprint {
+  std::string chain_head_hex;
+  std::uint64_t chain_height = 0;
+  std::uint64_t sched_events = 0;
+  std::uint64_t completed = 0;
+  double goodput_tps = 0.0;
+  double p99_s = 0.0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint RunOnce(fabric::ExperimentConfig config, int threads) {
+  config.des_threads = threads;
+  const fabric::ExperimentResult r = fabric::RunExperiment(config);
+  EXPECT_FALSE(r.chain_head_hex.empty());
+  if (threads > 1) {
+    // The engine must actually have engaged, or identity proves nothing.
+    EXPECT_GT(r.pdes_windows + r.pdes_serial_instants, 0u) << threads;
+  }
+  return Fingerprint{r.chain_head_hex,
+                     r.chain_height,
+                     r.sched_events,
+                     r.report.end_to_end.completed,
+                     r.report.end_to_end.throughput_tps,
+                     r.report.end_to_end.p99_latency_s};
+}
+
+class PdesIdentityTest : public ::testing::TestWithParam<fabric::OrderingType> {
+};
+
+TEST_P(PdesIdentityTest, ParallelSimulatedOutputMatchesSerial) {
+  fabric::ExperimentConfig config = fabric::StandardConfig(GetParam(), 0, 120);
+  config.warmup = sim::FromSeconds(3);
+  config.workload.duration = sim::FromSeconds(6);
+  config.drain = sim::FromSeconds(6);
+  const Fingerprint serial = RunOnce(config, 1);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(RunOnce(config, threads), serial) << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, PdesIdentityTest,
+                         ::testing::Values(fabric::OrderingType::kSolo,
+                                           fabric::OrderingType::kKafka,
+                                           fabric::OrderingType::kRaft),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case fabric::OrderingType::kSolo:
+                               return "Solo";
+                             case fabric::OrderingType::kKafka:
+                               return "Kafka";
+                             case fabric::OrderingType::kRaft:
+                               return "Raft";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace fabricsim
